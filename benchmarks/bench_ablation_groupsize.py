@@ -1,0 +1,59 @@
+"""Ablation (section III-D): RAID-Group size trade-off.
+
+The group size sets three quantities at once: parity storage (smaller
+groups cost more PLT), repair latency (larger groups read more lines),
+and reliability (larger groups collide more often).  This bench sweeps
+the size and regenerates the trade-off the paper describes around its
+512-line default.
+"""
+
+from conftest import emit
+from repro.core.stats import LatencyModel
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+BER = 5.3e-6
+LINE_BITS = 553
+NUM_LINES = 1 << 20
+
+
+def sweep():
+    latency = LatencyModel()
+    rows = []
+    for group_size in (64, 128, 256, 512, 1024, 2048):
+        model = SuDokuReliabilityModel(
+            ber=BER, group_size=group_size, num_lines=NUM_LINES
+        )
+        parity_bits = 2.0 * LINE_BITS * (NUM_LINES // group_size) / NUM_LINES
+        rows.append(
+            [
+                group_size,
+                41 + parity_bits,
+                latency.raid4_repair(group_size) * 1e6,
+                model.mttf_x_seconds(),
+                model.fit_z(),
+            ]
+        )
+    return rows
+
+
+def test_bench_groupsize_ablation(benchmark):
+    rows = benchmark(sweep)
+    emit(
+        {
+            "title": "Ablation: RAID-Group size (section III-D trade-off)",
+            "headers": [
+                "group size", "bits/line", "RAID-4 repair (us)",
+                "SuDoku-X MTTF (s)", "SuDoku-Z FIT",
+            ],
+            "rows": rows,
+            "notes": "Paper default 512 balances the three axes.",
+        }
+    )
+    by_size = {row[0]: row for row in rows}
+    # Storage falls and repair latency rises with group size.
+    assert by_size[64][1] > by_size[512][1] > by_size[2048][1]
+    assert by_size[64][2] < by_size[512][2] < by_size[2048][2]
+    # Reliability worsens with group size (more collisions per group).
+    assert by_size[64][4] < by_size[512][4] < by_size[2048][4]
+    # The paper's default still meets the FIT target with margin.
+    assert by_size[512][4] < 1e-3

@@ -1,0 +1,79 @@
+"""Verification exhibit: detection distance of the shipped CRC-31.
+
+The paper's analysis assumes a CRC-31 with Hamming distance 8 at line
+length (the offline-unreachable Koopman polynomial).  This bench
+measures the catalogue polynomial the reproduction actually uses:
+an exact proof of HD >= 5 plus statistically clean randomized checks at
+weights 5-8 -- and quantifies how the SDC model degrades if weight-5..7
+patterns escape at the generic 2^-31 rate instead of never.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.coding.crc import CRC31_SUDOKU
+from repro.coding.crcdistance import (
+    min_weight_multiple_bound,
+    syndrome_table,
+    verify_low_weight_detection,
+)
+from repro.reliability.fit import fit_from_interval_probability
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+
+def test_bench_crc_distance(benchmark):
+    def measure():
+        report = min_weight_multiple_bound(CRC31_SUDOKU, data_bits=512)
+        table = syndrome_table(CRC31_SUDOKU, data_bits=512)
+        rng = random.Random(42)
+        random_misses = {
+            weight: verify_low_weight_detection(
+                CRC31_SUDOKU, weight, samples=30_000, rng=rng, table=table
+            )
+            for weight in (5, 6, 7, 8)
+        }
+        return report, random_misses
+
+    report, random_misses = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Worst-case SDC if weights 5..7 escaped at the generic 2^-31 rate:
+    # charge every 5+-fault line the misdetection factor.
+    model = SuDokuReliabilityModel(ber=5.3e-6)
+    p_5plus = model.p_at_least(5)
+    from repro.reliability.binomial import complement_power
+
+    pessimistic_sdc = (
+        fit_from_interval_probability(
+            complement_power(p_5plus, model.num_lines), model.interval_s
+        )
+        * model.crc_misdetect
+    )
+
+    rows = [
+        ["exact search: undetected patterns (w<=4)", len(report.undetected)],
+        ["proven detection distance", f">= {report.proven_distance_at_least}"],
+    ]
+    rows += [
+        [f"random misses at weight {weight} (30k samples)", misses]
+        for weight, misses in random_misses.items()
+    ]
+    rows += [
+        ["SDC FIT (HD-8 assumption)", model.sdc_fit()],
+        ["SDC FIT (pessimistic: 2^-31 beyond w=4)", pessimistic_sdc],
+        ["1-FIT target margin (pessimistic)", 1.0 / pessimistic_sdc],
+    ]
+    emit(
+        {
+            "title": "CRC-31 detection distance at line length",
+            "headers": ["quantity", "value"],
+            "rows": rows,
+            "notes": "Even the pessimistic SDC stays orders of magnitude "
+                     "below the 1-FIT target, so the polynomial substitution "
+                     "cannot change any conclusion.",
+        }
+    )
+    assert report.undetected == ()
+    assert all(misses == 0 for misses in random_misses.values())
+    assert pessimistic_sdc < 1e-3

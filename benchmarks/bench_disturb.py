@@ -1,0 +1,77 @@
+"""Section VI / Table V: disturb faults (PCM/Flash-style).
+
+Disturb faults concentrate around hot lines, and physical neighbours
+share a Hash-1 RAID-Group -- the worst clustering for a single-hash
+design.  This bench hammers a hot region through the disturb channel
+and compares SuDoku-Y (single hash) against SuDoku-Z (skewed dual
+hash) on identical access/disturb streams.
+"""
+
+import random
+
+import numpy as np
+
+from conftest import emit
+from repro.core.engine import SuDokuY, SuDokuZ
+from repro.core.linecodec import LineCodec
+from repro.sttram.array import STTRAMArray
+from repro.sttram.disturb import DisturbChannel
+
+GROUP = 16
+NUM_LINES = 256
+HOT_FRAMES = list(range(32, 40))  # one half of a Hash-1 group
+EPOCHS = 120
+DISTURB_P = 0.35
+
+
+def hammer(engine_cls, seed=5) -> dict:
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = engine_cls(array, group_size=GROUP, codec=codec)
+    rng = random.Random(seed)
+    for frame in range(NUM_LINES):
+        engine.write_data(frame, rng.getrandbits(512))
+    channel = DisturbChannel(
+        engine, DISTURB_P, burst_length=2, rng=np.random.default_rng(seed)
+    )
+    lost_epochs = 0
+    for _ in range(EPOCHS):
+        for frame in HOT_FRAMES:
+            channel.write_data(frame, rng.getrandbits(512))
+        counts = channel.scrub_all()
+        if counts.get("due", 0) or counts.get("sdc", 0):
+            lost_epochs += 1
+            for frame in array.faulty_lines():
+                array.restore(frame, array.golden(frame))
+            engine.initialize_parities()
+    return {
+        "lost_epochs": lost_epochs,
+        "disturb_events": channel.disturb_events,
+        "sdr": engine.stats.sdr_invocations,
+        "hash2": getattr(engine.stats, "hash2_invocations", 0),
+    }
+
+
+def test_bench_disturb_hammer(benchmark):
+    def run_both():
+        return {"SuDoku-Y": hammer(SuDokuY), "SuDoku-Z": hammer(SuDokuZ)}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        {
+            "title": "Section VI: neighbour-disturb hammering (hot Hash-1 group)",
+            "headers": [
+                "engine", f"lost epochs / {EPOCHS}", "disturb events",
+                "SDR invocations", "Hash-2 invocations",
+            ],
+            "rows": [
+                [name, r["lost_epochs"], r["disturb_events"], r["sdr"], r["hash2"]]
+                for name, r in results.items()
+            ],
+            "notes": "2-bit disturb bursts at p=0.35 per neighbour per "
+                     "access, hammered into 8 adjacent frames; the skewed "
+                     "hash decorrelates the clustered damage.",
+        }
+    )
+    assert results["SuDoku-Z"]["lost_epochs"] <= results["SuDoku-Y"]["lost_epochs"]
+    assert results["SuDoku-Z"]["lost_epochs"] <= EPOCHS // 10

@@ -1,0 +1,109 @@
+"""Extension: static weak-cell populations vs the iid fault model.
+
+Process variation is static -- each cell draws its Delta once -- so real
+fault activity concentrates in a fixed weak-cell population instead of
+raining uniformly.  At the *same average BER*, concentration strictly
+increases the rate of multi-bit lines (two weak cells sharing a line
+co-fire far more often than random pairing), which is precisely the
+event class that drives SuDoku's group machinery.
+
+This bench runs matched campaigns (same average BER, same engine) under
+both models and reports fault concentration, multi-bit-line activity,
+group-mechanism invocations, and survival.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.engine import SuDokuZ
+from repro.core.linecodec import LineCodec
+from repro.reliability.montecarlo import heal
+from repro.sttram.array import STTRAMArray
+from repro.sttram.faults import TransientFaultInjector
+from repro.sttram.weakcells import HeterogeneousFaultInjector, WeakCellMap
+
+GROUP = 32
+NUM_LINES = GROUP * GROUP
+INTERVALS = 150
+#: Accelerated device point: low delta, paper's 10% sigma.
+DELTA, SIGMA = 31.0, 3.1
+
+
+def campaign(injector_kind: str, seed: int = 41) -> dict:
+    rng = np.random.default_rng(seed)
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = SuDokuZ(array, group_size=GROUP, codec=codec)
+
+    weak_map = WeakCellMap(
+        NUM_LINES, codec.stored_bits, delta_mean=DELTA, delta_sigma=SIGMA,
+        rng=np.random.default_rng(seed + 1),
+    )
+    if injector_kind == "heterogeneous":
+        vectors_for = HeterogeneousFaultInjector(weak_map, rng).error_vectors
+    else:
+        uniform = TransientFaultInjector(codec.stored_bits, weak_map.total_ber, rng)
+        vectors_for = uniform.error_vectors
+
+    failures = 0
+    multi_events = 0
+    flips = 0
+    for _ in range(INTERVALS):
+        vectors = vectors_for(NUM_LINES)
+        for frame, vector in vectors.items():
+            array.inject(frame, vector)
+            flips += bin(vector).count("1")
+            if bin(vector).count("1") >= 2:
+                multi_events += 1
+        counts = engine.scrub_frames(sorted(vectors))
+        if counts.get("due", 0) or counts.get("sdc", 0):
+            failures += 1
+            heal(array)
+            engine.initialize_parities()
+    return {
+        "failures": failures,
+        "multi_events": multi_events,
+        "flips": flips,
+        "group_mechanism": engine.stats.raid4_invocations
+        + engine.stats.sdr_invocations
+        + engine.stats.hash2_invocations,
+        "sdc": engine.stats.count_label("sdc"),
+    }
+
+
+def test_bench_heterogeneity(benchmark):
+    def run_both():
+        return {
+            "iid (paper model)": campaign("iid"),
+            "static weak cells": campaign("heterogeneous"),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        {
+            "title": "Extension: iid fault model vs static weak-cell population",
+            "headers": [
+                "model", "total flips", "multi-bit line events",
+                "group-mechanism invocations", f"failed/{INTERVALS}", "SDC",
+            ],
+            "rows": [
+                [name, r["flips"], r["multi_events"], r["group_mechanism"],
+                 r["failures"], r["sdc"]]
+                for name, r in results.items()
+            ],
+            "notes": f"delta {DELTA}, sigma 10%, matched average BER, "
+                     f"{NUM_LINES} lines. At identical fault volume the "
+                     "static population yields more multi-bit lines (weak "
+                     "cells sharing a line co-fire repeatedly); SuDoku-Z "
+                     "absorbs the extra group-level work without loss.",
+        }
+    )
+    iid = results["iid (paper model)"]
+    het = results["static weak cells"]
+    # Matched volume (within sampling noise)...
+    assert het["flips"] == pytest.approx(iid["flips"], rel=0.5)
+    # ...but concentrated models produce more multi-bit lines.
+    assert het["multi_events"] > iid["multi_events"]
+    # Soundness holds under both fault processes.
+    assert het["sdc"] == 0 and iid["sdc"] == 0

@@ -1,0 +1,71 @@
+"""Section VII-B: correction latency accounting, analytical and measured.
+
+The analytical rows come from the latency model; the measured rows time
+the *actual* Python correction engines (the wall-clock numbers are
+simulator costs, not hardware latencies -- the hardware-time accounting
+is the analytical half)."""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import latency_summary
+from repro.coding.bitvec import random_error_vector
+from repro.core.engine import SuDokuZ
+from repro.core.linecodec import LineCodec
+from repro.sttram.array import STTRAMArray
+
+
+def test_bench_latency_model(benchmark):
+    exhibit = benchmark(latency_summary)
+    emit(exhibit)
+    rows = {row[0]: row[1] for row in exhibit["rows"]}
+    assert rows["RAID-4 repair (us)"] == pytest.approx(4.6, rel=0.1)
+    assert rows["SDR repair (us)"] > rows["RAID-4 repair (us)"] - 0.1
+    assert rows["SuDoku-Z repair (us)"] > rows["SDR repair (us)"]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = random.Random(5)
+    codec = LineCodec()
+    array = STTRAMArray(1024, codec.stored_bits)
+    built = SuDokuZ(array, group_size=32, codec=codec)
+    for frame in range(1024):
+        built.write_data(frame, rng.getrandbits(512))
+    return rng, array, built
+
+
+def test_bench_ecc1_repair_throughput(benchmark, engine):
+    rng, array, built = engine
+
+    def repair_one():
+        array.inject(7, 1 << 99)
+        built.read_data(7)
+
+    benchmark(repair_one)
+    assert array.is_clean(7)
+
+
+def test_bench_raid4_repair_throughput(benchmark, engine):
+    rng, array, built = engine
+
+    def repair_one():
+        array.inject(9, random_error_vector(array.line_bits, 4, rng))
+        built.read_data(9)
+
+    benchmark(repair_one)
+    assert array.is_clean(9)
+
+
+def test_bench_sdr_repair_throughput(benchmark, engine):
+    rng, array, built = engine
+
+    def repair_pair():
+        array.inject(11, random_error_vector(array.line_bits, 2, rng))
+        array.inject(12, random_error_vector(array.line_bits, 2, rng))
+        built.scrub_frames([11, 12])
+
+    benchmark(repair_pair)
+    assert array.is_clean(11) and array.is_clean(12)

@@ -1,0 +1,98 @@
+"""Conditional rare-event validation: deeper-BER model checks.
+
+Naive whole-cache campaigns stop being informative once failures take
+thousands of intervals; conditioning on "the group holds >= 2 multi-bit
+lines" buys orders of magnitude of variance reduction and lets the
+SuDoku-Y model be checked across a BER sweep approaching the paper's
+regime.  (The Z mode simulates one peeling level and is an upper bound;
+see EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from conftest import emit
+from repro.reliability.raresim import estimate_fit
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+GROUP = 32
+NUM_GROUPS = 2048
+
+
+def test_bench_conditional_y_sweep(benchmark):
+    def sweep():
+        rows = []
+        for ber, trials in ((6e-4, 800), (3e-4, 800), (1.5e-4, 800)):
+            result = estimate_fit(
+                "Y", ber, trials=trials, group_size=GROUP,
+                num_groups=NUM_GROUPS, seed=11,
+            )
+            model = SuDokuReliabilityModel(
+                ber=ber, group_size=GROUP, num_lines=GROUP * NUM_GROUPS
+            )
+            conditional_model = (
+                model.group_fail_y() / result.conditioning_probability
+            )
+            low, high = result.conditional_ci()
+            rows.append(
+                [
+                    ber,
+                    result.conditioning_probability,
+                    result.conditional_failure_probability,
+                    f"[{low:.4f},{high:.4f}]",
+                    conditional_model,
+                    result.fit(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        {
+            "title": "Rare-event validation: SuDoku-Y conditional failure vs model",
+            "headers": [
+                "BER", "P(conditioning)", "MC conditional fail",
+                "95% CI", "model conditional", "implied cache FIT",
+            ],
+            "rows": rows,
+            "notes": "Conditioning multiplies effective sample size by "
+                     "1/P(conditioning): 30-3000x over naive campaigns.",
+        }
+    )
+    for row in rows:
+        predicted = row[4]
+        low, high = (float(v) for v in row[3].strip("[]").split(","))
+        # The closed form is a mildly conservative approximation of the
+        # machinery: it must sit within a 4x band of the measured CI at
+        # every BER (at the deepest point the CI is wide -- exactly why
+        # this exhibit reports intervals, not point ratios).
+        assert low / 4 <= predicted <= high * 4, (
+            f"model {predicted} outside CI band [{low}, {high}] at BER {row[0]}"
+        )
+
+
+def test_bench_conditional_z_bound(benchmark):
+    result = benchmark.pedantic(
+        estimate_fit,
+        kwargs=dict(level="Z", ber=8e-4, trials=400, group_size=GROUP,
+                    num_groups=NUM_GROUPS, seed=12),
+        rounds=1,
+        iterations=1,
+    )
+    model = SuDokuReliabilityModel(
+        ber=8e-4, group_size=GROUP, num_lines=GROUP * NUM_GROUPS
+    )
+    emit(
+        {
+            "title": "Rare-event validation: SuDoku-Z one-level peeling bound",
+            "headers": ["quantity", "value"],
+            "rows": [
+                ["MC conditional fail (upper bound)", result.conditional_failure_probability],
+                ["implied group failure", result.group_failure_probability],
+                ["analytical group failure", model.group_fail_z()],
+            ],
+            "notes": "One peeling level truncates the recovery the full "
+                     "engine performs, so the MC value upper-bounds the "
+                     "true rate at this (accelerated) BER.",
+        }
+    )
+    assert result.conditional_failure_probability < 0.5

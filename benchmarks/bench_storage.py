@@ -1,0 +1,17 @@
+"""Section VII-H: storage overheads of SuDoku vs ECC-6."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import storage_summary
+from repro.core.config import PAPER
+
+
+def test_bench_storage_overheads(benchmark):
+    exhibit = benchmark(storage_summary)
+    emit(exhibit)
+    rows = {row[0]: row[1] for row in exhibit["rows"]}
+    total = rows["SuDoku total bits/line"]
+    assert total == pytest.approx(PAPER.overhead_bits_sudoku, abs=1.0)
+    # "30% less storage than ECC-6" (abstract).
+    assert 1 - total / rows["ECC-6 bits/line"] == pytest.approx(0.30, abs=0.03)

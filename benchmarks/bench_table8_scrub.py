@@ -1,0 +1,23 @@
+"""Table VIII: FIT vs scrub interval (10 / 20 / 40 ms)."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import table8_scrub_interval
+
+
+def test_bench_table8_scrub_interval(benchmark):
+    exhibit = benchmark(table8_scrub_interval)
+    emit(exhibit)
+    rows = exhibit["rows"]
+    # BER tracks the paper at every interval.
+    for row in rows:
+        assert row[1] == pytest.approx(row[2], rel=0.15)
+    # Monotonicity: longer intervals hurt every scheme.
+    for column in (3, 5, 7):
+        values = [row[column] for row in rows]
+        assert values == sorted(values)
+    # The table's conclusions: ECC-5 misses the 1-FIT target even at
+    # 10 ms, while SuDoku-Z holds it even at 40 ms.
+    assert rows[0][3] > 1.0        # ECC-5 @ 10 ms
+    assert rows[2][7] < 1.0        # SuDoku-Z @ 40 ms

@@ -1,0 +1,17 @@
+"""Table IX: sensitivity to cache size (32 / 64 / 128 MB)."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import table9_cache_size
+
+
+def test_bench_table9_cache_size(benchmark):
+    exhibit = benchmark(table9_cache_size)
+    emit(exhibit)
+    values = [row[1] for row in exhibit["rows"]]
+    # The table's law: FIT doubles with each doubling of capacity.
+    assert values[1] == pytest.approx(2 * values[0], rel=0.01)
+    assert values[2] == pytest.approx(2 * values[1], rel=0.01)
+    # Every configuration stays far below the 1-FIT target.
+    assert all(v < 1e-3 for v in values)

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper exhibit (table or figure), times
+the regeneration with pytest-benchmark, prints the exhibit, and persists
+it under ``benchmarks/results/`` so the numbers survive output capture.
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # timings + results files
+    pytest benchmarks/ --benchmark-only -s         # exhibits on stdout too
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(exhibit: dict) -> str:
+    """Render an exhibit, print it, and persist it to results/."""
+    from repro.analysis.tables import format_table
+
+    lines = [exhibit["title"], ""]
+    lines.append(format_table(exhibit["headers"], exhibit["rows"]))
+    if exhibit.get("notes"):
+        lines += ["", f"notes: {exhibit['notes']}"]
+    text = "\n".join(lines)
+    print("\n" + text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", exhibit["title"].lower()).strip("_")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Adaptive scrubbing: holding a FIT target as the device degrades.
+
+The paper fixes a 20 ms scrub interval sized for a healthy delta-35
+device. Real devices drift (aging, temperature): this example feeds an
+:class:`AdaptiveScrubController` the correction activity a degrading
+device would produce and shows the interval tightening -- and the
+bandwidth bill rising -- exactly enough to hold the 1-FIT target.
+
+Run:  python examples/adaptive_scrub.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.reliability.binomial import binomial_tail
+from repro.sttram.adaptive import AdaptiveScrubController
+from repro.sttram.variation import effective_ber
+
+#: Device health trajectory: nominal, slow drift, sharp degradation,
+#: partial recovery (e.g. thermal excursion ending).
+DELTA_TRAJECTORY = [35.0, 35.0, 34.5, 34.0, 33.5, 33.0, 32.5, 33.5, 34.5, 35.0]
+
+
+def observed_multi_lines(delta: float, interval_s: float) -> float:
+    """What the scrub engine would report at this health and interval."""
+    ber = effective_ber(delta, 0.10 * delta, interval_s)
+    return (1 << 20) * binomial_tail(553, 2, ber)
+
+
+def main() -> None:
+    controller = AdaptiveScrubController(target_fit=1.0, ewma=0.5)
+    rows = []
+    for epoch, delta in enumerate(DELTA_TRAJECTORY):
+        observed = observed_multi_lines(delta, controller.interval_s)
+        decision = controller.observe(observed)
+        rows.append(
+            [
+                epoch,
+                delta,
+                observed,
+                decision.chosen_interval_s * 1000,
+                decision.predicted_fit,
+                controller.bandwidth_fraction(),
+            ]
+        )
+    print(format_table(
+        ["epoch", "device delta", "multi lines/interval",
+         "chosen interval (ms)", "predicted FIT", "scrub bandwidth"],
+        rows,
+    ))
+    print(
+        "\nThe controller reads only the correction counters the SuDoku "
+        "engine already maintains (multi-bit lines per interval), inverts "
+        "them through the validated reliability model, and always picks "
+        "the cheapest interval that still meets the target. A static "
+        "20 ms design would silently fall to "
+        f"~{_static_fit(DELTA_TRAJECTORY[6]):.0f} FIT at the trough."
+    )
+
+
+def _static_fit(delta: float) -> float:
+    from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+    ber = effective_ber(delta, 0.10 * delta, 0.020)
+    return SuDokuReliabilityModel(ber=ber).fit_z()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Correction forensics: mining the structured event log.
+
+Attaches an :class:`EventLog` to a SuDoku-Z engine, runs a short
+fault-injection campaign, and then answers the questions an operator
+would ask of a deployed part: which mechanisms fire how often, where
+the correction *time* goes, which groups run hot, and what the repair
+history of a specific line looks like.  Finishes by exporting the log
+as JSON lines and re-importing it.
+
+Run:  python examples/correction_forensics.py
+"""
+
+import random
+from collections import Counter
+
+import numpy as np
+
+from repro import LineCodec, STTRAMArray, SuDokuZ, TransientFaultInjector
+from repro.analysis.tables import format_table
+from repro.core.eventlog import EventLog
+
+GROUP = 32
+NUM_LINES = GROUP * GROUP
+BER = 4e-4
+INTERVALS = 25
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    local = random.Random(17)
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = SuDokuZ(array, group_size=GROUP, codec=codec)
+    engine.event_log = EventLog()
+    for frame in range(NUM_LINES):
+        engine.write_data(frame, local.getrandbits(512))
+
+    injector = TransientFaultInjector(codec.stored_bits, BER, rng)
+    for interval in range(INTERVALS):
+        engine.event_log.begin_interval(interval)
+        vectors = injector.error_vectors(NUM_LINES)
+        for frame, vector in vectors.items():
+            array.inject(frame, vector)
+        engine.scrub_frames(sorted(vectors))
+        for frame in array.faulty_lines():      # discard any lost interval
+            array.restore(frame, array.golden(frame))
+        engine.initialize_parities()
+
+    log = engine.event_log
+    print(f"campaign: {INTERVALS} intervals at BER {BER:g}; "
+          f"{len(log)} events recorded\n")
+
+    print("== mechanism mix ==")
+    rows = [[label, count] for label, count in sorted(log.totals.items())]
+    print(format_table(["outcome", "events"], rows))
+
+    print("\n== where the correction time goes ==")
+    latency = log.latency_by_outcome()
+    rows = [[label, value * 1e6] for label, value in sorted(latency.items())]
+    print(format_table(["outcome", "total modelled latency (us)"], rows))
+
+    print("\n== hottest RAID-Groups ==")
+    rows = [[group, hits] for group, hits in log.hottest_groups(5)]
+    print(format_table(["hash-1 group", "non-clean events"], rows))
+
+    repeat_offenders = Counter(
+        event.frame for event in log if event.outcome != "clean"
+    ).most_common(3)
+    if repeat_offenders:
+        frame = repeat_offenders[0][0]
+        print(f"\n== history of frame {frame} ==")
+        rows = [
+            [event.interval, event.outcome, event.fault_bits]
+            for event in log.events_for_frame(frame)
+        ]
+        print(format_table(["interval", "outcome", "fault bits"], rows))
+
+    exported = log.to_json_lines()
+    rebuilt = EventLog.from_json_lines(exported)
+    print(f"\nexported {len(exported.splitlines())} JSON lines; "
+          f"re-import matches: {rebuilt.totals == log.totals}")
+
+
+if __name__ == "__main__":
+    main()

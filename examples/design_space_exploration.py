@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Design-space exploration: what would a deployment actually build?
+
+Given a technology point (thermal stability) and a FIT target, sweeps
+per-line code strength (SuDoku ECC-1/ECC-2 and uniform ECC-k),
+RAID-Group size, and scrub interval, then reports the feasible Pareto
+front over storage, scrub bandwidth, and correction latency.
+
+Run:  python examples/design_space_exploration.py [--delta 34] [--target-fit 1.0]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table
+from repro.reliability.designspace import (
+    cheapest_meeting_target,
+    enumerate_design_space,
+    pareto_front,
+)
+
+
+def explore(delta: float, target_fit: float) -> None:
+    print(f"== delta = {delta:g}, target <= {target_fit:g} FIT ==")
+    points = enumerate_design_space(delta=delta)
+    feasible = [p for p in points if p.meets(target_fit)]
+    print(f"{len(points)} configurations priced, {len(feasible)} feasible")
+
+    front = pareto_front(points, target_fit)
+    rows = [
+        [
+            p.label,
+            p.fit,
+            p.overhead_bits_per_line,
+            p.scrub_bandwidth_fraction,
+            p.correction_latency_us,
+        ]
+        for p in front
+    ]
+    print(format_table(
+        ["configuration", "FIT", "bits/line", "scrub bw", "repair us"], rows
+    ))
+
+    winner = cheapest_meeting_target(points, target_fit)
+    if winner is None:
+        print("no configuration meets the target -- lower the interval or "
+              "strengthen the code\n")
+    else:
+        print(f"cheapest feasible: {winner.label} "
+              f"({winner.overhead_bits_per_line:.1f} bits/line, "
+              f"{winner.fit:.3g} FIT)\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delta", type=float, default=None,
+                        help="explore a single delta instead of the sweep")
+    parser.add_argument("--target-fit", type=float, default=1.0)
+    args = parser.parse_args()
+
+    deltas = [args.delta] if args.delta is not None else [35.0, 34.0, 33.0, 32.0]
+    for delta in deltas:
+        explore(delta, args.target_fit)
+
+    print("Reading the sweep: at the paper's node (35) plain SuDoku-Z wins "
+          "outright; as delta falls, the ECC-2 variant keeps a cheap "
+          "configuration feasible long after uniform ECC-6 has failed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""SuDoku beyond caches: protecting a software key-value store.
+
+Section VI argues nothing in SuDoku is STTRAM-specific -- it is a
+general recipe for tolerating high-rate transient corruption in any
+fixed-width storage substrate. This example builds a tiny in-memory
+key-value store whose 64-byte slots live in a SuDoku-Z-protected array
+subject to continuous "bit rot", and shows the store serving reads and
+writes with zero data loss while the underlying medium flips thousands
+of bits.
+
+Run:  python examples/kv_store_protection.py
+"""
+
+import random
+
+import numpy as np
+
+from repro import LineCodec, STTRAMArray, SuDokuZ, TransientFaultInjector
+
+GROUP = 32
+NUM_SLOTS = GROUP * GROUP
+ROT_BER = 3e-4          # aggressive: ~0.17 flips per slot per epoch
+EPOCHS = 40
+OPS_PER_EPOCH = 300
+
+
+class ProtectedKVStore:
+    """A fixed-capacity KV store over a SuDoku-protected slot array.
+
+    Values are up to 62 bytes (two bytes carry the length); keys map to
+    slots through open addressing in a plain dict -- the *slots* are
+    what the fault process attacks.
+    """
+
+    def __init__(self) -> None:
+        codec = LineCodec()
+        self.array = STTRAMArray(NUM_SLOTS, codec.stored_bits)
+        self.engine = SuDokuZ(self.array, group_size=GROUP, codec=codec)
+        self._directory = {}
+        self._free = list(range(NUM_SLOTS))
+
+    def put(self, key: str, value: bytes) -> None:
+        if len(value) > 62:
+            raise ValueError("value too large for one slot")
+        slot = self._directory.get(key)
+        if slot is None:
+            if not self._free:
+                raise MemoryError("store full")
+            slot = self._free.pop()
+            self._directory[key] = slot
+        payload = len(value).to_bytes(2, "little") + value
+        self.engine.write_data(slot, int.from_bytes(payload.ljust(64, b"\0"), "little"))
+
+    def get(self, key: str) -> bytes:
+        slot = self._directory[key]
+        data, outcome = self.engine.read_data(slot)
+        raw = data.to_bytes(64, "little")
+        length = int.from_bytes(raw[:2], "little")
+        if outcome.is_failure:
+            raise IOError(f"slot {slot} unrecoverable ({outcome})")
+        return raw[2 : 2 + length]
+
+    def delete(self, key: str) -> None:
+        slot = self._directory.pop(key)
+        self._free.append(slot)
+
+    def scrub(self):
+        return self.engine.scrub_all()
+
+
+def main() -> None:
+    rng = random.Random(99)
+    fault_rng = np.random.default_rng(99)
+    store = ProtectedKVStore()
+    injector = TransientFaultInjector(store.array.line_bits, ROT_BER, fault_rng)
+
+    shadow = {}
+    total_flips = 0
+    verified_reads = 0
+    for epoch in range(EPOCHS):
+        # The medium rots...
+        events = injector.inject_interval(store.array)
+        total_flips += len(events)
+        # ...while the application keeps working.
+        for _ in range(OPS_PER_EPOCH):
+            op = rng.random()
+            if op < 0.5 and shadow:
+                key = rng.choice(sorted(shadow))
+                assert store.get(key) == shadow[key], "data loss!"
+                verified_reads += 1
+            elif op < 0.9 or not shadow:
+                key = f"key-{rng.randrange(400)}"
+                value = rng.randbytes(rng.randrange(1, 63))
+                store.put(key, value)
+                shadow[key] = value
+            else:
+                key = rng.choice(sorted(shadow))
+                store.delete(key)
+                del shadow[key]
+        counts = store.scrub()
+        lost = counts.get("due", 0) + counts.get("sdc", 0)
+        if lost:
+            print(f"epoch {epoch}: LOST {lost} slots")
+
+    # Final audit: every live key intact.
+    for key, value in shadow.items():
+        assert store.get(key) == value
+    stats = store.engine.stats
+    print(f"{EPOCHS} epochs, {total_flips} bits rotted, "
+          f"{verified_reads} mid-flight reads verified, "
+          f"{len(shadow)} live keys audited intact")
+    print(f"corrections: ecc1={stats.count_label('corrected_ecc1')} "
+          f"raid4={stats.count_label('corrected_raid4')} "
+          f"sdr={stats.count_label('corrected_sdr')} "
+          f"hash2={stats.count_label('corrected_hash2')}")
+    print("zero data loss through continuous bit rot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Beyond STTRAM: SuDoku against *persistent* faults (section VI).
+
+The paper argues SuDoku is technology-agnostic: the same machinery that
+absorbs STTRAM's thermal flips also handles SRAM cells that fail
+persistently below Vmin.  This example:
+
+1. builds a SuDoku-Z cache over an array with a random stuck-at fault
+   map (persistent faults re-assert themselves after every write), and
+   shows the scrub machinery keeping data intact across many epochs; and
+2. prints the Table IV-style analytical comparison against uniform
+   ECC-7/8/9 at the low-voltage fault rate.
+
+Run:  python examples/low_voltage_sram.py
+"""
+
+import random
+
+import numpy as np
+
+from repro import LineCodec, STTRAMArray, SuDokuZ
+from repro.analysis.tables import format_table
+from repro.reliability.sram import sram_vmin_table
+from repro.sttram.faults import PermanentFaultMap
+
+GROUP = 32
+NUM_LINES = GROUP * GROUP
+FAULT_PPM = 50.0  # stuck cells per million bits
+
+
+def functional_demo() -> None:
+    print(f"== Functional demo: {FAULT_PPM:g} ppm stuck-at faults ==")
+    rng = random.Random(11)
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = SuDokuZ(array, group_size=GROUP, codec=codec)
+    fault_map = PermanentFaultMap.random(
+        NUM_LINES, codec.stored_bits, FAULT_PPM, np.random.default_rng(11)
+    )
+    stuck_lines = set(fault_map.stuck_at_one) | set(fault_map.stuck_at_zero)
+    print(f"fault map: {len(stuck_lines)} lines carry stuck bits")
+
+    payloads = {}
+    for frame in range(NUM_LINES):
+        payloads[frame] = rng.getrandbits(512)
+        engine.write_data(frame, payloads[frame])
+
+    intact_epochs = 0
+    for epoch in range(5):
+        # Persistent faults re-assert on every epoch: reads see the stuck
+        # values regardless of what the scrub wrote back.
+        for frame in stuck_lines:
+            stored = array.read(frame)
+            array.restore(frame, fault_map.apply(frame, stored))
+        counts = engine.scrub_frames(sorted(stuck_lines))
+        lost = counts.get("due", 0) + counts.get("sdc", 0)
+        summary = {k: v for k, v in counts.items() if v}
+        print(f"epoch {epoch}: {summary}")
+        if lost == 0:
+            intact_epochs += 1
+            for frame in stuck_lines:
+                data, _ = engine.read_data(frame)
+                assert data == payloads[frame]
+    print(f"data survived {intact_epochs}/5 epochs "
+          f"(every stuck line repaired on access)\n")
+
+
+def analytical_table() -> None:
+    print("== Table IV (model): cache failure probability at BER 1e-3 ==")
+    rows = [
+        [row["scheme"], row["cache_failure"], row["overhead_bits_per_line"]]
+        for row in sram_vmin_table()
+    ]
+    print(format_table(["scheme", "P(cache failure)", "bits/line"], rows))
+    print(
+        "\nSmaller RAID-Groups trade parity storage for collision "
+        "resistance; at the low-voltage fault rate an 8-line group beats "
+        "ECC-9 (the paper's qualitative claim -- see EXPERIMENTS.md for "
+        "the discussion of its unstated group size)."
+    )
+
+
+def main() -> None:
+    functional_demo()
+    analytical_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Walk through the paper's own worked examples (Figures 1, 2, 5, 6).
+
+The paper illustrates SuDoku on a toy cache of sixteen lines (A..P) in
+four-line RAID-Groups.  This script builds exactly that configuration
+and re-enacts each figure:
+
+* Fig. 1/2 — lines A-D form a RAID-Group; line B takes a six-bit error,
+  is detected by CRC, and is rebuilt as A xor C xor D xor parity.
+* Fig. 5   — the two hash functions: consecutive lines group under
+  Hash-1, every-fourth lines under Hash-2, and no pair shares both.
+* Fig. 6   — lines B and D (same Hash-1 group) each take a three-bit
+  error; Hash-1 correction fails, but under Hash-2 they live in
+  different groups and both recover.
+
+Run:  python examples/paper_figures_walkthrough.py
+"""
+
+import random
+import string
+
+from repro import LineCodec, STTRAMArray, SuDokuX, SuDokuZ
+from repro.coding.bitvec import random_error_vector
+from repro.core.grouping import GroupMapper, SkewedGroupMapper, never_colocated
+
+NAMES = string.ascii_uppercase[:16]   # A..P, as in the figures
+
+
+def name_of(frame: int) -> str:
+    return NAMES[frame]
+
+
+def fresh(engine_cls):
+    rng = random.Random(16)
+    codec = LineCodec()
+    array = STTRAMArray(16, codec.stored_bits)
+    engine = engine_cls(array, group_size=4, codec=codec)
+    payloads = {}
+    for frame in range(16):
+        payloads[frame] = rng.getrandbits(512)
+        engine.write_data(frame, payloads[frame])
+    return rng, array, engine, payloads
+
+
+def figure_1_and_2() -> None:
+    print("== Fig. 1/2: RAID-4 rebuild of line B ==")
+    rng, array, engine, payloads = fresh(SuDokuX)
+    group = engine.mapper.group_of(1)   # B's group: A, B, C, D
+    members = ", ".join(name_of(f) for f in engine.mapper.members(group))
+    print(f"line B's RAID-Group: {{{members}}}, parity in PLT entry {group}")
+
+    array.inject(1, random_error_vector(array.line_bits, 6, rng))
+    print("injected a 6-bit error into B (beyond ECC-1, detected by CRC-31)")
+    data, outcome = engine.read_data(1)
+    assert data == payloads[1]
+    print(f"read(B) -> outcome={outcome}, data intact: "
+          f"B = A xor C xor D xor parity\n")
+
+
+def figure_5() -> None:
+    print("== Fig. 5: the two hash functions ==")
+    hash1 = GroupMapper(16, 4)
+    hash2 = SkewedGroupMapper(16, 4)
+    for group in range(4):
+        under1 = "".join(name_of(f) for f in hash1.members(group))
+        under2 = "".join(name_of(f) for f in hash2.members(group))
+        print(f"  group {group}:  Hash-1 {{{under1}}}   Hash-2 {{{under2}}}")
+    clashes = [
+        (name_of(a), name_of(b))
+        for a in range(16)
+        for b in range(a + 1, 16)
+        if not never_colocated(hash1, hash2, a, b)
+    ]
+    print(f"pairs sharing a group under BOTH hashes: {clashes or 'none'}")
+    assert not clashes
+    print("the skewing guarantee of section V-A holds\n")
+
+
+def figure_6() -> None:
+    print("== Fig. 6: B and D recovered through Hash-2 ==")
+    rng, array, engine, payloads = fresh(SuDokuZ)
+    b, d = 1, 3
+    assert engine.mapper.group_of(b) == engine.mapper.group_of(d)
+    for frame in (b, d):
+        array.inject(frame, random_error_vector(array.line_bits, 3, rng))
+    print("injected 3-bit errors into B and D (same Hash-1 group: "
+          "SDR cannot resurrect 3-fault lines, Hash-1 is stuck)")
+
+    partners_b = "".join(name_of(f) for f in
+                         engine.mapper2.members(engine.mapper2.group_of(b)))
+    partners_d = "".join(name_of(f) for f in
+                         engine.mapper2.members(engine.mapper2.group_of(d)))
+    print(f"under Hash-2: B joins {{{partners_b}}}, D joins {{{partners_d}}}")
+
+    counts = engine.scrub_frames([b, d])
+    print(f"scrub outcome: {counts}")
+    assert counts.get("corrected_hash2") == 2
+    for frame in (b, d):
+        data, _ = engine.read_data(frame)
+        assert data == payloads[frame]
+    print("both lines rebuilt in their Hash-2 groups -- SuDoku-Z recovered "
+          "a pattern that defeats SuDoku-Y\n")
+
+
+def main() -> None:
+    figure_1_and_2()
+    figure_5()
+    figure_6()
+    print("every figure scenario reproduced on the real engines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Performance & energy simulation: the Fig. 8 / Fig. 9 methodology.
+
+Replays identical synthetic workload traces through two 8-core systems
+-- one with an ideal fault-free LLC, one with the full SuDoku-Z
+machinery (syndrome checks, opportunistic scrub, correction events) --
+and reports slowdown and system-EDP increase per workload.
+
+Run:  python examples/performance_simulation.py [--workloads mcf gcc ...]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table
+from repro.perf.energy import edp_increase
+from repro.perf.system import compare_ideal_vs_sudoku, normalized_slowdown
+
+DEFAULT_WORKLOADS = ["mcf", "lbm", "gcc", "povray", "canneal", "MIX1"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--accesses", type=int, default=10_000,
+                        help="LLC accesses per core (default 10k)")
+    args = parser.parse_args()
+
+    rows = []
+    for workload in args.workloads:
+        print(f"simulating {workload} (ideal + sudoku)...")
+        results = compare_ideal_vs_sudoku(
+            workload, accesses_per_core=args.accesses, seed=1
+        )
+        sudoku = results["sudoku"]
+        rows.append([
+            workload,
+            results["ideal"].execution_time_s * 1e3,
+            sudoku.execution_time_s * 1e3,
+            normalized_slowdown(results) * 100,
+            edp_increase(results["ideal"], sudoku) * 100,
+            sudoku.miss_rate,
+            sudoku.corrections,
+            sudoku.scrub_deficit_lines,
+        ])
+
+    print()
+    print(format_table(
+        ["workload", "ideal ms", "sudoku ms", "slowdown %", "EDP +%",
+         "miss rate", "corrections", "scrub deficit"],
+        rows,
+    ))
+    mean_slowdown = sum(row[3] for row in rows) / len(rows)
+    print(f"\nmean slowdown: {mean_slowdown:.3f}%  "
+          f"(paper Fig. 8: ~0.1-0.15% average)")
+    print("a zero scrub deficit confirms the idle bank capacity absorbed "
+          "the full scrub target.")
+
+
+if __name__ == "__main__":
+    main()

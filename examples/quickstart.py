@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: protect a cache with SuDoku and watch it repair faults.
+
+Builds a small SuDoku-Z-protected array, injects progressively nastier
+transient fault patterns, and shows which mechanism repairs each one:
+
+* a single flipped bit        -> per-line ECC-1 (one cycle),
+* a 6-bit burst in one line   -> RAID-4 group reconstruction,
+* two 2-bit-faulty lines      -> Sequential Data Resurrection,
+* two 3-bit-faulty lines      -> the skewed second hash (SuDoku-Z).
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import LineCodec, Outcome, STTRAMArray, SuDokuZ
+from repro.coding.bitvec import random_error_vector
+
+GROUP_SIZE = 64
+NUM_LINES = GROUP_SIZE * GROUP_SIZE  # SuDoku-Z needs group_size^2 frames
+
+
+def main() -> None:
+    rng = random.Random(2019)
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = SuDokuZ(array, group_size=GROUP_SIZE, codec=codec)
+
+    print(f"cache: {engine.describe()}")
+    print(f"line format: {codec.layout.data_bits}b data + "
+          f"{codec.layout.crc_bits}b CRC + {codec.layout.ecc_bits}b ECC "
+          f"= {codec.stored_bits}b stored\n")
+
+    # Fill with recognisable data.
+    payloads = {}
+    for frame in range(NUM_LINES):
+        payloads[frame] = rng.getrandbits(512)
+        engine.write_data(frame, payloads[frame])
+
+    def attack(description, injections):
+        for frame, weight in injections:
+            array.inject(frame, random_error_vector(codec.stored_bits, weight, rng))
+        counts = engine.scrub_frames([frame for frame, _ in injections])
+        status = "OK " if "due" not in counts and "sdc" not in counts else "LOST"
+        print(f"[{status}] {description:46s} -> {counts}")
+        for frame, _ in injections:
+            recovered, outcome = engine.read_data(frame)
+            assert recovered == payloads[frame], "data corrupted!"
+            assert outcome is Outcome.CLEAN
+
+    attack("single-bit flip (ECC-1)", [(5, 1)])
+    attack("6-bit burst in one line (RAID-4)", [(9, 6)])
+    attack("two 2-bit lines, same group (SDR)", [(17, 2), (18, 2)])
+    attack("two 3-bit lines, same group (Hash-2)", [(33, 3), (34, 3)])
+
+    print("\nengine counters:")
+    for key, value in engine.stats.as_dict().items():
+        if value:
+            print(f"  {key:22s} {value}")
+    print(f"\nstorage overhead: {engine.storage_overhead_bits_per_line:.1f} "
+          f"bits/line (vs 60 for ECC-6)")
+    print("every payload verified intact -- SuDoku recovered them all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro -- a from-scratch reproduction of SuDoku (DSN 2019).
+
+SuDoku is a resilient cache architecture that tolerates high rates of
+transient bit failures (scaled STTRAM's thermal flips) with per-line
+ECC-1 + CRC-31 and region RAID-4, enhanced by Sequential Data
+Resurrection and skewed dual-hash parity groups.
+
+Public API highlights
+---------------------
+
+* :class:`repro.core.engine.SuDokuX` / ``SuDokuY`` / ``SuDokuZ`` -- the
+  functional correction engines over a bit-level STTRAM array.
+* :class:`repro.core.config.SuDokuConfig` and :data:`repro.core.config.PAPER`
+  -- configuration plus the registry of paper-quoted constants.
+* :mod:`repro.reliability` -- analytical FIT/MTTF models and the
+  Monte-Carlo fault-injection harness behind every table in the paper.
+* :mod:`repro.perf` -- the trace-driven multicore performance and energy
+  simulator behind Figures 8 and 9.
+* :mod:`repro.coding`, :mod:`repro.sttram`, :mod:`repro.cache` -- the
+  substrates (codes, device physics, cache model) everything builds on.
+
+Quickstart
+----------
+
+>>> from repro import SuDokuZ, STTRAMArray, LineCodec
+>>> codec = LineCodec()
+>>> array = STTRAMArray(num_lines=4096, line_bits=codec.stored_bits)
+>>> engine = SuDokuZ(array, group_size=64)
+>>> engine.write_data(0, 0xDEADBEEF)
+>>> array.inject(0, error_vector=0b101)          # two-bit transient fault
+>>> data, outcome = engine.read_data(0)
+>>> hex(data), str(outcome)
+('0xdeadbeef', 'corrected_raid4')
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import PAPER, PaperConstants, SuDokuConfig
+from repro.core.engine import SuDokuEngine, SuDokuX, SuDokuY, SuDokuZ, build_engine
+from repro.core.linecodec import LineCodec
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+from repro.sttram.faults import TransientFaultInjector
+from repro.sttram.scrub import ScrubEngine, ScrubReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "PAPER",
+    "PaperConstants",
+    "SuDokuConfig",
+    "SuDokuEngine",
+    "SuDokuX",
+    "SuDokuY",
+    "SuDokuZ",
+    "build_engine",
+    "LineCodec",
+    "Outcome",
+    "STTRAMArray",
+    "TransientFaultInjector",
+    "ScrubEngine",
+    "ScrubReport",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Experiment assembly: one function per paper table/figure, plus
+fixed-width table rendering shared by the benchmark harnesses."""
+
+from repro.analysis.tables import format_table, format_value
+from repro.analysis import experiments
+
+__all__ = ["format_table", "format_value", "experiments"]

@@ -1,0 +1,117 @@
+"""Terminal charts: bars and log-scale ladders for exhibit output.
+
+The evaluation environment has no plotting stack, so the figures render
+as Unicode charts in the benchmark output and the generated report.
+Two forms cover everything the paper plots:
+
+* :func:`bar_chart` -- linear horizontal bars (Fig. 8/9 style, one bar
+  per workload);
+* :func:`log_ladder` -- positions values on a log10 axis (Fig. 7 style,
+  where the series span thirty orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A bar filling ``fraction`` of ``width`` character cells."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar.ljust(width)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    baseline: float = 0.0,
+) -> str:
+    """Horizontal bar chart; negative values render leftward markers.
+
+    :param baseline: value mapped to an empty bar (bars show
+        ``value - baseline``).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(empty chart)"
+    magnitudes = [abs(value - baseline) for value in values]
+    peak = max(magnitudes) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value, magnitude in zip(labels, values, magnitudes):
+        bar = _bar(magnitude / peak, width)
+        sign = "-" if value < baseline else " "
+        lines.append(
+            f"{str(label).rjust(label_width)} |{sign}{bar}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def log_ladder(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 60,
+    unit: str = "",
+    bounds: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Place values on a shared log10 axis (markers, not bars).
+
+    Zeros and negatives are pinned to the left edge with a ``<`` marker.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return "(no positive values)"
+    if bounds is not None:
+        low, high = bounds
+    else:
+        low, high = min(positives), max(positives)
+    log_low = math.floor(math.log10(low))
+    log_high = math.ceil(math.log10(high)) or log_low + 1
+    if log_high == log_low:
+        log_high += 1
+    span = log_high - log_low
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        axis = [" "] * (width + 1)
+        if value > 0:
+            position = (math.log10(value) - log_low) / span
+            index = int(min(max(position, 0.0), 1.0) * width)
+            axis[index] = "●"
+            marker = "".join(axis)
+        else:
+            marker = "<" + " " * width
+        lines.append(
+            f"{str(label).rjust(label_width)} |{marker}| {value:.3g}{unit}"
+        )
+    footer = (
+        f"{' ' * label_width} |10^{log_low}"
+        f"{' ' * max(width - len(str(log_low)) - len(str(log_high)) - 6, 1)}"
+        f"10^{log_high}|"
+    )
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def exhibit_chart(exhibit: dict, value_column: int, width: int = 40) -> str:
+    """Bar chart of one numeric column of an exhibit dict."""
+    rows = [row for row in exhibit["rows"] if isinstance(row[value_column], (int, float))]
+    labels = [str(row[0]) for row in rows]
+    values: List[float] = [float(row[value_column]) for row in rows]
+    return bar_chart(labels, values, width=width)

@@ -1,0 +1,80 @@
+"""Report generation: snapshot every analytic exhibit to Markdown.
+
+``python -m repro report`` (or :func:`write_report`) regenerates the
+analytic tables and writes a single self-contained Markdown document --
+the mechanism used to refresh the numbers quoted in EXPERIMENTS.md and
+a convenient artefact for downstream users tracking their own changes.
+The performance figures are optional (they take minutes; everything
+else takes seconds).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import all_experiments, fig8_performance, fig9_edp
+from repro.analysis.tables import format_table
+
+
+def render_exhibit_markdown(exhibit: dict) -> str:
+    """One exhibit as a Markdown section (table in a code fence)."""
+    buffer = io.StringIO()
+    buffer.write(f"## {exhibit['title']}\n\n")
+    buffer.write("```\n")
+    buffer.write(format_table(exhibit["headers"], exhibit["rows"]))
+    buffer.write("\n```\n")
+    if exhibit.get("notes"):
+        buffer.write(f"\n*{exhibit['notes']}*\n")
+    return buffer.getvalue()
+
+
+def build_report(
+    include_performance: bool = False,
+    performance_workloads: Optional[Sequence[str]] = None,
+    accesses_per_core: int = 8000,
+) -> str:
+    """Assemble the full Markdown report."""
+    sections: List[str] = [
+        "# SuDoku reproduction -- regenerated exhibits\n",
+        "Produced by `python -m repro report`. Each table shows this\n"
+        "repository's models next to the paper's quoted values; see\n"
+        "EXPERIMENTS.md for the discussion of every deviation.\n",
+    ]
+    for exhibit in all_experiments():
+        sections.append(render_exhibit_markdown(exhibit))
+    if include_performance:
+        sections.append(
+            render_exhibit_markdown(
+                fig8_performance(
+                    workloads=performance_workloads,
+                    accesses_per_core=accesses_per_core,
+                )
+            )
+        )
+        sections.append(
+            render_exhibit_markdown(
+                fig9_edp(
+                    workloads=performance_workloads,
+                    accesses_per_core=accesses_per_core,
+                )
+            )
+        )
+    return "\n".join(sections)
+
+
+def write_report(
+    path: str,
+    include_performance: bool = False,
+    performance_workloads: Optional[Sequence[str]] = None,
+    accesses_per_core: int = 8000,
+) -> str:
+    """Build the report and write it to ``path``; returns the text."""
+    text = build_report(
+        include_performance=include_performance,
+        performance_workloads=performance_workloads,
+        accesses_per_core=accesses_per_core,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,60 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints its regenerated table through these helpers so
+the ``paper`` and ``measured`` columns line up and the output reads like
+the paper's exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_value(value: object) -> str:
+    """Render a cell: scientific notation for extreme floats, else compact."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows under headers with aligned, right-justified columns."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        rendered.append([format_value(cell) for cell in row])
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for index, cells in enumerate(rendered):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ratio_note(measured: float, paper: float) -> str:
+    """Human-readable agreement note: 'x1.2 of paper' style."""
+    if paper == 0:
+        return "paper=0"
+    ratio = measured / paper
+    return f"x{ratio:.2g} of paper"

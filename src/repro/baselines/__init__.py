@@ -1,0 +1,29 @@
+"""Functional implementations of the paper's comparison schemes.
+
+Each baseline protects the same :class:`repro.sttram.array.STTRAMArray`
+abstraction and exposes the same scrub-campaign interface as the SuDoku
+engines (``write_data`` / ``scrub_frames`` / ``data_bits``), so the
+Monte-Carlo harness of :mod:`repro.reliability.montecarlo` drives all of
+them identically.
+
+* :mod:`repro.baselines.eccline` -- uniform per-line BCH ECC-t (the
+  paper's main strawman at t = 6).
+* :mod:`repro.baselines.cppc` -- Correctable Parity Protected Cache [17].
+* :mod:`repro.baselines.raid6` -- row + diagonal dual-parity regions.
+* :mod:`repro.baselines.twodp` -- two-dimensional error coding [18].
+* :mod:`repro.baselines.hiecc` -- ECC-6 at 1 KB granularity [71].
+"""
+
+from repro.baselines.eccline import ECCLineCache
+from repro.baselines.cppc import CPPCCache
+from repro.baselines.raid6 import RAID6Cache
+from repro.baselines.twodp import TwoDPCache
+from repro.baselines.hiecc import HiECCCache
+
+__all__ = [
+    "ECCLineCache",
+    "CPPCCache",
+    "RAID6Cache",
+    "TwoDPCache",
+    "HiECCCache",
+]

@@ -1,0 +1,69 @@
+"""Uniform per-line BCH ECC-t cache: the paper's strawman baseline.
+
+Every line carries a t-error-correcting BCH code (t = 6 for the paper's
+comparison point, costing 60 check bits and a multi-cycle decoder).  No
+RAID, no SDR: a line with more than t faults is a DUE (or, if the
+bounded-distance decoder lands inside another codeword's sphere, an SDC
+-- the audit catches those).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import BaselineCache
+from repro.coding.bch import BCH
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+
+
+class ECCLineCache(BaselineCache):
+    """Cache protected by per-line ECC-t (BCH) only."""
+
+    name = "ECC-t per line"
+
+    def __init__(
+        self,
+        num_lines: int,
+        t: int = 6,
+        data_bits: int = 512,
+        audit: bool = True,
+        code: Optional[BCH] = None,
+    ) -> None:
+        self.code = code if code is not None else BCH(data_bits, t)
+        if self.code.k != data_bits:
+            raise ValueError("code payload width disagrees with data_bits")
+        array = STTRAMArray(num_lines, self.code.n)
+        super().__init__(array, data_bits, audit=audit)
+        self.t = self.code.t
+        self.name = f"ECC-{self.t} per line"
+        self._format()
+
+    def _format(self) -> None:
+        zero_word = self.code.encode(0)
+        for frame in range(self.array.num_lines):
+            self.array.write(frame, zero_word)
+
+    def write_data(self, frame: int, data: int) -> None:
+        """Encode and store a payload word."""
+        self.array.write(frame, self.code.encode(data))
+
+    def read_data(self, frame: int) -> tuple:
+        """Demand read with correction; returns (data, outcome)."""
+        outcome = self._resolve_line(frame)
+        return self.code.extract_data(self.array.read(frame)), outcome
+
+    def _resolve_line(self, frame: int) -> Outcome:
+        word = self.array.read(frame)
+        result = self.code.decode(word)
+        if not result.ok:
+            return Outcome.DUE
+        if not result.error_positions:
+            return Outcome.CLEAN
+        self.array.restore(frame, result.corrected_word)
+        return Outcome.CORRECTED_ECC1
+
+    @property
+    def storage_overhead_bits_per_line(self) -> float:
+        """Check bits per line (60 for ECC-6)."""
+        return float(self.code.num_check_bits)

@@ -1,0 +1,240 @@
+"""RAID-6-style dual-parity regions: row parity plus diagonal parity.
+
+Each RAID-Group keeps two parity lines (Table XI grants the baselines the
+same parity budget as SuDoku-Z's two PLTs):
+
+* the **row parity** is the plain XOR of the member lines (as in RAID-4);
+* the **diagonal parity** is the XOR of the member lines, each rotated
+  left by its group position, i.e. parity along wrapping diagonals of the
+  (line x bit) matrix.
+
+With the per-line CRC pinpointing *which* lines are corrupt, recovering
+two lines is erasure decoding: the row parity yields ``Di ^ Dj`` and the
+diagonal parity a rotated combination; eliminating one unknown leaves a
+relation ``Di[x] ^ Di[x - s] = C[x]`` that chains around cycles of length
+``w / gcd(s, w)``.  XOR around a full cycle is constraint-free, so each
+cycle admits two assignments -- the per-line CRC arbitrates.  (Production
+RAID-6 sidesteps the ambiguity with prime-length diagonals; for a 553-bit
+line the CRC check is the simpler, and equally effective, tiebreaker.
+When a pair's cycle structure leaves too many assignments to try, the
+pair is declared uncorrectable -- a rarity accounted in EXPERIMENTS.md.)
+
+Lines also carry ECC-1 + CRC-31 (the SuDoku line format) so single-bit
+faults never consume an erasure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.baselines.common import BaselineCache
+from repro.coding.bitvec import mask_of
+from repro.coding.parity import xor_reduce
+from repro.core.grouping import GroupMapper
+from repro.core.linecodec import DecodeStatus, LineCodec
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+
+#: Give up on two-erasure recovery beyond this many candidate assignments.
+MAX_CYCLE_COMBINATIONS = 256
+
+
+def rotate_left(value: int, shift: int, width: int) -> int:
+    """Rotate a ``width``-bit value left by ``shift``."""
+    shift %= width
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (width - shift))) & mask_of(width)
+
+
+def rotate_right(value: int, shift: int, width: int) -> int:
+    """Rotate a ``width``-bit value right by ``shift``."""
+    return rotate_left(value, width - (shift % width), width)
+
+
+class RAID6Cache(BaselineCache):
+    """Dual-parity (row + diagonal) regions with ECC-1 + CRC-31 lines."""
+
+    name = "RAID-6 + CRC-31"
+
+    def __init__(
+        self,
+        num_lines: int,
+        group_size: int = 512,
+        audit: bool = True,
+        codec: Optional[LineCodec] = None,
+    ) -> None:
+        self.codec = codec if codec is not None else LineCodec()
+        array = STTRAMArray(num_lines, self.codec.stored_bits)
+        super().__init__(array, self.codec.layout.data_bits, audit=audit)
+        self.group_size = group_size
+        self.mapper = GroupMapper(num_lines, group_size)
+        self.row_parity: List[int] = [0] * self.mapper.num_groups
+        self.diag_parity: List[int] = [0] * self.mapper.num_groups
+        self._format()
+
+    def _format(self) -> None:
+        zero_word = self.codec.encode(0)
+        for frame in range(self.array.num_lines):
+            self.array.write(frame, zero_word)
+        width = self.array.line_bits
+        for group in range(self.mapper.num_groups):
+            members = self.mapper.members(group)
+            self.row_parity[group] = xor_reduce(
+                self.array.read(f) for f in members
+            )
+            self.diag_parity[group] = xor_reduce(
+                rotate_left(self.array.read(f), position, width)
+                for position, f in enumerate(members)
+            )
+
+    def write_data(self, frame: int, data: int) -> None:
+        """Store a payload, updating both parities incrementally."""
+        new_word = self.codec.encode(data)
+        old_word = self.array.read(frame)
+        self.array.write(frame, new_word)
+        group = self.mapper.group_of(frame)
+        position = frame - self.mapper.members(group)[0]
+        delta = old_word ^ new_word
+        self.row_parity[group] ^= delta
+        self.diag_parity[group] ^= rotate_left(
+            delta, position, self.array.line_bits
+        )
+
+    def read_data(self, frame: int) -> tuple:
+        """Demand read with correction; returns (data, outcome)."""
+        outcome = self._resolve_line(frame)
+        return self.codec.extract_data(self.array.read(frame)), outcome
+
+    # -- correction -----------------------------------------------------------------------
+
+    def _resolve_line(self, frame: int) -> Outcome:
+        decode = self.codec.decode(self.array.read(frame))
+        if decode.status is DecodeStatus.CLEAN:
+            return Outcome.CLEAN
+        if decode.status is DecodeStatus.CORRECTED:
+            self.array.restore(frame, decode.word)
+            return Outcome.CORRECTED_ECC1
+        outcomes = self._repair_group(self.mapper.group_of(frame))
+        outcome = outcomes.pop(frame, Outcome.DUE)
+        for other, other_outcome in outcomes.items():
+            self._note(other, other_outcome)
+        return outcome
+
+    def _repair_group(self, group: int) -> Dict[int, Outcome]:
+        members = self.mapper.members(group)
+        words: Dict[int, int] = {}
+        outcomes: Dict[int, Outcome] = {}
+        uncorrectable: List[int] = []
+        for member in members:
+            decode = self.codec.decode(self.array.read(member))
+            if decode.status is DecodeStatus.CORRECTED:
+                self.array.restore(member, decode.word)
+                outcomes[member] = Outcome.CORRECTED_ECC1
+            elif decode.status is DecodeStatus.UNCORRECTABLE:
+                uncorrectable.append(member)
+            words[member] = decode.word if decode.ok else self.array.read(member)
+
+        if len(uncorrectable) == 1:
+            if self._recover_one(group, members, words, uncorrectable[0]):
+                outcomes[uncorrectable[0]] = Outcome.CORRECTED_RAID4
+            else:
+                outcomes[uncorrectable[0]] = Outcome.DUE
+        elif len(uncorrectable) == 2:
+            if self._recover_two(group, members, words, *uncorrectable):
+                outcomes[uncorrectable[0]] = Outcome.CORRECTED_RAID4
+                outcomes[uncorrectable[1]] = Outcome.CORRECTED_RAID4
+            else:
+                outcomes[uncorrectable[0]] = Outcome.DUE
+                outcomes[uncorrectable[1]] = Outcome.DUE
+        elif len(uncorrectable) > 2:
+            for member in uncorrectable:
+                outcomes[member] = Outcome.DUE
+        return outcomes
+
+    def _recover_one(
+        self, group: int, members: List[int], words: Dict[int, int], target: int
+    ) -> bool:
+        candidate = self.row_parity[group] ^ xor_reduce(
+            words[m] for m in members if m != target
+        )
+        if self.codec.decode(candidate).status is not DecodeStatus.CLEAN:
+            return False
+        self.array.restore(target, candidate)
+        words[target] = candidate
+        return True
+
+    def _recover_two(
+        self,
+        group: int,
+        members: List[int],
+        words: Dict[int, int],
+        frame_i: int,
+        frame_j: int,
+    ) -> bool:
+        """Two-erasure recovery via the row/diagonal linear system."""
+        width = self.array.line_bits
+        base = members[0]
+        pos_i, pos_j = frame_i - base, frame_j - base
+        # Row deficit: Di ^ Dj.
+        row = self.row_parity[group] ^ xor_reduce(
+            words[m] for m in members if m not in (frame_i, frame_j)
+        )
+        # Diagonal deficit: rot(Di, pos_i) ^ rot(Dj, pos_j).
+        diag = self.diag_parity[group] ^ xor_reduce(
+            rotate_left(words[m], m - base, width)
+            for m in members
+            if m not in (frame_i, frame_j)
+        )
+        # Substitute Dj = row ^ Di:
+        #   rot(Di, pos_i) ^ rot(Di, pos_j) = diag ^ rot(row, pos_j) =: C
+        # In un-rotated coordinates: Di[x] ^ Di[x - s] = C[x + pos_i] with
+        # s = pos_j - pos_i; chains around cycles of length width/gcd.
+        stride = (pos_j - pos_i) % width
+        constant = rotate_right(diag ^ rotate_left(row, pos_j, width), pos_i, width)
+        cycles = math.gcd(stride, width)
+        if 1 << cycles > MAX_CYCLE_COMBINATIONS:
+            return False
+        solution = self._solve_cycles(constant, stride, width, cycles, row)
+        if solution is None:
+            return False
+        candidate_i, candidate_j = solution
+        self.array.restore(frame_i, candidate_i)
+        self.array.restore(frame_j, candidate_j)
+        words[frame_i] = candidate_i
+        words[frame_j] = candidate_j
+        return True
+
+    def _solve_cycles(
+        self, constant: int, stride: int, width: int, cycles: int, row: int
+    ) -> Optional[tuple]:
+        """Enumerate cycle seed assignments, CRC-checking each candidate."""
+        # Each cycle starts at one of `cycles` residues; walking x -> x+s
+        # determines all bits from the seed bit via Di[x+s] = Di[x] ^ C[x+s].
+        for assignment in range(1 << cycles):
+            candidate = 0
+            for cycle_index in range(cycles):
+                bit = (assignment >> cycle_index) & 1
+                x = cycle_index
+                for _ in range(width // cycles):
+                    if bit:
+                        candidate |= 1 << x
+                    next_x = (x + stride) % width
+                    bit ^= (constant >> next_x) & 1
+                    x = next_x
+            partner = row ^ candidate
+            if (
+                self.codec.decode(candidate).status is DecodeStatus.CLEAN
+                and self.codec.decode(partner).status is DecodeStatus.CLEAN
+            ):
+                return candidate, partner
+        return None
+
+    @property
+    def storage_overhead_bits_per_line(self) -> float:
+        """CRC + ECC bits plus the two amortised parity lines per group."""
+        return (
+            self.codec.layout.overhead_bits
+            + 2.0 * self.array.line_bits / self.group_size
+        )

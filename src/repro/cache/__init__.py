@@ -1,0 +1,22 @@
+"""Last-level-cache substrate.
+
+A functional model of the shared STTRAM LLC the paper evaluates: address
+geometry, set-associative lookup with LRU replacement, and the line-state
+bookkeeping the SuDoku controller and the performance simulator share.
+
+* :mod:`repro.cache.geometry` -- cache geometry and address codecs.
+* :mod:`repro.cache.lru` -- true-LRU replacement state.
+* :mod:`repro.cache.functional` -- the functional set-associative cache.
+"""
+
+from repro.cache.geometry import AddressParts, CacheGeometry
+from repro.cache.lru import LRUState
+from repro.cache.functional import AccessResult, FunctionalCache
+
+__all__ = [
+    "AddressParts",
+    "CacheGeometry",
+    "LRUState",
+    "AccessResult",
+    "FunctionalCache",
+]

@@ -1,0 +1,154 @@
+"""Functional set-associative cache.
+
+This is the *behavioural* LLC: it tracks which line addresses are
+resident, in which physical frame, with LRU replacement and dirty bits.
+The SuDoku controller sits underneath it (protecting physical frames);
+the performance simulator reuses the same lookup logic for timing.
+
+The data payloads themselves live in an :class:`repro.sttram.array.STTRAMArray`
+indexed by physical frame, which is what the fault injectors corrupt; the
+functional cache only decides *which* frame an address occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.lru import LRUState
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    :param hit: whether the line was resident.
+    :param frame_index: physical frame serving the line after the access.
+    :param victim_line_address: line address evicted to make room (misses
+        only; ``None`` when the frame was empty or on hits).
+    :param victim_dirty: whether the evicted line needed a writeback.
+    """
+
+    hit: bool
+    frame_index: int
+    victim_line_address: Optional[int] = None
+    victim_dirty: bool = False
+
+
+@dataclass
+class _Frame:
+    """Residency state of one physical frame."""
+
+    line_address: Optional[int] = None
+    dirty: bool = False
+
+
+class FunctionalCache:
+    """Set-associative, write-back, write-allocate cache model."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._frames: List[_Frame] = [_Frame() for _ in range(geometry.num_lines)]
+        self._lru: List[LRUState] = [
+            LRUState(geometry.ways) for _ in range(geometry.num_sets)
+        ]
+        # line_address -> frame index, for O(1) lookup.
+        self._where: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def probe(self, address: int) -> Optional[int]:
+        """Frame index holding this address, or None. Does not touch LRU."""
+        line_address = self.geometry.line_address(address)
+        return self._where.get(line_address)
+
+    def resident_lines(self) -> int:
+        """Number of frames currently holding a line."""
+        return len(self._where)
+
+    def frame_state(self, frame_index: int) -> tuple:
+        """(line_address, dirty) of a frame; line_address None if empty."""
+        frame = self._frames[frame_index]
+        return frame.line_address, frame.dirty
+
+    # -- accesses -----------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> AccessResult:
+        """Perform a read or write access, allocating on miss."""
+        geometry = self.geometry
+        line_address = geometry.line_address(address)
+        set_index = line_address & (geometry.num_sets - 1)
+        frame_index = self._where.get(line_address)
+
+        if frame_index is not None:
+            way = frame_index - set_index * geometry.ways
+            self._lru[set_index].touch(way)
+            if is_write:
+                self._frames[frame_index].dirty = True
+            self.hits += 1
+            return AccessResult(hit=True, frame_index=frame_index)
+
+        self.misses += 1
+        victim_way = self._find_way(set_index)
+        frame_index = geometry.frame_index(set_index, victim_way)
+        frame = self._frames[frame_index]
+        victim_line_address = frame.line_address
+        victim_dirty = frame.dirty
+        if victim_line_address is not None:
+            del self._where[victim_line_address]
+            if victim_dirty:
+                self.writebacks += 1
+
+        frame.line_address = line_address
+        frame.dirty = is_write
+        self._where[line_address] = frame_index
+        self._lru[set_index].touch(victim_way)
+        return AccessResult(
+            hit=False,
+            frame_index=frame_index,
+            victim_line_address=victim_line_address,
+            victim_dirty=victim_dirty,
+        )
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if resident; returns whether it was."""
+        line_address = self.geometry.line_address(address)
+        frame_index = self._where.pop(line_address, None)
+        if frame_index is None:
+            return False
+        frame = self._frames[frame_index]
+        frame.line_address = None
+        frame.dirty = False
+        return True
+
+    def _find_way(self, set_index: int) -> int:
+        """Pick the way to fill: first empty way, else true-LRU victim."""
+        base = set_index * self.geometry.ways
+        for way in range(self.geometry.ways):
+            if self._frames[base + way].line_address is None:
+                return way
+        return self._lru[set_index].victim()
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses so far (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def walk_frames(self, visit: Callable[[int, Optional[int], bool], None]) -> None:
+        """Visit every frame as (frame_index, line_address, dirty).
+
+        Used by the scrub engine's residency-aware variants and by tests
+        asserting the residency map is consistent.
+        """
+        for frame_index, frame in enumerate(self._frames):
+            visit(frame_index, frame.line_address, frame.dirty)

@@ -1,0 +1,133 @@
+"""Cache geometry and address arithmetic.
+
+The paper's LLC is 64 MB, 8-way, with 64-byte lines (Table VI): 2^20
+lines in 2^17 sets.  :class:`CacheGeometry` centralises every derived
+quantity (set/tag split, RAID-group counts for a given group size) so the
+SuDoku engines, the reliability models, and the performance simulator all
+agree on the shapes involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressParts:
+    """Decomposition of a byte address for a given geometry."""
+
+    tag: int
+    set_index: int
+    block_offset: int
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    :param capacity_bytes: total data capacity (64 MB default).
+    :param line_bytes: line (block) size (64 B default).
+    :param ways: associativity (8 default).
+    """
+
+    capacity_bytes: int = 64 * 1024 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.capacity_bytes):
+            raise ValueError("capacity must be a power of two")
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError("line size must be a power of two")
+        if not _is_power_of_two(self.ways):
+            raise ValueError("associativity must be a power of two")
+        if self.capacity_bytes % (self.line_bytes * self.ways):
+            raise ValueError("capacity must divide into sets evenly")
+        if self.num_sets < 1:
+            raise ValueError("geometry has no sets")
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines (2^20 for the default geometry)."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_lines // self.ways
+
+    @property
+    def line_bits(self) -> int:
+        """Data bits per line (512 for 64-byte lines)."""
+        return self.line_bytes * 8
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of byte-offset within a line."""
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        """Bits of set index."""
+        return self.num_sets.bit_length() - 1
+
+    def num_groups(self, group_size_lines: int) -> int:
+        """RAID-groups of the given size covering the whole cache."""
+        if group_size_lines <= 0:
+            raise ValueError("group size must be positive")
+        if self.num_lines % group_size_lines:
+            raise ValueError(
+                f"{group_size_lines}-line groups do not tile {self.num_lines} lines"
+            )
+        return self.num_lines // group_size_lines
+
+    # -- address codecs ----------------------------------------------------------
+
+    def split(self, address: int) -> AddressParts:
+        """Split a byte address into tag / set / offset."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        block_offset = address & (self.line_bytes - 1)
+        line_address = address >> self.offset_bits
+        set_index = line_address & (self.num_sets - 1)
+        tag = line_address >> self.set_bits
+        return AddressParts(tag=tag, set_index=set_index, block_offset=block_offset)
+
+    def line_address(self, address: int) -> int:
+        """The line-granular address (byte address / line size)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        return address >> self.offset_bits
+
+    def frame_index(self, set_index: int, way: int) -> int:
+        """Flat physical index of a (set, way) frame in [0, num_lines).
+
+        This is the "cache line address" the paper's RAID-group hashes are
+        computed from: group membership is a property of the physical
+        frame, not of the resident tag.
+        """
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError("set index out of range")
+        if not 0 <= way < self.ways:
+            raise ValueError("way out of range")
+        return set_index * self.ways + way
+
+    def frame_location(self, frame_index: int) -> tuple:
+        """Inverse of :meth:`frame_index`: (set_index, way)."""
+        if not 0 <= frame_index < self.num_lines:
+            raise ValueError("frame index out of range")
+        return divmod(frame_index, self.ways)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        mb = self.capacity_bytes / (1024 * 1024)
+        return (
+            f"{mb:g}MB, {self.ways}-way, {self.line_bytes}B lines, "
+            f"{self.num_sets} sets, {self.num_lines} lines"
+        )

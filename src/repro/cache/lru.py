@@ -1,0 +1,34 @@
+"""True-LRU replacement state for one cache set.
+
+Kept as its own tiny module because both the functional cache and the
+performance simulator's LLC need identical replacement behaviour -- the
+Fig. 8 experiment compares two simulations of the *same* access stream
+and any replacement divergence would contaminate the sub-percent
+slowdowns being measured.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LRUState:
+    """Recency order over ``ways`` slots; index 0 = most recently used."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self._order: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        """Mark a way as most recently used."""
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self) -> int:
+        """The least recently used way (replacement candidate)."""
+        return self._order[-1]
+
+    def order(self) -> List[int]:
+        """Copy of the recency order, MRU first."""
+        return list(self._order)

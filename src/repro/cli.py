@@ -1,0 +1,250 @@
+"""Command-line interface: regenerate paper exhibits from a shell.
+
+Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Four
+subcommands cover the common flows:
+
+* ``summary``   -- headline reliability numbers at the paper's config.
+* ``exhibits``  -- regenerate the analytic tables/figures (optionally a
+  subset by substring match on the title).
+* ``campaign``  -- run a Monte-Carlo fault-injection campaign on a
+  functional engine and compare with the analytical model.
+* ``perf``      -- run the Fig. 8/9 ideal-vs-SuDoku comparison on chosen
+  workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SuDoku (DSN 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("summary", help="headline reliability numbers")
+
+    exhibits = sub.add_parser("exhibits", help="regenerate paper exhibits")
+    exhibits.add_argument(
+        "--only", default="", help="substring filter on exhibit titles"
+    )
+
+    campaign = sub.add_parser("campaign", help="Monte-Carlo fault injection")
+    campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
+    campaign.add_argument("--ber", type=float, default=8e-4)
+    campaign.add_argument("--intervals", type=int, default=100)
+    campaign.add_argument("--group-size", type=int, default=32)
+    campaign.add_argument("--seed", type=int, default=0)
+
+    perf = sub.add_parser("perf", help="Fig. 8/9 performance comparison")
+    perf.add_argument("--workloads", nargs="+", default=["mcf", "gcc", "MIX1"])
+    perf.add_argument("--accesses", type=int, default=8000)
+    perf.add_argument("--seed", type=int, default=1)
+
+    report = sub.add_parser("report", help="write a Markdown exhibit snapshot")
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument(
+        "--with-performance", action="store_true",
+        help="also run the Fig. 8/9 simulations (minutes)",
+    )
+
+    distance = sub.add_parser(
+        "distance", help="verify the CRC-31 detection distance at line length"
+    )
+    distance.add_argument("--samples", type=int, default=20_000)
+
+    design = sub.add_parser(
+        "design", help="find the cheapest configuration meeting a FIT target"
+    )
+    design.add_argument("--delta", type=float, default=35.0)
+    design.add_argument("--target-fit", type=float, default=1.0)
+
+    return parser
+
+
+def cmd_summary() -> int:
+    from repro.analysis.tables import format_table
+    from repro.core.config import PAPER
+    from repro.reliability.eccmodel import ECCCacheModel
+    from repro.reliability.sudokumodel import SuDokuReliabilityModel
+    from repro.sttram.variation import effective_ber
+
+    ber = effective_ber(35.0, 3.5, 0.020)
+    model = SuDokuReliabilityModel(ber=ber)
+    ecc6 = ECCCacheModel(t=6, ber=ber)
+    rows = [
+        ["BER (delta 35, 20 ms)", ber, PAPER.ber_delta35_20ms],
+        ["SuDoku-X MTTF (s)", model.mttf_x_seconds(), PAPER.sudoku_x_mttf_s],
+        ["SuDoku-Y MTTF (h)", model.mttf_y_seconds() / 3600, PAPER.sudoku_y_mttf_hours],
+        ["SuDoku-Z FIT", model.fit_z(), PAPER.sudoku_z_fit],
+        ["ECC-6 FIT", ecc6.fit(), PAPER.ecc_fit[5]],
+        ["Z strength vs ECC-6", ecc6.fit() / model.fit_z(), PAPER.sudoku_z_vs_ecc6],
+        ["overhead bits/line", 43.2, PAPER.overhead_bits_sudoku],
+    ]
+    print(format_table(["quantity", "model", "paper"], rows))
+    return 0
+
+
+def cmd_exhibits(only: str) -> int:
+    from repro.analysis.experiments import all_experiments
+    from repro.analysis.tables import format_table
+
+    matched = 0
+    for exhibit in all_experiments():
+        if only and only.lower() not in str(exhibit["title"]).lower():
+            continue
+        matched += 1
+        print(f"== {exhibit['title']}")
+        print(format_table(exhibit["headers"], exhibit["rows"]))
+        if exhibit.get("notes"):
+            print(f"notes: {exhibit['notes']}")
+        print()
+    if not matched:
+        print(f"no exhibit title matches {only!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_campaign(level: str, ber: float, intervals: int, group_size: int, seed: int) -> int:
+    import numpy as np
+
+    from repro.analysis.tables import format_table
+    from repro.reliability.montecarlo import run_group_campaign
+    from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+    print(
+        f"running SuDoku-{level} campaign: BER {ber:g}, {intervals} intervals, "
+        f"{group_size}-line groups, {group_size * group_size} lines"
+    )
+    result = run_group_campaign(
+        level, ber, trials=intervals, group_size=group_size,
+        rng=np.random.default_rng(seed),
+    )
+    model = SuDokuReliabilityModel(
+        ber=ber, group_size=group_size, num_lines=group_size * group_size
+    )
+    predicted = {
+        "X": model.cache_fail_x, "Y": model.cache_fail_y, "Z": model.cache_fail_z,
+    }[level]()
+    low, high = result.wilson_interval()
+    rows = [
+        ["measured P(fail)/interval", result.failure_probability],
+        ["95% CI", f"[{low:.4f}, {high:.4f}]"],
+        ["analytical model", predicted],
+        ["SDC events", result.outcomes.get("sdc", 0)],
+    ]
+    rows += [[f"outcome: {k}", v] for k, v in sorted(result.outcomes.items())]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def cmd_perf(workloads: List[str], accesses: int, seed: int) -> int:
+    from repro.analysis.tables import format_table
+    from repro.perf.energy import edp_increase
+    from repro.perf.system import compare_ideal_vs_sudoku, normalized_slowdown
+
+    rows = []
+    for workload in workloads:
+        print(f"simulating {workload}...", file=sys.stderr)
+        results = compare_ideal_vs_sudoku(
+            workload, accesses_per_core=accesses, seed=seed
+        )
+        rows.append(
+            [
+                workload,
+                normalized_slowdown(results) * 100,
+                edp_increase(results["ideal"], results["sudoku"]) * 100,
+                results["sudoku"].miss_rate,
+            ]
+        )
+    print(format_table(["workload", "slowdown %", "EDP +%", "miss rate"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "summary":
+        return cmd_summary()
+    if args.command == "exhibits":
+        return cmd_exhibits(args.only)
+    if args.command == "campaign":
+        return cmd_campaign(
+            args.level, args.ber, args.intervals, args.group_size, args.seed
+        )
+    if args.command == "perf":
+        return cmd_perf(args.workloads, args.accesses, args.seed)
+    if args.command == "report":
+        return cmd_report(args.output, args.with_performance)
+    if args.command == "distance":
+        return cmd_distance(args.samples)
+    if args.command == "design":
+        return cmd_design(args.delta, args.target_fit)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def cmd_design(delta: float, target_fit: float) -> int:
+    from repro.analysis.tables import format_table
+    from repro.reliability.designspace import (
+        cheapest_meeting_target,
+        enumerate_design_space,
+        pareto_front,
+    )
+
+    points = enumerate_design_space(delta=delta)
+    front = pareto_front(points, target_fit)
+    rows = [
+        [p.label, p.fit, p.overhead_bits_per_line, p.scrub_bandwidth_fraction]
+        for p in front
+    ]
+    print(f"delta={delta:g}, target <= {target_fit:g} FIT: "
+          f"{len(front)} Pareto-optimal configurations")
+    print(format_table(["configuration", "FIT", "bits/line", "scrub bw"], rows))
+    winner = cheapest_meeting_target(points, target_fit)
+    if winner is None:
+        print("no configuration meets the target")
+        return 1
+    print(f"cheapest: {winner.label} ({winner.overhead_bits_per_line:.1f} bits/line)")
+    return 0
+
+
+def cmd_distance(samples: int) -> int:
+    import random
+
+    from repro.analysis.tables import format_table
+    from repro.coding.crc import CRC31_SUDOKU
+    from repro.coding.crcdistance import (
+        min_weight_multiple_bound,
+        syndrome_table,
+        verify_low_weight_detection,
+    )
+
+    report = min_weight_multiple_bound(CRC31_SUDOKU, data_bits=512)
+    table = syndrome_table(CRC31_SUDOKU, data_bits=512)
+    rng = random.Random(0)
+    rows = [
+        ["polynomial", CRC31_SUDOKU.name],
+        ["payload bits", report.payload_bits],
+        ["undetected patterns (exact, w<=4)", len(report.undetected)],
+        ["proven detection distance", f">= {report.proven_distance_at_least}"],
+    ]
+    for weight in (5, 6, 7, 8):
+        misses = verify_low_weight_detection(
+            CRC31_SUDOKU, weight, samples=samples, rng=rng, table=table
+        )
+        rows.append([f"random misses at weight {weight} ({samples} samples)", misses])
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def cmd_report(output: str, with_performance: bool) -> int:
+    from repro.analysis.reporting import write_report
+
+    write_report(output, include_performance=with_performance)
+    print(f"wrote {output}")
+    return 0

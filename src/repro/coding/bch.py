@@ -1,0 +1,235 @@
+"""Binary BCH codes: the "ECC-k" multi-bit correction baselines.
+
+The paper's strawman is uniform per-line ECC-6: a six-error-correcting
+code over each 64-byte line, costing 60 check bits and a multi-cycle
+decoder.  For a 512-bit payload the natural construction is a narrow-sense
+binary BCH code over GF(2^10) (primitive length n = 1023) shortened to the
+payload size; t errors cost at most ``m * t`` check bits, which for
+t = 6, m = 10 gives exactly the paper's 60 bits per line.
+
+The implementation is textbook and self-contained:
+
+* generator polynomial = LCM of the minimal polynomials of
+  alpha^1 .. alpha^2t (built via :class:`repro.coding.gf2m.GF2m`),
+* systematic encoding by polynomial division over GF(2),
+* decoding via syndrome computation, Berlekamp--Massey for the error
+  locator polynomial, and Chien search for the error positions.
+
+Decoding failures (more than t errors) are reported, not silently
+miscorrected, whenever Berlekamp--Massey/Chien can tell; like all bounded
+distance decoders, patterns that land within distance t of a different
+codeword will miscorrect, which is precisely the behaviour the
+reliability models account for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.coding.gf2m import (
+    GF2m,
+    gf2_degree,
+    gf2_lcm,
+    gf2_mod,
+)
+
+
+@dataclass(frozen=True)
+class BCHResult:
+    """Outcome of a BCH decode.
+
+    ``ok`` is True when the decoder produced a codeword it believes in
+    (zero errors, or <= t errors located and flipped).  ``error_positions``
+    lists the 0-based codeword bits that were flipped.  When ``ok`` is
+    False the received word was left unmodified.
+    """
+
+    corrected_word: int
+    data: int
+    error_positions: Tuple[int, ...]
+    ok: bool
+
+
+class BCH:
+    """A t-error-correcting binary BCH code, shortened to ``data_bits``.
+
+    :param data_bits: payload size in bits (e.g. 512 for a 64-byte line).
+    :param t: designed correction capability in bits.
+    :param m: field degree; defaults to the smallest m with
+        2^m - 1 >= data_bits + m*t.
+    """
+
+    def __init__(self, data_bits: int, t: int, m: int = 0) -> None:
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        if t <= 0:
+            raise ValueError("t must be positive")
+        if not m:
+            m = 3
+            while (1 << m) - 1 < data_bits + m * t:
+                m += 1
+        self.field = GF2m(m)
+        self.m = m
+        self.t = t
+        self.n_full = (1 << m) - 1  # primitive code length
+
+        # Generator polynomial: LCM of minimal polynomials of alpha^1..2t.
+        minimal_polys = []
+        seen = set()
+        for power in range(1, 2 * t + 1):
+            element = self.field.alpha_pow(power)
+            if element in seen:
+                continue
+            # Record the whole conjugacy class as covered.
+            conjugate = element
+            while conjugate not in seen:
+                seen.add(conjugate)
+                conjugate = self.field.mul(conjugate, conjugate)
+            minimal_polys.append(self.field.minimal_polynomial(element))
+        self.generator = gf2_lcm(minimal_polys)
+        self.num_check_bits = gf2_degree(self.generator)
+
+        self.k = data_bits
+        self.n = data_bits + self.num_check_bits
+        if self.n > self.n_full:
+            raise ValueError(
+                f"payload {data_bits} + {self.num_check_bits} check bits "
+                f"exceeds primitive length {self.n_full} for m={m}"
+            )
+        # Shortening amount: the (virtual) high-order message bits fixed at 0.
+        self.shortened_by = self.n_full - self.n
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Systematic encode: codeword = data << r | remainder.
+
+        Bit layout (little-endian ints): bits [0, r) hold the check bits,
+        bits [r, r + k) hold the payload, matching the classic
+        ``x^r * m(x) + rem(x)`` systematic construction.
+        """
+        if data < 0 or data >> self.k:
+            raise ValueError(f"data does not fit in {self.k} bits")
+        shifted = data << self.num_check_bits
+        remainder = gf2_mod(shifted, self.generator)
+        return shifted | remainder
+
+    def extract_data(self, codeword: int) -> int:
+        """Payload bits of a codeword."""
+        if codeword < 0 or codeword >> self.n:
+            raise ValueError(f"codeword does not fit in {self.n} bits")
+        return codeword >> self.num_check_bits
+
+    def is_codeword(self, word: int) -> bool:
+        """True iff ``word`` divides cleanly by the generator polynomial."""
+        if word < 0 or word >> self.n:
+            raise ValueError(f"word does not fit in {self.n} bits")
+        return gf2_mod(word, self.generator) == 0
+
+    # -- decoding -------------------------------------------------------------
+
+    def syndromes(self, word: int) -> List[int]:
+        """S_i = r(alpha^i) for i = 1 .. 2t."""
+        field = self.field
+        positions = []
+        index = 0
+        value = word
+        while value:
+            if value & 1:
+                positions.append(index)
+            value >>= 1
+            index += 1
+        result = []
+        for i in range(1, 2 * self.t + 1):
+            accumulator = 0
+            for position in positions:
+                accumulator ^= field.alpha_pow(i * position)
+            result.append(accumulator)
+        return result
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error locator polynomial sigma(x) from the syndrome sequence."""
+        field = self.field
+        sigma = [1]          # current locator
+        previous = [1]       # locator before the last length change
+        previous_discrepancy = 1
+        gap = 1              # iterations since the last length change
+        for step in range(len(syndromes)):
+            # Discrepancy: S_step+1 + sum sigma_i * S_step+1-i.
+            discrepancy = syndromes[step]
+            for i in range(1, len(sigma)):
+                if step - i >= 0 and sigma[i]:
+                    discrepancy ^= field.mul(sigma[i], syndromes[step - i])
+            if discrepancy == 0:
+                gap += 1
+                continue
+            scale = field.div(discrepancy, previous_discrepancy)
+            candidate = list(sigma)
+            needed = len(previous) + gap
+            if needed > len(candidate):
+                candidate.extend([0] * (needed - len(candidate)))
+            for i, coefficient in enumerate(previous):
+                if coefficient:
+                    candidate[i + gap] ^= field.mul(scale, coefficient)
+            if 2 * (len(sigma) - 1) <= step:
+                previous = sigma
+                previous_discrepancy = discrepancy
+                gap = 1
+            else:
+                gap += 1
+            sigma = candidate
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> Optional[List[int]]:
+        """Roots of sigma(x) as error positions; None if root count != degree.
+
+        An error at position j makes alpha^-j a root of sigma.  We probe
+        every position of the (shortened) codeword; a locator whose degree
+        is not matched by its root count signals an uncorrectable word.
+        """
+        field = self.field
+        degree = len(sigma) - 1
+        while degree > 0 and sigma[degree] == 0:
+            degree -= 1
+        if degree == 0:
+            return []
+        positions = []
+        for position in range(self.n):
+            x = field.alpha_pow(-position % field.order)
+            if field.poly_eval(sigma[: degree + 1], x) == 0:
+                positions.append(position)
+                if len(positions) > degree:
+                    return None
+        if len(positions) != degree:
+            return None
+        return positions
+
+    def decode(self, word: int) -> BCHResult:
+        """Bounded-distance decode of a received word."""
+        if word < 0 or word >> self.n:
+            raise ValueError(f"word does not fit in {self.n} bits")
+        syndromes = self.syndromes(word)
+        if not any(syndromes):
+            return BCHResult(word, self.extract_data(word), (), True)
+        sigma = self._berlekamp_massey(syndromes)
+        if len(sigma) - 1 > self.t:
+            return BCHResult(word, self.extract_data(word), (), False)
+        positions = self._chien_search(sigma)
+        if positions is None:
+            return BCHResult(word, self.extract_data(word), (), False)
+        corrected = word
+        for position in positions:
+            corrected ^= 1 << position
+        # Sanity: the corrected word must be a codeword.
+        if not self.is_codeword(corrected):
+            return BCHResult(word, self.extract_data(word), (), False)
+        return BCHResult(
+            corrected, self.extract_data(corrected), tuple(sorted(positions)), True
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BCH(k={self.k}, t={self.t}, m={self.m}, "
+            f"r={self.num_check_bits}, n={self.n})"
+        )

@@ -1,0 +1,242 @@
+"""Binary extension-field arithmetic GF(2^m).
+
+The multi-bit "ECC-k" baselines in the paper (up to the ECC-6 comparison
+point, 60 check bits per 64-byte line) are BCH codes, whose decoders work
+in GF(2^m).  This module provides log/antilog-table field arithmetic for
+3 <= m <= 16 plus the GF(2)[x] polynomial helpers the BCH construction
+needs (carry-less multiply/mod over bit-packed polynomials).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+#: Primitive (irreducible, primitive-root) polynomials for GF(2^m),
+#: bit-packed with the x^m term included, e.g. m=4 -> x^4 + x + 1 = 0b10011.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    3: 0b1011,                # x^3 + x + 1
+    4: 0b10011,               # x^4 + x + 1
+    5: 0b100101,              # x^5 + x^2 + 1
+    6: 0b1000011,             # x^6 + x + 1
+    7: 0b10001001,            # x^7 + x^3 + 1
+    8: 0b100011101,           # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,          # x^9 + x^4 + 1
+    10: 0b10000001001,        # x^10 + x^3 + 1
+    11: 0b100000000101,       # x^11 + x^2 + 1
+    12: 0b1000001010011,      # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,     # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,    # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,   # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Elements are ints in ``[0, 2^m)``.  ``alpha`` (= 2, the polynomial
+    ``x``) is a primitive element, so every non-zero element is
+    ``alpha^i`` for a unique ``i`` in ``[0, 2^m - 1)``.
+    """
+
+    def __init__(self, m: int, primitive_poly: int = 0) -> None:
+        if m < 2 or m > 16:
+            raise ValueError("GF2m supports 2 <= m <= 16")
+        poly = primitive_poly or PRIMITIVE_POLYNOMIALS.get(m, 0)
+        if not poly:
+            raise ValueError(f"no default primitive polynomial for m={m}")
+        if poly >> (m + 1) or not (poly >> m):
+            raise ValueError("primitive polynomial must have degree exactly m")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.poly = poly
+
+        # exp table doubled in length so mul can skip a modulo.
+        self._exp: List[int] = [0] * (2 * self.order)
+        self._log: List[int] = [0] * self.size
+        value = 1
+        for power in range(self.order):
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= poly
+            if value == 1 and power < self.order - 1:
+                # x has multiplicative order power+1 < 2^m - 1: the
+                # polynomial is irreducible but not primitive (e.g.
+                # x^4 + x^3 + x^2 + x + 1, whose root has order 5).
+                raise ValueError(
+                    f"polynomial 0x{poly:x} is not primitive for GF(2^{m})"
+                )
+        if value != 1:
+            raise ValueError(
+                f"polynomial 0x{poly:x} is not primitive for GF(2^{m})"
+            )
+        for power in range(self.order, 2 * self.order):
+            self._exp[power] = self._exp[power - self.order]
+
+    # -- element arithmetic --------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction = XOR)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b (b must be non-zero)."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[self._log[a] - self._log[b] + self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def pow(self, a: int, exponent: int) -> int:
+        """a raised to an arbitrary (possibly negative) integer power."""
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        power = (self._log[a] * exponent) % self.order
+        return self._exp[power]
+
+    def alpha_pow(self, exponent: int) -> int:
+        """alpha^exponent for the primitive element alpha."""
+        return self._exp[exponent % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha (a must be non-zero)."""
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return self._log[a]
+
+    # -- polynomials over GF(2^m), coefficient lists (index = degree) --------
+
+    def poly_eval(self, coefficients: Sequence[int], x: int) -> int:
+        """Evaluate sum(coefficients[i] * x^i) by Horner's rule."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = self.mul(result, x) ^ coefficient
+        return result
+
+    def poly_mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Product of two coefficient-list polynomials."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, coeff_a in enumerate(a):
+            if coeff_a == 0:
+                continue
+            for j, coeff_b in enumerate(b):
+                if coeff_b:
+                    result[i + j] ^= self.mul(coeff_a, coeff_b)
+        return result
+
+    def minimal_polynomial(self, element: int) -> int:
+        """GF(2)-minimal polynomial of ``element``, bit-packed over GF(2).
+
+        Computed as prod (x - element^(2^i)) over the conjugacy class; the
+        result has coefficients in {0, 1} and is returned with the
+        convention bit i = coefficient of x^i.
+        """
+        if element == 0:
+            return 0b10  # x
+        conjugates = []
+        current = element
+        while current not in conjugates:
+            conjugates.append(current)
+            current = self.mul(current, current)
+        # Multiply out (x + c) for each conjugate c, over GF(2^m); the
+        # product is guaranteed to collapse to GF(2) coefficients.
+        coefficients = [1]
+        for conjugate in conjugates:
+            coefficients = self.poly_mul(coefficients, [conjugate, 1])
+        packed = 0
+        for degree, coefficient in enumerate(coefficients):
+            if coefficient not in (0, 1):
+                raise AssertionError("minimal polynomial not over GF(2)")
+            if coefficient:
+                packed |= 1 << degree
+        return packed
+
+
+# ---------------------------------------------------------------------------
+# GF(2)[x] helpers on bit-packed polynomials (bit i = coefficient of x^i).
+# ---------------------------------------------------------------------------
+
+
+def gf2_degree(poly: int) -> int:
+    """Degree of a bit-packed GF(2) polynomial (-1 for the zero poly)."""
+    return poly.bit_length() - 1
+
+
+def gf2_mul(a: int, b: int) -> int:
+    """Carry-less multiplication of bit-packed GF(2) polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def gf2_mod(a: int, modulus: int) -> int:
+    """Remainder of bit-packed polynomial division over GF(2)."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    mod_degree = gf2_degree(modulus)
+    while gf2_degree(a) >= mod_degree:
+        a ^= modulus << (gf2_degree(a) - mod_degree)
+    return a
+
+
+def gf2_divmod(a: int, modulus: int) -> tuple:
+    """Quotient and remainder of bit-packed GF(2) polynomial division."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    quotient = 0
+    mod_degree = gf2_degree(modulus)
+    while gf2_degree(a) >= mod_degree:
+        shift = gf2_degree(a) - mod_degree
+        quotient |= 1 << shift
+        a ^= modulus << shift
+    return quotient, a
+
+
+def gf2_lcm(polys: Iterable[int]) -> int:
+    """Least common multiple of bit-packed GF(2) polynomials.
+
+    The BCH generator polynomial is the LCM of the minimal polynomials of
+    alpha, alpha^2, ..., alpha^2t.  Since minimal polynomials are
+    irreducible, LCM is the product over the *distinct* ones; this helper
+    nonetheless computes a true LCM so it is safe for any input.
+    """
+    result = 1
+    for poly in polys:
+        if poly == 0:
+            raise ValueError("lcm of zero polynomial is undefined")
+        quotient, _ = gf2_divmod(result, _gcd_shift(result, poly))
+        result = gf2_mul(quotient, poly)
+    return result
+
+
+def _gcd_shift(a: int, b: int) -> int:
+    """Helper used by :func:`gf2_lcm`: gcd(a, b) over GF(2)[x]."""
+    while b:
+        a, b = b, gf2_mod(a, b)
+    return a
+
+
+def gf2_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of bit-packed GF(2) polynomials."""
+    return _gcd_shift(a, b)

@@ -1,0 +1,116 @@
+"""Bit interleaving: spreading physical bursts across logical lines.
+
+Disturb and wear-out faults are often *bursts* -- a run of physically
+adjacent cells flipping together (section VI's PCM/Flash concerns).  A
+classic hardware counter is interleaving: store logical line L's bits
+strided across the physical row, so a physical burst of length <= D
+lands at most one bit in any logical line -- turning a multi-bit fault
+(RAID territory) into D single-bit faults (each a one-cycle ECC-1 fix).
+
+:class:`BitInterleaver` implements the standard block interleaver over
+a physical row holding ``depth`` logical lines:
+
+* physical bit ``p`` of a row stores logical line ``p % depth``,
+  bit ``p // depth``;
+* a contiguous physical burst of length <= depth therefore touches each
+  logical line at most once.
+
+The mapping is a pure bijection on bit positions; ``interleave`` /
+``deinterleave`` are exact inverses, which the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.coding.bitvec import mask_of
+
+
+class BitInterleaver:
+    """Block bit-interleaver over rows of ``depth`` logical lines.
+
+    :param line_bits: width of each logical line.
+    :param depth: logical lines per physical row (the burst-tolerance
+        distance).
+    """
+
+    def __init__(self, line_bits: int, depth: int) -> None:
+        if line_bits <= 0:
+            raise ValueError("line_bits must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.line_bits = line_bits
+        self.depth = depth
+        self.row_bits = line_bits * depth
+        self._line_mask = mask_of(line_bits)
+
+    # -- bit-position maps -------------------------------------------------------
+
+    def physical_position(self, line_index: int, bit: int) -> int:
+        """Physical row position of a logical (line, bit)."""
+        self._check_line(line_index)
+        if not 0 <= bit < self.line_bits:
+            raise ValueError("bit out of range")
+        return bit * self.depth + line_index
+
+    def logical_position(self, physical_bit: int) -> Tuple[int, int]:
+        """(line_index, bit) stored at a physical row position."""
+        if not 0 <= physical_bit < self.row_bits:
+            raise ValueError("physical bit out of range")
+        return physical_bit % self.depth, physical_bit // self.depth
+
+    # -- whole-row transforms -------------------------------------------------------
+
+    def interleave(self, lines: List[int]) -> int:
+        """Pack ``depth`` logical lines into one physical row value."""
+        if len(lines) != self.depth:
+            raise ValueError(f"expected {self.depth} lines")
+        row = 0
+        for line_index, line in enumerate(lines):
+            if line < 0 or line > self._line_mask:
+                raise ValueError("line does not fit in line_bits")
+            remaining = line
+            bit = 0
+            while remaining:
+                if remaining & 1:
+                    row |= 1 << (bit * self.depth + line_index)
+                remaining >>= 1
+                bit += 1
+        return row
+
+    def deinterleave(self, row: int) -> List[int]:
+        """Unpack a physical row back into its logical lines."""
+        if row < 0 or row >> self.row_bits:
+            raise ValueError("row does not fit in row_bits")
+        lines = [0] * self.depth
+        position = 0
+        remaining = row
+        while remaining:
+            if remaining & 1:
+                line_index = position % self.depth
+                lines[line_index] |= 1 << (position // self.depth)
+            remaining >>= 1
+            position += 1
+        return lines
+
+    # -- fault mapping ------------------------------------------------------------------
+
+    def burst_to_line_errors(self, start: int, length: int) -> List[Tuple[int, int]]:
+        """Logical (line, error-vector) pairs induced by a physical burst."""
+        if length <= 0 or start < 0 or start + length > self.row_bits:
+            raise ValueError("burst does not fit in the row")
+        errors = {}
+        for physical in range(start, start + length):
+            line_index, bit = self.logical_position(physical)
+            errors[line_index] = errors.get(line_index, 0) | (1 << bit)
+        return sorted(errors.items())
+
+    def max_bits_per_line(self, burst_length: int) -> int:
+        """Worst-case bits any logical line absorbs from such a burst."""
+        if burst_length <= 0:
+            raise ValueError("burst_length must be positive")
+        return (burst_length + self.depth - 1) // self.depth
+
+    def _check_line(self, line_index: int) -> None:
+        if not 0 <= line_index < self.depth:
+            raise ValueError("line index out of range")

@@ -1,0 +1,165 @@
+"""Configuration objects and the paper-constant registry.
+
+:class:`SuDokuConfig` collects every knob of the architecture; the
+defaults are exactly the paper's evaluation point.  :data:`PAPER` freezes
+the headline numbers quoted in the paper so tests and benchmark harnesses
+compare generated results against one authoritative source rather than
+scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class SuDokuConfig:
+    """Architecture parameters for a SuDoku-protected cache.
+
+    Defaults correspond to the paper's evaluation configuration:
+    64 MB / 64 B lines, 512-line RAID-Groups, Delta = 35 with 10 % sigma,
+    20 ms scrub, CRC-31 + ECC-1 per line, SDR capped at six mismatches.
+    """
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    group_size: int = 512
+    crc_bits: int = 31
+    delta_mean: float = 35.0
+    delta_sigma_fraction: float = 0.10
+    scrub_interval_s: float = 0.020
+    sdr_max_mismatches: int = 6
+    target_fit: float = 1.0
+    sttram_read_s: float = 9e-9
+    sttram_write_s: float = 18e-9
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 1:
+            raise ValueError("RAID-Group size must exceed one line")
+        if self.group_size & (self.group_size - 1):
+            raise ValueError("RAID-Group size must be a power of two")
+        if self.geometry.num_lines % self.group_size:
+            raise ValueError("group size must tile the cache")
+        if self.crc_bits < 8:
+            raise ValueError("CRC must be at least 8 bits")
+        if self.scrub_interval_s <= 0:
+            raise ValueError("scrub interval must be positive")
+        if self.sdr_max_mismatches < 0:
+            raise ValueError("SDR mismatch cap must be non-negative")
+
+    @property
+    def data_bits(self) -> int:
+        """Data payload bits per line."""
+        return self.geometry.line_bits
+
+    @property
+    def num_groups(self) -> int:
+        """RAID-Groups per hash over the whole cache."""
+        return self.geometry.num_groups(self.group_size)
+
+    @property
+    def delta_sigma(self) -> float:
+        """Absolute standard deviation of Delta."""
+        return self.delta_mean * self.delta_sigma_fraction
+
+    def scaled(self, **overrides) -> "SuDokuConfig":
+        """Copy with selected fields replaced (sensitivity sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Headline numbers quoted in the paper, kept in one place.
+
+    Each attribute cites its origin.  Benchmarks print these alongside the
+    regenerated values; tests assert agreement to the documented
+    tolerance, so any modelling regression is caught against the paper
+    itself.
+    """
+
+    # Section I / Table I
+    ber_delta35_20ms: float = 5.3e-6       # Table I, 22 nm node
+    ber_delta60_20ms: float = 2.7e-12      # Table I, 32 nm node
+    expected_faulty_bits_64mb_20ms: float = 2880.0  # Section I
+    cell_mttf_delta35_days: float = 18.0   # Section I (no variation)
+    mean_cell_mttf_hours: float = 1.0      # Section I (sigma = 10 %)
+
+    # Table II (FIT of uniform ECC-k, 64 MB, 20 ms, BER 5.3e-6)
+    ecc_line_failure_20ms: tuple = (
+        3.9e-6, 3.8e-9, 2.9e-12, 1.9e-15, 1.0e-18, 4.9e-22,
+    )
+    ecc_cache_failure_20ms: tuple = (
+        9.8e-1, 4.0e-3, 3.1e-6, 2.0e-9, 1.1e-12, 5.1e-16,
+    )
+    ecc_fit: tuple = (1e14, 7.2e11, 5.5e8, 3.5e5, 191.0, 0.092)
+
+    # Section III / Table III
+    sudoku_x_mttf_s: float = 3.71
+    sudoku_x_sdc_fit: float = 8.9e-9
+    crc31_misdetect: float = 2.0 ** -31
+
+    # Section IV (SuDoku-Y)
+    sudoku_y_mttf_hours: float = 3.49      # section IV-E (3.9 h in I/V-B)
+    sudoku_y_due_fit: float = 286e6
+    sdr_no_overlap_fraction: float = 0.9922
+    sdr_one_overlap_fraction: float = 0.0078
+    sdr_two_overlap_fraction: float = 4e-6  # "0.0004%"
+
+    # Section V (SuDoku-Z)
+    sudoku_z_fit: float = 1.05e-4
+    sudoku_z_vs_ecc6: float = 874.0
+    sudoku_z_alone_fit: float = 4e6        # footnote 4
+    group_fail_probability: float = 6.9e-10  # section V-C
+
+    # Table IV (SRAM Vmin, BER = 1e-3)
+    sram_cache_fail_ecc7: float = 0.11
+    sram_cache_fail_ecc8: float = 0.0066
+    sram_cache_fail_ecc9: float = 3.5e-4
+    sram_cache_fail_sudoku: float = 3.8e-10
+
+    # Table VIII (scrub interval sweep)
+    scrub_sweep: tuple = (
+        # (interval_s, ber, fit_ecc5, fit_ecc6, fit_sudoku_z)
+        (0.010, 2.7e-6, 6.74, 1.66e-3, 5.49e-7),
+        (0.020, 5.3e-6, 215.0, 0.092, 1.05e-4),
+        (0.040, 1.09e-5, 6870.0, 6.76, 0.04),
+    )
+
+    # Table IX (cache-size sweep, SuDoku-Z FIT)
+    size_sweep: tuple = ((32, 0.52e-4), (64, 1.05e-4), (128, 2.1e-4))
+
+    # Table X (Delta sweep: (delta, fit_ecc6, fit_sudoku, strength))
+    delta_sweep: tuple = (
+        (35, 0.092, 1.05e-4, 874.0),
+        (34, 4.63, 1.15e-2, 402.0),
+        (33, 1240.0, 8.0, 155.0),
+    )
+
+    # Table XI (baselines with CRC-31, FIT)
+    fit_cppc: float = 1.69e14
+    fit_raid6: float = 571e3
+    fit_2dp: float = 2.8e8
+
+    # Table XII
+    fit_hiecc: float = 1.47
+
+    # Section VII-B correction latencies
+    latency_raid4_s: float = 16e-6
+    latency_sdr_s: float = 20e-6
+    latency_hash2_s: float = 80e-6
+
+    # Storage (section VII-H)
+    overhead_bits_sudoku: int = 43         # 10 ECC + 31 CRC + 2 amortised PLT
+    overhead_bits_ecc6: int = 60
+    plt_bytes_per_table: int = 128 * 1024
+
+    # Figures 8 / 9
+    mean_slowdown_fraction: float = 0.0015  # "0.15 % on average"
+    max_edp_increase_fraction: float = 0.004
+
+
+#: The single source of truth for paper-quoted values.
+PAPER = PaperConstants()

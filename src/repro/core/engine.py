@@ -1,0 +1,460 @@
+"""The SuDoku controllers: SuDoku-X, SuDoku-Y, SuDoku-Z.
+
+The three designs form a strict hierarchy (each keeps everything below):
+
+========== ===============================================================
+SuDoku-X   per-line ECC-1 + CRC-31, region RAID-4 via one Parity Line
+           Table (Hash-1).  Repairs any number of 1-bit-fault lines and
+           at most one multi-bit-fault line per group.
+SuDoku-Y   adds Sequential Data Resurrection: parity-mismatch-guided
+           flip-and-check repairs multiple 2-bit-fault lines per group,
+           with a final RAID-4 pass for the last survivor.
+SuDoku-Z   adds a second, skewed hash with its own PLT.  Lines a Hash-1
+           group cannot repair retry in their Hash-2 groups (whose other
+           members are different lines by construction); fixes feed back
+           into the Hash-1 group until a fixed point.
+========== ===============================================================
+
+The engines operate on an :class:`repro.sttram.array.STTRAMArray` of
+*physical frames* and satisfy the :class:`repro.sttram.scrub.LineScrubber`
+protocol.  Because this is a simulator, every resolved line is audited
+against the array's golden copy: an engine that *believes* it
+succeeded but produced wrong bits records silent data corruption (SDC),
+the quantity Table III tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SuDokuConfig
+from repro.core.grouping import GroupMapper, SkewedGroupMapper
+from repro.core.linecodec import DecodeStatus, LineCodec
+from repro.core.layout import LineLayout
+from repro.core.outcomes import Outcome
+from repro.core.plt_ import ParityLineTable
+from repro.core.raid4 import GroupScan, reconstruct_line, scan_group
+from repro.core.sdr import resurrect
+from repro.core.stats import CorrectionStats, LatencyModel
+from repro.sttram.array import STTRAMArray
+
+
+class SuDokuEngine:
+    """Base controller implementing the SuDoku-X design.
+
+    :param array: the physical frame array this engine protects.  Its
+        ``line_bits`` must equal the codec's stored width.
+    :param group_size: RAID-Group size in lines (512 default, section III-D).
+    :param audit: when True (the default -- this is a simulator), every
+        outcome is cross-checked against the array's golden copy and
+        downgraded to :data:`Outcome.SDC` if the engine silently produced
+        wrong data.
+    """
+
+    level = "X"
+
+    def __init__(
+        self,
+        array: STTRAMArray,
+        group_size: int = 512,
+        codec: Optional[LineCodec] = None,
+        latency: Optional[LatencyModel] = None,
+        audit: bool = True,
+        format_array: bool = True,
+    ) -> None:
+        self.codec = codec if codec is not None else LineCodec()
+        if array.line_bits != self.codec.stored_bits:
+            raise ValueError(
+                f"array holds {array.line_bits}-bit lines but the codec "
+                f"stores {self.codec.stored_bits}-bit words"
+            )
+        self.array = array
+        self.group_size = group_size
+        self.mapper = GroupMapper(array.num_lines, group_size)
+        self.plt = ParityLineTable(self.mapper.num_groups, array.line_bits)
+        self.latency = latency if latency is not None else LatencyModel()
+        self.audit = audit
+        self.stats = CorrectionStats()
+        self.correction_time_s = 0.0
+        self._pending: Dict[int, Outcome] = {}
+        #: Optional structured event recorder (see repro.core.eventlog);
+        #: attach one to capture per-line correction events.
+        self.event_log = None
+        self._init_extra_tables()
+        if format_array:
+            self.format()
+
+    def _init_extra_tables(self) -> None:
+        """Hook for subclasses that maintain additional parity tables."""
+
+    def format(self) -> None:
+        """Initialise every frame to the encoded zero line and zero parity.
+
+        Hardware would do this at power-on; without it, raw (all-zero)
+        frames are not valid codewords and the very first writes would
+        trip the correction machinery.
+        """
+        zero_word = self.codec.encode(0)
+        for frame in range(self.array.num_lines):
+            self.array.write(frame, zero_word)
+        # Every group XORs an even number (group sizes are powers of two)
+        # of identical words, so all parities are zero -- the tables'
+        # initial state already; no rebuild needed.
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_config(
+        cls, config: SuDokuConfig, audit: bool = True
+    ) -> "SuDokuEngine":
+        """Build an engine plus backing array from a :class:`SuDokuConfig`."""
+        layout = LineLayout(data_bits=config.data_bits, crc_bits=config.crc_bits)
+        codec = LineCodec(layout)
+        array = STTRAMArray(config.geometry.num_lines, codec.stored_bits)
+        latency = LatencyModel(
+            read_s=config.sttram_read_s, write_s=config.sttram_write_s
+        )
+        return cls(
+            array,
+            group_size=config.group_size,
+            codec=codec,
+            latency=latency,
+            audit=audit,
+        )
+
+    def initialize_parities(self) -> None:
+        """Rebuild every PLT entry from the current array contents.
+
+        Call once after bulk-loading the array (e.g. ``fill_random``);
+        incremental write-path updates keep parity consistent thereafter.
+        """
+        for plt, mapper in self._tables():
+            for group in range(mapper.num_groups):
+                members = [self.array.read(f) for f in mapper.members(group)]
+                plt.rebuild(group, members)
+
+    def _tables(self) -> List[tuple]:
+        """(PLT, mapper) pairs maintained by this engine."""
+        return [(self.plt, self.mapper)]
+
+    # -- functional write/read path -------------------------------------------------
+
+    def write_data(self, frame: int, data: int) -> None:
+        """Encode and store a data word, updating every parity table.
+
+        Mirrors section III-B: the write is a read-modify-write, and the
+        value read out is first put through the normal correction path so
+        a fault in the *old* line cannot leak into the parity.  If the
+        old line is *unrecoverable* (a write-path DUE: its data is
+        already lost), the incremental update would poison the parity
+        forever; instead the affected groups are rebuilt from their
+        current stored words -- what a real controller's scrub pass does
+        after signalling the poison.
+        """
+        old_word = self._corrected_old_word(frame)
+        new_word = self.codec.encode(data)
+        old_trusted = self.codec.verify(old_word)
+        self.array.write(frame, new_word)
+        if old_trusted:
+            for plt, mapper in self._tables():
+                plt.update(mapper.group_of(frame), old_word, new_word)
+        else:
+            self.stats.parity_rebuilds += 1
+            for plt, mapper in self._tables():
+                group = mapper.group_of(frame)
+                plt.rebuild(
+                    group, [self.array.read(f) for f in mapper.members(group)]
+                )
+        self.stats.writes += 1
+
+    def read_data(self, frame: int) -> tuple:
+        """Demand read: returns ``(data, outcome)``, repairing as needed."""
+        self.stats.reads += 1
+        self.correction_time_s += self.latency.syndrome_check()
+        outcome = self._resolve_line(frame)
+        data = self.codec.extract_data(self.array.read(frame))
+        return data, outcome
+
+    def _corrected_old_word(self, frame: int) -> int:
+        """Old stored word with faults scrubbed out, for parity updates."""
+        stored = self.array.read(frame)
+        decode = self.codec.decode(stored)
+        if decode.status is DecodeStatus.CLEAN:
+            return stored
+        if decode.status is DecodeStatus.CORRECTED:
+            self.array.restore(frame, decode.word)
+            return decode.word
+        # Multi-bit fault on the write path: run the full repair first.
+        self._repair_group_of(frame)
+        return self.array.read(frame)
+
+    # -- scrub protocol ----------------------------------------------------------------
+
+    def begin_scrub_pass(self) -> None:
+        """Reset per-pass caches; call before each scrub walk."""
+        self._pending.clear()
+
+    def scrub_line(self, frame: int) -> str:
+        """Resolve one line (LineScrubber protocol); returns outcome label."""
+        fault_bits = (
+            bin(self.array.error_vector(frame)).count("1")
+            if self.event_log is not None
+            else 0
+        )
+        outcome = self._pending.pop(frame, None)
+        if outcome is None:
+            outcome = self._resolve_line(frame)
+        outcome = self._audit(frame, outcome)
+        self.stats.record(outcome)
+        if self.event_log is not None:
+            self.event_log.record(
+                frame,
+                outcome,
+                fault_bits=fault_bits,
+                group=self.mapper.group_of(frame),
+                latency_s=self._latency_for(outcome),
+            )
+        return outcome.value
+
+    def _latency_for(self, outcome: Outcome) -> float:
+        """Modelled hardware latency of resolving a line this way."""
+        if outcome is Outcome.CLEAN:
+            return self.latency.syndrome_check()
+        if outcome is Outcome.CORRECTED_ECC1:
+            return self.latency.ecc1_repair()
+        if outcome in (Outcome.CORRECTED_RAID4, Outcome.DUE, Outcome.SDC):
+            return self.latency.raid4_repair(self.group_size)
+        if outcome is Outcome.CORRECTED_SDR:
+            return self.latency.sdr_repair(self.group_size, trials=6)
+        return self.latency.hash2_repair(self.group_size, groups_read=2)
+
+    def scrub_all(self) -> Dict[str, int]:
+        """Convenience: scrub every frame, returning the outcome counts."""
+        return self.scrub_frames(range(self.array.num_lines))
+
+    def scrub_frames(self, frames) -> Dict[str, int]:
+        """Scrub a subset of frames (plus whatever group repairs touch).
+
+        The Monte-Carlo harness uses this to visit only the frames it
+        injected faults into -- behaviourally identical to a full pass
+        (clean lines contribute nothing but read time) at a fraction of
+        the cost.  Outcomes of frames resolved collaterally by group
+        repairs are drained and counted as well.
+        """
+        from collections import Counter
+
+        self.begin_scrub_pass()
+        counts: Counter = Counter()
+        for frame in frames:
+            counts[self.scrub_line(frame)] += 1
+        for frame, outcome in list(self._pending.items()):
+            audited = self._audit(frame, outcome)
+            self.stats.record(audited)
+            counts[audited.value] += 1
+        self._pending.clear()
+        return dict(counts)
+
+    # -- line resolution --------------------------------------------------------------
+
+    def _resolve_line(self, frame: int) -> Outcome:
+        stored = self.array.read(frame)
+        decode = self.codec.decode(stored)
+        if decode.status is DecodeStatus.CLEAN:
+            return Outcome.CLEAN
+        if decode.status is DecodeStatus.CORRECTED:
+            self.array.restore(frame, decode.word)
+            self.correction_time_s += self.latency.ecc1_repair()
+            return Outcome.CORRECTED_ECC1
+        outcomes = self._repair_group_of(frame)
+        outcome = outcomes.pop(frame, Outcome.DUE)
+        # Group repair may have resolved other frames; remember their
+        # outcomes so each line is reported exactly once per pass.
+        for other_frame, other_outcome in outcomes.items():
+            self._pending.setdefault(other_frame, other_outcome)
+        return outcome
+
+    def _repair_group_of(self, frame: int) -> Dict[int, Outcome]:
+        """Run this design's group-level machinery; template method."""
+        group = self.mapper.group_of(frame)
+        return self._repair_hash1_group(group)
+
+    def _repair_hash1_group(self, group: int) -> Dict[int, Outcome]:
+        """SuDoku-X group repair: scan, then RAID-4 for a single survivor."""
+        scan = self._scan(self.mapper, group)
+        self._group_level_repair(scan, self.plt)
+        outcomes = dict(scan.line_outcomes)
+        for frame in scan.uncorrectable:
+            outcomes[frame] = Outcome.DUE
+        return outcomes
+
+    def _group_level_repair(self, scan: GroupScan, plt: ParityLineTable) -> None:
+        """Design-specific multi-line repair; X does RAID-4 only."""
+        self._finish_with_raid4(scan, plt)
+
+    def _finish_with_raid4(self, scan: GroupScan, plt: ParityLineTable) -> None:
+        """If exactly one uncorrectable line remains, rebuild it."""
+        if len(scan.uncorrectable) != 1:
+            return
+        self.stats.raid4_invocations += 1
+        self.correction_time_s += self.latency.raid4_repair(len(scan.frames))
+        reconstruct_line(self.array, self.codec, plt, scan, scan.uncorrectable[0])
+
+    def _scan(self, mapper, group: int) -> GroupScan:
+        self.stats.group_scans += 1
+        self.stats.lines_scanned += mapper.group_size
+        return scan_group(self.array, self.codec, group, mapper.members(group))
+
+    # -- audit ------------------------------------------------------------------------
+
+    def _audit(self, frame: int, outcome: Outcome) -> Outcome:
+        if not self.audit or outcome is Outcome.DUE:
+            return outcome
+        if self.array.is_clean(frame):
+            return outcome
+        # The engine believes this line is fine, but it differs from what
+        # was written: silent data corruption.
+        return Outcome.SDC
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def data_bits(self) -> int:
+        """Payload bits per line (the campaign harness fill width)."""
+        return self.codec.layout.data_bits
+
+    @property
+    def storage_overhead_bits_per_line(self) -> float:
+        """Metadata bits per line: CRC + ECC + amortised parity storage."""
+        parity_bits = sum(
+            plt.num_groups * plt.line_bits for plt, _ in self._tables()
+        )
+        return (
+            self.codec.layout.overhead_bits + parity_bits / self.array.num_lines
+        )
+
+    def describe(self) -> str:
+        """One-line description for logs."""
+        return (
+            f"SuDoku-{self.level}: {self.array.num_lines} frames, "
+            f"{self.group_size}-line groups, "
+            f"{self.storage_overhead_bits_per_line:.1f} overhead bits/line"
+        )
+
+
+class SuDokuX(SuDokuEngine):
+    """The base design: ECC-1 + CRC-31 + single-hash RAID-4."""
+
+    level = "X"
+
+
+class SuDokuY(SuDokuEngine):
+    """SuDoku-X plus Sequential Data Resurrection."""
+
+    level = "Y"
+
+    def __init__(self, *args, sdr_max_mismatches: int = 6, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.sdr_max_mismatches = sdr_max_mismatches
+
+    def _group_level_repair(self, scan: GroupScan, plt: ParityLineTable) -> None:
+        if len(scan.uncorrectable) > 1:
+            self.stats.sdr_invocations += 1
+            report = resurrect(
+                self.array,
+                self.codec,
+                plt,
+                scan,
+                max_mismatches=self.sdr_max_mismatches,
+            )
+            self.stats.sdr_trials += report.trials
+            self.correction_time_s += self.latency.sdr_repair(
+                len(scan.frames), report.trials
+            )
+        self._finish_with_raid4(scan, plt)
+
+
+class SuDokuZ(SuDokuY):
+    """SuDoku-Y plus the skewed second hash (section V).
+
+    Group repair escalates into a *peeling* fixed point: lines the Hash-1
+    group cannot repair retry in their Hash-2 groups (different partner
+    lines, by the skewing guarantee).  When a Hash-2 group is itself
+    blocked by other faulty partners, those partners join the work list
+    and are attacked through *their* other group -- the paper's "we can
+    use the corrected value of that line to repair the other line"
+    (section V-B), iterated to exhaustion.  Every fix simplifies some
+    group, so the process peels the fault pattern like an erasure decoder
+    and fails only on genuinely doubly-blocked cores of faulty lines.
+    """
+
+    level = "Z"
+
+    #: Safety bound on peeling rounds (each round sweeps the work list).
+    MAX_ROUNDS = 8
+
+    def _init_extra_tables(self) -> None:
+        self.mapper2 = SkewedGroupMapper(self.array.num_lines, self.group_size)
+        self.plt2 = ParityLineTable(self.mapper2.num_groups, self.array.line_bits)
+
+    def _tables(self) -> List[tuple]:
+        return [(self.plt, self.mapper), (self.plt2, self.mapper2)]
+
+    def _repair_group_of(self, frame: int) -> Dict[int, Outcome]:
+        outcomes = self._repair_hash1_group(self.mapper.group_of(frame))
+        unresolved = {f for f, o in outcomes.items() if o is Outcome.DUE}
+        if not unresolved:
+            return outcomes
+
+        self.stats.hash2_invocations += 1
+        seen = set(unresolved)
+        for _ in range(self.MAX_ROUNDS):
+            progressed = False
+            for survivor in sorted(unresolved):
+                if survivor not in unresolved:
+                    continue
+                for mapper, plt in (
+                    (self.mapper2, self.plt2),
+                    (self.mapper, self.plt),
+                ):
+                    scan = self._scan(mapper, mapper.group_of(survivor))
+                    self.correction_time_s += self.latency.raid4_repair(
+                        len(scan.frames)
+                    )
+                    self._group_level_repair(scan, plt)
+                    for fixed_frame, fixed_outcome in scan.line_outcomes.items():
+                        if fixed_frame in unresolved:
+                            unresolved.discard(fixed_frame)
+                            outcomes[fixed_frame] = Outcome.CORRECTED_HASH2
+                            progressed = True
+                        elif fixed_frame not in outcomes:
+                            outcomes[fixed_frame] = fixed_outcome
+                    # Faulty partners blocking this group join the work
+                    # list; their *other* group may peel them next round.
+                    for blocked in scan.uncorrectable:
+                        if blocked not in seen:
+                            seen.add(blocked)
+                            unresolved.add(blocked)
+                            progressed = True
+                    if survivor not in unresolved:
+                        break
+            if not unresolved or not progressed:
+                break
+        for survivor in unresolved:
+            outcomes[survivor] = Outcome.DUE
+        return outcomes
+
+
+def build_engine(
+    level: str,
+    array: STTRAMArray,
+    group_size: int = 512,
+    audit: bool = True,
+    **kwargs,
+) -> SuDokuEngine:
+    """Factory: build a SuDoku engine by level name ('X', 'Y', or 'Z')."""
+    classes = {"X": SuDokuX, "Y": SuDokuY, "Z": SuDokuZ}
+    try:
+        cls = classes[level.upper()]
+    except KeyError:
+        raise ValueError(f"unknown SuDoku level {level!r}; expected X, Y, or Z")
+    return cls(array, group_size=group_size, audit=audit, **kwargs)

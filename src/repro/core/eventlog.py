@@ -1,0 +1,153 @@
+"""Structured correction-event logging (FaultSim-style [50, 52]).
+
+Campaigns usually want aggregate counters (`CorrectionStats`), but
+post-mortem analyses -- which mechanism fired for which fault pattern,
+how correction work clusters in time, which groups are hot -- need the
+individual events.  :class:`EventLog` is an optional, bounded recorder
+the engines feed when attached; it costs nothing when absent.
+
+Events are plain dataclasses and serialise to dicts/JSON lines, so logs
+can be shipped to external analysis without this package.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class CorrectionEvent:
+    """One resolved line.
+
+    :param sequence: monotonically increasing event number.
+    :param interval: scrub-interval index (campaign-provided; -1 when
+        the driver does not track intervals).
+    :param frame: physical frame index.
+    :param outcome: outcome label (an :class:`Outcome` value).
+    :param fault_bits: corrupted bits at resolution time (0 when the
+        driver does not know, e.g. audit-off runs).
+    :param group: Hash-1 group of the frame.
+    :param latency_s: modelled hardware latency charged to the event.
+    """
+
+    sequence: int
+    interval: int
+    frame: int
+    outcome: str
+    fault_bits: int
+    group: int
+    latency_s: float
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+
+class EventLog:
+    """Bounded in-memory event recorder.
+
+    :param capacity: maximum retained events; the oldest are dropped
+        beyond it (the totals keep counting).
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[CorrectionEvent] = []
+        self._sequence = 0
+        self._dropped = 0
+        self.interval = -1
+        self.totals: Counter = Counter()
+
+    # -- recording -----------------------------------------------------------------
+
+    def begin_interval(self, index: int) -> None:
+        """Tag subsequent events with a campaign interval index."""
+        self.interval = index
+
+    def record(
+        self,
+        frame: int,
+        outcome: Outcome,
+        fault_bits: int = 0,
+        group: int = -1,
+        latency_s: float = 0.0,
+    ) -> CorrectionEvent:
+        """Append one event."""
+        event = CorrectionEvent(
+            sequence=self._sequence,
+            interval=self.interval,
+            frame=frame,
+            outcome=outcome.value,
+            fault_bits=fault_bits,
+            group=group,
+            latency_s=latency_s,
+        )
+        self._sequence += 1
+        self.totals[outcome.value] += 1
+        if len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self._dropped += 1
+        self._events.append(event)
+        return event
+
+    # -- access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[CorrectionEvent]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded to honour the capacity bound."""
+        return self._dropped
+
+    def events_for_frame(self, frame: int) -> List[CorrectionEvent]:
+        """All retained events touching one frame."""
+        return [event for event in self._events if event.frame == frame]
+
+    def hottest_groups(self, top: int = 5) -> List[tuple]:
+        """(group, event count) pairs, busiest first (clean excluded)."""
+        counts: Counter = Counter()
+        for event in self._events:
+            if event.outcome != Outcome.CLEAN.value and event.group >= 0:
+                counts[event.group] += 1
+        return counts.most_common(top)
+
+    def latency_by_outcome(self) -> Dict[str, float]:
+        """Total modelled latency attributed to each outcome label."""
+        totals: Dict[str, float] = {}
+        for event in self._events:
+            totals[event.outcome] = totals.get(event.outcome, 0.0) + event.latency_s
+        return totals
+
+    def to_json_lines(self) -> str:
+        """The retained events as newline-delimited JSON."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    @classmethod
+    def from_json_lines(cls, text: str, capacity: int = 100_000) -> "EventLog":
+        """Rebuild a log from :meth:`to_json_lines` output."""
+        log = cls(capacity=capacity)
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            outcome = Outcome(payload["outcome"])
+            log.begin_interval(payload["interval"])
+            log.record(
+                frame=payload["frame"],
+                outcome=outcome,
+                fault_bits=payload["fault_bits"],
+                group=payload["group"],
+                latency_s=payload["latency_s"],
+            )
+        return log

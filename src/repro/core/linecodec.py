@@ -1,0 +1,146 @@
+"""Encode / verify / repair of a single protected line.
+
+The codec implements the per-line fast path of section III:
+
+1. **Verify** (1 cycle in hardware): recompute CRC over the decoded data
+   and compare with the stored CRC field.  Clean lines never touch ECC.
+2. **ECC-1 repair**: on CRC mismatch, run the Hamming correction over the
+   stored word, then re-verify with CRC.  A single-bit fault anywhere in
+   the 553 stored bits is repaired; with 2+ faults the Hamming decode
+   miscorrects (or points nowhere) and the CRC re-check fails, which is
+   the signal to escalate to the RAID machinery.
+
+The codec is stateless; all of SuDoku's group-level logic composes it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.layout import LineLayout
+
+
+class DecodeStatus(enum.Enum):
+    """Result class of a line-level decode attempt."""
+
+    CLEAN = "clean"                    # CRC matched without correction
+    CORRECTED = "corrected"            # one bit repaired, CRC now matches
+    UNCORRECTABLE = "uncorrectable"    # needs group-level correction
+
+
+@dataclass(frozen=True)
+class LineDecode:
+    """Outcome of :meth:`LineCodec.decode`.
+
+    ``word`` is the post-repair stored word (unchanged when
+    uncorrectable); ``data`` the extracted payload when the CRC endorsed
+    it, else ``None``.  ``flipped_position`` reports the stored-word bit
+    ECC-1 flipped, when it did.
+    """
+
+    status: DecodeStatus
+    word: int
+    data: Optional[int]
+    flipped_position: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the decode produce CRC-endorsed data?"""
+        return self.status is not DecodeStatus.UNCORRECTABLE
+
+
+class LineCodec:
+    """Stateless encoder/decoder for the SuDoku line format."""
+
+    def __init__(self, layout: Optional[LineLayout] = None) -> None:
+        self.layout = layout if layout is not None else LineLayout()
+        self._ecc = self.layout.ecc
+
+    # -- encode -------------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Data word -> stored line (Hamming codeword of data || CRC)."""
+        crc_value = self.layout.compute_crc(data)
+        payload = self.layout.compose_payload(data, crc_value)
+        return self._ecc.encode(payload)
+
+    # -- verify -------------------------------------------------------------------
+
+    def verify(self, word: int) -> bool:
+        """The 1-cycle syndrome check of section III-B (no correction).
+
+        A line is pristine when its CRC matches *and* its ECC syndrome is
+        zero.  The second condition catches faults in the ECC check bits
+        themselves, which leave the payload (and hence the CRC) untouched
+        but must still be scrubbed out before they can pair with a later
+        payload fault or leak into a RAID reconstruction.
+        """
+        payload = self._ecc.extract_data(word)
+        data, stored_crc = self.layout.split_payload(payload)
+        if self.layout.compute_crc(data) != stored_crc:
+            return False
+        return self._ecc.syndrome(word) == 0
+
+    def extract_data(self, word: int) -> int:
+        """Payload data without any checking (callers must verify)."""
+        payload = self._ecc.extract_data(word)
+        data, _ = self.layout.split_payload(payload)
+        return data
+
+    # -- decode / repair ------------------------------------------------------------
+
+    def decode(self, word: int) -> LineDecode:
+        """Full line-level decode: syndrome checks, then ECC-1 + CRC re-check.
+
+        The clean fast path requires both a matching CRC and a zero ECC
+        syndrome (hardware computes both in the same cycle).  A non-zero
+        syndrome triggers the ECC-1 repair attempt; the repair is accepted
+        only if the repaired payload's CRC matches -- this re-check is
+        what exposes ECC-1 miscorrections on lines that really held 2+
+        faults (section III-E).
+        """
+        payload = self._ecc.extract_data(word)
+        data, stored_crc = self.layout.split_payload(payload)
+        crc_ok = self.layout.compute_crc(data) == stored_crc
+        syndrome = self._ecc.syndrome(word)
+        if crc_ok and syndrome == 0:
+            return LineDecode(DecodeStatus.CLEAN, word, data)
+
+        if syndrome != 0:
+            correction = self._ecc.correct(word)
+            if correction.valid and correction.flipped_position is not None:
+                fixed_data, fixed_crc = self.layout.split_payload(correction.data)
+                if self.layout.compute_crc(fixed_data) == fixed_crc:
+                    return LineDecode(
+                        DecodeStatus.CORRECTED,
+                        correction.corrected_word,
+                        fixed_data,
+                        correction.flipped_position,
+                    )
+        # Either the repair failed its CRC re-check, or (syndrome == 0,
+        # CRC bad) the word is a valid ECC codeword with an inconsistent
+        # payload -- a multi-bit corruption beyond line-level repair.
+        return LineDecode(DecodeStatus.UNCORRECTABLE, word, None)
+
+    def try_flip_and_repair(self, word: int, position: int) -> Optional[int]:
+        """One SDR trial: flip ``position``, run ECC-1, validate with CRC.
+
+        Returns the repaired stored word when the trial lands on a
+        CRC-endorsed codeword, else ``None``.  This is the inner operation
+        of Sequential Data Resurrection (section IV-A): if ``position``
+        was indeed one of the two faults, ECC-1 fixes the other and the
+        CRC certifies the result.
+        """
+        if not 0 <= position < self._ecc.n:
+            raise ValueError("position out of range for the stored word")
+        result = self.decode(word ^ (1 << position))
+        if result.status is DecodeStatus.UNCORRECTABLE:
+            return None
+        return result.word
+
+    @property
+    def stored_bits(self) -> int:
+        """Stored width per line."""
+        return self.layout.stored_bits

@@ -1,0 +1,48 @@
+"""Correction-outcome taxonomy.
+
+Every line inspected during a scrub (or demand access) resolves to one of
+these labels.  The labels are deliberately plain strings at the protocol
+boundary (:class:`repro.sttram.scrub.LineScrubber`) so reports serialise
+trivially; :class:`Outcome` gives them a typed home.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(str, enum.Enum):
+    """What happened to a line under the correction machinery.
+
+    Values double as the string labels counted by
+    :class:`repro.sttram.scrub.ScrubReport`.
+    """
+
+    #: CRC matched on first check; no correction performed.
+    CLEAN = "clean"
+    #: One-bit fault repaired by the per-line ECC-1 (common case).
+    CORRECTED_ECC1 = "corrected_ecc1"
+    #: Multi-bit fault repaired by RAID-4 reconstruction (SuDoku-X path).
+    CORRECTED_RAID4 = "corrected_raid4"
+    #: Multi-bit fault repaired by Sequential Data Resurrection (SuDoku-Y).
+    CORRECTED_SDR = "corrected_sdr"
+    #: Repaired via the second-hash RAID-Group (SuDoku-Z path).
+    CORRECTED_HASH2 = "corrected_hash2"
+    #: Detected but uncorrectable error.
+    DUE = "due"
+    #: Silent data corruption: the engine believed the line good/repaired,
+    #: but the content disagrees with the golden copy (simulator audit).
+    SDC = "sdc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_corrected(self) -> bool:
+        """Did a correction mechanism fire and succeed?"""
+        return self.value.startswith("corrected")
+
+    @property
+    def is_failure(self) -> bool:
+        """Does this outcome constitute a cache failure (DUE or SDC)?"""
+        return self in (Outcome.DUE, Outcome.SDC)

@@ -1,0 +1,90 @@
+"""The Parity Line Table (PLT).
+
+One XOR parity line per RAID-Group, held in a small SRAM structure beside
+the STTRAM array (128 KB per table for the paper's 64 MB cache; SuDoku-Z
+keeps two).  The table supports the two hardware operations:
+
+* **write-path update** (section III-B): every cache write folds
+  ``old ^ new`` into the group's parity -- a read-modify-write that never
+  touches the other group members; and
+* **scrub-path rebuild/mismatch**: during correction the controller
+  recomputes the group parity from the (single-bit-corrected) members and
+  diffs it against the stored parity to locate candidate faulty bits.
+
+The PLT is SRAM, not STTRAM, so the fault injectors never corrupt it --
+matching the paper's design assumption.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.coding.bitvec import mask_of
+from repro.coding.parity import xor_reduce
+
+
+class ParityLineTable:
+    """Per-group parity store for one hash function."""
+
+    def __init__(self, num_groups: int, line_bits: int) -> None:
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        if line_bits <= 0:
+            raise ValueError("line_bits must be positive")
+        self.num_groups = num_groups
+        self.line_bits = line_bits
+        self._mask = mask_of(line_bits)
+        self._parity: List[int] = [0] * num_groups
+        self.write_updates = 0  # PLT write traffic, for section VII-I
+
+    # -- hardware operations ------------------------------------------------------
+
+    def parity(self, group: int) -> int:
+        """Stored parity line of a group."""
+        self._check_group(group)
+        return self._parity[group]
+
+    def update(self, group: int, old_word: int, new_word: int) -> None:
+        """Write-path read-modify-write: fold ``old ^ new`` into parity."""
+        self._check_group(group)
+        self._check_word(old_word)
+        self._check_word(new_word)
+        self._parity[group] ^= old_word ^ new_word
+        self.write_updates += 1
+
+    def rebuild(self, group: int, members: Sequence[int]) -> int:
+        """Recompute and store a group's parity from member words."""
+        self._check_group(group)
+        for word in members:
+            self._check_word(word)
+        value = xor_reduce(members)
+        self._parity[group] = value
+        return value
+
+    def mismatch(self, group: int, members: Sequence[int]) -> int:
+        """Stored parity XOR recomputed parity: candidate fault positions."""
+        self._check_group(group)
+        return self._parity[group] ^ xor_reduce(members)
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> int:
+        """SRAM footprint of this table (128 KB for the paper's default)."""
+        return (self.num_groups * self.line_bits + 7) // 8
+
+    def amortised_bits_per_line(self, num_lines: int) -> float:
+        """Parity storage amortised over protected lines (paper: ~1 bit/line/table)."""
+        if num_lines <= 0:
+            raise ValueError("num_lines must be positive")
+        return self.num_groups * self.line_bits / num_lines
+
+    # -- internal -------------------------------------------------------------------
+
+    def _check_group(self, group: int) -> None:
+        if not 0 <= group < self.num_groups:
+            raise IndexError(f"group {group} out of range")
+
+    def _check_word(self, word: int) -> None:
+        if word < 0 or word > self._mask:
+            raise ValueError(f"word does not fit in {self.line_bits} bits")

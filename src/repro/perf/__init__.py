@@ -1,0 +1,43 @@
+"""Trace-driven multicore performance and energy simulation (Figs 8-9).
+
+The paper evaluates SuDoku's performance cost on an 8-core system with a
+shared 64 MB STTRAM LLC (Table VI), using CMP$im + USIMM over SPEC2006 /
+PARSEC / BioBench / commercial traces.  Those proprietary traces are not
+available offline, so this package substitutes a *synthetic workload
+generator* parameterised per benchmark (LLC access intensity, write
+fraction, footprint, hot-set locality) -- the marginal overheads being
+measured (a 1-cycle syndrome check, scrub bandwidth, rare microsecond
+corrections, PLT write traffic) depend on LLC access rates and bank
+occupancy, which the synthetic streams exercise faithfully.
+
+* :mod:`repro.perf.trace` -- access records and the synthetic generator.
+* :mod:`repro.perf.workloads` -- per-benchmark profiles and the suite list.
+* :mod:`repro.perf.dram` -- DDR3-style channel/bank timing.
+* :mod:`repro.perf.llc` -- banked STTRAM LLC timing with scrub/correction.
+* :mod:`repro.perf.system` -- the event-driven 8-core system simulator.
+* :mod:`repro.perf.energy` -- energy and EDP accounting (Table VII).
+"""
+
+from repro.perf.trace import Access, SyntheticTrace
+from repro.perf.workloads import WORKLOADS, WorkloadProfile, suite_names
+from repro.perf.dram import DRAMConfig, DRAMModel
+from repro.perf.llc import LLCConfig, LLCTiming
+from repro.perf.system import SimulationResult, SystemConfig, SystemSimulator
+from repro.perf.energy import EnergyModel, EnergyReport
+
+__all__ = [
+    "Access",
+    "SyntheticTrace",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "suite_names",
+    "DRAMConfig",
+    "DRAMModel",
+    "LLCConfig",
+    "LLCTiming",
+    "SimulationResult",
+    "SystemConfig",
+    "SystemSimulator",
+    "EnergyModel",
+    "EnergyReport",
+]

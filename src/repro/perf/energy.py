@@ -1,0 +1,146 @@
+"""Energy and EDP accounting (Fig. 9, Table VII parameters).
+
+Energy is assembled from the event counts a simulation run produces:
+
+* STTRAM array accesses at Table VII's per-access energies (0.35 nJ
+  write / 0.13 nJ read) plus its static power (0.07 nW per cell);
+* the SRAM Parity Line Tables: one PLT write per cache write (two for
+  SuDoku-Z), at SRAM energies (0.11 nJ write / 0.05 nJ read, 4.02 nW per
+  cell static);
+* ECC/CRC codec energy: ~40 pJ per encoded/decoded line (per [54], which
+  the paper conservatively charges to CRC-31 + ECC-1 as well);
+* scrub and correction reads at STTRAM read energy; and
+* DRAM access energy for LLC misses and writebacks.
+
+System EDP = (total energy) x (execution time); Fig. 9 reports SuDoku's
+EDP normalised to the ideal configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.perf.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies and static powers (Table VII and [54])."""
+
+    sttram_write_j: float = 0.35e-9
+    sttram_read_j: float = 0.13e-9
+    sttram_static_w_per_cell: float = 0.07e-9
+    sram_write_j: float = 0.11e-9
+    sram_read_j: float = 0.05e-9
+    sram_static_w_per_cell: float = 4.02e-9
+    codec_j_per_access: float = 40e-12
+    dram_access_j: float = 20e-9
+    cache_cells: int = 64 * 1024 * 1024 * 8
+    plt_cells: int = 2 * 128 * 1024 * 8
+    #: Rest-of-system (cores + uncore + DRAM background) power.  Fig. 9
+    #: normalises *system* EDP; eight 3.2 GHz OoO cores dominate it.
+    system_power_w: float = 40.0
+
+    def report(
+        self,
+        result: SimulationResult,
+        with_sudoku_overheads: bool,
+    ) -> "EnergyReport":
+        """Assemble the energy breakdown for one simulation run."""
+        demand_reads = result.llc_reads
+        demand_writes = result.llc_writes
+        array_read_j = (demand_reads + result.scrub_lines_read) * self.sttram_read_j
+        array_write_j = demand_writes * self.sttram_write_j
+        correction_read_j = (
+            result.corrections * 512 * self.sttram_read_j
+            if with_sudoku_overheads
+            else 0.0
+        )
+        codec_j = (
+            (demand_reads + demand_writes + result.scrub_lines_read)
+            * self.codec_j_per_access
+            if with_sudoku_overheads
+            else 0.0
+        )
+        # Each demand write updates both PLTs (SuDoku-Z): a read-modify-
+        # write each, charged as one read + one write per table.
+        plt_j = (
+            demand_writes * 2 * (self.sram_read_j + self.sram_write_j)
+            if with_sudoku_overheads
+            else 0.0
+        )
+        static_w = (
+            self.cache_cells * self.sttram_static_w_per_cell + self.system_power_w
+        )
+        if with_sudoku_overheads:
+            static_w += self.plt_cells * self.sram_static_w_per_cell
+        static_j = static_w * result.execution_time_s
+        dram_j = (result.dram_requests) * self.dram_access_j
+        return EnergyReport(
+            array_read_j=array_read_j,
+            array_write_j=array_write_j,
+            correction_read_j=correction_read_j,
+            codec_j=codec_j,
+            plt_j=plt_j,
+            static_j=static_j,
+            dram_j=dram_j,
+            execution_time_s=result.execution_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run."""
+
+    array_read_j: float
+    array_write_j: float
+    correction_read_j: float
+    codec_j: float
+    plt_j: float
+    static_j: float
+    dram_j: float
+    execution_time_s: float
+
+    @property
+    def total_j(self) -> float:
+        """Total system energy."""
+        return (
+            self.array_read_j
+            + self.array_write_j
+            + self.correction_read_j
+            + self.codec_j
+            + self.plt_j
+            + self.static_j
+            + self.dram_j
+        )
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J x s)."""
+        return self.total_j * self.execution_time_s
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component energies as a dict (for tables)."""
+        return {
+            "array_read": self.array_read_j,
+            "array_write": self.array_write_j,
+            "correction_read": self.correction_read_j,
+            "codec": self.codec_j,
+            "plt": self.plt_j,
+            "static": self.static_j,
+            "dram": self.dram_j,
+        }
+
+
+def edp_increase(
+    ideal: SimulationResult,
+    sudoku: SimulationResult,
+    model: EnergyModel = EnergyModel(),
+) -> float:
+    """Fig. 9's metric: SuDoku system EDP / ideal system EDP - 1."""
+    ideal_edp = model.report(ideal, with_sudoku_overheads=False).edp
+    sudoku_edp = model.report(sudoku, with_sudoku_overheads=True).edp
+    if ideal_edp <= 0:
+        raise ValueError("ideal run has zero EDP")
+    return sudoku_edp / ideal_edp - 1.0

@@ -1,0 +1,203 @@
+"""Banked STTRAM LLC timing, with scrub and correction intrusions.
+
+The LLC is modelled as a set of banks, each a FIFO server with STTRAM
+service times (9 ns reads / 18 ns writes, Table VI).  A SuDoku
+configuration additionally:
+
+* adds the 1-cycle syndrome check to every access -- in the controller,
+  after the array read, so it lengthens the requester's latency without
+  occupying the bank (section VII-C);
+* runs the scrub engine.  The paper attributes Fig. 8's overhead to the
+  syndrome check and corrections only (section VII-A), i.e. scrubbing is
+  scheduled into idle bank slots; the default ``opportunistic`` mode
+  models that, consuming idle bank time and reporting a *deficit* if the
+  idle capacity cannot cover the scrub target.  The ``blocking`` mode --
+  scrub chunks contend with demand traffic -- is kept for the
+  scrub-bandwidth ablation study;
+* suffers occasional correction events (expected ~4 multi-bit repairs
+  per 20 ms at the paper's BER): a RAID-4 repair reads a whole 512-line
+  group, briefly occupying every bank; and
+* mirrors every write into the PLT -- SRAM, banked like the cache, so it
+  adds energy but no stall time (section VII-I); the energy model
+  accounts it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LLCConfig:
+    """Timing/geometry of the LLC and its resilience machinery."""
+
+    num_banks: int = 32
+    read_s: float = 9e-9
+    write_s: float = 18e-9
+    syndrome_check_s: float = 0.0          # 1 cycle (0.3125 ns) for SuDoku
+    scrub_enabled: bool = False
+    scrub_priority: str = "opportunistic"  # or "blocking"
+    scrub_interval_s: float = 0.020
+    scrub_chunk_lines: int = 64            # lines per chunk (blocking mode)
+    num_lines: int = 1 << 20
+    corrections_per_interval: float = 0.0  # expected RAID repairs / interval
+    correction_group_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        if self.read_s <= 0 or self.write_s <= 0:
+            raise ValueError("service times must be positive")
+        if self.scrub_interval_s <= 0:
+            raise ValueError("scrub interval must be positive")
+        if self.scrub_priority not in ("opportunistic", "blocking"):
+            raise ValueError("scrub_priority must be opportunistic or blocking")
+
+    @classmethod
+    def ideal(cls, **overrides) -> "LLCConfig":
+        """The error-free baseline: no syndrome check, no scrub."""
+        return cls(**overrides)
+
+    @classmethod
+    def sudoku(
+        cls,
+        core_frequency_hz: float = 3.2e9,
+        corrections_per_interval: float = 4.0,
+        **overrides,
+    ) -> "LLCConfig":
+        """SuDoku-Z timing: +1 cycle checks, scrub on, corrections on."""
+        return cls(
+            syndrome_check_s=1.0 / core_frequency_hz,
+            scrub_enabled=True,
+            corrections_per_interval=corrections_per_interval,
+            **overrides,
+        )
+
+
+class LLCTiming:
+    """Bank-contention timing for the LLC."""
+
+    def __init__(self, config: LLCConfig, seed: int = 0) -> None:
+        self.config = config
+        self._busy_until: List[float] = [0.0] * config.num_banks
+        self._rng = random.Random(seed)
+        self._next_scrub_chunk_s: Optional[float] = (
+            0.0
+            if config.scrub_enabled and config.scrub_priority == "blocking"
+            else None
+        )
+        self._chunk_period_s = self._compute_chunk_period()
+        self._next_correction_s = self._draw_correction_gap(0.0)
+        self.accesses = 0
+        self.reads = 0
+        self.writes = 0
+        self.scrub_chunks = 0
+        self.scrub_lines_done = 0.0
+        self.corrections = 0
+        self.busy_time_s = 0.0
+        self.latest_time_s = 0.0
+
+    def _compute_chunk_period(self) -> float:
+        config = self.config
+        chunks_per_interval = max(1, config.num_lines // config.scrub_chunk_lines)
+        return config.scrub_interval_s / chunks_per_interval
+
+    def _draw_correction_gap(self, now_s: float) -> Optional[float]:
+        rate = self.config.corrections_per_interval
+        if rate <= 0:
+            return None
+        mean_gap = self.config.scrub_interval_s / rate
+        return now_s + self._rng.expovariate(1.0 / mean_gap)
+
+    # -- intrusions -----------------------------------------------------------------
+
+    def _advance_background(self, now_s: float) -> None:
+        """Apply blocking-scrub chunks and correction events due by now."""
+        config = self.config
+        while (
+            self._next_scrub_chunk_s is not None
+            and self._next_scrub_chunk_s <= now_s
+        ):
+            chunk_service = config.scrub_chunk_lines * config.read_s / config.num_banks
+            for bank in range(config.num_banks):
+                start = max(self._busy_until[bank], self._next_scrub_chunk_s)
+                self._busy_until[bank] = start + chunk_service
+            self.busy_time_s += chunk_service * config.num_banks
+            self.scrub_chunks += 1
+            self.scrub_lines_done += config.scrub_chunk_lines
+            self._next_scrub_chunk_s += self._chunk_period_s
+        while (
+            self._next_correction_s is not None and self._next_correction_s <= now_s
+        ):
+            repair_service = (
+                config.correction_group_size * config.read_s / config.num_banks
+            )
+            for bank in range(config.num_banks):
+                start = max(self._busy_until[bank], self._next_correction_s)
+                self._busy_until[bank] = start + repair_service
+            self.busy_time_s += repair_service * config.num_banks
+            self.corrections += 1
+            self._next_correction_s = self._draw_correction_gap(
+                self._next_correction_s
+            )
+
+    # -- demand accesses ----------------------------------------------------------------
+
+    def access(self, line_address: int, is_write: bool, now_s: float) -> float:
+        """Issue a demand access at ``now_s``; returns completion time.
+
+        The syndrome check happens in the controller after the array
+        read: it delays the requester but does not occupy the bank.
+        """
+        self._advance_background(now_s)
+        config = self.config
+        bank = line_address % config.num_banks
+        service = config.write_s if is_write else config.read_s
+        start = max(self._busy_until[bank], now_s)
+        if (
+            config.scrub_enabled
+            and config.scrub_priority == "opportunistic"
+            and start > self._busy_until[bank]
+        ):
+            # The bank sat idle between its last request and this one;
+            # the scrub engine consumed that window.
+            idle = start - self._busy_until[bank]
+            self.scrub_lines_done += idle / config.read_s
+        self._busy_until[bank] = start + service
+        self.accesses += 1
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.busy_time_s += service
+        self.latest_time_s = max(self.latest_time_s, self._busy_until[bank])
+        return self._busy_until[bank] + config.syndrome_check_s
+
+    def fill(self, line_address: int, now_s: float) -> float:
+        """Install a miss fill (a write into the array)."""
+        return self.access(line_address, True, now_s)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def scrub_lines_required(self, elapsed_s: float) -> float:
+        """Scrub target over an elapsed window: the whole array per interval."""
+        if not self.config.scrub_enabled:
+            return 0.0
+        return self.config.num_lines * elapsed_s / self.config.scrub_interval_s
+
+    def scrub_deficit(self, elapsed_s: float) -> float:
+        """Scrub lines the idle capacity failed to cover (0 when healthy).
+
+        A sustained positive deficit means the workload saturates the
+        banks so completely that the scrub interval would stretch --
+        flagged rather than silently ignored.
+        """
+        return max(0.0, self.scrub_lines_required(elapsed_s) - self.scrub_lines_done)
+
+    def utilisation(self, elapsed_s: float) -> float:
+        """Aggregate bank utilisation over the run."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.busy_time_s / (elapsed_s * self.config.num_banks)

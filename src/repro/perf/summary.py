@@ -1,0 +1,97 @@
+"""Suite-level aggregation of performance results (Fig. 8/9 style).
+
+The paper reports per-benchmark bars plus suite averages.  This module
+aggregates a set of per-workload measurements into per-suite and overall
+statistics (arithmetic mean and geometric mean of ratios -- the right
+mean for normalised execution times), keeping the aggregation logic out
+of the exhibit builders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.perf.workloads import MIXES, WORKLOADS
+
+
+def suite_of(workload: str) -> str:
+    """Suite label for a workload name (MIXes form their own suite)."""
+    if workload in MIXES:
+        return "MIX"
+    profile = WORKLOADS.get(workload)
+    if profile is None:
+        raise KeyError(f"unknown workload {workload!r}")
+    return profile.suite
+
+
+def geometric_mean(ratios: Sequence[float]) -> float:
+    """Geometric mean of positive ratios."""
+    if not ratios:
+        raise ValueError("geometric mean of nothing")
+    if any(value <= 0 for value in ratios):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in ratios) / len(ratios))
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Aggregated statistics for one suite."""
+
+    suite: str
+    count: int
+    mean: float
+    geomean_ratio: float
+    worst: float
+    worst_workload: str
+
+
+def summarise(
+    values: Mapping[str, float],
+    as_ratio_offset: float = 1.0,
+) -> List[SuiteSummary]:
+    """Aggregate per-workload values (e.g. slowdown fractions) by suite.
+
+    :param values: workload -> value (e.g. 0.001 = 0.1% slowdown).
+    :param as_ratio_offset: the geomean is computed over
+        ``value + offset`` (slowdowns become execution-time ratios).
+    :returns: one entry per suite plus an ``ALL`` rollup, suites sorted
+        alphabetically.
+    """
+    if not values:
+        raise ValueError("nothing to summarise")
+    by_suite: Dict[str, Dict[str, float]] = {}
+    for workload, value in values.items():
+        by_suite.setdefault(suite_of(workload), {})[workload] = value
+
+    summaries = []
+    for suite in sorted(by_suite):
+        members = by_suite[suite]
+        worst_workload = max(members, key=lambda name: members[name])
+        summaries.append(
+            SuiteSummary(
+                suite=suite,
+                count=len(members),
+                mean=sum(members.values()) / len(members),
+                geomean_ratio=geometric_mean(
+                    [value + as_ratio_offset for value in members.values()]
+                ),
+                worst=members[worst_workload],
+                worst_workload=worst_workload,
+            )
+        )
+    worst_workload = max(values, key=lambda name: values[name])
+    summaries.append(
+        SuiteSummary(
+            suite="ALL",
+            count=len(values),
+            mean=sum(values.values()) / len(values),
+            geomean_ratio=geometric_mean(
+                [value + as_ratio_offset for value in values.values()]
+            ),
+            worst=values[worst_workload],
+            worst_workload=worst_workload,
+        )
+    )
+    return summaries

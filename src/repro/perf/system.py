@@ -1,0 +1,289 @@
+"""The event-driven 8-core system simulator (Fig. 8's engine).
+
+Each core replays its (deterministic) synthetic trace: accesses issue in
+program order separated by compute gaps, with a bounded number of
+outstanding misses (the ROB-160 machine of Table VI sustains limited
+memory-level parallelism).  Accesses flow through the shared functional
+LLC for hit/miss behaviour, the banked :class:`repro.perf.llc.LLCTiming`
+for cache occupancy, and :class:`repro.perf.dram.DRAMModel` for miss
+latency.  Dirty victims write back to memory.
+
+The Fig. 8 experiment runs the *same* traces through two system
+configurations -- an ideal error-free LLC and a SuDoku-Z LLC (syndrome
+check + scrub + corrections) -- and compares execution times.  Identical
+streams and deterministic replacement keep the comparison free of
+simulation noise down to the sub-percent effects being measured.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.functional import FunctionalCache
+from repro.cache.geometry import CacheGeometry
+from repro.perf.dram import DRAMConfig, DRAMModel
+from repro.perf.llc import LLCConfig, LLCTiming
+from repro.perf.trace import SyntheticTrace
+from repro.perf.workloads import profiles_for
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The Table VI baseline system."""
+
+    num_cores: int = 8
+    core_frequency_hz: float = 3.2e9
+    max_outstanding: int = 10
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    llc: LLCConfig = field(default_factory=LLCConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Measurements from one simulation run."""
+
+    workload: str
+    config_label: str
+    execution_time_s: float
+    per_core_time_s: List[float]
+    llc_accesses: int
+    llc_hits: int
+    llc_misses: int
+    llc_reads: int
+    llc_writes: int
+    dram_requests: int
+    writebacks: int
+    scrub_chunks: int
+    corrections: int
+    scrub_lines_read: int
+    scrub_deficit_lines: float = 0.0
+    llc_utilisation: float = 0.0
+    total_memory_latency_s: float = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """LLC miss ratio."""
+        return self.llc_misses / self.llc_accesses if self.llc_accesses else 0.0
+
+    @property
+    def average_memory_latency_s(self) -> float:
+        """Mean issue-to-completion latency of an LLC access."""
+        if not self.llc_accesses:
+            return 0.0
+        return self.total_memory_latency_s / self.llc_accesses
+
+    @property
+    def core_imbalance(self) -> float:
+        """Slowest-core time over mean core time (1.0 = perfectly even)."""
+        if not self.per_core_time_s:
+            return 1.0
+        mean = sum(self.per_core_time_s) / len(self.per_core_time_s)
+        return max(self.per_core_time_s) / mean if mean else 1.0
+
+
+class _CoreState:
+    """Replay state of one core."""
+
+    def __init__(self, trace_iter, frequency_hz: float) -> None:
+        self.trace_iter = trace_iter
+        self.cycle_s = 1.0 / frequency_hz
+        self.next_issue_s = 0.0
+        self.outstanding: List[float] = []  # completion-time heap
+        self.finished_at_s = 0.0
+        self.done = False
+
+    def pop_next(self) -> Optional[object]:
+        try:
+            return next(self.trace_iter)
+        except StopIteration:
+            self.done = True
+            return None
+
+
+class SystemSimulator:
+    """Runs one workload through one system configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: str,
+        accesses_per_core: int = 50_000,
+        seed: int = 0,
+        config_label: str = "",
+        warmup_accesses_per_core: int = 0,
+        traces: Optional[list] = None,
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.accesses_per_core = accesses_per_core
+        self.seed = seed
+        self.config_label = config_label or (
+            "sudoku" if config.llc.scrub_enabled else "ideal"
+        )
+        self.warmup_accesses_per_core = warmup_accesses_per_core
+        if traces is not None and len(traces) != config.num_cores:
+            raise ValueError("need one trace per core")
+        #: Optional explicit per-core traces (e.g. repro.perf.tracefile
+        #: FileTrace objects); overrides the synthetic generator.
+        self.traces = traces
+
+    def run(self) -> SimulationResult:
+        """Simulate to completion of every core's trace."""
+        config = self.config
+        cache = FunctionalCache(config.geometry)
+        llc = LLCTiming(config.llc, seed=self.seed)
+        dram = DRAMModel(config.dram)
+        profiles = (
+            profiles_for(self.workload, config.num_cores)
+            if self.traces is None
+            else None
+        )
+        if self.warmup_accesses_per_core and profiles is not None:
+            # Functional-only warm-up: populate the cache so the measured
+            # window reflects steady-state (not cold-start) miss rates.
+            # A distinct seed keeps the measured streams untouched.
+            for core_id in range(config.num_cores):
+                warm_trace = SyntheticTrace(
+                    profiles[core_id],
+                    core_id,
+                    self.warmup_accesses_per_core,
+                    seed=self.seed + 101,
+                )
+                for access in warm_trace:
+                    cache.access(access.line_address << 6, access.is_write)
+            cache.hits = cache.misses = cache.writebacks = 0
+        if self.traces is not None:
+            streams = [iter(trace) for trace in self.traces]
+        else:
+            streams = [
+                iter(
+                    SyntheticTrace(
+                        profiles[core_id],
+                        core_id,
+                        self.accesses_per_core,
+                        seed=self.seed,
+                    )
+                )
+                for core_id in range(config.num_cores)
+            ]
+        cores = [
+            _CoreState(stream, config.core_frequency_hz) for stream in streams
+        ]
+        writebacks = 0
+        total_latency = 0.0
+
+        # Event heap of (issue_time, core_id); each entry is the next
+        # in-order access of that core.
+        heap: List = []
+        for core_id, core in enumerate(cores):
+            access = core.pop_next()
+            if access is not None:
+                core.next_issue_s = access.gap_cycles * core.cycle_s
+                heapq.heappush(heap, (core.next_issue_s, core_id, access))
+
+        while heap:
+            issue_s, core_id, access = heapq.heappop(heap)
+            core = cores[core_id]
+
+            # Respect the MLP bound: wait for an outstanding slot.
+            while (
+                len(core.outstanding) >= config.max_outstanding
+                and core.outstanding[0] <= issue_s
+            ):
+                heapq.heappop(core.outstanding)
+            if len(core.outstanding) >= config.max_outstanding:
+                stall_until = heapq.heappop(core.outstanding)
+                issue_s = max(issue_s, stall_until)
+
+            result = cache.access(access.line_address << 6, access.is_write)
+            llc_done = llc.access(access.line_address, access.is_write, issue_s)
+            if result.hit:
+                completion = llc_done
+            else:
+                dram_done = dram.access(access.line_address, llc_done)
+                completion = dram_done
+                llc.fill(access.line_address, dram_done)
+                if result.victim_dirty and result.victim_line_address is not None:
+                    dram.access(result.victim_line_address, dram_done)
+                    writebacks += 1
+            heapq.heappush(core.outstanding, completion)
+            core.finished_at_s = max(core.finished_at_s, completion)
+            total_latency += completion - issue_s
+
+            next_access = core.pop_next()
+            if next_access is not None:
+                next_issue = issue_s + next_access.gap_cycles * core.cycle_s
+                heapq.heappush(heap, (next_issue, core_id, next_access))
+
+        per_core = [core.finished_at_s for core in cores]
+        execution_time = max(per_core) if per_core else 0.0
+        scrub_lines = min(
+            llc.scrub_lines_done, llc.scrub_lines_required(execution_time)
+        )
+        return SimulationResult(
+            workload=self.workload,
+            config_label=self.config_label,
+            execution_time_s=execution_time,
+            per_core_time_s=per_core,
+            llc_accesses=cache.accesses,
+            llc_hits=cache.hits,
+            llc_misses=cache.misses,
+            llc_reads=llc.reads,
+            llc_writes=llc.writes,
+            dram_requests=dram.requests,
+            writebacks=writebacks,
+            scrub_chunks=llc.scrub_chunks,
+            corrections=llc.corrections,
+            scrub_lines_read=int(scrub_lines),
+            scrub_deficit_lines=llc.scrub_deficit(execution_time),
+            llc_utilisation=llc.utilisation(execution_time),
+            total_memory_latency_s=total_latency,
+        )
+
+
+def compare_ideal_vs_sudoku(
+    workload: str,
+    accesses_per_core: int = 50_000,
+    seed: int = 0,
+    geometry: Optional[CacheGeometry] = None,
+    corrections_per_interval: float = 4.0,
+    warmup_accesses_per_core: int = 0,
+) -> Dict[str, SimulationResult]:
+    """Run one workload under both configurations (the Fig. 8 pair)."""
+    geometry = geometry if geometry is not None else CacheGeometry()
+    base = dict(num_lines=geometry.num_lines)
+    ideal = SystemConfig(geometry=geometry, llc=LLCConfig.ideal(**base))
+    sudoku = SystemConfig(
+        geometry=geometry,
+        llc=LLCConfig.sudoku(
+            corrections_per_interval=corrections_per_interval, **base
+        ),
+    )
+    return {
+        "ideal": SystemSimulator(
+            ideal, workload, accesses_per_core, seed, "ideal",
+            warmup_accesses_per_core=warmup_accesses_per_core,
+        ).run(),
+        "sudoku": SystemSimulator(
+            sudoku, workload, accesses_per_core, seed, "sudoku",
+            warmup_accesses_per_core=warmup_accesses_per_core,
+        ).run(),
+    }
+
+
+def normalized_slowdown(results: Dict[str, SimulationResult]) -> float:
+    """SuDoku execution time / ideal execution time - 1."""
+    ideal = results["ideal"].execution_time_s
+    sudoku = results["sudoku"].execution_time_s
+    if ideal <= 0:
+        raise ValueError("ideal run has zero execution time")
+    return sudoku / ideal - 1.0

@@ -1,0 +1,99 @@
+"""Memory access traces and the synthetic trace generator.
+
+A trace is a bounded stream of :class:`Access` records per core.  The
+synthetic generator models each benchmark with four knobs (see
+:class:`repro.perf.workloads.WorkloadProfile`):
+
+* **intensity** -- LLC accesses per kilo-instruction, which together with
+  the base IPC sets the compute gap between accesses;
+* **write fraction** -- share of accesses that are writes (drives PLT
+  update traffic and STTRAM write occupancy);
+* **footprint** -- distinct lines touched; footprints beyond the per-core
+  share of the LLC produce capacity misses, just as in the real suites;
+* **locality** -- a hot set absorbing most accesses plus a sequential
+  streaming component, approximating the reuse behaviour that makes some
+  workloads cache-friendly and others memory-bound.
+
+Determinism: a trace is fully determined by (profile, core id, seed),
+so the ideal-vs-SuDoku comparison of Fig. 8 replays *identical* access
+streams through both configurations.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.perf.workloads import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Access:
+    """One LLC access.
+
+    :param gap_cycles: core cycles of compute between the previous access
+        *issue* and this one.
+    :param line_address: line-granular address (byte address / 64).
+    :param is_write: write (store / writeback) vs read.
+    """
+
+    gap_cycles: int
+    line_address: int
+    is_write: bool
+
+
+class SyntheticTrace:
+    """Deterministic synthetic access stream for one core."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        core_id: int,
+        num_accesses: int,
+        seed: int = 0,
+    ) -> None:
+        if num_accesses < 0:
+            raise ValueError("num_accesses must be non-negative")
+        self.profile = profile
+        self.core_id = core_id
+        self.num_accesses = num_accesses
+        self.seed = seed
+        # Private address-space base per core: benchmarks in rate mode /
+        # mixes do not share data (the shared-LLC interference is purely
+        # capacity/bandwidth, as in the paper's multiprogrammed setup).
+        self._base = core_id << 26
+
+    def __iter__(self) -> Iterator[Access]:
+        profile = self.profile
+        # zlib.crc32 is a *stable* name hash; built-in str hashing is
+        # salted per process and would make runs irreproducible.
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
+        rng = random.Random((self.seed << 8) ^ self.core_id ^ name_hash)
+        mean_gap = profile.mean_gap_cycles()
+        hot_lines = max(1, int(profile.footprint_lines * profile.hot_fraction))
+        stream_position = 0
+        for _ in range(self.num_accesses):
+            # Exponential compute gaps reproduce bursty arrivals; minimum
+            # one cycle keeps the stream causal.
+            gap = max(1, int(rng.expovariate(1.0 / mean_gap)))
+            if rng.random() < profile.hot_probability:
+                line = rng.randrange(hot_lines)
+            else:
+                # Streaming component: sequential sweep with occasional
+                # jumps, wrapped over the cold region.
+                stream_position += 1
+                if rng.random() < 0.01:
+                    stream_position = rng.randrange(profile.footprint_lines)
+                line = hot_lines + (
+                    stream_position % max(1, profile.footprint_lines - hot_lines)
+                )
+            yield Access(
+                gap_cycles=gap,
+                line_address=self._base + line,
+                is_write=rng.random() < profile.write_fraction,
+            )
+
+    def __len__(self) -> int:
+        return self.num_accesses

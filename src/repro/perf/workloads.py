@@ -1,0 +1,153 @@
+"""Benchmark profiles for the synthetic workload generator.
+
+The paper runs SPEC CPU2006, PARSEC, BioBench, and the MSC commercial
+traces, plus four random MIXes (Fig. 8's x-axis).  The real traces are
+proprietary; these profiles encode each benchmark's published memory
+character -- LLC access intensity, write share, footprint, locality -- at
+the fidelity the Fig. 8/9 experiments need (they measure *marginal* costs
+of SuDoku against an ideal cache on identical streams, so what matters is
+realistic access volume and mix, not microarchitectural phasing).
+
+Intensity and footprint values are drawn from the broadly reported
+characterisations of these suites (e.g. memory-bound mcf/lbm/milc vs
+cache-friendly povray/calculix) rounded to representative levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic-trace parameters for one benchmark.
+
+    :param name: benchmark label (Fig. 8 x-axis).
+    :param suite: suite label (SPEC / PARSEC / BIO / COMM / MIX).
+    :param llc_apki: LLC accesses per kilo-instruction.
+    :param ipc: base (non-memory-stalled) instructions per cycle.
+    :param write_fraction: fraction of LLC accesses that are writes.
+    :param footprint_lines: distinct 64 B lines touched by one core.
+    :param hot_fraction: share of the footprint forming the hot set.
+    :param hot_probability: probability an access targets the hot set.
+    """
+
+    name: str
+    suite: str
+    llc_apki: float
+    ipc: float
+    write_fraction: float
+    footprint_lines: int
+    hot_fraction: float = 0.05
+    hot_probability: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.llc_apki <= 0 or self.ipc <= 0:
+            raise ValueError("intensity and IPC must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+        if self.footprint_lines <= 0:
+            raise ValueError("footprint must be positive")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise ValueError("hot_probability must be a probability")
+
+    def mean_gap_cycles(self) -> float:
+        """Mean core cycles between LLC accesses."""
+        return 1000.0 / (self.llc_apki * self.ipc)
+
+
+def _spec(name: str, apki: float, ipc: float, wr: float, footprint_k: int) -> WorkloadProfile:
+    return WorkloadProfile(name, "SPEC", apki, ipc, wr, footprint_k * 1024)
+
+
+def _parsec(name: str, apki: float, ipc: float, wr: float, footprint_k: int) -> WorkloadProfile:
+    return WorkloadProfile(name, "PARSEC", apki, ipc, wr, footprint_k * 1024)
+
+
+def _bio(name: str, apki: float, ipc: float, wr: float, footprint_k: int) -> WorkloadProfile:
+    return WorkloadProfile(name, "BIO", apki, ipc, wr, footprint_k * 1024)
+
+
+def _comm(name: str, apki: float, ipc: float, wr: float, footprint_k: int) -> WorkloadProfile:
+    return WorkloadProfile(name, "COMM", apki, ipc, wr, footprint_k * 1024)
+
+
+#: The evaluation suite: name -> profile.  Footprints are per core, in
+#: lines (1 K lines = 64 KB).
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in [
+        # SPEC CPU2006 -- memory-bound heavy hitters.
+        _spec("mcf", 20.0, 0.7, 0.25, 500),
+        _spec("lbm", 18.0, 0.9, 0.45, 400),
+        _spec("milc", 15.0, 0.8, 0.30, 450),
+        _spec("libquantum", 16.0, 1.0, 0.20, 350),
+        _spec("soplex", 12.0, 0.9, 0.25, 300),
+        _spec("omnetpp", 10.0, 0.8, 0.35, 250),
+        _spec("gcc", 8.0, 1.2, 0.30, 150),
+        _spec("xalancbmk", 9.0, 1.0, 0.30, 200),
+        _spec("bzip2", 5.0, 1.4, 0.25, 100),
+        _spec("sphinx3", 9.0, 1.1, 0.15, 150),
+        _spec("hmmer", 3.0, 1.8, 0.20, 60),
+        _spec("povray", 1.0, 2.0, 0.15, 20),
+        _spec("astar", 7.0, 1.1, 0.25, 180),
+        _spec("GemsFDTD", 14.0, 0.9, 0.35, 420),
+        _spec("zeusmp", 9.0, 1.2, 0.30, 220),
+        _spec("cactusADM", 8.0, 1.1, 0.35, 260),
+        _spec("gobmk", 4.0, 1.3, 0.25, 90),
+        _spec("sjeng", 3.0, 1.5, 0.20, 70),
+        _spec("h264ref", 4.0, 1.6, 0.25, 80),
+        _spec("namd", 2.0, 1.9, 0.15, 50),
+        _spec("dealII", 5.0, 1.4, 0.25, 120),
+        _spec("bwaves", 13.0, 1.0, 0.30, 380),
+        _spec("leslie3d", 11.0, 1.0, 0.30, 320),
+        _spec("wrf", 7.0, 1.2, 0.30, 200),
+        # PARSEC.
+        _parsec("canneal", 14.0, 0.8, 0.30, 450),
+        _parsec("streamcluster", 11.0, 1.0, 0.20, 350),
+        _parsec("fluidanimate", 7.0, 1.3, 0.35, 200),
+        _parsec("blackscholes", 2.0, 1.8, 0.20, 40),
+        _parsec("dedup", 9.0, 1.1, 0.35, 280),
+        _parsec("ferret", 8.0, 1.2, 0.25, 240),
+        _parsec("swaptions", 2.0, 1.7, 0.20, 45),
+        # BioBench.
+        _bio("mummer", 12.0, 0.9, 0.15, 400),
+        _bio("tigr", 10.0, 1.0, 0.15, 300),
+        # MSC commercial traces.
+        _comm("comm1", 12.0, 0.9, 0.40, 350),
+        _comm("comm2", 9.0, 1.0, 0.40, 280),
+    ]
+}
+
+#: Random-selection mixes (Fig. 8's MIX1..MIX4): 8 slots per mix.
+MIXES: Dict[str, Sequence[str]] = {
+    "MIX1": ("mcf", "gcc", "lbm", "povray", "canneal", "bzip2", "comm1", "hmmer"),
+    "MIX2": ("milc", "sphinx3", "streamcluster", "tigr", "soplex", "blackscholes", "omnetpp", "comm2"),
+    "MIX3": ("libquantum", "xalancbmk", "fluidanimate", "mummer", "mcf", "gcc", "milc", "bzip2"),
+    "MIX4": ("lbm", "canneal", "comm1", "comm2", "povray", "hmmer", "soplex", "sphinx3"),
+    "MIX5": ("bwaves", "astar", "dedup", "namd", "GemsFDTD", "sjeng", "ferret", "wrf"),
+    "MIX6": ("leslie3d", "zeusmp", "cactusADM", "h264ref", "dealII", "gobmk", "swaptions", "mcf"),
+}
+
+
+def suite_names() -> List[str]:
+    """All workload labels in Fig. 8 order (benchmarks then mixes)."""
+    return list(WORKLOADS) + list(MIXES)
+
+
+def profiles_for(workload: str, num_cores: int = 8) -> List[WorkloadProfile]:
+    """Per-core profile assignment for a workload label.
+
+    Single benchmarks run in rate mode (one copy per core, as the paper's
+    multiprogrammed setup does for SPEC); MIX labels map each core to its
+    mix slot.
+    """
+    if workload in WORKLOADS:
+        return [WORKLOADS[workload]] * num_cores
+    if workload in MIXES:
+        names = MIXES[workload]
+        return [WORKLOADS[names[i % len(names)]] for i in range(num_cores)]
+    raise KeyError(f"unknown workload {workload!r}")

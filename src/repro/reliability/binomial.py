@@ -1,0 +1,123 @@
+"""Binomial probability utilities in the log domain.
+
+The paper's reliability arithmetic multiplies probabilities ranging from
+~1 down to 1e-37 (ECC-6 line failures) and composes them over a million
+lines; naive floating point underflows long before that.  Everything here
+works from log-probabilities computed with ``lgamma`` and only
+exponentiates at the end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def log_binomial_coefficient(n: int, k: int) -> float:
+    """log C(n, k)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def log_binomial_pmf(n: int, k: int, p: float) -> float:
+    """log P[X = k] for X ~ Binomial(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if k < 0 or k > n:
+        return float("-inf")
+    if p == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    if p == 1.0:
+        return 0.0 if k == n else float("-inf")
+    return (
+        log_binomial_coefficient(n, k)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+
+
+def binomial_pmf(n: int, k: int, p: float) -> float:
+    """P[X = k] for X ~ Binomial(n, p), safe at extreme tails."""
+    log_value = log_binomial_pmf(n, k, p)
+    return math.exp(log_value) if log_value > -745.0 else 0.0
+
+
+def binomial_tail(n: int, k: int, p: float) -> float:
+    """P[X >= k] for X ~ Binomial(n, p).
+
+    Sums pmf terms upward from ``k``; with the p << 1 regimes used here
+    successive terms shrink by ~n*p per step, so the sum converges in a
+    handful of terms.  A relative-tolerance cut keeps it exact enough for
+    moderate p as well.
+    """
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    total = 0.0
+    for i in range(k, n + 1):
+        term = binomial_pmf(n, i, p)
+        total += term
+        if term < total * 1e-18 and i > k:
+            break
+    return min(total, 1.0)
+
+
+def binomial_exactly(n: int, k: int, p: float) -> float:
+    """Alias of :func:`binomial_pmf` with the call-site-friendly name."""
+    return binomial_pmf(n, k, p)
+
+
+def poisson_tail(mean: float, k: int) -> float:
+    """P[X >= k] for X ~ Poisson(mean); binomial limit sanity checks."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if k <= 0:
+        return 1.0
+    log_term = -mean + k * math.log(mean) - math.lgamma(k + 1) if mean > 0 else float("-inf")
+    total = 0.0
+    term = math.exp(log_term) if log_term > -745.0 else 0.0
+    i = k
+    while term > 0.0:
+        total += term
+        i += 1
+        term *= mean / i
+        if term < total * 1e-18:
+            break
+    return min(total, 1.0)
+
+
+def at_least_m_of(n: int, m: int, p_each: float) -> float:
+    """P[at least m of n independent events, each of probability p_each].
+
+    The workhorse for "at least two faulty lines in a RAID-Group" style
+    compositions.  Thin wrapper over :func:`binomial_tail` named for
+    readability at call sites.
+    """
+    return binomial_tail(n, m, p_each)
+
+
+def union_bound(probabilities: Iterable[float]) -> float:
+    """Upper-bound P[any of the events] by the sum, clipped to 1."""
+    return min(sum(probabilities), 1.0)
+
+
+def complement_power(p_each: float, count: int) -> float:
+    """P[at least one of ``count`` iid events] = 1 - (1-p)^count.
+
+    Uses ``expm1``/``log1p`` so tiny per-event probabilities survive:
+    for p = 1e-20, count = 2^20 the result is ~1e-14, which the naive
+    formula rounds to zero.
+    """
+    if not 0.0 <= p_each <= 1.0:
+        raise ValueError("p_each must be a probability")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if p_each == 0.0 or count == 0:
+        return 0.0
+    if p_each == 1.0:
+        return 1.0
+    return -math.expm1(count * math.log1p(-p_each))

@@ -1,0 +1,158 @@
+"""Design-space exploration: pick a configuration meeting a FIT target.
+
+The paper fixes one operating point (512-line groups, ECC-1, 20 ms
+scrub) and shows it meets the 1-FIT target with enormous margin.  A
+deployment at a different technology node or cache size faces the
+inverse problem: *given* a thermal stability and a FIT target, which
+combination of per-line code (ECC-1/ECC-2 SuDoku, or uniform ECC-k),
+RAID-Group size, and scrub interval is cheapest?
+
+:func:`enumerate_design_space` prices every combination on three axes --
+storage (bits/line), raw scrub bandwidth (fraction of the interval spent
+reading the array), and worst-case correction latency -- and
+:func:`pareto_front` / :func:`cheapest_meeting_target` extract the
+useful answers.  All reliability numbers come from the same validated
+models as the paper exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.stats import LatencyModel
+from repro.reliability.eccmodel import CHECK_BITS_PER_T, ECCCacheModel
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+from repro.sttram.variation import effective_ber
+
+#: Stored line widths per SuDoku inner-code strength.
+_SUDOKU_LINE_BITS = {1: 553, 2: 563}
+#: Per-line metadata bits (CRC + ECC) per inner-code strength.
+_SUDOKU_META_BITS = {1: 41, 2: 51}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One priced configuration."""
+
+    scheme: str
+    group_size: Optional[int]
+    scrub_interval_s: float
+    ber: float
+    fit: float
+    overhead_bits_per_line: float
+    scrub_bandwidth_fraction: float
+    correction_latency_us: float
+
+    def meets(self, target_fit: float) -> bool:
+        """Does the point satisfy the reliability target?"""
+        return self.fit <= target_fit
+
+    @property
+    def label(self) -> str:
+        """Compact display label."""
+        group = f", G={self.group_size}" if self.group_size else ""
+        return (
+            f"{self.scheme}{group}, scrub {self.scrub_interval_s * 1000:g}ms"
+        )
+
+
+def enumerate_design_space(
+    delta: float = 35.0,
+    sigma_fraction: float = 0.10,
+    num_lines: int = 1 << 20,
+    group_sizes: Sequence[int] = (128, 256, 512, 1024),
+    scrub_intervals_s: Sequence[float] = (0.010, 0.020, 0.040),
+    sudoku_ecc_ts: Sequence[int] = (1, 2),
+    uniform_ecc_ts: Sequence[int] = (4, 5, 6, 7),
+    read_s: float = 9e-9,
+) -> List[DesignPoint]:
+    """Price every configuration in the sweep."""
+    latency = LatencyModel(read_s=read_s)
+    points: List[DesignPoint] = []
+    for interval_s in scrub_intervals_s:
+        ber = effective_ber(delta, sigma_fraction * delta, interval_s)
+        scrub_fraction = num_lines * read_s / interval_s
+        for ecc_t in sudoku_ecc_ts:
+            line_bits = _SUDOKU_LINE_BITS[ecc_t]
+            for group_size in group_sizes:
+                model = SuDokuReliabilityModel(
+                    ber=ber,
+                    line_bits=line_bits,
+                    group_size=group_size,
+                    num_lines=num_lines,
+                    interval_s=interval_s,
+                    ecc_t=ecc_t,
+                )
+                parity_bits = 2.0 * line_bits * (num_lines // group_size) / num_lines
+                points.append(
+                    DesignPoint(
+                        scheme=f"SuDoku-Z (ECC-{ecc_t})",
+                        group_size=group_size,
+                        scrub_interval_s=interval_s,
+                        ber=ber,
+                        fit=model.fit_z(),
+                        overhead_bits_per_line=_SUDOKU_META_BITS[ecc_t] + parity_bits,
+                        scrub_bandwidth_fraction=scrub_fraction,
+                        correction_latency_us=latency.raid4_repair(group_size) * 1e6,
+                    )
+                )
+        for ecc_t in uniform_ecc_ts:
+            model = ECCCacheModel(
+                t=ecc_t, ber=ber, num_lines=num_lines, interval_s=interval_s
+            )
+            points.append(
+                DesignPoint(
+                    scheme=f"uniform ECC-{ecc_t}",
+                    group_size=None,
+                    scrub_interval_s=interval_s,
+                    ber=ber,
+                    fit=model.fit(),
+                    overhead_bits_per_line=float(CHECK_BITS_PER_T * ecc_t),
+                    scrub_bandwidth_fraction=scrub_fraction,
+                    correction_latency_us=0.05,  # multi-cycle decoder, ns-scale
+                )
+            )
+    return points
+
+
+def pareto_front(
+    points: Iterable[DesignPoint], target_fit: float = 1.0
+) -> List[DesignPoint]:
+    """Non-dominated feasible points on (storage, bandwidth, latency)."""
+    feasible = [point for point in points if point.meets(target_fit)]
+    front: List[DesignPoint] = []
+    for candidate in feasible:
+        dominated = any(
+            other is not candidate
+            and other.overhead_bits_per_line <= candidate.overhead_bits_per_line
+            and other.scrub_bandwidth_fraction <= candidate.scrub_bandwidth_fraction
+            and other.correction_latency_us <= candidate.correction_latency_us
+            and (
+                other.overhead_bits_per_line < candidate.overhead_bits_per_line
+                or other.scrub_bandwidth_fraction < candidate.scrub_bandwidth_fraction
+                or other.correction_latency_us < candidate.correction_latency_us
+            )
+            for other in feasible
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda p: (p.overhead_bits_per_line, p.scrub_bandwidth_fraction))
+    return front
+
+
+def cheapest_meeting_target(
+    points: Iterable[DesignPoint], target_fit: float = 1.0
+) -> Optional[DesignPoint]:
+    """Feasible point with the least storage (bandwidth breaks ties)."""
+    feasible = [point for point in points if point.meets(target_fit)]
+    if not feasible:
+        return None
+    return min(
+        feasible,
+        key=lambda p: (
+            p.overhead_bits_per_line,
+            p.scrub_bandwidth_fraction,
+            p.correction_latency_us,
+        ),
+    )

@@ -1,0 +1,103 @@
+"""Analytical reliability of uniform per-line ECC-k caches (Table II).
+
+A line protected by ECC-k fails when more than k of its stored bits flip
+within one scrub interval.  Following the paper, the stored width of an
+ECC-k line is the 512 data bits plus the BCH check bits (10 bits per
+corrected error for the m = 10 field -- exactly the 60 bits/line the
+paper charges ECC-6).  The cache fails when any line fails; FIT converts
+the per-interval probability through :mod:`repro.reliability.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.reliability.binomial import binomial_tail, complement_power
+from repro.reliability.fit import (
+    fit_from_interval_probability,
+    mttf_seconds_from_interval_probability,
+)
+
+#: Check bits charged per corrected error (BCH over GF(2^10); see
+#: :class:`repro.coding.bch.BCH`, which realises exactly this cost).
+CHECK_BITS_PER_T: int = 10
+
+
+@dataclass(frozen=True)
+class ECCCacheModel:
+    """FIT model of a cache with uniform per-line ECC-t.
+
+    :param t: correction capability per line.
+    :param ber: per-bit flip probability within one scrub interval.
+    :param num_lines: lines in the cache (2^20 for 64 MB of 64 B lines).
+    :param data_bits: payload bits per line.
+    :param interval_s: scrub interval.
+    """
+
+    t: int
+    ber: float
+    num_lines: int = 1 << 20
+    data_bits: int = 512
+    interval_s: float = 0.020
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("t must be non-negative")
+        if not 0.0 <= self.ber <= 1.0:
+            raise ValueError("ber must be a probability")
+        if self.num_lines <= 0 or self.data_bits <= 0:
+            raise ValueError("geometry must be positive")
+
+    @property
+    def stored_bits(self) -> int:
+        """Stored width of one line: data plus ECC check bits."""
+        return self.data_bits + CHECK_BITS_PER_T * self.t
+
+    def line_failure_probability(self) -> float:
+        """P[more than t faults in a line] per interval (Table II row 1)."""
+        return binomial_tail(self.stored_bits, self.t + 1, self.ber)
+
+    def cache_failure_probability(self) -> float:
+        """P[any line fails] per interval (Table II row 2)."""
+        return complement_power(self.line_failure_probability(), self.num_lines)
+
+    def fit(self) -> float:
+        """Cache FIT rate (Table II row 3)."""
+        return fit_from_interval_probability(
+            self.cache_failure_probability(), self.interval_s
+        )
+
+    def mttf_seconds(self) -> float:
+        """Cache mean time to failure."""
+        return mttf_seconds_from_interval_probability(
+            self.cache_failure_probability(), self.interval_s
+        )
+
+    def storage_overhead_bits(self) -> int:
+        """Metadata bits per line (60 for ECC-6)."""
+        return CHECK_BITS_PER_T * self.t
+
+
+def table2_rows(
+    ber: float = 5.3e-6,
+    num_lines: int = 1 << 20,
+    interval_s: float = 0.020,
+    t_values: range = range(1, 7),
+) -> List[dict]:
+    """Regenerate Table II: one dict per ECC-t column."""
+    rows = []
+    for t in t_values:
+        model = ECCCacheModel(
+            t=t, ber=ber, num_lines=num_lines, interval_s=interval_s
+        )
+        rows.append(
+            {
+                "ecc": f"ECC-{t}",
+                "t": t,
+                "line_failure": model.line_failure_probability(),
+                "cache_failure": model.cache_failure_probability(),
+                "fit": model.fit(),
+            }
+        )
+    return rows

@@ -1,0 +1,87 @@
+"""FIT / MTTF / per-interval probability conversions.
+
+The paper reports reliability as FIT (failures in 10^9 device-hours) and
+MTTF.  All of our models natively produce a *per-scrub-interval failure
+probability*; these helpers convert between the three representations.
+The conversions assume the per-interval probability is small (failures
+form a homogeneous Bernoulli process over intervals), which holds for
+everything except deliberately broken configurations -- for those, exact
+geometric-distribution forms are used.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Hours in the FIT reference period.
+HOURS_PER_BILLION: float = 1e9
+
+#: Seconds per hour, spelled out for readability.
+SECONDS_PER_HOUR: float = 3600.0
+
+
+def intervals_per_billion_hours(interval_s: float) -> float:
+    """How many scrub intervals fit in 10^9 hours."""
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    return HOURS_PER_BILLION * SECONDS_PER_HOUR / interval_s
+
+
+def fit_from_interval_probability(p_fail: float, interval_s: float) -> float:
+    """FIT rate of a system failing with probability ``p_fail`` per interval.
+
+    Uses the exact hazard rate ``-ln(1-p)/interval`` so that saturated
+    probabilities (p ~ 1) still produce a finite, meaningful rate.
+    """
+    _check_probability(p_fail)
+    if p_fail == 0.0:
+        return 0.0
+    if p_fail == 1.0:
+        # Certain failure every interval: report the saturation rate (one
+        # failure per interval) rather than an infinity that breaks
+        # downstream arithmetic -- this is what "fails continuously" means
+        # in FIT terms (~1.8e14 for a 20 ms interval).
+        return intervals_per_billion_hours(interval_s)
+    rate_per_interval = -math.log1p(-p_fail)
+    return rate_per_interval * intervals_per_billion_hours(interval_s)
+
+
+def interval_probability_from_fit(fit: float, interval_s: float) -> float:
+    """Inverse of :func:`fit_from_interval_probability`."""
+    if fit < 0:
+        raise ValueError("FIT must be non-negative")
+    rate_per_interval = fit / intervals_per_billion_hours(interval_s)
+    return -math.expm1(-rate_per_interval)
+
+
+def mttf_seconds_from_interval_probability(p_fail: float, interval_s: float) -> float:
+    """Mean time to failure given a per-interval failure probability.
+
+    Exactly ``interval / p`` for a geometric process (mean number of
+    trials is 1/p).
+    """
+    _check_probability(p_fail)
+    if p_fail == 0.0:
+        return float("inf")
+    return interval_s / p_fail
+
+
+def fit_to_mttf_hours(fit: float) -> float:
+    """MTTF in hours for a given FIT rate (10^9 / FIT)."""
+    if fit < 0:
+        raise ValueError("FIT must be non-negative")
+    if fit == 0.0:
+        return float("inf")
+    return HOURS_PER_BILLION / fit
+
+
+def mttf_hours_to_fit(mttf_hours: float) -> float:
+    """FIT rate for a given MTTF in hours."""
+    if mttf_hours <= 0:
+        raise ValueError("MTTF must be positive")
+    return HOURS_PER_BILLION / mttf_hours
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"probability out of range: {value}")

@@ -1,0 +1,141 @@
+"""Low-voltage SRAM study (section VI, Table IV).
+
+Below Vmin, SRAM cells fail *persistently* at rates around 1e-3
+(1000 ppm).  Table IV compares the probability of cache failure for
+uniform ECC-7/8/9 against SuDoku at that fault rate.
+
+The ECC-k rows follow directly from the binomial line model and reproduce
+the paper's values.
+
+The SuDoku row needs persistent-fault-specific treatment: at BER 1e-3 a
+512-line RAID-Group carries ~280 faulty bits, so the *transient* SuDoku
+machinery (designed for ~4 multi-bit lines per 64 MB cache) saturates.
+Persistent faults, however, are stable: their group-parity mismatch
+signature repeats every scrub, so the controller can learn positions over
+time and repair by position-guided flipping, validated by CRC.  Under
+that regime a line is unrecoverable only when two or more of its faults
+are *hidden* -- sharing a column with another faulty line so the parity
+mismatch cancels -- under **both** hashes (one hidden fault is covered by
+ECC-1).  We expose the RAID-Group size as a parameter because it is the
+lever that controls column-collision density; the paper does not state
+the group size behind its 3.8e-10 figure, and at the transient default of
+512 lines no parity scheme survives this BER (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.reliability.binomial import (
+    binomial_pmf,
+    binomial_tail,
+    complement_power,
+)
+from repro.reliability.eccmodel import CHECK_BITS_PER_T
+
+
+def ecc_k_cache_failure(
+    t: int,
+    ber: float = 1e-3,
+    num_lines: int = 1 << 20,
+    data_bits: int = 512,
+) -> float:
+    """P[cache failure] with uniform per-line ECC-t at a persistent BER."""
+    stored_bits = data_bits + CHECK_BITS_PER_T * t
+    p_line = binomial_tail(stored_bits, t + 1, ber)
+    return complement_power(p_line, num_lines)
+
+
+def hidden_fault_probability(ber: float, group_size: int) -> float:
+    """P[a given persistent fault shares its column with a faulty peer].
+
+    A mismatch column "hides" when one or more of the other group members
+    is also faulty there (the XOR stops attributing the column uniquely).
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError("ber must be a probability")
+    if group_size < 2:
+        raise ValueError("group_size must be at least 2")
+    return complement_power(ber, group_size - 1)
+
+
+def line_unrecoverable_one_hash(
+    ber: float,
+    group_size: int,
+    line_bits: int = 553,
+    max_faults: int = 24,
+) -> float:
+    """P[a line cannot be repaired within one of its RAID-Groups].
+
+    A line with k persistent faults is repairable when at most one fault
+    is hidden (flip the visible ones, let ECC-1 absorb the hidden one,
+    certify with CRC).  Summed over the fault-count distribution.
+    """
+    p_hidden = hidden_fault_probability(ber, group_size)
+    total = 0.0
+    for k in range(2, max_faults + 1):
+        p_k = binomial_pmf(line_bits, k, ber)
+        if p_k == 0.0:
+            continue
+        p_two_hidden = binomial_tail(k, 2, p_hidden)
+        total += p_k * p_two_hidden
+    return min(total, 1.0)
+
+
+def sudoku_persistent_cache_failure(
+    ber: float = 1e-3,
+    group_size: int = 16,
+    line_bits: int = 553,
+    num_lines: int = 1 << 20,
+) -> float:
+    """P[cache failure] for SuDoku-Z against persistent faults.
+
+    A line is lost when it is unrecoverable under both hashes
+    (independent partner sets by the skewing guarantee).  The cache fails
+    when any line is lost.
+    """
+    p_one = line_unrecoverable_one_hash(ber, group_size, line_bits)
+    p_line = p_one * p_one
+    return complement_power(p_line, num_lines)
+
+
+def sudoku_parity_overhead_bits(group_size: int, line_bits: int = 553) -> float:
+    """Amortised parity bits per line for the two PLTs at ``group_size``."""
+    if group_size < 2:
+        raise ValueError("group_size must be at least 2")
+    return 2.0 * line_bits / group_size
+
+
+def sram_vmin_table(
+    ber: float = 1e-3,
+    num_lines: int = 1 << 20,
+    sudoku_group_sizes: tuple = (8, 16, 32, 512),
+) -> List[Dict[str, object]]:
+    """Regenerate Table IV: ECC-7/8/9 vs SuDoku at the low-voltage BER.
+
+    SuDoku appears once per candidate group size, with the amortised
+    parity overhead shown so the storage trade-off is visible (ECC-9
+    costs 90 bits/line; SuDoku at a 16-line group costs 41 + ~69 parity
+    bits -- comparable -- while at 512-line groups parity is cheap but the
+    collision density is fatal at this BER).
+    """
+    rows: List[Dict[str, object]] = [
+        {
+            "scheme": f"ECC-{t}",
+            "cache_failure": ecc_k_cache_failure(t, ber=ber, num_lines=num_lines),
+            "overhead_bits_per_line": float(CHECK_BITS_PER_T * t),
+        }
+        for t in (7, 8, 9)
+    ]
+    for group_size in sudoku_group_sizes:
+        rows.append(
+            {
+                "scheme": f"SuDoku (G={group_size})",
+                "cache_failure": sudoku_persistent_cache_failure(
+                    ber=ber, group_size=group_size, num_lines=num_lines
+                ),
+                "overhead_bits_per_line": 41.0
+                + sudoku_parity_overhead_bits(group_size),
+            }
+        )
+    return rows

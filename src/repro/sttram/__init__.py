@@ -1,0 +1,75 @@
+"""STTRAM device physics, process variation, and fault injection.
+
+This subpackage is the "hardware" substrate of the reproduction: it turns
+the paper's thermal-stability model (Eq. 1) into per-bit flip
+probabilities, accounts for process variation in the thermal stability
+factor, and injects faults into bit-level line arrays.
+
+* :mod:`repro.sttram.device` -- Eq. (1): flip rate and probability of a
+  single cell as a function of thermal stability and time.
+* :mod:`repro.sttram.variation` -- Gaussian process variation in Delta and
+  the *effective* (variation-averaged) bit error rate (Table I).
+* :mod:`repro.sttram.faults` -- fault injectors: transient thermal flips,
+  permanent stuck-at faults, and burst patterns for section VI.
+* :mod:`repro.sttram.writeerror` -- per-write WER channel (section VIII-B).
+* :mod:`repro.sttram.disturb` -- neighbour-disturb channel (section VI).
+* :mod:`repro.sttram.weakcells` -- static weak-cell populations
+  (spatially heterogeneous BER from frozen process variation).
+* :mod:`repro.sttram.adaptive` -- adaptive scrub-rate controller
+  (import directly; it layers above the reliability models).
+* :mod:`repro.sttram.array` -- an array of encoded lines that faults act on.
+* :mod:`repro.sttram.scrub` -- the periodic scrub engine.
+"""
+
+from repro.sttram.device import (
+    THERMAL_ATTEMPT_FREQUENCY_HZ,
+    STTRAMCell,
+    flip_probability,
+    flip_rate,
+    retention_mttf_seconds,
+)
+from repro.sttram.variation import (
+    DeltaDistribution,
+    effective_ber,
+    mean_cell_mttf_seconds,
+)
+from repro.sttram.faults import (
+    FaultEvent,
+    FaultKind,
+    PermanentFaultMap,
+    TransientFaultInjector,
+    sample_fault_count,
+)
+from repro.sttram.array import STTRAMArray
+from repro.sttram.scrub import ScrubEngine, ScrubReport
+from repro.sttram.writeerror import WriteErrorChannel
+from repro.sttram.disturb import DisturbChannel
+from repro.sttram.weakcells import HeterogeneousFaultInjector, WeakCellMap
+
+# repro.sttram.adaptive is NOT re-exported here: it closes the loop
+# through the reliability models (a layer above this package), so
+# importing it at package level would be circular.  Import it directly:
+# ``from repro.sttram.adaptive import AdaptiveScrubController``.
+
+__all__ = [
+    "THERMAL_ATTEMPT_FREQUENCY_HZ",
+    "STTRAMCell",
+    "flip_probability",
+    "flip_rate",
+    "retention_mttf_seconds",
+    "DeltaDistribution",
+    "effective_ber",
+    "mean_cell_mttf_seconds",
+    "FaultEvent",
+    "FaultKind",
+    "PermanentFaultMap",
+    "TransientFaultInjector",
+    "sample_fault_count",
+    "STTRAMArray",
+    "ScrubEngine",
+    "ScrubReport",
+    "WriteErrorChannel",
+    "DisturbChannel",
+    "HeterogeneousFaultInjector",
+    "WeakCellMap",
+]

@@ -1,0 +1,135 @@
+"""A bit-level array of encoded lines that faults act on.
+
+:class:`STTRAMArray` holds, per line, both the *stored* value (which
+faults corrupt) and the *golden* value (what was last written).  The
+golden copy is simulator bookkeeping, not hardware: it is what lets the
+Monte-Carlo harness classify every correction attempt as success,
+detectable-uncorrectable (DUE), or silent data corruption (SDC).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.coding.bitvec import mask_of, random_bits
+
+
+class STTRAMArray:
+    """Fixed-geometry array of ``num_lines`` lines of ``line_bits`` bits."""
+
+    def __init__(self, num_lines: int, line_bits: int) -> None:
+        if num_lines <= 0:
+            raise ValueError("num_lines must be positive")
+        if line_bits <= 0:
+            raise ValueError("line_bits must be positive")
+        self.num_lines = num_lines
+        self.line_bits = line_bits
+        self._mask = mask_of(line_bits)
+        self._stored: List[int] = [0] * num_lines
+        self._golden: List[int] = [0] * num_lines
+
+    # -- access ---------------------------------------------------------------
+
+    def write(self, index: int, value: int) -> int:
+        """Write a line: updates both stored and golden; returns old stored.
+
+        The returned previous stored value is what a hardware
+        read-modify-write would have seen, which is what the Parity Line
+        Table update needs.
+        """
+        self._check(index, value)
+        previous = self._stored[index]
+        self._stored[index] = value
+        self._golden[index] = value
+        return previous
+
+    def read(self, index: int) -> int:
+        """Read the stored (possibly corrupted) value."""
+        self._check(index, 0)
+        return self._stored[index]
+
+    def golden(self, index: int) -> int:
+        """The last value actually written (fault-free reference)."""
+        self._check(index, 0)
+        return self._golden[index]
+
+    # -- fault manipulation -----------------------------------------------------
+
+    def inject(self, index: int, error_vector: int) -> None:
+        """XOR an error mask into the stored value (golden untouched)."""
+        self._check(index, error_vector)
+        self._stored[index] ^= error_vector
+
+    def restore(self, index: int, value: int) -> None:
+        """Write back a corrected value without touching golden.
+
+        This models the scrub engine writing its repaired line into the
+        array; whether the repair was *right* is judged against golden.
+        """
+        self._check(index, value)
+        self._stored[index] = value
+
+    def error_vector(self, index: int) -> int:
+        """Current stored-vs-golden difference mask."""
+        self._check(index, 0)
+        return self._stored[index] ^ self._golden[index]
+
+    def is_clean(self, index: int) -> bool:
+        """True when stored matches golden."""
+        return self.error_vector(index) == 0
+
+    def faulty_lines(self) -> List[int]:
+        """Indices of lines whose stored value differs from golden."""
+        return [
+            index
+            for index in range(self.num_lines)
+            if self._stored[index] != self._golden[index]
+        ]
+
+    def total_faulty_bits(self) -> int:
+        """Total number of corrupted bits across the array."""
+        return sum(
+            bin(self._stored[index] ^ self._golden[index]).count("1")
+            for index in range(self.num_lines)
+        )
+
+    # -- bulk helpers -------------------------------------------------------------
+
+    def fill_random(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Write uniformly random content to every line."""
+        generator = rng if rng is not None else np.random.default_rng()
+        for index in range(self.num_lines):
+            bits = generator.bit_generator.random_raw()  # cheap 64-bit seed
+            value = random_bits(self.line_bits, _IntRandom(int(bits)))
+            self.write(index, value)
+
+    def __len__(self) -> int:
+        return self.num_lines
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._stored)
+
+    def _check(self, index: int, value: int) -> None:
+        if not 0 <= index < self.num_lines:
+            raise IndexError(f"line index {index} out of range")
+        if value < 0 or value > self._mask:
+            raise ValueError(f"value does not fit in {self.line_bits} bits")
+
+
+class _IntRandom:
+    """Minimal ``random.Random``-compatible shim seeded from numpy.
+
+    Only implements ``getrandbits`` (all :func:`random_bits` needs); keeps
+    :meth:`STTRAMArray.fill_random` reproducible from a single numpy
+    generator without importing the stdlib RNG state machinery.
+    """
+
+    def __init__(self, seed: int) -> None:
+        import random as _random
+
+        self._rng = _random.Random(seed)
+
+    def getrandbits(self, width: int) -> int:
+        return self._rng.getrandbits(width)

@@ -1,0 +1,98 @@
+"""STTRAM cell retention physics (paper Eq. 1).
+
+An STTRAM cell stores data as the magnetic orientation of the free layer
+of an MTJ.  Thermal noise randomly reverses that orientation; the
+robustness of a cell is its *thermal stability factor* Delta.  The paper
+models the flip process as Poisson with rate
+
+    lambda = f0 * exp(-Delta)        (f0 = 1 GHz attempt frequency)
+
+so the probability that a cell flips at least once during a window of
+``t_s`` seconds is
+
+    p_cell(t_s) = 1 - exp(-lambda * t_s)                       (Eq. 1)
+
+Critically -- and unlike DRAM charge leakage -- the flips are memoryless:
+the probability of a flip in the next window is independent of when the
+cell was last written, which is why DRAM-style refresh does not help and
+scrubbing + ECC is required (paper sections I, II-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Thermal attempt frequency f0 used throughout the paper (1 GHz).
+THERMAL_ATTEMPT_FREQUENCY_HZ: float = 1e9
+
+
+def flip_rate(delta: float, attempt_frequency_hz: float = THERMAL_ATTEMPT_FREQUENCY_HZ) -> float:
+    """Poisson flip rate lambda = f0 * exp(-Delta), in flips/second."""
+    if attempt_frequency_hz <= 0:
+        raise ValueError("attempt frequency must be positive")
+    return attempt_frequency_hz * math.exp(-delta)
+
+
+def flip_probability(
+    delta: float,
+    interval_s: float,
+    attempt_frequency_hz: float = THERMAL_ATTEMPT_FREQUENCY_HZ,
+) -> float:
+    """Eq. (1): probability a cell flips within ``interval_s`` seconds.
+
+    Uses ``-expm1`` for numerical fidelity at the tiny rates of
+    well-retained cells (Delta = 60 gives probabilities around 1e-17).
+    """
+    if interval_s < 0:
+        raise ValueError("interval must be non-negative")
+    rate = flip_rate(delta, attempt_frequency_hz)
+    return -math.expm1(-rate * interval_s)
+
+
+def retention_mttf_seconds(
+    delta: float,
+    attempt_frequency_hz: float = THERMAL_ATTEMPT_FREQUENCY_HZ,
+) -> float:
+    """Mean time to flip of a single cell: 1 / lambda seconds.
+
+    For Delta = 35 this is ~18 days, the figure quoted in the paper's
+    introduction (before accounting for process variation).
+    """
+    return 1.0 / flip_rate(delta, attempt_frequency_hz)
+
+
+@dataclass(frozen=True)
+class STTRAMCell:
+    """A single STTRAM cell characterised by its thermal stability.
+
+    The object is a value type used when reasoning about individual cells
+    (e.g. sampling per-cell Delta under process variation); bulk arrays
+    never materialise cell objects.
+    """
+
+    delta: float
+    attempt_frequency_hz: float = THERMAL_ATTEMPT_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("thermal stability factor must be positive")
+        if self.attempt_frequency_hz <= 0:
+            raise ValueError("attempt frequency must be positive")
+
+    @property
+    def rate(self) -> float:
+        """Flip rate lambda in flips/second."""
+        return flip_rate(self.delta, self.attempt_frequency_hz)
+
+    def flip_probability(self, interval_s: float) -> float:
+        """Probability of at least one flip within the interval."""
+        return flip_probability(self.delta, interval_s, self.attempt_frequency_hz)
+
+    def mttf_seconds(self) -> float:
+        """Mean time to the first flip."""
+        return retention_mttf_seconds(self.delta, self.attempt_frequency_hz)
+
+    def survival_probability(self, interval_s: float) -> float:
+        """Probability of *no* flip within the interval."""
+        return math.exp(-self.rate * interval_s)

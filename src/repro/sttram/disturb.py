@@ -1,0 +1,112 @@
+"""Disturb faults (section VI, Table V).
+
+PCM and Flash -- and, via row hammer, DRAM -- suffer *disturb* errors:
+activity on one line flips bits in physically adjacent lines.  Unlike
+the iid thermal flips of the main study, disturb faults are (a)
+access-correlated, so they concentrate around hot lines, and (b) often
+*bursty*, hitting a contiguous run of cells.
+
+:class:`DisturbChannel` wraps any engine: each read or write disturbs
+each physical neighbour with probability ``disturb_probability``,
+flipping either a single bit or a short burst.  Because neighbours in
+the physical frame order share a Hash-1 RAID-Group, disturb clustering
+is the *worst case* for a single-hash design -- and exactly the pattern
+the skewed second hash decorrelates, which `bench_disturb.py`
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.sttram.faults import burst_error_vector
+
+
+class DisturbChannel:
+    """Engine wrapper injecting neighbour-disturb faults on accesses.
+
+    :param engine: the wrapped protection engine.
+    :param disturb_probability: per-access, per-neighbour flip probability.
+    :param neighbours: how many frames on each side are exposed.
+    :param burst_length: bits flipped per disturb event (1 = single bit).
+    """
+
+    def __init__(
+        self,
+        engine,
+        disturb_probability: float,
+        neighbours: int = 1,
+        burst_length: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= disturb_probability <= 1.0:
+            raise ValueError("disturb_probability must be a probability")
+        if neighbours < 1:
+            raise ValueError("neighbours must be at least 1")
+        if burst_length < 1:
+            raise ValueError("burst_length must be at least 1")
+        self.engine = engine
+        self.disturb_probability = disturb_probability
+        self.neighbours = neighbours
+        self.burst_length = burst_length
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.disturb_events = 0
+
+    # -- the disturb mechanism ------------------------------------------------------
+
+    def _disturb_neighbours(self, frame: int) -> None:
+        array = self.engine.array
+        for offset in range(1, self.neighbours + 1):
+            for neighbour in (frame - offset, frame + offset):
+                if not 0 <= neighbour < array.num_lines:
+                    continue
+                if self._rng.random() >= self.disturb_probability:
+                    continue
+                start = int(
+                    self._rng.integers(0, array.line_bits - self.burst_length + 1)
+                )
+                array.inject(
+                    neighbour,
+                    burst_error_vector(array.line_bits, start, self.burst_length),
+                )
+                self.disturb_events += 1
+
+    # -- wrapped access paths ----------------------------------------------------------
+
+    def write_data(self, frame: int, data: int) -> None:
+        """Write through, then disturb the physical neighbours."""
+        self.engine.write_data(frame, data)
+        self._disturb_neighbours(frame)
+
+    def read_data(self, frame: int):
+        """Read through (with correction), then disturb the neighbours."""
+        result = self.engine.read_data(frame)
+        self._disturb_neighbours(frame)
+        return result
+
+    # -- forwarded campaign interface ----------------------------------------------------
+
+    @property
+    def array(self):
+        """The protected array."""
+        return self.engine.array
+
+    @property
+    def data_bits(self) -> int:
+        """Payload width."""
+        return self.engine.data_bits
+
+    def scrub_frames(self, frames: Iterable[int]) -> Dict[str, int]:
+        """Forwarded to the wrapped engine."""
+        return self.engine.scrub_frames(frames)
+
+    def scrub_all(self) -> Dict[str, int]:
+        """Forwarded to the wrapped engine."""
+        return self.engine.scrub_all()
+
+    @property
+    def stats(self):
+        """The wrapped engine's counters."""
+        return self.engine.stats

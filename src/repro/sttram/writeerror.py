@@ -1,0 +1,80 @@
+"""Write errors (section VIII-B).
+
+A low thermal-stability factor also raises STTRAM's *write* error rate
+(WER): a write may fail to switch some cells.  The paper argues SuDoku
+needs no special handling -- a write error is indistinguishable from a
+retention flip that happened immediately after the write, so the same
+scrub + correction machinery absorbs it, and with WER comparable to the
+retention BER "SuDoku will provide similar reliability".
+
+:class:`WriteErrorChannel` wraps any engine (SuDoku or baseline): every
+``write_data`` goes through, then each just-written bit flips
+independently with probability ``wer``.  The wrapper forwards the rest
+of the campaign interface so Monte-Carlo harnesses drive it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.coding.bitvec import flip_bits
+
+
+class WriteErrorChannel:
+    """Engine wrapper injecting per-bit write errors on every write."""
+
+    def __init__(
+        self,
+        engine,
+        wer: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= wer <= 1.0:
+            raise ValueError("wer must be a probability")
+        self.engine = engine
+        self.wer = wer
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.write_errors_injected = 0
+
+    # -- write path ---------------------------------------------------------------
+
+    def write_data(self, frame: int, data: int) -> None:
+        """Write through the engine, then corrupt the stored word."""
+        self.engine.write_data(frame, data)
+        array = self.engine.array
+        count = int(self._rng.binomial(array.line_bits, self.wer))
+        if count:
+            positions = self._rng.choice(array.line_bits, size=count, replace=False)
+            array.inject(frame, flip_bits(0, (int(p) for p in positions)))
+            self.write_errors_injected += count
+
+    # -- forwarded campaign interface --------------------------------------------------
+
+    @property
+    def array(self):
+        """The protected array (campaign harness access)."""
+        return self.engine.array
+
+    @property
+    def data_bits(self) -> int:
+        """Payload width (campaign harness access)."""
+        return self.engine.data_bits
+
+    def scrub_frames(self, frames: Iterable[int]) -> Dict[str, int]:
+        """Forwarded to the wrapped engine."""
+        return self.engine.scrub_frames(frames)
+
+    def scrub_all(self) -> Dict[str, int]:
+        """Forwarded to the wrapped engine."""
+        return self.engine.scrub_all()
+
+    def read_data(self, frame: int):
+        """Forwarded to the wrapped engine."""
+        return self.engine.read_data(frame)
+
+    @property
+    def stats(self):
+        """The wrapped engine's counters."""
+        return self.engine.stats

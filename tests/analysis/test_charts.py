@@ -1,0 +1,84 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, exhibit_chart, log_ladder
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # The larger value fills the full width.
+        assert "█" * 10 in lines[1]
+        # Labels right-aligned to common width.
+        assert lines[0].startswith(" a |")
+
+    def test_fractional_cells(self):
+        text = bar_chart(["x", "y"], [1.0, 2.0], width=4)
+        # 1.0/2.0 -> half of 4 cells = 2 full blocks.
+        assert "██" in text.splitlines()[0]
+
+    def test_negative_marker(self):
+        text = bar_chart(["neg", "pos"], [-1.0, 1.0])
+        assert "|-" in text.splitlines()[0]
+
+    def test_unit_suffix(self):
+        text = bar_chart(["a"], [3.5], unit="%")
+        assert "3.5%" in text
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0], width=5)
+        assert "█" not in text
+
+
+class TestLogLadder:
+    def test_orders_of_magnitude(self):
+        text = log_ladder(
+            ["X", "Y", "Z"], [1e12, 1e6, 1e-4], width=30
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # three series + axis footer
+        positions = [line.index("●") for line in lines[:3]]
+        assert positions[0] > positions[1] > positions[2]
+        assert "10^" in lines[-1]
+
+    def test_zero_pinned_left(self):
+        text = log_ladder(["zero", "one"], [0.0, 1.0])
+        assert text.splitlines()[0].count("<") == 1
+
+    def test_no_positive_values(self):
+        assert log_ladder(["a"], [0.0]) == "(no positive values)"
+
+    def test_bounds_override(self):
+        text = log_ladder(["mid"], [1.0], bounds=(1e-2, 1e2))
+        line = text.splitlines()[0]
+        index = line.index("●")
+        bar_start = line.index("|") + 1
+        bar_end = line.rindex("|")
+        centre = (bar_start + bar_end) / 2
+        assert abs(index - centre) <= 2
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            log_ladder(["a", "b"], [1.0])
+
+
+class TestExhibitChart:
+    def test_renders_numeric_column(self):
+        exhibit = {
+            "title": "t",
+            "headers": ["name", "value"],
+            "rows": [["a", 1.0], ["b", 2.0], ["skip", None]],
+        }
+        text = exhibit_chart(exhibit, value_column=1)
+        assert "a" in text and "b" in text
+        assert "skip" not in text

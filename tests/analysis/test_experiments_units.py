@@ -1,0 +1,124 @@
+"""Unit tests on the exhibit-assembly functions (shape + paper columns).
+
+The integration suite checks the scientific assertions; these tests pin
+the *contract* of each exhibit builder -- titles, header widths, the
+presence of paper-reference columns -- so benches and the report
+generator can rely on them.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+def assert_well_formed(exhibit, expected_title_fragment):
+    assert expected_title_fragment in exhibit["title"]
+    headers = exhibit["headers"]
+    rows = exhibit["rows"]
+    assert rows, exhibit["title"]
+    for row in rows:
+        assert len(row) == len(headers), (
+            f"{exhibit['title']}: row width {len(row)} != {len(headers)}"
+        )
+    assert isinstance(exhibit.get("notes", ""), str)
+
+
+class TestExhibitContracts:
+    def test_table1(self):
+        exhibit = experiments.table1_ber()
+        assert_well_formed(exhibit, "Table I")
+        assert [row[0] for row in exhibit["rows"]] == [60.0, 35.0]
+
+    def test_table2(self):
+        exhibit = experiments.table2_ecc_fit()
+        assert_well_formed(exhibit, "Table II")
+        assert [row[0] for row in exhibit["rows"]] == [
+            f"ECC-{t}" for t in range(1, 7)
+        ]
+
+    def test_table3(self):
+        exhibit = experiments.table3_sdc()
+        assert_well_formed(exhibit, "Table III")
+
+    def test_fig3_custom_trials(self):
+        exhibit = experiments.fig3_sdr_cases(trials=2000)
+        assert_well_formed(exhibit, "Fig. 3")
+        fractions = [row[1] for row in exhibit["rows"]]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_fig7(self):
+        exhibit = experiments.fig7_reliability()
+        assert_well_formed(exhibit, "Fig. 7")
+
+    def test_table4(self):
+        exhibit = experiments.table4_sram()
+        assert_well_formed(exhibit, "Table IV")
+        schemes = [str(row[0]) for row in exhibit["rows"]]
+        assert sum(1 for s in schemes if s.startswith("SuDoku")) >= 2
+
+    def test_table8(self):
+        exhibit = experiments.table8_scrub_interval()
+        assert_well_formed(exhibit, "Table VIII")
+        assert [row[0] for row in exhibit["rows"]] == ["10ms", "20ms", "40ms"]
+
+    def test_table9(self):
+        exhibit = experiments.table9_cache_size()
+        assert_well_formed(exhibit, "Table IX")
+        assert [row[0] for row in exhibit["rows"]] == ["32MB", "64MB", "128MB"]
+
+    def test_table10(self):
+        exhibit = experiments.table10_delta()
+        assert_well_formed(exhibit, "Table X")
+        assert [row[0] for row in exhibit["rows"]] == [35, 34, 33]
+
+    def test_table11(self):
+        exhibit = experiments.table11_baselines()
+        assert_well_formed(exhibit, "Table XI")
+        assert {row[0] for row in exhibit["rows"]} == {
+            "CPPC + CRC-31", "RAID-6 + CRC-31",
+            "2DP + ECC-1 + CRC-31", "SuDoku",
+        }
+
+    def test_table12(self):
+        exhibit = experiments.table12_hiecc()
+        assert_well_formed(exhibit, "Table XII")
+
+    def test_latency_and_storage(self):
+        assert_well_formed(experiments.latency_summary(), "VII-B")
+        assert_well_formed(experiments.storage_summary(), "VII-H")
+
+    def test_custom_ber_propagates(self):
+        mild = experiments.table2_ecc_fit(ber=1e-6)
+        harsh = experiments.table2_ecc_fit(ber=1e-5)
+        # Higher BER -> higher FIT in every row.
+        for mild_row, harsh_row in zip(mild["rows"], harsh["rows"]):
+            assert harsh_row[5] > mild_row[5]
+
+    def test_tornado_summary(self):
+        exhibit = experiments.tornado_summary()
+        assert_well_formed(exhibit, "tornado")
+        swings = [row[4] for row in exhibit["rows"]]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_all_experiments_enumerates_fourteen(self):
+        exhibits = experiments.all_experiments()
+        assert len(exhibits) == 14
+        titles = [e["title"] for e in exhibits]
+        assert len(set(titles)) == len(titles)
+
+
+class TestPerformanceExhibitContracts:
+    def test_fig8_contract(self):
+        exhibit = experiments.fig8_performance(
+            workloads=["povray"], accesses_per_core=1500
+        )
+        assert_well_formed(exhibit, "Fig. 8")
+        assert exhibit["rows"][-1][0] == "MEAN"
+        assert len(exhibit["rows"]) == 2
+
+    def test_fig9_contract(self):
+        exhibit = experiments.fig9_edp(
+            workloads=["povray"], accesses_per_core=1500
+        )
+        assert_well_formed(exhibit, "Fig. 9")
+        assert exhibit["rows"][-1][0] == "MEAN"

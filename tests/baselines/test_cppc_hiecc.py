@@ -1,0 +1,98 @@
+"""Unit tests for the CPPC and Hi-ECC baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.cppc import CPPCCache
+from repro.baselines.hiecc import HiECCCache
+from repro.coding.bch import BCH
+from repro.coding.bitvec import random_error_vector
+from repro.core.outcomes import Outcome
+
+#: Small shared region code for Hi-ECC tests (256-bit regions).
+REGION_CODE = BCH(256, 3, m=9)
+
+
+class TestCPPC:
+    def test_single_faulty_line_recovered_globally(self):
+        rng = random.Random(1)
+        cache = CPPCCache(num_lines=32)
+        cache.write_data(5, 0xCAFE)
+        cache.array.inject(5, random_error_vector(cache.array.line_bits, 6, rng))
+        data, outcome = cache.read_data(5)
+        assert data == 0xCAFE and outcome is Outcome.CORRECTED_RAID4
+        assert cache.array.is_clean(5)
+
+    def test_two_faulty_lines_fail(self):
+        rng = random.Random(2)
+        cache = CPPCCache(num_lines=32)
+        cache.array.inject(1, random_error_vector(cache.array.line_bits, 1, rng))
+        cache.array.inject(2, random_error_vector(cache.array.line_bits, 2, rng))
+        counts = cache.scrub_all()
+        assert counts.get("due") == 2
+
+    def test_global_parity_tracks_writes(self):
+        rng = random.Random(3)
+        cache = CPPCCache(num_lines=16)
+        from repro.coding.parity import xor_reduce
+
+        for _ in range(50):
+            cache.write_data(rng.randrange(16), rng.getrandbits(512))
+        assert cache.global_parity == xor_reduce(
+            cache.array.read(i) for i in range(16)
+        )
+
+    def test_overhead(self):
+        cache = CPPCCache(num_lines=1 << 10)
+        assert cache.storage_overhead_bits_per_line == pytest.approx(31.53, abs=0.05)
+
+    def test_odd_data_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CPPCCache(num_lines=4, data_bits=100)
+
+
+class TestHiECC:
+    def make(self, num_regions=4):
+        return HiECCCache(
+            num_regions=num_regions, region_bytes=32, t=REGION_CODE.t,
+            code=REGION_CODE,
+        )
+
+    def test_region_roundtrip(self):
+        cache = self.make()
+        cache.write_data(0, 0xABCDEF)
+        data, outcome = cache.read_data(0)
+        assert data == 0xABCDEF and outcome is Outcome.CLEAN
+
+    def test_line_slice_update(self):
+        cache = self.make()
+        cache.write_line(1, 2, 0x77, line_bits=64)
+        data, _ = cache.read_data(1)
+        assert (data >> 128) & ((1 << 64) - 1) == 0x77
+
+    def test_corrects_within_budget(self):
+        rng = random.Random(4)
+        cache = self.make()
+        cache.write_data(2, rng.getrandbits(256))
+        cache.array.inject(2, random_error_vector(cache.array.line_bits, 3, rng))
+        _, outcome = cache.read_data(2)
+        assert outcome is Outcome.CORRECTED_ECC1
+        assert cache.array.is_clean(2)
+
+    def test_fails_beyond_budget(self):
+        rng = random.Random(5)
+        cache = self.make()
+        cache.array.inject(3, random_error_vector(cache.array.line_bits, 5, rng))
+        _, outcome = cache.read_data(3)
+        assert outcome in (Outcome.DUE, Outcome.SDC)
+
+    def test_paper_scale_overhead(self):
+        # ECC-6 over 1 KB amortises to ~5.25 bits per 64 B line (~1%).
+        code = BCH(8192, 6)
+        assert code.num_check_bits / 16 == pytest.approx(5.25)
+
+    def test_oversized_line_rejected(self):
+        cache = self.make()
+        with pytest.raises(ValueError):
+            cache.write_line(0, 0, 1 << 64, line_bits=64)

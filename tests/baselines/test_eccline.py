@@ -1,0 +1,59 @@
+"""Unit tests for the uniform per-line ECC-t baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.eccline import ECCLineCache
+from repro.coding.bch import BCH
+from repro.coding.bitvec import random_error_vector
+from repro.core.outcomes import Outcome
+
+#: Shared small code so tests avoid rebuilding BCH generator polynomials.
+CODE_T3 = BCH(64, 3, m=8)
+
+
+def make_cache(num_lines=16, code=CODE_T3):
+    return ECCLineCache(num_lines=num_lines, t=code.t, data_bits=code.k, code=code)
+
+
+class TestECCLineCache:
+    def test_clean_roundtrip(self):
+        cache = make_cache()
+        cache.write_data(3, 0xDEAD)
+        data, outcome = cache.read_data(3)
+        assert data == 0xDEAD and outcome is Outcome.CLEAN
+
+    def test_corrects_up_to_t(self):
+        rng = random.Random(1)
+        cache = make_cache()
+        cache.write_data(0, 0x1234)
+        cache.array.inject(0, random_error_vector(cache.array.line_bits, 3, rng))
+        data, outcome = cache.read_data(0)
+        assert data == 0x1234 and outcome is Outcome.CORRECTED_ECC1
+        assert cache.array.is_clean(0)
+
+    def test_beyond_t_is_due(self):
+        rng = random.Random(2)
+        cache = make_cache()
+        cache.write_data(1, 0x5678)
+        cache.array.inject(1, random_error_vector(cache.array.line_bits, 5, rng))
+        _, outcome = cache.read_data(1)
+        assert outcome in (Outcome.DUE, Outcome.SDC)
+
+    def test_scrub_counts(self):
+        rng = random.Random(3)
+        cache = make_cache()
+        cache.array.inject(2, random_error_vector(cache.array.line_bits, 1, rng))
+        counts = cache.scrub_all()
+        assert counts.get("corrected_ecc1") == 1
+        assert counts.get("clean") == 15
+
+    def test_paper_overhead(self):
+        # The paper-scale instance costs exactly 60 bits/line; checked via
+        # code parameters to avoid constructing the big code repeatedly.
+        assert BCH(512, 6).num_check_bits == 60
+
+    def test_mismatched_code_rejected(self):
+        with pytest.raises(ValueError):
+            ECCLineCache(num_lines=4, t=3, data_bits=128, code=CODE_T3)

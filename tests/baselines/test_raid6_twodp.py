@@ -1,0 +1,114 @@
+"""Unit tests for the RAID-6 and 2DP baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.raid6 import RAID6Cache, rotate_left, rotate_right
+from repro.baselines.twodp import TwoDPCache
+from repro.coding.bitvec import random_error_vector
+from repro.core.linecodec import LineCodec
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+
+WIDTH = 553
+
+
+class TestRotation:
+    def test_left_right_inverse(self):
+        value = 0xDEADBEEF
+        for shift in (0, 1, 13, 31, 32):
+            assert rotate_right(rotate_left(value, shift, 32), shift, 32) == value
+
+    def test_wraparound(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+
+@pytest.fixture
+def raid6():
+    rng = random.Random(61)
+    cache = RAID6Cache(num_lines=64, group_size=16)
+    for frame in range(64):
+        cache.write_data(frame, rng.getrandbits(512))
+    return rng, cache
+
+
+class TestRAID6:
+    def test_parities_track_writes(self, raid6):
+        rng, cache = raid6
+        from repro.coding.parity import xor_reduce
+
+        for _ in range(50):
+            cache.write_data(rng.randrange(64), rng.getrandbits(512))
+        for group in range(4):
+            members = cache.mapper.members(group)
+            assert cache.row_parity[group] == xor_reduce(
+                cache.array.read(f) for f in members
+            )
+
+    def test_single_bit_fault_ecc1(self, raid6):
+        rng, cache = raid6
+        cache.array.inject(3, 1 << 50)
+        _, outcome = cache.read_data(3)
+        assert outcome is Outcome.CORRECTED_ECC1
+
+    def test_one_erasure_row_parity(self, raid6):
+        rng, cache = raid6
+        cache.array.inject(5, random_error_vector(WIDTH, 4, rng))
+        _, outcome = cache.read_data(5)
+        assert outcome is Outcome.CORRECTED_RAID4
+        assert cache.array.is_clean(5)
+
+    def test_two_erasures_recovered(self, raid6):
+        rng, cache = raid6
+        recovered = 0
+        trials = 12
+        for trial in range(trials):
+            a, b = rng.sample(range(16), 2)
+            cache.array.inject(a, random_error_vector(WIDTH, 2, rng))
+            cache.array.inject(b, random_error_vector(WIDTH, 3, rng))
+            counts = cache.scrub_frames([a, b])
+            if counts.get("corrected_raid4", 0) == 2:
+                recovered += 1
+            for frame in cache.array.faulty_lines():
+                cache.array.restore(frame, cache.array.golden(frame))
+        # Cycle ambiguity can occasionally defeat the solver (gcd > 8
+        # strides); the overwhelming majority must recover.
+        assert recovered >= trials - 2
+
+    def test_three_erasures_fail(self, raid6):
+        rng, cache = raid6
+        for frame in (1, 2, 3):
+            cache.array.inject(frame, random_error_vector(WIDTH, 2, rng))
+        counts = cache.scrub_frames([1, 2, 3])
+        assert counts.get("due") == 3
+
+    def test_overhead(self, raid6):
+        _, cache = raid6
+        assert cache.storage_overhead_bits_per_line == pytest.approx(
+            41 + 2 * WIDTH / 16
+        )
+
+
+class TestTwoDP:
+    def test_behaves_like_single_hash_sudoku_y(self):
+        rng = random.Random(62)
+        codec = LineCodec()
+        array = STTRAMArray(256, codec.stored_bits)
+        cache = TwoDPCache(array, group_size=16, codec=codec)
+        for frame in range(256):
+            cache.write_data(frame, rng.getrandbits(512))
+        # Dual 2-bit faults: recoverable (the SDR-like column repair).
+        array.inject(1, random_error_vector(WIDTH, 2, rng))
+        array.inject(2, random_error_vector(WIDTH, 2, rng))
+        counts = cache.scrub_frames([1, 2])
+        assert "due" not in counts
+        # Dual 3-bit faults: the single-region weakness the paper cites.
+        array.inject(17, random_error_vector(WIDTH, 3, rng))
+        array.inject(18, random_error_vector(WIDTH, 3, rng))
+        counts = cache.scrub_frames([17, 18])
+        assert counts.get("due") == 2
+
+    def test_nameplate(self):
+        assert TwoDPCache.level == "2DP"
+        assert "2DP" in TwoDPCache.name

@@ -1,0 +1,119 @@
+"""Unit tests for repro.cache.functional and repro.cache.lru."""
+
+import random
+
+import pytest
+
+from repro.cache.functional import FunctionalCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.lru import LRUState
+
+
+def small_cache(ways=2, sets=4):
+    geometry = CacheGeometry(
+        capacity_bytes=ways * sets * 64, line_bytes=64, ways=ways
+    )
+    return FunctionalCache(geometry)
+
+
+class TestLRUState:
+    def test_initial_victim(self):
+        lru = LRUState(4)
+        assert lru.victim() == 3
+
+    def test_touch_moves_to_front(self):
+        lru = LRUState(3)
+        lru.touch(2)
+        assert lru.order() == [2, 0, 1]
+        assert lru.victim() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUState(0)
+
+
+class TestFunctionalCache:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        first = cache.access(0x1000, is_write=False)
+        assert not first.hit
+        second = cache.access(0x1000, is_write=False)
+        assert second.hit
+        assert second.frame_index == first.frame_index
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0x1000, is_write=False)
+        assert cache.access(0x103F, is_write=False).hit
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0 << 6, False)   # A
+        cache.access(1 << 6, False)   # B
+        cache.access(0 << 6, False)   # touch A -> B is LRU
+        result = cache.access(2 << 6, False)  # C evicts B
+        assert not result.hit
+        assert result.victim_line_address == 1
+        assert cache.access(0 << 6, False).hit   # A survived
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, True)
+        result = cache.access(1 << 6, False)
+        assert result.victim_dirty
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, False)
+        result = cache.access(1 << 6, False)
+        assert not result.victim_dirty
+
+    def test_write_hit_sets_dirty(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, False)
+        cache.access(0, True)
+        _, dirty = cache.frame_state(0)
+        assert dirty
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x40, False)
+        assert cache.invalidate(0x40)
+        assert not cache.invalidate(0x40)
+        assert not cache.access(0x40, False).hit
+
+    def test_probe_does_not_allocate(self):
+        cache = small_cache()
+        assert cache.probe(0x1000) is None
+        cache.access(0x1000, False)
+        assert cache.probe(0x1000) is not None
+        assert cache.misses == 1
+
+    def test_statistics(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.accesses == 2
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_residency_bounded_by_capacity(self):
+        cache = small_cache(ways=2, sets=4)
+        rng = random.Random(1)
+        for _ in range(500):
+            cache.access(rng.randrange(1 << 16) << 6, rng.random() < 0.3)
+        assert cache.resident_lines() <= 8
+
+    def test_walk_frames_consistent_with_lookup(self):
+        cache = small_cache(ways=2, sets=4)
+        for address in (0, 64, 128, 4096):
+            cache.access(address, False)
+        found = {}
+
+        def visit(frame_index, line_address, dirty):
+            if line_address is not None:
+                found[line_address] = frame_index
+
+        cache.walk_frames(visit)
+        for line_address, frame_index in found.items():
+            assert cache.probe(line_address << 6) == frame_index

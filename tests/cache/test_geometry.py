@@ -1,0 +1,81 @@
+"""Unit tests for repro.cache.geometry."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestDefaults:
+    def test_paper_geometry(self):
+        geometry = CacheGeometry()
+        assert geometry.capacity_bytes == 64 * 1024 * 1024
+        assert geometry.line_bytes == 64
+        assert geometry.ways == 8
+        assert geometry.num_lines == 1 << 20
+        assert geometry.num_sets == 1 << 17
+        assert geometry.line_bits == 512
+
+    def test_group_counts(self):
+        geometry = CacheGeometry()
+        assert geometry.num_groups(512) == 2048
+
+    def test_describe(self):
+        assert "64MB" in CacheGeometry().describe()
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(capacity_bytes=3 * 1024 * 1024)
+        with pytest.raises(ValueError):
+            CacheGeometry(line_bytes=48)
+        with pytest.raises(ValueError):
+            CacheGeometry(ways=3)
+
+    def test_group_size_must_tile(self):
+        with pytest.raises(ValueError):
+            CacheGeometry().num_groups(3)
+        with pytest.raises(ValueError):
+            CacheGeometry().num_groups(0)
+
+
+class TestAddressCodecs:
+    def setup_method(self):
+        self.geometry = CacheGeometry(
+            capacity_bytes=64 * 1024, line_bytes=64, ways=4
+        )  # 1024 lines, 256 sets
+
+    def test_split_roundtrip(self):
+        address = 0xDEAD40
+        parts = self.geometry.split(address)
+        rebuilt = (
+            (parts.tag << self.geometry.set_bits | parts.set_index)
+            << self.geometry.offset_bits
+        ) | parts.block_offset
+        assert rebuilt == address
+
+    def test_offset_extraction(self):
+        parts = self.geometry.split(0x7F)
+        assert parts.block_offset == 0x3F
+        assert parts.set_index == 1
+
+    def test_line_address(self):
+        assert self.geometry.line_address(128) == 2
+
+    def test_frame_index_roundtrip(self):
+        for set_index in (0, 7, 255):
+            for way in range(4):
+                frame = self.geometry.frame_index(set_index, way)
+                assert self.geometry.frame_location(frame) == (set_index, way)
+
+    def test_frame_bounds(self):
+        with pytest.raises(ValueError):
+            self.geometry.frame_index(256, 0)
+        with pytest.raises(ValueError):
+            self.geometry.frame_index(0, 4)
+        with pytest.raises(ValueError):
+            self.geometry.frame_location(1024)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            self.geometry.split(-1)

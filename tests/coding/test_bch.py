@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.coding.bch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bch import BCH
+from repro.coding.bitvec import flip_bits
+
+
+class TestConstruction:
+    def test_paper_ecc6_costs_sixty_bits(self):
+        # The paper charges ECC-6 60 bits per 64-byte line (section II-D);
+        # the BCH construction over GF(2^10) realises exactly that.
+        code = BCH(512, 6)
+        assert code.m == 10
+        assert code.num_check_bits == 60
+        assert code.n == 572
+
+    @pytest.mark.parametrize("t,expected_bits", [(1, 10), (2, 20), (3, 30), (4, 40)])
+    def test_check_bits_scale_with_t(self, t, expected_bits):
+        assert BCH(512, t).num_check_bits == expected_bits
+
+    def test_hiecc_field(self):
+        # 1 KB regions need GF(2^14): 84 check bits for t = 6.
+        code = BCH(8192, 6)
+        assert code.m == 14
+        assert code.num_check_bits == 84
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BCH(0, 1)
+        with pytest.raises(ValueError):
+            BCH(512, 0)
+
+    def test_payload_exceeding_length_rejected(self):
+        with pytest.raises(ValueError):
+            BCH(2000, 6, m=10)  # 2000 + 60 > 1023
+
+
+class TestEncodeDecode:
+    def setup_method(self):
+        self.code = BCH(64, 3, m=8)  # small, fast code for exhaustive-ish tests
+        self.rng = random.Random(21)
+
+    def test_systematic_roundtrip(self):
+        for _ in range(50):
+            data = self.rng.getrandbits(64)
+            codeword = self.code.encode(data)
+            assert self.code.is_codeword(codeword)
+            assert self.code.extract_data(codeword) == data
+
+    def test_zero_errors_decode_clean(self):
+        data = self.rng.getrandbits(64)
+        result = self.code.decode(self.code.encode(data))
+        assert result.ok and result.error_positions == () and result.data == data
+
+    @pytest.mark.parametrize("weight", [1, 2, 3])
+    def test_corrects_up_to_t(self, weight):
+        for _ in range(30):
+            data = self.rng.getrandbits(64)
+            codeword = self.code.encode(data)
+            positions = self.rng.sample(range(self.code.n), weight)
+            result = self.code.decode(flip_bits(codeword, positions))
+            assert result.ok
+            assert result.corrected_word == codeword
+            assert result.error_positions == tuple(sorted(positions))
+
+    def test_beyond_t_not_silently_wrong(self):
+        miscorrections = 0
+        trials = 100
+        for _ in range(trials):
+            data = self.rng.getrandbits(64)
+            codeword = self.code.encode(data)
+            positions = self.rng.sample(range(self.code.n), 5)
+            result = self.code.decode(flip_bits(codeword, positions))
+            if result.ok and result.data != data:
+                miscorrections += 1
+        # Bounded-distance decoders may miscorrect past t, but the vast
+        # majority of 5-error patterns must be flagged uncorrectable.
+        assert miscorrections < trials * 0.2
+
+    def test_oversized_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            self.code.encode(1 << 64)
+        with pytest.raises(ValueError):
+            self.code.decode(1 << self.code.n)
+
+
+class TestPaperScaleCode:
+    def test_ecc6_corrects_six_errors(self):
+        code = BCH(512, 6)
+        rng = random.Random(22)
+        for _ in range(5):
+            data = rng.getrandbits(512)
+            codeword = code.encode(data)
+            positions = rng.sample(range(code.n), 6)
+            result = code.decode(flip_bits(codeword, positions))
+            assert result.ok and result.data == data
+
+    def test_ecc6_flags_seven_errors(self):
+        code = BCH(512, 6)
+        rng = random.Random(23)
+        flagged = 0
+        for _ in range(10):
+            data = rng.getrandbits(512)
+            codeword = code.encode(data)
+            positions = rng.sample(range(code.n), 7)
+            result = code.decode(flip_bits(codeword, positions))
+            if not result.ok:
+                flagged += 1
+        assert flagged >= 9  # overwhelming majority detected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1), st.data())
+def test_property_bch_corrects_random_patterns(data, draw):
+    code = BCH(64, 3, m=8)
+    codeword = code.encode(data)
+    weight = draw.draw(st.integers(min_value=0, max_value=3))
+    positions = draw.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=code.n - 1),
+            min_size=weight,
+            max_size=weight,
+            unique=True,
+        )
+    )
+    result = code.decode(flip_bits(codeword, positions))
+    assert result.ok and result.data == data

@@ -1,0 +1,175 @@
+"""Exhaustive and algebraic deep-checks on the code implementations.
+
+These complement the per-module unit tests with whole-codebook sweeps
+on small instances (where exhaustion is feasible) and algebraic
+identities that must hold at any size.
+"""
+
+import random
+
+import pytest
+
+from repro.coding.bch import BCH
+from repro.coding.bitvec import flip_bits, popcount
+from repro.coding.crc import CRC, CRC31_SUDOKU
+from repro.coding.gf2m import GF2m, gf2_degree, gf2_mod, gf2_mul
+from repro.coding.hamming import HammingSEC
+
+
+class TestHammingExhaustive:
+    @pytest.mark.parametrize("k", [4, 11, 26])
+    def test_every_codeword_and_every_single_error(self, k):
+        code = HammingSEC(k)
+        step = max(1, (1 << k) // 512)  # full codebook for k=4, sampled beyond
+        for data in range(0, 1 << k, step):
+            codeword = code.encode(data)
+            assert code.syndrome(codeword) == 0
+            for position in range(code.n):
+                result = code.correct(codeword ^ (1 << position))
+                assert result.valid
+                assert result.data == data
+
+    def test_minimum_distance_is_three(self):
+        # No two distinct codewords of the (7,4) code are closer than 3.
+        code = HammingSEC(4)
+        codewords = [code.encode(d) for d in range(16)]
+        minimum = min(
+            popcount(a ^ b)
+            for i, a in enumerate(codewords)
+            for b in codewords[i + 1 :]
+        )
+        assert minimum == 3
+
+    def test_check_positions_are_powers_of_two(self):
+        code = HammingSEC(11)
+        data_cw_bits = set(code._data_cw_shift)
+        check_bits = set(range(code.n)) - data_cw_bits
+        assert check_bits == {0, 1, 3, 7}  # positions 1,2,4,8 (0-based)
+
+
+class TestBCHAlgebra:
+    def test_generator_divides_every_codeword(self):
+        code = BCH(32, 2, m=6)
+        rng = random.Random(3)
+        for _ in range(100):
+            codeword = code.encode(rng.getrandbits(32))
+            assert gf2_mod(codeword, code.generator) == 0
+
+    def test_code_is_linear(self):
+        code = BCH(32, 2, m=6)
+        rng = random.Random(4)
+        for _ in range(50):
+            a = code.encode(rng.getrandbits(32))
+            b = code.encode(rng.getrandbits(32))
+            assert code.is_codeword(a ^ b)
+
+    def test_generator_degree_equals_check_bits(self):
+        for t in (1, 2, 3):
+            code = BCH(64, t, m=8)
+            assert gf2_degree(code.generator) == code.num_check_bits
+
+    def test_designed_distance_no_codeword_lighter_than_2t_plus_1(self):
+        # Sampled: no nonzero codeword of weight <= 2t may exist.
+        code = BCH(16, 2, m=6)
+        rng = random.Random(5)
+        lightest = min(
+            popcount(code.encode(rng.getrandbits(16) or 1)) for _ in range(2000)
+        )
+        assert lightest >= 2 * code.t + 1
+
+    def test_syndromes_of_codewords_vanish(self):
+        code = BCH(32, 3, m=7)
+        rng = random.Random(6)
+        for _ in range(30):
+            codeword = code.encode(rng.getrandbits(32))
+            assert not any(code.syndromes(codeword))
+
+    def test_shortening_consistency(self):
+        # A shortened codeword, zero-extended, is a codeword of the
+        # parent (same generator) code.
+        code = BCH(32, 2, m=6)
+        rng = random.Random(7)
+        codeword = code.encode(rng.getrandbits(32))
+        assert gf2_mod(codeword, code.generator) == 0
+        assert code.shortened_by == code.n_full - code.n
+
+
+class TestCRCAlgebra:
+    def test_syndrome_is_affine(self):
+        # crc(m1) ^ crc(m2) depends only on m1 ^ m2 (the init cancels).
+        engine = CRC31_SUDOKU
+        rng = random.Random(8)
+        for _ in range(50):
+            m1 = rng.getrandbits(128)
+            m2 = rng.getrandbits(128)
+            delta = m1 ^ m2
+            lhs = engine.compute_int(m1, 128) ^ engine.compute_int(m2, 128)
+            rhs = engine.compute_int(delta, 128) ^ engine.compute_int(0, 128)
+            assert lhs == rhs
+
+    def test_shift_property(self):
+        # Appending zero bytes maps the CRC through the polynomial ring:
+        # verified indirectly -- the same message at two lengths never
+        # shares a syndrome relationship by accident.
+        engine = CRC(16, 0x1021)
+        value = 0xAB
+        assert engine.compute_int(value, 8) != engine.compute_int(value, 16)
+
+    def test_error_burst_detection(self):
+        # Any burst shorter than the CRC width is always detected.
+        engine = CRC31_SUDOKU
+        rng = random.Random(9)
+        base = rng.getrandbits(512)
+        reference = engine.compute_int(base, 512)
+        for _ in range(200):
+            length = rng.randint(1, 31)
+            start = rng.randint(0, 512 - length)
+            pattern = rng.getrandbits(length) | 1 | (1 << (length - 1))
+            corrupted = base ^ (pattern << start)
+            if corrupted == base:
+                continue
+            assert engine.compute_int(corrupted, 512) != reference
+
+
+class TestFieldTowers:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6])
+    def test_frobenius_is_additive(self, m):
+        field = GF2m(m)
+        for a in range(field.size):
+            for b in range(0, field.size, 3):
+                lhs = field.mul(a ^ b, a ^ b)
+                rhs = field.mul(a, a) ^ field.mul(b, b)
+                assert lhs == rhs
+
+    def test_every_element_has_unique_cube_root_when_coprime(self):
+        # In GF(2^5), gcd(3, 31) = 1, so cubing is a bijection.
+        field = GF2m(5)
+        cubes = {field.pow(a, 3) for a in range(1, field.size)}
+        assert len(cubes) == field.size - 1
+
+    def test_carryless_multiply_degree_additivity(self):
+        rng = random.Random(10)
+        for _ in range(100):
+            a = rng.getrandbits(20) | (1 << 19)
+            b = rng.getrandbits(12) | (1 << 11)
+            assert gf2_degree(gf2_mul(a, b)) == gf2_degree(a) + gf2_degree(b)
+
+
+class TestLineCodecNeverLies:
+    """At any fault weight, the line codec never endorses wrong data."""
+
+    def test_sweep_fault_weights(self):
+        from repro.core.linecodec import DecodeStatus, LineCodec
+
+        codec = LineCodec()
+        rng = random.Random(11)
+        data = rng.getrandbits(512)
+        word = codec.encode(data)
+        for weight in range(0, 12):
+            for _ in range(20):
+                positions = rng.sample(range(codec.stored_bits), weight)
+                decode = codec.decode(flip_bits(word, positions))
+                if decode.status is not DecodeStatus.UNCORRECTABLE:
+                    assert decode.data == data, (
+                        f"codec endorsed wrong data at weight {weight}"
+                    )

@@ -1,0 +1,138 @@
+"""Unit and property tests for repro.coding.crc."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bitvec import flip_bits
+from repro.coding.crc import (
+    CHECK_VALUES,
+    CRC,
+    CRC8,
+    CRC16_CCITT,
+    CRC31_SUDOKU,
+    CRC32,
+    CRC31_DETECTION,
+    DetectionModel,
+    crc31,
+    reflect,
+)
+
+CHECK_INPUT = b"123456789"
+
+
+class TestCatalogueCheckValues:
+    def test_crc32(self):
+        assert CRC32.compute(CHECK_INPUT) == CHECK_VALUES["CRC-32"]
+
+    def test_crc16_ccitt(self):
+        assert CRC16_CCITT.compute(CHECK_INPUT) == CHECK_VALUES["CRC-16/CCITT-FALSE"]
+
+    def test_crc8(self):
+        assert CRC8.compute(CHECK_INPUT) == CHECK_VALUES["CRC-8"]
+
+    def test_crc31_philips(self):
+        assert CRC31_SUDOKU.compute(CHECK_INPUT) == CHECK_VALUES["CRC-31/PHILIPS"]
+
+
+class TestEngineBasics:
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ValueError):
+            CRC(4, 0x3)
+
+    def test_rejects_oversized_poly(self):
+        with pytest.raises(ValueError):
+            CRC(8, 0x1FF)
+
+    def test_reflect(self):
+        assert reflect(0b0001, 4) == 0b1000
+        assert reflect(0xA5, 8) == 0xA5  # palindromic byte
+
+    def test_compute_int_requires_byte_multiple(self):
+        with pytest.raises(ValueError):
+            CRC31_SUDOKU.compute_int(0, 9)
+
+    def test_compute_int_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            CRC31_SUDOKU.compute_int(1 << 16, 16)
+
+    def test_compute_int_matches_bytes(self):
+        value = int.from_bytes(CHECK_INPUT, "little")
+        assert CRC31_SUDOKU.compute_int(value, 72) == CRC31_SUDOKU.compute(CHECK_INPUT)
+
+    def test_bit_serial_matches_table_driven(self):
+        rng = random.Random(3)
+        engine = CRC(16, 0x1021, init=0xFFFF)
+        for _ in range(20):
+            value = rng.getrandbits(64)
+            assert engine.compute_bits(value, 64) == engine.compute_int(value, 64)
+
+    def test_crc31_helper(self):
+        value = random.Random(4).getrandbits(512)
+        assert crc31(value) == CRC31_SUDOKU.compute_int(value, 512)
+
+    def test_matches(self):
+        value = random.Random(5).getrandbits(512)
+        stored = crc31(value)
+        assert CRC31_SUDOKU.matches(value, 512, stored)
+        assert not CRC31_SUDOKU.matches(value ^ 1, 512, stored)
+
+
+class TestErrorDetection:
+    """CRC-31 must detect every small error pattern on a 64-byte line."""
+
+    @pytest.mark.parametrize("weight", [1, 2, 3, 4, 5, 6, 7])
+    def test_detects_small_patterns(self, weight):
+        rng = random.Random(weight)
+        data = rng.getrandbits(512)
+        reference = crc31(data)
+        for _ in range(60):
+            positions = rng.sample(range(512), weight)
+            corrupted = flip_bits(data, positions)
+            assert crc31(corrupted) != reference, (
+                f"undetected {weight}-bit error at {positions}"
+            )
+
+    def test_heavy_random_patterns_mostly_detected(self):
+        rng = random.Random(99)
+        data = rng.getrandbits(512)
+        reference = crc31(data)
+        misses = sum(
+            1
+            for _ in range(2000)
+            if crc31(flip_bits(data, rng.sample(range(512), 16))) == reference
+        )
+        # Misdetection probability is 2^-31; zero misses expected here.
+        assert misses == 0
+
+
+class TestDetectionModel:
+    def test_paper_parameters(self):
+        assert CRC31_DETECTION.width == 31
+        assert CRC31_DETECTION.guaranteed_detect == 7
+        assert CRC31_DETECTION.misdetect_probability == pytest.approx(2.0 ** -31)
+
+    def test_custom_model(self):
+        model = DetectionModel(width=16, guaranteed_detect=3,
+                               misdetect_probability=2.0 ** -16)
+        assert model.width == 16
+
+
+@settings(max_examples=50)
+@given(st.binary(min_size=0, max_size=64))
+def test_property_crc_is_deterministic(data):
+    assert CRC31_SUDOKU.compute(data) == CRC31_SUDOKU.compute(data)
+
+
+@settings(max_examples=50)
+@given(st.binary(min_size=1, max_size=64), st.data())
+def test_property_single_bit_always_detected(data, draw):
+    bit = draw.draw(st.integers(min_value=0, max_value=8 * len(data) - 1))
+    value = int.from_bytes(data, "little")
+    corrupted = value ^ (1 << bit)
+    width = 8 * len(data)
+    assert (
+        CRC31_SUDOKU.compute_int(corrupted, width)
+        != CRC31_SUDOKU.compute_int(value, width)
+    )

@@ -1,0 +1,113 @@
+"""Tests for the CRC distance-verification machinery."""
+
+import random
+
+import pytest
+
+from repro.coding.crc import CRC, CRC31_SUDOKU
+from repro.coding.crcdistance import (
+    DistanceReport,
+    min_weight_multiple_bound,
+    misdetection_rate,
+    syndrome_table,
+    verify_low_weight_detection,
+)
+
+
+class TestSyndromeTable:
+    def test_shape(self):
+        table = syndrome_table(CRC31_SUDOKU, data_bits=64)
+        assert len(table) == 64 + 31
+
+    def test_crc_field_positions_are_unit_vectors(self):
+        table = syndrome_table(CRC31_SUDOKU, data_bits=64)
+        for bit in range(31):
+            assert table[64 + bit] == 1 << bit
+
+    def test_data_positions_match_direct_computation(self):
+        table = syndrome_table(CRC31_SUDOKU, data_bits=64)
+        zero = CRC31_SUDOKU.compute_int(0, 64)
+        for position in (0, 13, 63):
+            assert table[position] == CRC31_SUDOKU.compute_int(1 << position, 64) ^ zero
+
+    def test_validates_data_bits(self):
+        with pytest.raises(ValueError):
+            syndrome_table(CRC31_SUDOKU, data_bits=65)
+
+    def test_table_consistency_with_full_check(self):
+        # XOR-of-syndromes equals the direct detected/undetected verdict.
+        rng = random.Random(5)
+        table = syndrome_table(CRC31_SUDOKU, data_bits=64)
+        zero = CRC31_SUDOKU.compute_int(0, 64)
+        for _ in range(50):
+            positions = rng.sample(range(64 + 31), 4)
+            accumulator = 0
+            error_data = 0
+            error_crc = 0
+            for position in positions:
+                accumulator ^= table[position]
+                if position < 64:
+                    error_data |= 1 << position
+                else:
+                    error_crc |= 1 << (position - 64)
+            direct_escape = (
+                CRC31_SUDOKU.compute_int(error_data, 64) ^ zero
+            ) == error_crc
+            assert (accumulator == 0) == direct_escape
+
+
+class TestExactSearch:
+    def test_line_length_distance_at_least_five(self):
+        # The headline measurement: no undetected payload pattern of
+        # weight <= 4 exists at the paper's line length.
+        report = min_weight_multiple_bound(CRC31_SUDOKU, data_bits=512)
+        assert report.undetected == ()
+        assert report.proven_distance_at_least == 5
+        assert report.payload_bits == 543
+
+    def test_weak_crc_is_caught(self):
+        # A deliberately weak polynomial (x^8, i.e. 8 parity-less shifts)
+        # has undetected low-weight patterns; the search must find some.
+        weak = CRC(8, 0x01, name="weak")  # poly x^8 + 1
+        report = min_weight_multiple_bound(weak, data_bits=64, max_weight=2)
+        assert report.undetected
+        assert report.proven_distance_at_least <= 2
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            min_weight_multiple_bound(CRC31_SUDOKU, max_weight=5)
+        with pytest.raises(ValueError):
+            min_weight_multiple_bound(CRC31_SUDOKU, max_weight=0)
+
+
+class TestRandomizedChecks:
+    def test_no_misses_at_moderate_weights(self):
+        rng = random.Random(6)
+        table = syndrome_table(CRC31_SUDOKU, data_bits=512)
+        for weight in (5, 6, 7):
+            misses = verify_low_weight_detection(
+                CRC31_SUDOKU, weight, samples=4000, rng=rng, table=table
+            )
+            assert misses == 0
+
+    def test_misdetection_rate_zero_at_feasible_samples(self):
+        rate = misdetection_rate(
+            CRC31_SUDOKU, weight=16, samples=20_000, rng=random.Random(7)
+        )
+        assert rate == 0.0
+
+    def test_weak_crc_misses_are_detected_by_random_check(self):
+        weak = CRC(8, 0x01, name="weak")
+        misses = verify_low_weight_detection(
+            weak, 2, data_bits=64, samples=20_000, rng=random.Random(8)
+        )
+        assert misses > 0
+
+
+class TestDistanceReport:
+    def test_distance_with_witnesses(self):
+        report = DistanceReport(
+            payload_bits=10, max_weight_searched=4,
+            undetected=((1, 2, 3), (0, 1, 2, 3)),
+        )
+        assert report.proven_distance_at_least == 3

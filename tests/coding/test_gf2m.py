@@ -1,0 +1,175 @@
+"""Unit tests for repro.coding.gf2m."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf2m import (
+    GF2m,
+    PRIMITIVE_POLYNOMIALS,
+    gf2_degree,
+    gf2_divmod,
+    gf2_gcd,
+    gf2_lcm,
+    gf2_mod,
+    gf2_mul,
+)
+
+
+class TestFieldConstruction:
+    def test_all_catalogued_polynomials_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            field = GF2m(m)
+            assert field.order == (1 << m) - 1
+
+    def test_non_primitive_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive.
+        with pytest.raises(ValueError):
+            GF2m(4, 0b11111)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(4, 0b1011)  # degree 3 poly for m = 4
+
+    def test_out_of_range_m(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+        with pytest.raises(ValueError):
+            GF2m(17)
+
+
+class TestFieldArithmetic:
+    def setup_method(self):
+        self.field = GF2m(8)
+
+    def test_add_is_xor(self):
+        assert self.field.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_identity(self):
+        for a in range(1, 256):
+            assert self.field.mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(256):
+            assert self.field.mul(a, 0) == 0
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert self.field.mul(a, self.field.inv(a)) == 1
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            self.field.inv(0)
+
+    def test_division(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            a = rng.randrange(256)
+            b = rng.randrange(1, 256)
+            assert self.field.mul(self.field.div(a, b), b) == a
+
+    def test_pow_matches_repeated_mul(self):
+        a = 0x53
+        product = 1
+        for exponent in range(10):
+            assert self.field.pow(a, exponent) == product
+            product = self.field.mul(product, a)
+
+    def test_negative_pow(self):
+        a = 0x7
+        assert self.field.mul(self.field.pow(a, -1), a) == 1
+
+    def test_alpha_generates_group(self):
+        seen = {self.field.alpha_pow(i) for i in range(self.field.order)}
+        assert len(seen) == self.field.order
+
+    def test_log_inverts_alpha_pow(self):
+        for i in range(0, self.field.order, 17):
+            assert self.field.log(self.field.alpha_pow(i)) == i
+
+
+class TestFieldPolynomials:
+    def setup_method(self):
+        self.field = GF2m(4)
+
+    def test_poly_eval_horner(self):
+        # p(x) = 3 + 2x + x^2 over GF(16), at x = 1: 3 ^ 2 ^ 1 = 0.
+        assert self.field.poly_eval([3, 2, 1], 1) == 0
+
+    def test_poly_mul_degree(self):
+        product = self.field.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2
+        assert product == [1, 0, 1]
+
+    def test_minimal_polynomial_of_alpha(self):
+        # alpha's minimal polynomial is the field's primitive polynomial.
+        assert self.field.minimal_polynomial(2) == PRIMITIVE_POLYNOMIALS[4]
+
+    def test_minimal_polynomial_has_element_as_root(self):
+        for element in range(1, 16):
+            packed = self.field.minimal_polynomial(element)
+            coefficients = [(packed >> i) & 1 for i in range(packed.bit_length())]
+            assert self.field.poly_eval(coefficients, element) == 0
+
+
+class TestGF2PolynomialHelpers:
+    def test_degree(self):
+        assert gf2_degree(0) == -1
+        assert gf2_degree(1) == 0
+        assert gf2_degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2).
+        assert gf2_mul(0b11, 0b11) == 0b101
+
+    def test_divmod_roundtrip(self):
+        rng = random.Random(2)
+        for _ in range(100):
+            a = rng.getrandbits(24)
+            b = rng.getrandbits(12) | (1 << 12)
+            quotient, remainder = gf2_divmod(a, b)
+            assert gf2_mul(quotient, b) ^ remainder == a
+            assert gf2_degree(remainder) < gf2_degree(b)
+
+    def test_mod_matches_divmod(self):
+        assert gf2_mod(0b11011, 0b101) == gf2_divmod(0b11011, 0b101)[1]
+
+    def test_gcd_of_multiples(self):
+        base = 0b1011
+        assert gf2_gcd(gf2_mul(base, 0b11), gf2_mul(base, 0b111)) % base == 0
+
+    def test_lcm_divisible_by_inputs(self):
+        polys = [0b111, 0b1011, 0b11]
+        result = gf2_lcm(polys)
+        for poly in polys:
+            assert gf2_mod(result, poly) == 0
+
+    def test_lcm_of_repeated_inputs(self):
+        assert gf2_lcm([0b111, 0b111]) == 0b111
+
+    def test_lcm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gf2_lcm([0b10, 0])
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_property_field_distributivity(a, b, c):
+    field = GF2m(8)
+    left = field.mul(a, field.add(b, c))
+    right = field.add(field.mul(a, b), field.mul(a, c))
+    assert left == right
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_property_field_commutativity(a, b):
+    field = GF2m(8)
+    assert field.mul(a, b) == field.mul(b, a)

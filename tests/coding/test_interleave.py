@@ -1,0 +1,116 @@
+"""Tests for the bit interleaver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bitvec import popcount
+from repro.coding.interleave import BitInterleaver
+
+
+class TestPositionMaps:
+    def test_bijection_small(self):
+        interleaver = BitInterleaver(line_bits=8, depth=4)
+        seen = set()
+        for line in range(4):
+            for bit in range(8):
+                physical = interleaver.physical_position(line, bit)
+                assert interleaver.logical_position(physical) == (line, bit)
+                seen.add(physical)
+        assert seen == set(range(32))
+
+    def test_bounds(self):
+        interleaver = BitInterleaver(line_bits=8, depth=4)
+        with pytest.raises(ValueError):
+            interleaver.physical_position(4, 0)
+        with pytest.raises(ValueError):
+            interleaver.physical_position(0, 8)
+        with pytest.raises(ValueError):
+            interleaver.logical_position(32)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BitInterleaver(0, 4)
+        with pytest.raises(ValueError):
+            BitInterleaver(8, 0)
+
+
+class TestRowTransforms:
+    def test_roundtrip(self):
+        interleaver = BitInterleaver(line_bits=64, depth=8)
+        rng = random.Random(1)
+        lines = [rng.getrandbits(64) for _ in range(8)]
+        assert interleaver.deinterleave(interleaver.interleave(lines)) == lines
+
+    def test_popcount_preserved(self):
+        interleaver = BitInterleaver(line_bits=32, depth=4)
+        rng = random.Random(2)
+        lines = [rng.getrandbits(32) for _ in range(4)]
+        row = interleaver.interleave(lines)
+        assert popcount(row) == sum(popcount(line) for line in lines)
+
+    def test_wrong_line_count(self):
+        with pytest.raises(ValueError):
+            BitInterleaver(8, 4).interleave([0, 0])
+
+    def test_oversized_values(self):
+        interleaver = BitInterleaver(8, 2)
+        with pytest.raises(ValueError):
+            interleaver.interleave([1 << 8, 0])
+        with pytest.raises(ValueError):
+            interleaver.deinterleave(1 << 16)
+
+
+class TestBurstSpreading:
+    def test_short_burst_one_bit_per_line(self):
+        interleaver = BitInterleaver(line_bits=64, depth=8)
+        for start in (0, 5, 100, interleaver.row_bits - 8):
+            errors = interleaver.burst_to_line_errors(start, 8)
+            assert len(errors) == 8                       # every line touched
+            assert all(popcount(vector) == 1 for _, vector in errors)
+
+    def test_long_burst_bounded(self):
+        interleaver = BitInterleaver(line_bits=64, depth=8)
+        errors = interleaver.burst_to_line_errors(3, 20)
+        worst = max(popcount(vector) for _, vector in errors)
+        assert worst == interleaver.max_bits_per_line(20) == 3
+
+    def test_burst_bounds(self):
+        interleaver = BitInterleaver(8, 2)
+        with pytest.raises(ValueError):
+            interleaver.burst_to_line_errors(15, 2)
+        with pytest.raises(ValueError):
+            interleaver.max_bits_per_line(0)
+
+    def test_burst_errors_match_deinterleave(self):
+        # Injecting the burst into the row and deinterleaving must agree
+        # with the analytical error map.
+        interleaver = BitInterleaver(line_bits=16, depth=4)
+        rng = random.Random(3)
+        lines = [rng.getrandbits(16) for _ in range(4)]
+        row = interleaver.interleave(lines)
+        start, length = 10, 6
+        burst = ((1 << length) - 1) << start
+        corrupted_lines = interleaver.deinterleave(row ^ burst)
+        expected = dict(interleaver.burst_to_line_errors(start, length))
+        for index in range(4):
+            assert corrupted_lines[index] == lines[index] ^ expected.get(index, 0)
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda depth: st.tuples(
+            st.just(depth),
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << 24) - 1),
+                min_size=depth, max_size=depth,
+            ),
+        )
+    )
+)
+def test_property_roundtrip(args):
+    depth, lines = args
+    interleaver = BitInterleaver(line_bits=24, depth=depth)
+    assert interleaver.deinterleave(interleaver.interleave(lines)) == lines

@@ -1,0 +1,127 @@
+"""Tests for the ECC-2 line codec (section VII-G enhancement)."""
+
+import random
+
+import pytest
+
+from repro.coding.bitvec import random_error_vector
+from repro.core.ecc2 import ECC2Layout, ECC2LineCodec
+from repro.core.engine import SuDokuY, SuDokuZ
+from repro.core.linecodec import DecodeStatus
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ECC2LineCodec()
+
+
+class TestLayout:
+    def test_dimensions(self, codec):
+        layout = codec.layout
+        assert layout.data_bits == 512
+        assert layout.crc_bits == 31
+        assert layout.ecc_bits == 20          # 2 errors x m=10
+        assert layout.stored_bits == 563
+        assert layout.overhead_bits == 51     # still below ECC-6's 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECC2Layout(data_bits=100)
+        with pytest.raises(ValueError):
+            ECC2Layout(crc_bits=16)
+        with pytest.raises(ValueError):
+            ECC2Layout(t=0)
+
+
+class TestCodec:
+    def test_clean_roundtrip(self, codec):
+        rng = random.Random(81)
+        for _ in range(10):
+            data = rng.getrandbits(512)
+            word = codec.encode(data)
+            assert codec.verify(word)
+            decode = codec.decode(word)
+            assert decode.status is DecodeStatus.CLEAN
+            assert decode.data == data
+            assert codec.extract_data(word) == data
+
+    @pytest.mark.parametrize("weight", [1, 2])
+    def test_corrects_up_to_two(self, codec, weight):
+        rng = random.Random(weight)
+        data = rng.getrandbits(512)
+        word = codec.encode(data)
+        for _ in range(15):
+            vector = random_error_vector(codec.stored_bits, weight, rng)
+            decode = codec.decode(word ^ vector)
+            assert decode.status is DecodeStatus.CORRECTED
+            assert decode.word == word
+            assert decode.data == data
+
+    def test_three_faults_uncorrectable(self, codec):
+        rng = random.Random(83)
+        data = rng.getrandbits(512)
+        word = codec.encode(data)
+        for _ in range(15):
+            vector = random_error_vector(codec.stored_bits, 3, rng)
+            assert codec.decode(word ^ vector).status is DecodeStatus.UNCORRECTABLE
+
+    def test_sdr_trial_resurrects_three_fault_line(self, codec):
+        rng = random.Random(84)
+        data = rng.getrandbits(512)
+        word = codec.encode(data)
+        vector = random_error_vector(codec.stored_bits, 3, rng)
+        corrupted = word ^ vector
+        fault_positions = [p for p in range(codec.stored_bits) if (vector >> p) & 1]
+        assert codec.try_flip_and_repair(corrupted, fault_positions[0]) == word
+
+    def test_sdr_trial_wrong_position_fails(self, codec):
+        rng = random.Random(85)
+        data = rng.getrandbits(512)
+        word = codec.encode(data)
+        vector = random_error_vector(codec.stored_bits, 4, rng)
+        wrong = next(p for p in range(codec.stored_bits) if not (vector >> p) & 1)
+        assert codec.try_flip_and_repair(word ^ vector, wrong) is None
+
+    def test_position_bounds(self, codec):
+        with pytest.raises(ValueError):
+            codec.try_flip_and_repair(0, codec.stored_bits)
+
+
+class TestEngineIntegration:
+    def test_sudoku_y_with_ecc2_survives_dual_three_fault(self, codec):
+        rng = random.Random(86)
+        array = STTRAMArray(256, codec.stored_bits)
+        engine = SuDokuY(array, group_size=16, codec=codec)
+        for frame in range(256):
+            engine.write_data(frame, rng.getrandbits(512))
+        # Dual 3-fault lines defeat ECC-1 SuDoku-Y but not the ECC-2 one.
+        array.inject(1, random_error_vector(codec.stored_bits, 3, rng))
+        array.inject(2, random_error_vector(codec.stored_bits, 3, rng))
+        counts = engine.scrub_frames([1, 2])
+        assert "due" not in counts
+        assert array.is_clean(1) and array.is_clean(2)
+
+    def test_sudoku_z_with_ecc2_dual_four_fault_via_hash2(self, codec):
+        rng = random.Random(87)
+        array = STTRAMArray(1024, codec.stored_bits)
+        engine = SuDokuZ(array, group_size=32, codec=codec)
+        for frame in range(1024):
+            engine.write_data(frame, rng.getrandbits(512))
+        array.inject(1, random_error_vector(codec.stored_bits, 4, rng))
+        array.inject(2, random_error_vector(codec.stored_bits, 4, rng))
+        counts = engine.scrub_frames([1, 2])
+        assert "due" not in counts
+        assert counts.get("corrected_hash2") == 2
+
+    def test_outcome_data_integrity(self, codec):
+        rng = random.Random(88)
+        array = STTRAMArray(256, codec.stored_bits)
+        engine = SuDokuY(array, group_size=16, codec=codec)
+        payload = rng.getrandbits(512)
+        engine.write_data(7, payload)
+        array.inject(7, random_error_vector(codec.stored_bits, 2, rng))
+        data, outcome = engine.read_data(7)
+        assert data == payload
+        assert outcome is Outcome.CORRECTED_ECC1

@@ -1,0 +1,92 @@
+"""Tests for the correction-event log."""
+
+import random
+
+import pytest
+
+from repro.coding.bitvec import random_error_vector
+from repro.core.engine import SuDokuZ
+from repro.core.eventlog import CorrectionEvent, EventLog
+from repro.core.linecodec import LineCodec
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+
+
+class TestEventLog:
+    def test_record_and_totals(self):
+        log = EventLog()
+        log.begin_interval(3)
+        event = log.record(7, Outcome.CORRECTED_ECC1, fault_bits=1, group=0,
+                           latency_s=1e-8)
+        assert event.sequence == 0
+        assert event.interval == 3
+        assert len(log) == 1
+        assert log.totals["corrected_ecc1"] == 1
+
+    def test_capacity_bound(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.record(index, Outcome.CLEAN)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log.totals["clean"] == 5  # totals keep counting
+        assert [event.frame for event in log] == [2, 3, 4]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_queries(self):
+        log = EventLog()
+        log.record(1, Outcome.CORRECTED_RAID4, group=4, latency_s=4e-6)
+        log.record(1, Outcome.CLEAN, group=4, latency_s=1e-9)
+        log.record(2, Outcome.CORRECTED_SDR, group=5, latency_s=5e-6)
+        assert len(log.events_for_frame(1)) == 2
+        hottest = log.hottest_groups()
+        assert hottest[0][0] in (4, 5)  # clean events excluded from heat
+        latency = log.latency_by_outcome()
+        assert latency["corrected_raid4"] == pytest.approx(4e-6)
+
+    def test_json_roundtrip(self):
+        log = EventLog()
+        log.begin_interval(1)
+        log.record(3, Outcome.DUE, fault_bits=4, group=2, latency_s=2e-6)
+        log.record(9, Outcome.CLEAN)
+        rebuilt = EventLog.from_json_lines(log.to_json_lines())
+        assert len(rebuilt) == 2
+        first = next(iter(rebuilt))
+        assert first.frame == 3
+        assert first.outcome == "due"
+        assert first.fault_bits == 4
+
+
+class TestEngineIntegration:
+    def test_engine_records_events(self):
+        rng = random.Random(91)
+        codec = LineCodec()
+        array = STTRAMArray(256, codec.stored_bits)
+        engine = SuDokuZ(array, group_size=16, codec=codec)
+        engine.event_log = EventLog()
+        for frame in range(256):
+            engine.write_data(frame, rng.getrandbits(512))
+
+        engine.event_log.begin_interval(0)
+        array.inject(3, 1 << 40)                                   # ECC-1
+        array.inject(20, random_error_vector(codec.stored_bits, 4, rng))  # RAID-4
+        counts = engine.scrub_frames([3, 20])
+        assert counts.get("corrected_ecc1") == 1
+        events = list(engine.event_log)
+        assert {event.outcome for event in events} == {
+            "corrected_ecc1", "corrected_raid4",
+        }
+        by_frame = {event.frame: event for event in events}
+        assert by_frame[3].fault_bits == 1
+        assert by_frame[20].fault_bits == 4
+        assert by_frame[20].latency_s > by_frame[3].latency_s
+
+    def test_no_log_attached_costs_nothing(self):
+        codec = LineCodec()
+        array = STTRAMArray(64, codec.stored_bits)
+        engine = SuDokuZ(array, group_size=8, codec=codec)
+        assert engine.event_log is None
+        assert engine.scrub_all() == {"clean": 64}

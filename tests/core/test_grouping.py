@@ -1,0 +1,103 @@
+"""Unit and property tests for the RAID-Group hash functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import GroupMapper, SkewedGroupMapper, never_colocated
+
+
+class TestGroupMapper:
+    def test_consecutive_grouping(self):
+        mapper = GroupMapper(16, 4)
+        assert mapper.num_groups == 4
+        assert mapper.group_of(0) == 0
+        assert mapper.group_of(5) == 1
+        assert mapper.members(1) == [4, 5, 6, 7]
+
+    def test_membership_is_partition(self):
+        mapper = GroupMapper(64, 8)
+        seen = sorted(f for g in range(mapper.num_groups) for f in mapper.members(g))
+        assert seen == list(range(64))
+
+    def test_member_group_consistency(self):
+        mapper = GroupMapper(128, 16)
+        for group in range(mapper.num_groups):
+            for frame in mapper.members(group):
+                assert mapper.group_of(frame) == group
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupMapper(16, 3)      # not a power of two
+        with pytest.raises(ValueError):
+            GroupMapper(17, 4)      # does not tile
+        with pytest.raises(ValueError):
+            GroupMapper(16, 1)      # trivial group
+        with pytest.raises(IndexError):
+            GroupMapper(16, 4).group_of(16)
+
+
+class TestSkewedGroupMapper:
+    def test_paper_figure5_example(self):
+        # 16 lines, 4-line groups: Hash-2 groups are strided by 4.
+        mapper = SkewedGroupMapper(16, 4)
+        assert mapper.members(mapper.group_of(0)) == [0, 4, 8, 12]
+        assert mapper.members(mapper.group_of(1)) == [1, 5, 9, 13]
+
+    def test_membership_is_partition(self):
+        mapper = SkewedGroupMapper(256, 8)
+        seen = sorted(f for g in range(mapper.num_groups) for f in mapper.members(g))
+        assert seen == list(range(256))
+
+    def test_member_group_consistency(self):
+        mapper = SkewedGroupMapper(1024, 16)
+        for group in range(0, mapper.num_groups, 7):
+            for frame in mapper.members(group):
+                assert mapper.group_of(frame) == group
+
+    def test_requires_square_capacity(self):
+        with pytest.raises(ValueError):
+            SkewedGroupMapper(32, 8)  # needs >= 64 frames
+
+    def test_larger_than_square_capacity(self):
+        # 4x the minimum: high frame bits join the group id.
+        mapper = SkewedGroupMapper(256, 8)
+        assert mapper.num_groups == 32
+
+
+class TestSkewInvariant:
+    """Section V-A: no two frames share a group under both hashes."""
+
+    @pytest.mark.parametrize("num_frames,group_size", [(16, 4), (256, 8), (4096, 64)])
+    def test_exhaustive_within_first_hash1_group(self, num_frames, group_size):
+        hash1 = GroupMapper(num_frames, group_size)
+        hash2 = SkewedGroupMapper(num_frames, group_size)
+        frames = hash1.members(0)
+        for i, frame_a in enumerate(frames):
+            for frame_b in frames[i + 1 :]:
+                assert never_colocated(hash1, hash2, frame_a, frame_b)
+
+    def test_never_colocated_requires_distinct(self):
+        hash1 = GroupMapper(16, 4)
+        hash2 = SkewedGroupMapper(16, 4)
+        with pytest.raises(ValueError):
+            never_colocated(hash1, hash2, 3, 3)
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=4095), st.integers(min_value=0, max_value=4095))
+def test_property_skew_invariant_4096(frame_a, frame_b):
+    if frame_a == frame_b:
+        return
+    hash1 = GroupMapper(4096, 64)
+    hash2 = SkewedGroupMapper(4096, 64)
+    assert never_colocated(hash1, hash2, frame_a, frame_b)
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+def test_property_paper_scale_hashes_consistent(frame):
+    # The paper's 2^20-frame, 512-line-group configuration.
+    hash1 = GroupMapper(1 << 20, 512)
+    hash2 = SkewedGroupMapper(1 << 20, 512)
+    assert frame in hash1.members(hash1.group_of(frame))
+    assert frame in hash2.members(hash2.group_of(frame))

@@ -1,0 +1,140 @@
+"""Unit and property tests for the SuDoku line format (layout + codec)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bitvec import flip_bits, random_error_vector
+from repro.core.layout import LineLayout
+from repro.core.linecodec import DecodeStatus, LineCodec
+
+
+class TestLayout:
+    def test_paper_dimensions(self):
+        layout = LineLayout()
+        assert layout.data_bits == 512
+        assert layout.crc_bits == 31
+        assert layout.payload_bits == 543
+        assert layout.ecc_bits == 10          # section II-D: "10 bits per line"
+        assert layout.stored_bits == 553
+        assert layout.overhead_bits == 41     # CRC + ECC metadata per line
+
+    def test_payload_composition_roundtrip(self):
+        layout = LineLayout()
+        data, crc = 0xABC, 0x1234
+        payload = layout.compose_payload(data, crc)
+        assert layout.split_payload(payload) == (data, crc)
+
+    def test_composition_bounds(self):
+        layout = LineLayout()
+        with pytest.raises(ValueError):
+            layout.compose_payload(1 << 512, 0)
+        with pytest.raises(ValueError):
+            layout.compose_payload(0, 1 << 31)
+
+    def test_crc_width_must_match_engine(self):
+        with pytest.raises(ValueError):
+            LineLayout(crc_bits=16)
+
+
+class TestCodecCleanPath:
+    def setup_method(self):
+        self.codec = LineCodec()
+        self.rng = random.Random(31)
+
+    def test_encode_verify_roundtrip(self):
+        for _ in range(20):
+            data = self.rng.getrandbits(512)
+            word = self.codec.encode(data)
+            assert self.codec.verify(word)
+            decode = self.codec.decode(word)
+            assert decode.status is DecodeStatus.CLEAN
+            assert decode.data == data
+            assert decode.word == word
+            assert decode.ok
+
+    def test_extract_data(self):
+        data = self.rng.getrandbits(512)
+        assert self.codec.extract_data(self.codec.encode(data)) == data
+
+    def test_stored_bits(self):
+        assert self.codec.stored_bits == 553
+
+
+class TestCodecSingleBit:
+    """ECC-1 must repair one fault anywhere: data, CRC, or ECC bits."""
+
+    def setup_method(self):
+        self.codec = LineCodec()
+        self.rng = random.Random(32)
+        self.data = self.rng.getrandbits(512)
+        self.word = self.codec.encode(self.data)
+
+    def test_every_sampled_position_repairable(self):
+        for position in self.rng.sample(range(553), 80):
+            decode = self.codec.decode(self.word ^ (1 << position))
+            assert decode.status is DecodeStatus.CORRECTED
+            assert decode.word == self.word
+            assert decode.data == self.data
+            assert decode.flipped_position == position
+
+    def test_verify_rejects_single_fault(self):
+        for position in self.rng.sample(range(553), 20):
+            assert not self.codec.verify(self.word ^ (1 << position))
+
+
+class TestCodecMultiBit:
+    def setup_method(self):
+        self.codec = LineCodec()
+        self.rng = random.Random(33)
+        self.data = self.rng.getrandbits(512)
+        self.word = self.codec.encode(self.data)
+
+    @pytest.mark.parametrize("weight", [2, 3, 4, 6])
+    def test_multi_bit_faults_are_uncorrectable_not_miscorrected(self, weight):
+        for _ in range(30):
+            vector = random_error_vector(553, weight, self.rng)
+            decode = self.codec.decode(self.word ^ vector)
+            assert decode.status is DecodeStatus.UNCORRECTABLE
+            assert decode.data is None
+            assert not decode.ok
+
+    def test_try_flip_and_repair_two_faults(self):
+        # Flipping one true fault position makes the line ECC-1-repairable
+        # (the SDR inner step, Fig. 3).
+        vector = random_error_vector(553, 2, self.rng)
+        corrupted = self.word ^ vector
+        positions = [p for p in range(553) if (vector >> p) & 1]
+        repaired = self.codec.try_flip_and_repair(corrupted, positions[0])
+        assert repaired == self.word
+
+    def test_try_flip_wrong_position_fails(self):
+        vector = random_error_vector(553, 2, self.rng)
+        corrupted = self.word ^ vector
+        wrong = next(p for p in range(553) if not (vector >> p) & 1)
+        assert self.codec.try_flip_and_repair(corrupted, wrong) is None
+
+    def test_try_flip_bounds(self):
+        with pytest.raises(ValueError):
+            self.codec.try_flip_and_repair(self.word, 553)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 512) - 1))
+def test_property_roundtrip(data):
+    codec = LineCodec()
+    decode = codec.decode(codec.encode(data))
+    assert decode.status is DecodeStatus.CLEAN and decode.data == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=(1 << 512) - 1),
+    st.integers(min_value=0, max_value=552),
+)
+def test_property_single_fault_repaired(data, position):
+    codec = LineCodec()
+    word = codec.encode(data)
+    decode = codec.decode(word ^ (1 << position))
+    assert decode.status is DecodeStatus.CORRECTED and decode.data == data

@@ -1,0 +1,103 @@
+"""Unit tests for outcome taxonomy, stats, latency model, and config."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.config import PAPER, SuDokuConfig
+from repro.core.outcomes import Outcome
+from repro.core.stats import CorrectionStats, LatencyModel
+
+
+class TestOutcome:
+    def test_labels_are_values(self):
+        assert Outcome.CLEAN.value == "clean"
+        assert Outcome.CORRECTED_SDR.value == "corrected_sdr"
+
+    def test_classification_helpers(self):
+        assert Outcome.CORRECTED_RAID4.is_corrected
+        assert not Outcome.CLEAN.is_corrected
+        assert Outcome.DUE.is_failure
+        assert Outcome.SDC.is_failure
+        assert not Outcome.CORRECTED_HASH2.is_failure
+
+
+class TestCorrectionStats:
+    def test_record_and_count(self):
+        stats = CorrectionStats()
+        stats.record(Outcome.CLEAN)
+        stats.record(Outcome.DUE)
+        stats.record(Outcome.SDC)
+        assert stats.count(Outcome.CLEAN) == 1
+        assert stats.failures == 2
+
+    def test_as_dict(self):
+        stats = CorrectionStats()
+        stats.record(Outcome.CORRECTED_ECC1)
+        stats.raid4_invocations = 3
+        snapshot = stats.as_dict()
+        assert snapshot["corrected_ecc1"] == 1
+        assert snapshot["raid4_invocations"] == 3
+
+
+class TestLatencyModel:
+    def setup_method(self):
+        self.latency = LatencyModel()
+
+    def test_syndrome_check_is_one_cycle(self):
+        assert self.latency.syndrome_check() == pytest.approx(1 / 3.2e9)
+
+    def test_raid4_repair_matches_paper_order(self):
+        # 512 lines at 9 ns: ~4.6 us, the paper's "approximately 4 us per
+        # repair" (section III-D).
+        assert self.latency.raid4_repair(512) == pytest.approx(4.6e-6, rel=0.05)
+
+    def test_sdr_adds_trials(self):
+        base = self.latency.raid4_repair(512)
+        assert self.latency.sdr_repair(512, trials=6) > base - 18e-9
+
+    def test_hash2_scales_with_groups(self):
+        one = self.latency.hash2_repair(512, groups_read=1)
+        three = self.latency.hash2_repair(512, groups_read=3)
+        assert three > one
+
+    def test_scrub_pass(self):
+        assert self.latency.scrub_pass(1 << 20) == pytest.approx((1 << 20) * 9e-9)
+
+
+class TestSuDokuConfig:
+    def test_paper_defaults(self):
+        config = SuDokuConfig()
+        assert config.data_bits == 512
+        assert config.num_groups == 2048
+        assert config.delta_sigma == pytest.approx(3.5)
+        assert config.scrub_interval_s == 0.020
+
+    def test_scaled_override(self):
+        config = SuDokuConfig().scaled(scrub_interval_s=0.040)
+        assert config.scrub_interval_s == 0.040
+        assert config.group_size == 512
+
+    def test_validation(self):
+        geometry = CacheGeometry(capacity_bytes=1024 * 64, line_bytes=64, ways=4)
+        with pytest.raises(ValueError):
+            SuDokuConfig(geometry=geometry, group_size=3)
+        with pytest.raises(ValueError):
+            SuDokuConfig(geometry=geometry, group_size=2048)
+        with pytest.raises(ValueError):
+            SuDokuConfig(scrub_interval_s=0.0)
+
+
+class TestPaperConstants:
+    def test_headline_invariants(self):
+        assert PAPER.overhead_bits_sudoku < PAPER.overhead_bits_ecc6
+        assert PAPER.sudoku_z_fit < 1.0 < PAPER.sudoku_y_due_fit
+        assert PAPER.sudoku_x_mttf_s < 60
+        assert PAPER.crc31_misdetect == pytest.approx(2.0 ** -31)
+
+    def test_scrub_sweep_shape(self):
+        intervals = [row[0] for row in PAPER.scrub_sweep]
+        assert intervals == [0.010, 0.020, 0.040]
+        # FIT worsens with longer intervals for every scheme.
+        for column in (2, 3, 4):
+            values = [row[column] for row in PAPER.scrub_sweep]
+            assert values[0] < values[1] < values[2]

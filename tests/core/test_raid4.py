@@ -1,0 +1,92 @@
+"""Unit tests for RAID-Group scanning and RAID-4 reconstruction."""
+
+import random
+
+import pytest
+
+from repro.coding.bitvec import random_error_vector
+from repro.core.linecodec import LineCodec
+from repro.core.outcomes import Outcome
+from repro.core.plt_ import ParityLineTable
+from repro.core.raid4 import reconstruct_line, scan_group
+from repro.sttram.array import STTRAMArray
+
+
+@pytest.fixture
+def group():
+    """An 8-line group with random content and a consistent parity."""
+    rng = random.Random(41)
+    codec = LineCodec()
+    array = STTRAMArray(8, codec.stored_bits)
+    plt = ParityLineTable(1, codec.stored_bits)
+    words = []
+    for frame in range(8):
+        word = codec.encode(rng.getrandbits(512))
+        array.write(frame, word)
+        words.append(word)
+    plt.rebuild(0, words)
+    return rng, codec, array, plt
+
+
+class TestScanGroup:
+    def test_clean_group(self, group):
+        rng, codec, array, plt = group
+        scan = scan_group(array, codec, 0, range(8))
+        assert scan.uncorrectable == []
+        assert scan.line_outcomes == {}
+        assert plt.mismatch(0, [scan.words[f] for f in scan.frames]) == 0
+
+    def test_single_bit_faults_fixed_in_place(self, group):
+        rng, codec, array, plt = group
+        array.inject(2, 1 << 17)
+        array.inject(5, 1 << 400)
+        scan = scan_group(array, codec, 0, range(8))
+        assert scan.uncorrectable == []
+        assert scan.line_outcomes == {
+            2: Outcome.CORRECTED_ECC1,
+            5: Outcome.CORRECTED_ECC1,
+        }
+        assert array.is_clean(2) and array.is_clean(5)
+
+    def test_multibit_fault_classified_uncorrectable(self, group):
+        rng, codec, array, plt = group
+        array.inject(3, random_error_vector(553, 4, rng))
+        scan = scan_group(array, codec, 0, range(8))
+        assert scan.uncorrectable == [3]
+        # The faulty line's *raw* word participates in the scan words.
+        assert scan.words[3] == array.read(3)
+
+
+class TestReconstructLine:
+    def test_rebuilds_single_faulty_line(self, group):
+        rng, codec, array, plt = group
+        golden = array.golden(3)
+        array.inject(3, random_error_vector(553, 6, rng))
+        scan = scan_group(array, codec, 0, range(8))
+        rebuilt = reconstruct_line(array, codec, plt, scan, 3)
+        assert rebuilt == golden
+        assert array.is_clean(3)
+        assert scan.uncorrectable == []
+        assert scan.line_outcomes[3] is Outcome.CORRECTED_RAID4
+
+    def test_rebuild_with_other_single_bit_faults(self, group):
+        rng, codec, array, plt = group
+        array.inject(0, 1 << 5)           # single-bit, fixed by the scan
+        array.inject(6, random_error_vector(553, 3, rng))
+        scan = scan_group(array, codec, 0, range(8))
+        assert reconstruct_line(array, codec, plt, scan, 6) == array.golden(6)
+
+    def test_rebuild_fails_when_second_line_corrupt(self, group):
+        rng, codec, array, plt = group
+        array.inject(1, random_error_vector(553, 2, rng))
+        array.inject(4, random_error_vector(553, 2, rng))
+        scan = scan_group(array, codec, 0, range(8))
+        # Rebuilding 1 XORs in 4's corruption: CRC rejects the candidate.
+        assert reconstruct_line(array, codec, plt, scan, 1) is None
+        assert not array.is_clean(1)
+
+    def test_rejects_non_member(self, group):
+        rng, codec, array, plt = group
+        scan = scan_group(array, codec, 0, range(4))
+        with pytest.raises(ValueError):
+            reconstruct_line(array, codec, plt, scan, 7)

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken
+deliverable. Each runs in a subprocess (its own interpreter, like a
+user would) with reduced workloads where the script accepts arguments.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> (extra argv, timeout seconds, required output fragment)
+CASES = {
+    "quickstart.py": ([], 240, "every payload verified intact"),
+    "paper_figures_walkthrough.py": ([], 240, "every figure scenario reproduced"),
+    "design_space_exploration.py": (
+        ["--delta", "34"], 240, "cheapest feasible"
+    ),
+    "adaptive_scrub.py": ([], 240, "chosen interval"),
+    "reliability_study.py": ([], 240, "Protection landscape"),
+    "low_voltage_sram.py": ([], 300, "Table IV"),
+    "correction_forensics.py": ([], 300, "mechanism mix"),
+    "baseline_shootout.py": (
+        ["--intervals", "6"], 420, "failed/6"
+    ),
+    "fault_injection_campaign.py": (
+        ["--intervals", "15"], 420, "measured P(fail)"
+    ),
+    "performance_simulation.py": (
+        ["--workloads", "povray", "--accesses", "2000"], 420, "mean slowdown"
+    ),
+    "kv_store_protection.py": ([], 420, "zero data loss"),
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    argv, timeout, fragment = CASES[script]
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert fragment in completed.stdout, (
+        f"{script} output missing {fragment!r}"
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), (
+        f"examples drifted: on disk {on_disk ^ set(CASES)}"
+    )

@@ -1,0 +1,136 @@
+"""Integration tests over the experiment-assembly layer.
+
+These assert that every paper exhibit regenerates with the documented
+paper-agreement properties -- the same checks EXPERIMENTS.md reports.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table, format_value, ratio_note
+from repro.core.config import PAPER
+
+
+def value_of(exp, row_label, column_index=1):
+    for row in exp["rows"]:
+        if row[0] == row_label:
+            return row[column_index]
+    raise KeyError(row_label)
+
+
+class TestTableFormatting:
+    def test_format_value_styles(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1.05e-4) == "0.000105"
+        assert format_value(5.3e-6) == "5.3e-06"
+        assert format_value(874.0) == "874.0"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.0], [30, 4.5e-9]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_ratio_note(self):
+        assert "x2" in ratio_note(2.0, 1.0)
+
+
+class TestExhibits:
+    def test_table1_ber_within_band(self):
+        exp = experiments.table1_ber()
+        delta35 = exp["rows"][1]
+        assert delta35[1] == pytest.approx(delta35[2], rel=0.10)
+
+    def test_table2_every_line_probability_close(self):
+        exp = experiments.table2_ecc_fit()
+        for row in exp["rows"]:
+            assert row[1] == pytest.approx(row[2], rel=0.2)
+
+    def test_fig3_case_fractions(self):
+        exp = experiments.fig3_sdr_cases(trials=30_000)
+        no_overlap = exp["rows"][0]
+        assert no_overlap[1] == pytest.approx(no_overlap[2], abs=0.01)
+        assert no_overlap[1] > 0.98
+
+    def test_fig7_ordering_and_strength(self):
+        exp = experiments.fig7_reliability()
+        mttf_x = value_of(exp, "SuDoku-X MTTF (s)")
+        fit_z = value_of(exp, "SuDoku-Z FIT")
+        strength = value_of(exp, "SuDoku-Z strength vs ECC-6")
+        no_sdr = value_of(exp, "SuDoku-Z (no SDR) FIT")
+        assert mttf_x == pytest.approx(PAPER.sudoku_x_mttf_s, rel=0.25)
+        assert fit_z < 1e-3
+        assert strength > PAPER.sudoku_z_vs_ecc6
+        assert no_sdr == pytest.approx(PAPER.sudoku_z_alone_fit, rel=0.25)
+
+    def test_table8_fit_monotone_in_interval(self):
+        exp = experiments.table8_scrub_interval()
+        sudoku_column = [row[7] for row in exp["rows"]]
+        assert sudoku_column == sorted(sudoku_column)
+        ecc6_column = [row[5] for row in exp["rows"]]
+        assert ecc6_column == sorted(ecc6_column)
+
+    def test_table9_linear_scaling(self):
+        exp = experiments.table9_cache_size()
+        values = [row[1] for row in exp["rows"]]
+        assert values[1] == pytest.approx(2 * values[0], rel=0.01)
+        assert values[2] == pytest.approx(2 * values[1], rel=0.01)
+
+    def test_table10_strength_declines_with_delta(self):
+        exp = experiments.table10_delta()
+        strengths = [row[6] for row in exp["rows"]]
+        assert strengths[0] > strengths[1] > strengths[2]
+        # SuDoku remains stronger than ECC-6 at every studied delta.
+        assert all(s > 1 for s in strengths)
+
+    def test_table11_sudoku_wins_by_miles(self):
+        exp = experiments.table11_baselines()
+        fits = {row[0]: row[1] for row in exp["rows"]}
+        assert fits["SuDoku"] * 1e6 < min(
+            fits["CPPC + CRC-31"], fits["RAID-6 + CRC-31"], fits["2DP + ECC-1 + CRC-31"]
+        )
+
+    def test_table12_hiecc_weaker(self):
+        exp = experiments.table12_hiecc()
+        fits = {row[0]: row[1] for row in exp["rows"]}
+        assert fits["Hi-ECC"] > 1.0 > fits["SuDoku"]
+
+    def test_latency_summary_magnitudes(self):
+        exp = experiments.latency_summary()
+        raid4_us = value_of(exp, "RAID-4 repair (us)")
+        assert 3.0 < raid4_us < 20.0
+
+    def test_storage_summary_matches_paper(self):
+        exp = experiments.storage_summary()
+        total = value_of(exp, "SuDoku total bits/line")
+        assert total == pytest.approx(PAPER.overhead_bits_sudoku, abs=1.0)
+
+    def test_all_experiments_assemble(self):
+        for exp in experiments.all_experiments():
+            assert exp["rows"], exp["title"]
+            rendered = format_table(exp["headers"], exp["rows"])
+            assert rendered.count("\n") >= len(exp["rows"])
+
+
+class TestPerformanceExhibits:
+    """Figs 8-9 on a reduced workload set (full set in the benches)."""
+
+    def test_fig8_small(self):
+        exp = experiments.fig8_performance(
+            workloads=["gcc", "povray"], accesses_per_core=4000
+        )
+        mean_row = exp["rows"][-1]
+        assert mean_row[0] == "MEAN"
+        assert -0.1 <= mean_row[3] < 1.0  # percent slowdown
+
+    def test_fig9_small(self):
+        exp = experiments.fig9_edp(
+            workloads=["gcc"], accesses_per_core=4000
+        )
+        assert exp["rows"][-1][0] == "MEAN"
+        assert -0.2 <= exp["rows"][-1][1] < 2.0

@@ -1,0 +1,129 @@
+"""Differential testing: structural oracle vs the SuDoku-Y engine.
+
+The engine decides recoverability through real CRC/ECC/parity bit
+manipulation.  This test re-derives the same verdict *structurally*
+from the injected fault pattern alone (which lines have how many
+faults, where, and what the parity mismatch must therefore contain) and
+checks the two agree on thousands of random patterns.  Divergence in
+either direction is a bug: engine-recovers-but-oracle-says-no means the
+oracle missed a mechanism; oracle-recovers-but-engine-fails means the
+machinery lost a case it should handle.
+"""
+
+import random
+
+import pytest
+
+from repro.coding.bitvec import bit_positions, popcount, random_error_vector
+from repro.core.engine import SuDokuY
+from repro.core.linecodec import LineCodec
+from repro.sttram.array import STTRAMArray
+
+GROUP = 8
+NUM_LINES = 64
+CODEC = LineCodec()
+WIDTH = CODEC.stored_bits
+SDR_CAP = 6
+
+
+def oracle_group_recoverable(vectors: dict) -> bool:
+    """Structural recoverability of one group under SuDoku-Y's rules.
+
+    ``vectors``: frame -> injected error vector (within one group).
+    Mirrors the design: single-fault lines fix locally; the parity
+    mismatch is the XOR of the remaining vectors; a 2-fault line is
+    resurrectable when the (recomputed) mismatch exposes at least one of
+    its faults and stays within the SDR cap; one final survivor rebuilds
+    via RAID-4.
+    """
+    multi = {
+        frame: vector
+        for frame, vector in vectors.items()
+        if popcount(vector) >= 2
+    }
+    while True:
+        if len(multi) <= 1:
+            return True
+        mismatch = 0
+        for vector in multi.values():
+            mismatch ^= vector
+        positions = bit_positions(mismatch)
+        if not positions or len(positions) > SDR_CAP:
+            return False
+        progressed = False
+        for frame, vector in list(multi.items()):
+            if popcount(vector) != 2:
+                continue  # heavy lines are never resurrectable
+            if any((vector >> p) & 1 for p in positions):
+                del multi[frame]
+                progressed = True
+                break  # recompute the mismatch, as the engine does
+        if not progressed:
+            return False
+
+
+def build_engine(seed: int):
+    array = STTRAMArray(NUM_LINES, WIDTH)
+    engine = SuDokuY(array, group_size=GROUP, codec=CODEC)
+    rng = random.Random(seed)
+    for frame in range(NUM_LINES):
+        engine.write_data(frame, rng.getrandbits(512))
+    return array, engine, rng
+
+
+def random_pattern(rng: random.Random) -> dict:
+    """A fault pattern rich in multi-bit lines (the interesting regime)."""
+    pattern = {}
+    num_faulty = rng.randint(1, 4)
+    for frame in rng.sample(range(GROUP), num_faulty):
+        weight = rng.choices([1, 2, 3, 4], weights=[2, 6, 2, 1])[0]
+        pattern[frame] = random_error_vector(WIDTH, weight, rng)
+    return pattern
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_engine_matches_oracle(seed):
+    array, engine, rng = build_engine(seed)
+    trials = 250
+    disagreements = []
+    for trial in range(trials):
+        pattern = random_pattern(rng)
+        for frame, vector in pattern.items():
+            array.inject(frame, vector)
+        counts = engine.scrub_frames(sorted(pattern))
+        engine_recovered = (
+            counts.get("due", 0) == 0
+            and counts.get("sdc", 0) == 0
+            and not array.faulty_lines()
+        )
+        expected = oracle_group_recoverable(pattern)
+        if engine_recovered != expected:
+            disagreements.append((trial, pattern, counts, expected))
+        # Reset for the next trial.
+        for frame in array.faulty_lines():
+            array.restore(frame, array.golden(frame))
+        engine.initialize_parities()
+    assert not disagreements, (
+        f"{len(disagreements)} divergences; first: "
+        f"trial={disagreements[0][0]} counts={disagreements[0][2]} "
+        f"oracle={disagreements[0][3]} pattern weights="
+        f"{[popcount(v) for v in disagreements[0][1].values()]}"
+    )
+
+
+def test_oracle_known_cases():
+    """Spot-check the oracle itself on the paper's canonical patterns."""
+    a = random_error_vector(WIDTH, 2, random.Random(1))
+    b = random_error_vector(WIDTH, 2, random.Random(2))
+    heavy1 = random_error_vector(WIDTH, 3, random.Random(3))
+    heavy2 = random_error_vector(WIDTH, 3, random.Random(4))
+    assert oracle_group_recoverable({0: a})                      # RAID-4
+    assert oracle_group_recoverable({0: a, 1: b})                # SDR
+    assert oracle_group_recoverable({0: a, 1: heavy1})           # SDR + RAID
+    assert not oracle_group_recoverable({0: heavy1, 1: heavy2})  # dual heavy
+    assert not oracle_group_recoverable({0: a, 1: a})            # full overlap
+    four = {
+        frame: random_error_vector(WIDTH, 2, random.Random(10 + frame))
+        for frame in range(4)
+    }
+    assert not oracle_group_recoverable(four)                    # cap: 8 > 6

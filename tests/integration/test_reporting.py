@@ -1,0 +1,49 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    build_report,
+    render_exhibit_markdown,
+    write_report,
+)
+
+
+class TestRendering:
+    def test_exhibit_section(self):
+        exhibit = {
+            "title": "Table Test",
+            "headers": ["a", "b"],
+            "rows": [[1, 2.5]],
+            "notes": "a note",
+        }
+        text = render_exhibit_markdown(exhibit)
+        assert text.startswith("## Table Test")
+        assert "```" in text
+        assert "*a note*" in text
+
+    def test_exhibit_without_notes(self):
+        exhibit = {"title": "T", "headers": ["a"], "rows": [[1]]}
+        text = render_exhibit_markdown(exhibit)
+        assert "*" not in text.splitlines()[-1]
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return build_report(include_performance=False)
+
+    def test_contains_every_analytic_exhibit(self, report_text):
+        for fragment in (
+            "Table I:", "Table II:", "Table III:", "Fig. 3", "Fig. 7",
+            "Table IV:", "Table VIII:", "Table IX:", "Table X:",
+            "Table XI:", "Table XII:", "correction latencies",
+            "storage overheads",
+        ):
+            assert fragment in report_text, f"missing exhibit {fragment!r}"
+
+    def test_write_report(self, tmp_path, report_text):
+        target = tmp_path / "out.md"
+        written = write_report(str(target))
+        assert target.read_text() == written
+        assert written.startswith("# SuDoku reproduction")

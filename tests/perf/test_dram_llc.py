@@ -1,0 +1,116 @@
+"""Unit tests for the DRAM and LLC timing models."""
+
+import pytest
+
+from repro.perf.dram import DRAMConfig, DRAMModel
+from repro.perf.llc import LLCConfig, LLCTiming
+
+
+class TestDRAM:
+    def test_row_hit_faster_than_miss(self):
+        dram = DRAMModel()
+        banks = DRAMConfig().channels * DRAMConfig().banks_per_channel
+        first = dram.access(0, 0.0)              # row miss (cold)
+        second = dram.access(banks, first)       # same bank, same row -> hit
+        assert first == pytest.approx(DRAMConfig().row_miss_s)
+        assert second - first == pytest.approx(DRAMConfig().row_hit_s)
+        assert dram.row_hit_rate() == pytest.approx(0.5)
+
+    def test_bank_queueing(self):
+        dram = DRAMModel(DRAMConfig(channels=1, banks_per_channel=1))
+        first = dram.access(0, 0.0)
+        second = dram.access(1 << 20, 0.0)   # same bank, different row
+        assert second > first                # queued behind the first
+
+    def test_different_banks_parallel(self):
+        dram = DRAMModel(DRAMConfig(channels=1, banks_per_channel=2))
+        first = dram.access(0, 0.0)
+        second = dram.access(1, 0.0)         # adjacent line -> other bank
+        assert second == pytest.approx(first)
+
+    def test_reset(self):
+        dram = DRAMModel()
+        dram.access(0, 0.0)
+        dram.reset()
+        assert dram.requests == 0
+        assert dram.access(0, 0.0) == pytest.approx(DRAMConfig().row_miss_s)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(channels=0)
+        with pytest.raises(ValueError):
+            DRAMConfig(row_hit_s=50e-9, row_miss_s=25e-9)
+
+
+class TestLLCTiming:
+    def test_read_write_service_times(self):
+        llc = LLCTiming(LLCConfig.ideal())
+        read_done = llc.access(0, False, 0.0)
+        assert read_done == pytest.approx(9e-9)
+        write_done = llc.access(1, True, 0.0)
+        assert write_done == pytest.approx(18e-9)
+
+    def test_same_bank_queues(self):
+        config = LLCConfig.ideal(num_banks=2)
+        llc = LLCTiming(config)
+        first = llc.access(0, False, 0.0)
+        second = llc.access(2, False, 0.0)   # line 2 -> bank 0 again
+        assert second == pytest.approx(first + 9e-9)
+
+    def test_syndrome_check_adds_latency_not_occupancy(self):
+        config = LLCConfig.sudoku(corrections_per_interval=0.0)
+        llc = LLCTiming(config)
+        first = llc.access(0, False, 0.0)
+        assert first == pytest.approx(9e-9 + 1 / 3.2e9)
+        # The next request to the same bank starts at 9 ns, not 9 ns + cycle.
+        second = llc.access(config.num_banks, False, 0.0)
+        assert second == pytest.approx(2 * 9e-9 + 1 / 3.2e9)
+
+    def test_opportunistic_scrub_consumes_idle_time(self):
+        config = LLCConfig.sudoku(corrections_per_interval=0.0, num_lines=1 << 10)
+        llc = LLCTiming(config)
+        llc.access(0, False, 0.0)
+        llc.access(0, False, 1e-3)  # 1 ms of idle on bank 0 beforehand
+        assert llc.scrub_lines_done > 0
+
+    def test_scrub_deficit_zero_when_idle_rich(self):
+        config = LLCConfig.sudoku(corrections_per_interval=0.0, num_lines=1 << 10)
+        llc = LLCTiming(config)
+        for index in range(config.num_banks):
+            llc.access(index, False, 0.0)
+            llc.access(index, False, 0.050)
+        assert llc.scrub_deficit(0.050) == 0.0
+
+    def test_blocking_scrub_occupies_banks(self):
+        config = LLCConfig(
+            scrub_enabled=True, scrub_priority="blocking",
+            num_lines=1 << 12, scrub_chunk_lines=64,
+        )
+        llc = LLCTiming(config)
+        done = llc.access(0, False, config.scrub_interval_s / 2)
+        assert llc.scrub_chunks > 0
+        assert done > config.scrub_interval_s / 2 + 9e-9 - 1e-12
+
+    def test_corrections_occupy_all_banks(self):
+        config = LLCConfig.sudoku(corrections_per_interval=100.0, num_lines=1 << 12)
+        llc = LLCTiming(config, seed=3)
+        llc.access(0, False, 1.0)  # advance a long way -> corrections fired
+        assert llc.corrections > 0
+
+    def test_ideal_has_no_background(self):
+        llc = LLCTiming(LLCConfig.ideal())
+        llc.access(0, False, 1.0)
+        assert llc.scrub_chunks == 0
+        assert llc.corrections == 0
+        assert llc.scrub_lines_required(1.0) == 0.0
+
+    def test_utilisation(self):
+        llc = LLCTiming(LLCConfig.ideal(num_banks=1))
+        llc.access(0, False, 0.0)
+        assert llc.utilisation(9e-9) == pytest.approx(1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LLCConfig(num_banks=0)
+        with pytest.raises(ValueError):
+            LLCConfig(scrub_priority="sometimes")

@@ -1,0 +1,70 @@
+"""Tests for suite-level performance aggregation."""
+
+import pytest
+
+from repro.perf.summary import geometric_mean, suite_of, summarise
+
+
+class TestSuiteOf:
+    def test_known_suites(self):
+        assert suite_of("mcf") == "SPEC"
+        assert suite_of("canneal") == "PARSEC"
+        assert suite_of("mummer") == "BIO"
+        assert suite_of("comm1") == "COMM"
+        assert suite_of("MIX1") == "MIX"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            suite_of("nonexistent")
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSummarise:
+    VALUES = {
+        "mcf": 0.004,        # SPEC
+        "gcc": 0.000,        # SPEC
+        "canneal": 0.002,    # PARSEC
+        "comm1": 0.001,      # COMM
+        "MIX1": 0.0005,      # MIX
+    }
+
+    def test_suite_partition(self):
+        summaries = summarise(self.VALUES)
+        suites = [entry.suite for entry in summaries]
+        assert suites == ["COMM", "MIX", "PARSEC", "SPEC", "ALL"]
+        by_suite = {entry.suite: entry for entry in summaries}
+        assert by_suite["SPEC"].count == 2
+        assert by_suite["ALL"].count == 5
+
+    def test_means(self):
+        by_suite = {entry.suite: entry for entry in summarise(self.VALUES)}
+        assert by_suite["SPEC"].mean == pytest.approx(0.002)
+        assert by_suite["ALL"].mean == pytest.approx(0.0015)
+
+    def test_geomean_is_ratio_based(self):
+        by_suite = {entry.suite: entry for entry in summarise(self.VALUES)}
+        assert by_suite["SPEC"].geomean_ratio == pytest.approx(
+            geometric_mean([1.004, 1.000])
+        )
+
+    def test_worst_tracking(self):
+        by_suite = {entry.suite: entry for entry in summarise(self.VALUES)}
+        assert by_suite["ALL"].worst_workload == "mcf"
+        assert by_suite["ALL"].worst == pytest.approx(0.004)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise({})

@@ -1,0 +1,120 @@
+"""Unit tests for log-domain binomial utilities (vs scipy ground truth)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.reliability.binomial import (
+    at_least_m_of,
+    binomial_pmf,
+    binomial_tail,
+    complement_power,
+    log_binomial_coefficient,
+    log_binomial_pmf,
+    poisson_tail,
+    union_bound,
+)
+
+
+class TestLogCoefficients:
+    def test_known_values(self):
+        assert math.exp(log_binomial_coefficient(5, 2)) == pytest.approx(10)
+        assert math.exp(log_binomial_coefficient(553, 0)) == pytest.approx(1)
+
+    def test_out_of_range(self):
+        assert log_binomial_coefficient(5, 6) == float("-inf")
+        assert log_binomial_coefficient(5, -1) == float("-inf")
+
+
+class TestPMF:
+    def test_matches_scipy_moderate(self):
+        for k in range(6):
+            ours = binomial_pmf(553, k, 1e-3)
+            reference = stats.binom.pmf(k, 553, 1e-3)
+            assert ours == pytest.approx(reference, rel=1e-9)
+
+    def test_extreme_tail_no_underflow(self):
+        # ECC-6 regime: P[X = 7] at p = 5.3e-6 over 572 bits ~ 4e-22.
+        value = binomial_pmf(572, 7, 5.3e-6)
+        assert 1e-23 < value < 1e-20
+
+    def test_edge_probabilities(self):
+        assert binomial_pmf(10, 0, 0.0) == 1.0
+        assert binomial_pmf(10, 3, 0.0) == 0.0
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            log_binomial_pmf(10, 2, 1.5)
+
+
+class TestTail:
+    def test_matches_scipy(self):
+        for k in (1, 2, 5):
+            ours = binomial_tail(553, k, 1e-4)
+            reference = stats.binom.sf(k - 1, 553, 1e-4)
+            assert ours == pytest.approx(reference, rel=1e-6)
+
+    def test_boundaries(self):
+        assert binomial_tail(10, 0, 0.3) == 1.0
+        assert binomial_tail(10, 11, 0.3) == 0.0
+
+    def test_alias(self):
+        assert at_least_m_of(100, 2, 0.01) == binomial_tail(100, 2, 0.01)
+
+    def test_paper_table2_line_probability(self):
+        # ECC-1 line failure: P[>= 2 faults over 522 bits] ~ 3.9e-6.
+        value = binomial_tail(522, 2, 5.3e-6)
+        assert value == pytest.approx(3.9e-6, rel=0.05)
+
+
+class TestPoissonTail:
+    def test_matches_scipy(self):
+        for k in (1, 3, 8):
+            ours = poisson_tail(0.553, k)
+            reference = stats.poisson.sf(k - 1, 0.553)
+            assert ours == pytest.approx(reference, rel=1e-9)
+
+    def test_boundary(self):
+        assert poisson_tail(1.0, 0) == 1.0
+
+    def test_binomial_limit(self):
+        # Binomial(n, p) -> Poisson(np) as n grows.
+        assert binomial_tail(10_000, 3, 1e-4) == pytest.approx(
+            poisson_tail(1.0, 3), rel=1e-3
+        )
+
+
+class TestComposition:
+    def test_union_bound_clips(self):
+        assert union_bound([0.7, 0.7]) == 1.0
+        assert union_bound([0.1, 0.2]) == pytest.approx(0.3)
+
+    def test_complement_power_small_p(self):
+        # Survives the regime that underflows the naive formula.
+        value = complement_power(1e-20, 1 << 20)
+        assert value == pytest.approx(1e-20 * (1 << 20), rel=1e-6)
+
+    def test_complement_power_edges(self):
+        assert complement_power(0.0, 100) == 0.0
+        assert complement_power(1.0, 1) == 1.0
+        assert complement_power(0.5, 0) == 0.0
+
+    def test_complement_power_matches_naive(self):
+        assert complement_power(0.01, 100) == pytest.approx(
+            1 - 0.99 ** 100, rel=1e-9
+        )
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=0, max_value=10),
+    st.floats(min_value=1e-9, max_value=0.5),
+)
+def test_property_tail_vs_scipy(n, k, p):
+    ours = binomial_tail(n, k, p)
+    reference = stats.binom.sf(k - 1, n, p)
+    assert ours == pytest.approx(reference, rel=1e-5, abs=1e-12)

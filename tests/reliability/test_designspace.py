@@ -1,0 +1,91 @@
+"""Tests for the design-space exploration module."""
+
+import pytest
+
+from repro.reliability.designspace import (
+    DesignPoint,
+    cheapest_meeting_target,
+    enumerate_design_space,
+    pareto_front,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return enumerate_design_space(delta=34.0)
+
+
+class TestEnumeration:
+    def test_full_sweep_size(self, points):
+        # (2 sudoku codes x 4 groups + 4 uniform codes) x 3 intervals.
+        assert len(points) == (2 * 4 + 4) * 3
+
+    def test_schemes_present(self, points):
+        schemes = {point.scheme for point in points}
+        assert "SuDoku-Z (ECC-1)" in schemes
+        assert "SuDoku-Z (ECC-2)" in schemes
+        assert "uniform ECC-6" in schemes
+
+    def test_ber_tracks_interval(self, points):
+        by_interval = {}
+        for point in points:
+            by_interval.setdefault(point.scrub_interval_s, set()).add(point.ber)
+        # One BER per interval, increasing with interval length.
+        assert all(len(bers) == 1 for bers in by_interval.values())
+        ordered = [next(iter(by_interval[i])) for i in sorted(by_interval)]
+        assert ordered == sorted(ordered)
+
+    def test_sudoku_overheads_below_ecc6(self, points):
+        for point in points:
+            if point.scheme == "SuDoku-Z (ECC-1)":
+                assert point.overhead_bits_per_line < 60
+
+    def test_ecc2_dominates_ecc1_on_fit(self, points):
+        by_key = {
+            (p.scheme, p.group_size, p.scrub_interval_s): p.fit for p in points
+        }
+        for (scheme, group, interval), fit in by_key.items():
+            if scheme == "SuDoku-Z (ECC-1)":
+                assert by_key[("SuDoku-Z (ECC-2)", group, interval)] < fit
+
+
+class TestSelection:
+    def test_pareto_members_are_feasible_and_nondominated(self, points):
+        front = pareto_front(points, target_fit=1.0)
+        assert front
+        for candidate in front:
+            assert candidate.meets(1.0)
+            for other in front:
+                if other is candidate:
+                    continue
+                strictly_better = (
+                    other.overhead_bits_per_line < candidate.overhead_bits_per_line
+                    and other.scrub_bandwidth_fraction
+                    <= candidate.scrub_bandwidth_fraction
+                    and other.correction_latency_us <= candidate.correction_latency_us
+                )
+                assert not strictly_better
+
+    def test_cheapest_is_sudoku_at_paper_node(self):
+        points_35 = enumerate_design_space(delta=35.0)
+        winner = cheapest_meeting_target(points_35, target_fit=1.0)
+        assert winner is not None
+        assert winner.scheme.startswith("SuDoku-Z")
+        assert winner.overhead_bits_per_line < 60
+
+    def test_no_feasible_configuration(self):
+        # An absurd target defeats everything in the sweep.
+        some_points = enumerate_design_space(
+            delta=30.0, scrub_intervals_s=(0.040,), uniform_ecc_ts=(4,),
+            sudoku_ecc_ts=(1,),
+        )
+        assert cheapest_meeting_target(some_points, target_fit=1e-30) is None
+        assert pareto_front(some_points, target_fit=1e-30) == []
+
+    def test_design_point_label(self):
+        point = DesignPoint(
+            scheme="SuDoku-Z (ECC-1)", group_size=512, scrub_interval_s=0.020,
+            ber=5e-6, fit=1e-5, overhead_bits_per_line=43.0,
+            scrub_bandwidth_fraction=0.47, correction_latency_us=4.6,
+        )
+        assert "G=512" in point.label and "20ms" in point.label

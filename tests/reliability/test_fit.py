@@ -1,0 +1,68 @@
+"""Unit tests for FIT/MTTF conversions."""
+
+import pytest
+
+from repro.reliability.fit import (
+    fit_from_interval_probability,
+    fit_to_mttf_hours,
+    interval_probability_from_fit,
+    intervals_per_billion_hours,
+    mttf_hours_to_fit,
+    mttf_seconds_from_interval_probability,
+)
+
+
+class TestConversions:
+    def test_intervals_per_billion_hours(self):
+        assert intervals_per_billion_hours(0.020) == pytest.approx(1.8e14)
+
+    def test_paper_ecc6_anchor(self):
+        # Table II: cache failure 5.1e-16 per 20 ms -> 0.092 FIT.
+        assert fit_from_interval_probability(5.1e-16, 0.020) == pytest.approx(
+            0.0918, rel=1e-3
+        )
+
+    def test_roundtrip(self):
+        for p in (1e-16, 1e-8, 0.01, 0.5):
+            fit = fit_from_interval_probability(p, 0.020)
+            assert interval_probability_from_fit(fit, 0.020) == pytest.approx(p, rel=1e-9)
+
+    def test_saturation_clamp(self):
+        # Certain failure per interval reports the saturation rate.
+        assert fit_from_interval_probability(1.0, 0.020) == pytest.approx(1.8e14)
+
+    def test_zero(self):
+        assert fit_from_interval_probability(0.0, 0.020) == 0.0
+
+
+class TestMTTF:
+    def test_paper_sudoku_x_anchor(self):
+        # SuDoku-X: cache failure ~5e-3 per 20 ms -> MTTF of seconds.
+        mttf = mttf_seconds_from_interval_probability(5.4e-3, 0.020)
+        assert 3.0 < mttf < 4.5
+
+    def test_fit_mttf_inverse(self):
+        assert fit_to_mttf_hours(1.0) == pytest.approx(1e9)
+        assert mttf_hours_to_fit(1e9) == pytest.approx(1.0)
+
+    def test_zero_probability_is_infinite_mttf(self):
+        assert mttf_seconds_from_interval_probability(0.0, 0.020) == float("inf")
+        assert fit_to_mttf_hours(0.0) == float("inf")
+
+
+class TestValidation:
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            fit_from_interval_probability(1.5, 0.020)
+        with pytest.raises(ValueError):
+            mttf_seconds_from_interval_probability(-0.1, 0.020)
+
+    def test_interval_positive(self):
+        with pytest.raises(ValueError):
+            intervals_per_billion_hours(0.0)
+
+    def test_fit_nonnegative(self):
+        with pytest.raises(ValueError):
+            interval_probability_from_fit(-1.0, 0.020)
+        with pytest.raises(ValueError):
+            mttf_hours_to_fit(0.0)

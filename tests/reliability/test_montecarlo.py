@@ -1,0 +1,116 @@
+"""Tests for the Monte-Carlo campaign harness (fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cppc import CPPCCache
+from repro.core.engine import SuDokuX
+from repro.core.linecodec import LineCodec
+from repro.reliability.montecarlo import (
+    CampaignResult,
+    agreement_ratio,
+    heal,
+    run_engine_campaign,
+    run_group_campaign,
+)
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+from repro.sttram.array import STTRAMArray
+
+
+class TestCampaignResult:
+    def test_failure_probability(self):
+        result = CampaignResult(intervals=100, ber=1e-3, interval_s=0.02)
+        result.interval_failures = 25
+        assert result.failure_probability == pytest.approx(0.25)
+
+    def test_wilson_interval_contains_point(self):
+        result = CampaignResult(intervals=200, ber=1e-3, interval_s=0.02)
+        result.interval_failures = 20
+        low, high = result.wilson_interval()
+        assert low < 0.1 < high
+        assert 0.0 <= low < high <= 1.0
+
+    def test_wilson_empty(self):
+        result = CampaignResult(intervals=0, ber=1e-3, interval_s=0.02)
+        assert result.wilson_interval() == (0.0, 1.0)
+
+    def test_fit_and_mttf(self):
+        result = CampaignResult(intervals=100, ber=1e-3, interval_s=0.02)
+        result.interval_failures = 1
+        assert result.fit() > 0
+        assert result.mttf_seconds() == pytest.approx(2.0)
+
+    def test_outcome_rate(self):
+        result = CampaignResult(intervals=10, ber=1e-3, interval_s=0.02)
+        result.outcomes["corrected_ecc1"] = 50
+        assert result.outcome_rate("corrected_ecc1") == pytest.approx(5.0)
+        assert result.outcome_rate("missing") == 0.0
+
+
+class TestHeal:
+    def test_restores_golden(self):
+        array = STTRAMArray(8, 64)
+        array.write(0, 0xAA)
+        array.inject(0, 0x0F)
+        heal(array)
+        assert array.is_clean(0)
+        assert array.read(0) == 0xAA
+
+
+class TestEngineCampaign:
+    def test_small_campaign_runs_and_counts(self):
+        codec = LineCodec()
+        array = STTRAMArray(64, codec.stored_bits)
+        engine = SuDokuX(array, group_size=8, codec=codec)
+        result = run_engine_campaign(
+            engine, ber=2e-4, intervals=30,
+            rng=np.random.default_rng(7), randomize_content=True,
+        )
+        assert result.intervals == 30
+        total_outcomes = sum(result.outcomes.values())
+        assert total_outcomes > 0
+        assert result.outcomes.get("sdc", 0) == 0
+        # Campaign healed everything between intervals.
+        assert array.faulty_lines() == []
+
+    def test_campaign_with_baseline_scheme(self):
+        cache = CPPCCache(num_lines=32)
+        result = run_engine_campaign(
+            cache, ber=1e-4, intervals=20, rng=np.random.default_rng(8)
+        )
+        assert result.intervals == 20
+
+    def test_zero_ber_never_fails(self):
+        codec = LineCodec()
+        array = STTRAMArray(64, codec.stored_bits)
+        engine = SuDokuX(array, group_size=8, codec=codec)
+        result = run_engine_campaign(
+            engine, ber=0.0, intervals=10, rng=np.random.default_rng(9),
+            randomize_content=False,
+        )
+        assert result.interval_failures == 0
+        assert sum(result.outcomes.values()) == 0
+
+
+class TestGroupCampaignValidation:
+    def test_x_measurement_brackets_model(self):
+        """The headline validation: functional X vs analytical X."""
+        ber = 3e-4
+        group = 16
+        result = run_group_campaign(
+            "X", ber, trials=250, group_size=group,
+            rng=np.random.default_rng(10),
+        )
+        model = SuDokuReliabilityModel(
+            ber=ber, group_size=group, num_lines=group * group
+        )
+        low, high = result.wilson_interval(z=2.6)
+        predicted = model.cache_fail_x()
+        assert low <= predicted <= high, (
+            f"model {predicted:.4f} outside CI ({low:.4f}, {high:.4f})"
+        )
+
+    def test_agreement_ratio_helper(self):
+        assert agreement_ratio(2.0, 1.0) == 2.0
+        assert agreement_ratio(0.0, 0.0) == 1.0
+        assert agreement_ratio(1.0, 0.0) == float("inf")

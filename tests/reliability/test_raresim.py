@@ -1,0 +1,107 @@
+"""Tests for the conditional rare-event simulator."""
+
+import random
+
+import pytest
+
+from repro.reliability.raresim import (
+    ConditionalGroupSimulator,
+    ConditionalResult,
+    estimate_fit,
+)
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+
+GROUP = 16
+BER = 4e-4
+
+
+def make_simulator(ber=BER, group=GROUP, seed=3):
+    return ConditionalGroupSimulator(
+        ber=ber, group_size=group, num_groups=group, rng=random.Random(seed)
+    )
+
+
+class TestConditionalDistributions:
+    def test_conditioning_probability_matches_model(self):
+        simulator = make_simulator()
+        model = SuDokuReliabilityModel(
+            ber=BER, group_size=GROUP, num_lines=GROUP * GROUP, line_bits=553
+        )
+        assert simulator.conditioning_probability == pytest.approx(
+            model.group_fail_x(), rel=1e-9
+        )
+
+    def test_injected_patterns_are_conditioned(self):
+        simulator = make_simulator()
+        for _ in range(20):
+            array, _ = simulator._fresh_group()
+            frames = simulator._inject_conditioned(array)
+            assert len(frames) >= 2
+            for frame in frames:
+                faults = bin(array.error_vector(frame)).count("1")
+                assert faults >= 2
+
+    def test_fresh_group_parity_consistent(self):
+        simulator = make_simulator()
+        array, plt = simulator._fresh_group()
+        from repro.coding.parity import xor_reduce
+
+        assert plt.parity(0) == xor_reduce(
+            array.read(f) for f in range(GROUP)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConditionalGroupSimulator(ber=0.0)
+        with pytest.raises(ValueError):
+            make_simulator().run("X", 10)
+
+
+class TestTrials:
+    def test_y_trial_runs_and_repairs_common_case(self):
+        # At a mild BER most conditioned patterns are two 2-fault lines,
+        # which Y repairs; failures must be the rare exception.
+        simulator = make_simulator(seed=5)
+        failures = sum(simulator.trial_y() for _ in range(60))
+        assert failures < 15
+
+    def test_z_trial_no_worse_than_y(self):
+        simulator_y = make_simulator(ber=1.5e-3, seed=6)
+        failures_y = sum(simulator_y.trial_y() for _ in range(60))
+        simulator_z = make_simulator(ber=1.5e-3, seed=6)
+        failures_z = sum(simulator_z.trial_z() for _ in range(60))
+        assert failures_z <= failures_y
+
+    def test_y_estimate_brackets_model(self):
+        result = estimate_fit("Y", 6e-4, trials=400, group_size=GROUP, seed=9)
+        model = SuDokuReliabilityModel(
+            ber=6e-4, group_size=GROUP, num_lines=GROUP * GROUP
+        )
+        conditional_model = model.group_fail_y() / result.conditioning_probability
+        low, high = result.conditional_ci(z=2.8)
+        # The model is a (mild) upper bound built from the same rules.
+        assert result.conditional_failure_probability <= conditional_model * 2.0
+        assert high >= conditional_model * 0.2
+
+
+class TestResultArithmetic:
+    def test_composition(self):
+        result = ConditionalResult(
+            trials=100, conditional_failures=10,
+            conditioning_probability=1e-3, ber=1e-4,
+            group_size=16, num_groups=1000, interval_s=0.020,
+        )
+        assert result.conditional_failure_probability == pytest.approx(0.1)
+        assert result.group_failure_probability == pytest.approx(1e-4)
+        assert result.cache_failure_probability() == pytest.approx(
+            1 - (1 - 1e-4) ** 1000
+        )
+        assert result.fit() > 0
+
+    def test_ci_bounds(self):
+        result = ConditionalResult(
+            trials=0, conditional_failures=0, conditioning_probability=1e-3,
+            ber=1e-4, group_size=16, num_groups=10, interval_s=0.02,
+        )
+        assert result.conditional_ci() == (0.0, 1.0)
+        assert result.conditional_failure_probability == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the tornado sensitivity analysis."""
+
+import pytest
+
+from repro.reliability.sensitivity import (
+    DEFAULT_PERTURBATIONS,
+    OperatingPoint,
+    SensitivityEntry,
+    tornado,
+)
+
+
+class TestOperatingPoint:
+    def test_nominal_fit_matches_paper_point(self):
+        fit = OperatingPoint().fit()
+        assert 1e-7 < fit < 1e-4   # the validated Z band at (35, 10%, 20ms)
+
+    def test_ecc2_point(self):
+        assert OperatingPoint(ecc_t=2).fit() < OperatingPoint().fit()
+
+    def test_worse_delta_worse_fit(self):
+        assert OperatingPoint(delta_mean=33.0).fit() > OperatingPoint().fit()
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return tornado()
+
+    def test_all_parameters_present(self, entries):
+        assert {entry.parameter for entry in entries} == set(DEFAULT_PERTURBATIONS)
+
+    def test_sorted_by_swing(self, entries):
+        swings = [entry.swing_orders for entry in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_device_physics_dominates(self, entries):
+        # The physical headline: reliability is exponential in the
+        # device parameters. Variation sigma is the single most
+        # dangerous exposure (it sets the weak-tail steepness), with
+        # mean delta next; both dwarf every architectural knob.
+        top_two = {entries[0].parameter, entries[1].parameter}
+        assert top_two == {
+            "process variation (sigma)", "thermal stability (delta)",
+        }
+        assert entries[0].swing_orders > 10.0
+        assert entries[1].swing_orders > 3.0
+
+    def test_scrub_interval_is_strong_actuator(self, entries):
+        by_name = {entry.parameter: entry for entry in entries}
+        assert by_name["scrub interval"].swing_orders > 2.0
+
+    def test_cache_size_is_linear(self, entries):
+        by_name = {entry.parameter: entry for entry in entries}
+        entry = by_name["cache size"]
+        # 32MB -> 128MB spans 4x = 0.6 orders.
+        assert entry.swing_orders == pytest.approx(0.6, abs=0.05)
+        assert entry.fit_low < entry.fit_nominal < entry.fit_high
+
+    def test_directionality(self, entries):
+        by_name = {entry.parameter: entry for entry in entries}
+        # Shorter scrub -> lower FIT; bigger groups -> higher FIT.
+        assert by_name["scrub interval"].fit_low < by_name["scrub interval"].fit_high
+        assert by_name["RAID-Group size"].fit_low < by_name["RAID-Group size"].fit_high
+
+    def test_swing_orders_math(self):
+        entry = SensitivityEntry("x", "a", "b", 1e-6, 1e-4, 1e-5)
+        assert entry.swing_orders == pytest.approx(2.0)

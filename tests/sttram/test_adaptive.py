@@ -1,0 +1,104 @@
+"""Tests for the adaptive scrub controller."""
+
+import pytest
+
+from repro.reliability.binomial import binomial_tail
+from repro.reliability.sudokumodel import SuDokuReliabilityModel
+from repro.sttram.adaptive import (
+    AdaptiveScrubController,
+    ber_from_multi_rate,
+)
+from repro.sttram.variation import effective_ber
+
+
+class TestBERInversion:
+    def test_roundtrip(self):
+        for ber in (1e-6, 5.3e-6, 1e-4):
+            expected_multi = (1 << 20) * binomial_tail(553, 2, ber)
+            recovered = ber_from_multi_rate(expected_multi, 1 << 20, 553)
+            assert recovered == pytest.approx(ber, rel=1e-3)
+
+    def test_edges(self):
+        assert ber_from_multi_rate(0.0, 1 << 20, 553) == 0.0
+        assert ber_from_multi_rate(2 << 20, 1 << 20, 553) == 1.0
+
+
+class TestController:
+    def make(self, **kwargs):
+        return AdaptiveScrubController(
+            target_fit=1.0, num_lines=1 << 20, **kwargs
+        )
+
+    def observed_multi(self, delta: float, interval_s: float) -> float:
+        ber = effective_ber(delta, 0.10 * delta, interval_s)
+        return (1 << 20) * binomial_tail(553, 2, ber)
+
+    def test_healthy_device_relaxes_interval(self):
+        controller = self.make()
+        # Delta 35 meets 1 FIT even at 40+ ms; the controller should pick
+        # something at or beyond the paper's 20 ms default.
+        decision = controller.observe(self.observed_multi(35.0, controller.interval_s))
+        assert decision.chosen_interval_s >= 0.020
+        assert decision.predicted_fit <= 1.0
+
+    def test_degraded_device_tightens_interval(self):
+        controller = self.make()
+        healthy = controller.observe(
+            self.observed_multi(35.0, controller.interval_s)
+        ).chosen_interval_s
+        # Feed a few degraded observations (delta 32: much higher BER).
+        for _ in range(6):
+            decision = controller.observe(
+                self.observed_multi(32.0, controller.interval_s)
+            )
+        assert decision.chosen_interval_s < healthy
+        assert decision.predicted_fit <= 1.0 or (
+            decision.chosen_interval_s == controller.min_interval_s
+        )
+
+    def test_recovers_after_degradation(self):
+        controller = self.make(ewma=1.0)  # no smoothing: fast convergence
+        controller.observe(self.observed_multi(33.0, controller.interval_s))
+        tight = controller.interval_s
+        for _ in range(3):
+            controller.observe(self.observed_multi(35.0, controller.interval_s))
+        assert controller.interval_s > tight
+
+    def test_bounds_respected(self):
+        controller = self.make(min_interval_s=0.010, max_interval_s=0.080)
+        for _ in range(4):
+            decision = controller.observe(
+                self.observed_multi(30.0, controller.interval_s)
+            )
+        assert 0.010 <= decision.chosen_interval_s <= 0.080
+
+    def test_bandwidth_tracks_interval(self):
+        controller = self.make()
+        controller.interval_s = 0.020
+        base = controller.bandwidth_fraction()
+        controller.interval_s = 0.040
+        assert controller.bandwidth_fraction() == pytest.approx(base / 2)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().observe(-1.0)
+
+    def test_history_recorded(self):
+        controller = self.make()
+        controller.observe(4.0)
+        controller.observe(5.0)
+        assert len(controller.history) == 2
+
+    def test_stability_under_self_actuation(self):
+        # Feeding observations consistent with a fixed physical hazard
+        # must converge: the chosen interval stops changing.
+        controller = self.make(ewma=1.0)
+        intervals = []
+        for _ in range(6):
+            observed = self.observed_multi(34.0, controller.interval_s)
+            intervals.append(controller.observe(observed).chosen_interval_s)
+        assert intervals[-1] == intervals[-2]
+        # And the settled point genuinely meets the target.
+        ber = effective_ber(34.0, 3.4, intervals[-1])
+        model = SuDokuReliabilityModel(ber=ber, interval_s=intervals[-1])
+        assert model.fit_z() <= 1.0

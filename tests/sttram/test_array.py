@@ -1,0 +1,88 @@
+"""Unit tests for repro.sttram.array."""
+
+import numpy as np
+import pytest
+
+from repro.sttram.array import STTRAMArray
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            STTRAMArray(0, 64)
+        with pytest.raises(ValueError):
+            STTRAMArray(4, 0)
+
+    def test_write_read_roundtrip(self):
+        array = STTRAMArray(8, 64)
+        array.write(3, 0xDEADBEEF)
+        assert array.read(3) == 0xDEADBEEF
+        assert array.golden(3) == 0xDEADBEEF
+
+    def test_write_returns_previous_stored(self):
+        array = STTRAMArray(4, 16)
+        array.write(0, 0xAAAA)
+        array.inject(0, 0x0001)
+        assert array.write(0, 0x5555) == 0xAAAB  # faulty old value
+
+    def test_bounds_checking(self):
+        array = STTRAMArray(4, 16)
+        with pytest.raises(IndexError):
+            array.read(4)
+        with pytest.raises(ValueError):
+            array.write(0, 1 << 16)
+
+
+class TestFaultTracking:
+    def test_inject_and_error_vector(self):
+        array = STTRAMArray(4, 16)
+        array.write(1, 0xF0F0)
+        array.inject(1, 0x0011)
+        assert array.read(1) == 0xF0E1
+        assert array.error_vector(1) == 0x0011
+        assert not array.is_clean(1)
+
+    def test_double_injection_cancels(self):
+        array = STTRAMArray(4, 16)
+        array.write(0, 0x1234)
+        array.inject(0, 0x00FF)
+        array.inject(0, 0x00FF)
+        assert array.is_clean(0)
+
+    def test_restore_repairs_without_touching_golden(self):
+        array = STTRAMArray(4, 16)
+        array.write(2, 0xABCD)
+        array.inject(2, 0x0F00)
+        array.restore(2, 0xABCD)
+        assert array.is_clean(2)
+        assert array.golden(2) == 0xABCD
+
+    def test_faulty_lines_listing(self):
+        array = STTRAMArray(8, 16)
+        for index in range(8):
+            array.write(index, index)
+        array.inject(2, 1)
+        array.inject(5, 2)
+        assert array.faulty_lines() == [2, 5]
+        assert array.total_faulty_bits() == 2
+
+    def test_write_clears_fault(self):
+        array = STTRAMArray(4, 16)
+        array.write(0, 0x1111)
+        array.inject(0, 0x000F)
+        array.write(0, 0x2222)
+        assert array.is_clean(0)
+
+
+class TestBulk:
+    def test_fill_random_reproducible(self):
+        array_a = STTRAMArray(32, 553)
+        array_b = STTRAMArray(32, 553)
+        array_a.fill_random(np.random.default_rng(42))
+        array_b.fill_random(np.random.default_rng(42))
+        assert list(array_a) == list(array_b)
+
+    def test_len_and_iter(self):
+        array = STTRAMArray(8, 16)
+        assert len(array) == 8
+        assert len(list(array)) == 8

@@ -1,0 +1,82 @@
+"""Unit tests for repro.sttram.device (Eq. 1 physics)."""
+
+import math
+
+import pytest
+
+from repro.sttram.device import (
+    THERMAL_ATTEMPT_FREQUENCY_HZ,
+    STTRAMCell,
+    flip_probability,
+    flip_rate,
+    retention_mttf_seconds,
+)
+
+
+class TestFlipRate:
+    def test_follows_eq1(self):
+        assert flip_rate(35.0) == pytest.approx(1e9 * math.exp(-35.0))
+
+    def test_monotone_decreasing_in_delta(self):
+        assert flip_rate(35.0) > flip_rate(36.0) > flip_rate(60.0)
+
+    def test_attempt_frequency_scales_linearly(self):
+        assert flip_rate(30.0, 2e9) == pytest.approx(2 * flip_rate(30.0, 1e9))
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            flip_rate(30.0, 0.0)
+
+
+class TestFlipProbability:
+    def test_zero_interval(self):
+        assert flip_probability(35.0, 0.0) == 0.0
+
+    def test_small_rate_linearisation(self):
+        # For tiny rate*t, p ~ rate * t.
+        rate = flip_rate(60.0)
+        assert flip_probability(60.0, 0.020) == pytest.approx(rate * 0.020, rel=1e-6)
+
+    def test_saturates_at_one(self):
+        assert flip_probability(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            flip_probability(35.0, -1.0)
+
+    def test_memoryless_composition(self):
+        # Survival over t1+t2 = survival(t1) * survival(t2).
+        p_total = 1 - flip_probability(30.0, 0.3)
+        p_split = (1 - flip_probability(30.0, 0.1)) * (1 - flip_probability(30.0, 0.2))
+        assert p_total == pytest.approx(p_split, rel=1e-9)
+
+
+class TestRetentionMTTF:
+    def test_paper_quote_delta35(self):
+        # Section I: "MTTF for a cell with Delta of 35 is ~18 days".
+        days = retention_mttf_seconds(35.0) / 86400.0
+        assert 15.0 < days < 22.0
+
+    def test_inverse_of_rate(self):
+        assert retention_mttf_seconds(40.0) == pytest.approx(1.0 / flip_rate(40.0))
+
+
+class TestSTTRAMCell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STTRAMCell(delta=0.0)
+        with pytest.raises(ValueError):
+            STTRAMCell(delta=35.0, attempt_frequency_hz=-1.0)
+
+    def test_consistency_with_functions(self):
+        cell = STTRAMCell(delta=35.0)
+        assert cell.rate == pytest.approx(flip_rate(35.0))
+        assert cell.flip_probability(0.02) == pytest.approx(flip_probability(35.0, 0.02))
+        assert cell.mttf_seconds() == pytest.approx(retention_mttf_seconds(35.0))
+
+    def test_survival_complements_flip(self):
+        cell = STTRAMCell(delta=25.0)
+        assert cell.survival_probability(0.5) + cell.flip_probability(0.5) == pytest.approx(1.0)
+
+    def test_default_attempt_frequency(self):
+        assert STTRAMCell(delta=35.0).attempt_frequency_hz == THERMAL_ATTEMPT_FREQUENCY_HZ

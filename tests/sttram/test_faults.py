@@ -1,0 +1,122 @@
+"""Unit tests for repro.sttram.faults."""
+
+import numpy as np
+import pytest
+
+from repro.coding.bitvec import popcount
+from repro.sttram.array import STTRAMArray
+from repro.sttram.faults import (
+    FaultEvent,
+    FaultKind,
+    PermanentFaultMap,
+    TransientFaultInjector,
+    burst_error_vector,
+    sample_fault_count,
+)
+
+
+class TestSampleFaultCount:
+    def test_statistics(self):
+        rng = np.random.default_rng(1)
+        counts = [sample_fault_count(10_000, 0.01, rng) for _ in range(500)]
+        assert np.mean(counts) == pytest.approx(100, rel=0.1)
+
+    def test_zero_rate(self):
+        assert sample_fault_count(1000, 0.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_fault_count(-1, 0.5)
+        with pytest.raises(ValueError):
+            sample_fault_count(10, 1.5)
+
+
+class TestTransientFaultInjector:
+    def test_error_vector_width(self):
+        injector = TransientFaultInjector(553, 0.01, np.random.default_rng(2))
+        for _ in range(50):
+            vector = injector.error_vector()
+            assert vector >> 553 == 0
+
+    def test_error_vector_rate(self):
+        injector = TransientFaultInjector(1000, 0.02, np.random.default_rng(3))
+        total = sum(popcount(injector.error_vector()) for _ in range(500))
+        assert total == pytest.approx(500 * 1000 * 0.02, rel=0.1)
+
+    def test_error_vectors_bulk_matches_rate(self):
+        injector = TransientFaultInjector(553, 1e-3, np.random.default_rng(4))
+        vectors = injector.error_vectors(10_000)
+        total = sum(popcount(v) for v in vectors.values())
+        assert total == pytest.approx(10_000 * 553 * 1e-3, rel=0.1)
+        assert all(v != 0 for v in vectors.values())
+
+    def test_inject_interval_consistency(self):
+        array = STTRAMArray(256, 553)
+        injector = TransientFaultInjector(553, 5e-3, np.random.default_rng(5))
+        events = injector.inject_interval(array)
+        assert len(events) == array.total_faulty_bits()
+        assert all(isinstance(e, FaultEvent) for e in events)
+        assert all(e.kind is FaultKind.TRANSIENT for e in events)
+
+    def test_zero_ber_injects_nothing(self):
+        array = STTRAMArray(16, 64)
+        injector = TransientFaultInjector(64, 0.0, np.random.default_rng(6))
+        assert injector.inject_interval(array) == []
+        assert array.faulty_lines() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransientFaultInjector(0, 0.5)
+        with pytest.raises(ValueError):
+            TransientFaultInjector(10, -0.1)
+
+
+class TestPermanentFaultMap:
+    def test_stuck_at_one(self):
+        fault_map = PermanentFaultMap(line_bits=8)
+        fault_map.add(0, 3, FaultKind.STUCK_AT_ONE)
+        assert fault_map.apply(0, 0b0000_0000) == 0b0000_1000
+        assert fault_map.apply(0, 0b0000_1000) == 0b0000_1000
+
+    def test_stuck_at_zero(self):
+        fault_map = PermanentFaultMap(line_bits=8)
+        fault_map.add(1, 0, FaultKind.STUCK_AT_ZERO)
+        assert fault_map.apply(1, 0b0000_0001) == 0
+        assert fault_map.apply(0, 0b0000_0001) == 0b0000_0001  # other line unaffected
+
+    def test_error_vector_depends_on_written_value(self):
+        fault_map = PermanentFaultMap(line_bits=8)
+        fault_map.add(0, 2, FaultKind.STUCK_AT_ONE)
+        assert fault_map.error_vector(0, 0b0000_0000) == 0b0000_0100
+        assert fault_map.error_vector(0, 0b0000_0100) == 0
+
+    def test_rejects_transient_kind(self):
+        fault_map = PermanentFaultMap(line_bits=8)
+        with pytest.raises(ValueError):
+            fault_map.add(0, 0, FaultKind.TRANSIENT)
+
+    def test_rejects_out_of_range(self):
+        fault_map = PermanentFaultMap(line_bits=8)
+        with pytest.raises(ValueError):
+            fault_map.add(0, 8, FaultKind.STUCK_AT_ONE)
+
+    def test_random_density(self):
+        fault_map = PermanentFaultMap.random(
+            1000, 553, fault_ppm=1000.0, rng=np.random.default_rng(7)
+        )
+        total = sum(popcount(m) for m in fault_map.stuck_at_one.values())
+        total += sum(popcount(m) for m in fault_map.stuck_at_zero.values())
+        expected = 1000 * 553 * 1000e-6
+        assert total == pytest.approx(expected, rel=0.25)
+
+
+class TestBurstErrors:
+    def test_shape(self):
+        vector = burst_error_vector(64, start=8, length=4)
+        assert vector == 0b1111 << 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_error_vector(64, start=62, length=4)
+        with pytest.raises(ValueError):
+            burst_error_vector(64, start=-1, length=2)

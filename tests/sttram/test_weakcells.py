@@ -1,0 +1,81 @@
+"""Tests for the static weak-cell fault substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sttram.weakcells import HeterogeneousFaultInjector, WeakCellMap
+
+
+@pytest.fixture(scope="module")
+def weak_map():
+    return WeakCellMap(1024, 553, rng=np.random.default_rng(5))
+
+
+class TestWeakCellMap:
+    def test_mass_split_preserves_total_ber(self):
+        # Materialised tail + uniform background = variation-averaged BER
+        # *in expectation*: a single small array genuinely varies (one
+        # ultra-weak cell moves the sum), so average over several maps.
+        rng = np.random.default_rng(55)
+        maps = [WeakCellMap(1024, 553, rng=rng) for _ in range(8)]
+        mean_flips = np.mean([m.expected_flips_per_interval() for m in maps])
+        iid_expectation = maps[0].total_ber * 1024 * 553
+        assert mean_flips == pytest.approx(iid_expectation, rel=0.2)
+
+    def test_background_below_total(self, weak_map):
+        assert 0.0 <= weak_map.background_ber < weak_map.total_ber
+
+    def test_weak_cells_above_floor(self, weak_map):
+        assert weak_map.cells
+        for cell in weak_map.cells:
+            assert cell.flip_probability >= weak_map.floor * 0.999
+            assert 0 <= cell.line_index < weak_map.num_lines
+            assert 0 <= cell.bit_position < weak_map.line_bits
+
+    def test_hot_lines_exist_at_paper_variation(self, weak_map):
+        # 10% sigma puts ~0.5% of cells in the materialised tail, so a
+        # 1024-line array has many lines with 2+ static weak cells --
+        # the repeat offenders the iid model cannot represent.
+        hot = weak_map.lines_with_multiple_weak_cells()
+        assert len(hot) > 10
+        assert all(count >= 2 for count in hot.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeakCellMap(0, 553)
+        with pytest.raises(ValueError):
+            WeakCellMap(16, 553, floor=0.0)
+
+
+class TestHeterogeneousInjector:
+    def test_rate_matches_expectation(self, weak_map):
+        injector = HeterogeneousFaultInjector(
+            weak_map, np.random.default_rng(6)
+        )
+        intervals = 300
+        total = 0
+        for _ in range(intervals):
+            vectors = injector.error_vectors(weak_map.num_lines)
+            total += sum(bin(v).count("1") for v in vectors.values())
+        assert total / intervals == pytest.approx(
+            weak_map.expected_flips_per_interval(), rel=0.2
+        )
+
+    def test_weak_cells_are_repeat_offenders(self, weak_map):
+        injector = HeterogeneousFaultInjector(
+            weak_map, np.random.default_rng(7)
+        )
+        from collections import Counter
+
+        hits = Counter()
+        for _ in range(400):
+            for line in injector.error_vectors(weak_map.num_lines):
+                hits[line] += 1
+        # Concentration: the busiest line faults many times, far beyond
+        # anything an iid process at this average BER would produce.
+        assert hits.most_common(1)[0][1] >= 5
+
+    def test_geometry_mismatch_rejected(self, weak_map):
+        injector = HeterogeneousFaultInjector(weak_map)
+        with pytest.raises(ValueError):
+            injector.error_vectors(512)

@@ -1,0 +1,95 @@
+"""Tests for the write-error channel (section VIII-B)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SuDokuY
+from repro.core.linecodec import LineCodec
+from repro.core.outcomes import Outcome
+from repro.sttram.array import STTRAMArray
+from repro.sttram.writeerror import WriteErrorChannel
+
+
+def make_wrapped(wer, seed=5, num_lines=256, group=16):
+    codec = LineCodec()
+    array = STTRAMArray(num_lines, codec.stored_bits)
+    engine = SuDokuY(array, group_size=group, codec=codec)
+    return WriteErrorChannel(engine, wer, np.random.default_rng(seed))
+
+
+class TestWriteErrorChannel:
+    def test_zero_wer_is_transparent(self):
+        channel = make_wrapped(0.0)
+        channel.write_data(3, 0xBEEF)
+        assert channel.array.is_clean(3)
+        data, outcome = channel.read_data(3)
+        assert data == 0xBEEF and outcome is Outcome.CLEAN
+        assert channel.write_errors_injected == 0
+
+    def test_write_errors_injected_at_rate(self):
+        channel = make_wrapped(5e-3)
+        rng = random.Random(6)
+        writes = 400
+        for _ in range(writes):
+            channel.write_data(rng.randrange(256), rng.getrandbits(512))
+        expected = writes * channel.array.line_bits * 5e-3
+        assert channel.write_errors_injected == pytest.approx(expected, rel=0.2)
+
+    def test_scrub_absorbs_write_errors(self):
+        # The paper's claim: write errors are just early retention flips;
+        # the standard machinery corrects them.
+        channel = make_wrapped(2e-4, seed=9)
+        rng = random.Random(9)
+        for frame in range(256):
+            channel.write_data(frame, rng.getrandbits(512))
+        counts = channel.scrub_all()
+        assert counts.get("sdc", 0) == 0
+        # Everything that faulted got repaired.
+        assert channel.array.faulty_lines() == []
+
+    def test_parity_consistency_preserved(self):
+        # Write errors strike *after* the parity update, exactly like a
+        # retention fault: the PLT must stay consistent with golden (as
+        # long as no write-path DUE forced a poisoned-parity rebuild,
+        # which the chosen WER keeps out of reach).
+        channel = make_wrapped(2e-4, seed=10)
+        rng = random.Random(10)
+        from repro.coding.parity import xor_reduce
+
+        for _ in range(200):
+            channel.write_data(rng.randrange(256), rng.getrandbits(512))
+        channel.scrub_all()  # repair whatever the write errors corrupted
+        engine = channel.engine
+        assert engine.stats.parity_rebuilds == 0
+        for group in range(engine.mapper.num_groups):
+            members = engine.mapper.members(group)
+            assert engine.plt.parity(group) == xor_reduce(
+                channel.array.golden(f) for f in members
+            )
+
+    def test_write_path_due_rebuilds_parity(self):
+        # Two heavy lines in one group make the old word unrecoverable on
+        # the write path; the engine must rebuild (not poison) the parity.
+        from repro.coding.bitvec import random_error_vector
+        from repro.coding.parity import xor_reduce
+
+        channel = make_wrapped(0.0, seed=11)
+        engine = channel.engine
+        rng = random.Random(11)
+        for frame in range(256):
+            channel.write_data(frame, rng.getrandbits(512))
+        width = channel.array.line_bits
+        channel.array.inject(1, random_error_vector(width, 3, rng))
+        channel.array.inject(2, random_error_vector(width, 3, rng))
+        channel.write_data(1, 0xFEED)  # old word for frame 1 is lost
+        assert engine.stats.parity_rebuilds == 1
+        group = engine.mapper.group_of(1)
+        assert engine.plt.parity(group) == xor_reduce(
+            channel.array.read(f) for f in engine.mapper.members(group)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_wrapped(1.5)
