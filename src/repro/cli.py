@@ -10,13 +10,50 @@ subcommands cover the common flows:
   functional engine and compare with the analytical model.
 * ``perf``      -- run the Fig. 8/9 ideal-vs-SuDoku comparison on chosen
   workloads.
+
+``campaign``, ``perf``, and ``exhibits`` accept the shared telemetry
+flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
+
+* ``--metrics-out FILE``  -- Prometheus text-format metrics dump;
+* ``--trace-out FILE``    -- completed spans as JSON lines;
+* ``--manifest-out FILE`` -- run manifest (config, seed, git SHA,
+  durations);
+* ``--progress``          -- rate/ETA heartbeat lines on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
+
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared telemetry flags for the long-running subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="write metrics in Prometheus text format to FILE",
+    )
+    group.add_argument(
+        "--trace-out", default="", metavar="FILE",
+        help="write completed spans as JSON lines to FILE",
+    )
+    group.add_argument(
+        "--manifest-out", default="", metavar="FILE",
+        help="write a run manifest (config, seed, git SHA, durations) to FILE",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="emit rate/ETA heartbeat lines on stderr",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,22 +63,29 @@ def build_parser() -> argparse.ArgumentParser:
         description="SuDoku (DSN 2019) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    telemetry = _telemetry_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
-    exhibits = sub.add_parser("exhibits", help="regenerate paper exhibits")
+    exhibits = sub.add_parser(
+        "exhibits", help="regenerate paper exhibits", parents=[telemetry]
+    )
     exhibits.add_argument(
         "--only", default="", help="substring filter on exhibit titles"
     )
 
-    campaign = sub.add_parser("campaign", help="Monte-Carlo fault injection")
+    campaign = sub.add_parser(
+        "campaign", help="Monte-Carlo fault injection", parents=[telemetry]
+    )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
     campaign.add_argument("--ber", type=float, default=8e-4)
     campaign.add_argument("--intervals", type=int, default=100)
     campaign.add_argument("--group-size", type=int, default=32)
     campaign.add_argument("--seed", type=int, default=0)
 
-    perf = sub.add_parser("perf", help="Fig. 8/9 performance comparison")
+    perf = sub.add_parser(
+        "perf", help="Fig. 8/9 performance comparison", parents=[telemetry]
+    )
     perf.add_argument("--workloads", nargs="+", default=["mcf", "gcc", "MIX1"])
     perf.add_argument("--accesses", type=int, default=8000)
     perf.add_argument("--seed", type=int, default=1)
@@ -67,6 +111,89 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", "")
+        or getattr(args, "trace_out", "")
+        or getattr(args, "manifest_out", "")
+        or getattr(args, "progress", False)
+    )
+
+
+def _check_out_paths(args: argparse.Namespace) -> None:
+    """Fail fast on unwritable export paths.
+
+    Campaigns can run for minutes; discovering at export time that
+    ``--metrics-out`` points into a missing directory would discard the
+    whole run.
+    """
+    for attr in ("metrics_out", "trace_out", "manifest_out"):
+        path = getattr(args, attr, "")
+        if not path:
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            flag = "--" + attr.replace("_", "-")
+            raise SystemExit(
+                f"repro: error: {flag} {path!r}: "
+                f"directory {parent!r} does not exist"
+            )
+
+
+def _build_telemetry(args: argparse.Namespace):
+    """(telemetry, progress factory) for a subcommand's flags."""
+    from repro.obs import NULL_PROGRESS, ProgressReporter, Telemetry
+
+    _check_out_paths(args)
+    telemetry = Telemetry.create() if _telemetry_requested(args) else None
+
+    def make_progress(total: Optional[int], label: str):
+        if not getattr(args, "progress", False):
+            return NULL_PROGRESS
+        return ProgressReporter(total=total, label=label)
+
+    return telemetry, make_progress
+
+
+def _export_telemetry(
+    args: argparse.Namespace,
+    telemetry,
+    command: str,
+    config: Dict[str, object],
+    seed: Optional[int],
+    durations_s: Dict[str, float],
+) -> None:
+    """Write the metrics / trace / manifest files a subcommand asked for."""
+    if telemetry is None:
+        return
+    from repro.obs import (
+        build_manifest,
+        write_manifest,
+        write_metrics_json_lines,
+        write_metrics_text,
+        write_spans_json_lines,
+    )
+
+    if args.metrics_out:
+        if args.metrics_out.endswith(".jsonl"):
+            write_metrics_json_lines(telemetry.metrics, args.metrics_out)
+        else:
+            write_metrics_text(telemetry.metrics, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        write_spans_json_lines(telemetry.tracer, args.trace_out)
+        print(f"wrote {len(telemetry.tracer)} spans to {args.trace_out}",
+              file=sys.stderr)
+    if args.manifest_out:
+        write_manifest(
+            args.manifest_out,
+            build_manifest(
+                command, config=config, seed=seed, durations_s=durations_s
+            ),
+        )
+        print(f"wrote manifest to {args.manifest_out}", file=sys.stderr)
+
+
 def cmd_summary() -> int:
     from repro.analysis.tables import format_table
     from repro.core.config import PAPER
@@ -90,33 +217,63 @@ def cmd_summary() -> int:
     return 0
 
 
-def cmd_exhibits(only: str) -> int:
+def cmd_exhibits(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import all_experiments
     from repro.analysis.tables import format_table
 
+    only = args.only
+    telemetry, make_progress = _build_telemetry(args)
+    started = time.perf_counter()
+    tracer = telemetry.tracer if telemetry is not None else None
+    counter = (
+        telemetry.metrics.counter(
+            "exhibits_rendered_total", "Paper exhibits regenerated."
+        )
+        if telemetry is not None
+        else None
+    )
+    progress = make_progress(None, "exhibits")
     matched = 0
     for exhibit in all_experiments():
         if only and only.lower() not in str(exhibit["title"]).lower():
             continue
         matched += 1
-        print(f"== {exhibit['title']}")
-        print(format_table(exhibit["headers"], exhibit["rows"]))
-        if exhibit.get("notes"):
-            print(f"notes: {exhibit['notes']}")
-        print()
+        span = (
+            tracer.span("exhibit", title=str(exhibit["title"]))
+            if tracer is not None
+            else _NULL_CONTEXT
+        )
+        with span:
+            print(f"== {exhibit['title']}")
+            print(format_table(exhibit["headers"], exhibit["rows"]))
+            if exhibit.get("notes"):
+                print(f"notes: {exhibit['notes']}")
+            print()
+        if counter is not None:
+            counter.inc()
+        progress.update()
+    progress.finish()
     if not matched:
         print(f"no exhibit title matches {only!r}", file=sys.stderr)
         return 1
+    _export_telemetry(
+        args, telemetry, "exhibits", {"only": only}, None,
+        {"total": time.perf_counter() - started},
+    )
     return 0
 
 
-def cmd_campaign(level: str, ber: float, intervals: int, group_size: int, seed: int) -> int:
+def cmd_campaign(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.analysis.tables import format_table
     from repro.reliability.montecarlo import run_group_campaign
     from repro.reliability.sudokumodel import SuDokuReliabilityModel
 
+    level, ber = args.level, args.ber
+    intervals, group_size, seed = args.intervals, args.group_size, args.seed
+    telemetry, make_progress = _build_telemetry(args)
+    started = time.perf_counter()
     print(
         f"running SuDoku-{level} campaign: BER {ber:g}, {intervals} intervals, "
         f"{group_size}-line groups, {group_size * group_size} lines"
@@ -124,6 +281,8 @@ def cmd_campaign(level: str, ber: float, intervals: int, group_size: int, seed: 
     result = run_group_campaign(
         level, ber, trials=intervals, group_size=group_size,
         rng=np.random.default_rng(seed),
+        telemetry=telemetry,
+        progress=make_progress(intervals, f"campaign-{level}"),
     )
     model = SuDokuReliabilityModel(
         ber=ber, group_size=group_size, num_lines=group_size * group_size
@@ -140,19 +299,33 @@ def cmd_campaign(level: str, ber: float, intervals: int, group_size: int, seed: 
     ]
     rows += [[f"outcome: {k}", v] for k, v in sorted(result.outcomes.items())]
     print(format_table(["quantity", "value"], rows))
+    _export_telemetry(
+        args, telemetry, "campaign",
+        {
+            "level": level, "ber": ber, "intervals": intervals,
+            "group_size": group_size,
+        },
+        seed,
+        {"total": time.perf_counter() - started},
+    )
     return 0
 
 
-def cmd_perf(workloads: List[str], accesses: int, seed: int) -> int:
+def cmd_perf(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.perf.energy import edp_increase
     from repro.perf.system import compare_ideal_vs_sudoku, normalized_slowdown
 
+    workloads, accesses, seed = args.workloads, args.accesses, args.seed
+    telemetry, make_progress = _build_telemetry(args)
+    started = time.perf_counter()
+    progress = make_progress(len(workloads), "perf")
     rows = []
     for workload in workloads:
         print(f"simulating {workload}...", file=sys.stderr)
         results = compare_ideal_vs_sudoku(
-            workload, accesses_per_core=accesses, seed=seed
+            workload, accesses_per_core=accesses, seed=seed,
+            telemetry=telemetry,
         )
         rows.append(
             [
@@ -162,7 +335,15 @@ def cmd_perf(workloads: List[str], accesses: int, seed: int) -> int:
                 results["sudoku"].miss_rate,
             ]
         )
+        progress.update()
+    progress.finish()
     print(format_table(["workload", "slowdown %", "EDP +%", "miss rate"], rows))
+    _export_telemetry(
+        args, telemetry, "perf",
+        {"workloads": workloads, "accesses": accesses},
+        seed,
+        {"total": time.perf_counter() - started},
+    )
     return 0
 
 
@@ -172,13 +353,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "summary":
         return cmd_summary()
     if args.command == "exhibits":
-        return cmd_exhibits(args.only)
+        return cmd_exhibits(args)
     if args.command == "campaign":
-        return cmd_campaign(
-            args.level, args.ber, args.intervals, args.group_size, args.seed
-        )
+        return cmd_campaign(args)
     if args.command == "perf":
-        return cmd_perf(args.workloads, args.accesses, args.seed)
+        return cmd_perf(args)
     if args.command == "report":
         return cmd_report(args.output, args.with_performance)
     if args.command == "distance":

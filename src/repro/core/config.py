@@ -10,6 +10,7 @@ scattering magic numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 from repro.cache.geometry import CacheGeometry
 
@@ -88,13 +89,13 @@ class PaperConstants:
     mean_cell_mttf_hours: float = 1.0      # Section I (sigma = 10 %)
 
     # Table II (FIT of uniform ECC-k, 64 MB, 20 ms, BER 5.3e-6)
-    ecc_line_failure_20ms: tuple = (
+    ecc_line_failure_20ms: Tuple[float, ...] = (
         3.9e-6, 3.8e-9, 2.9e-12, 1.9e-15, 1.0e-18, 4.9e-22,
     )
-    ecc_cache_failure_20ms: tuple = (
+    ecc_cache_failure_20ms: Tuple[float, ...] = (
         9.8e-1, 4.0e-3, 3.1e-6, 2.0e-9, 1.1e-12, 5.1e-16,
     )
-    ecc_fit: tuple = (1e14, 7.2e11, 5.5e8, 3.5e5, 191.0, 0.092)
+    ecc_fit: Tuple[float, ...] = (1e14, 7.2e11, 5.5e8, 3.5e5, 191.0, 0.092)
 
     # Section III / Table III
     sudoku_x_mttf_s: float = 3.71
@@ -121,7 +122,7 @@ class PaperConstants:
     sram_cache_fail_sudoku: float = 3.8e-10
 
     # Table VIII (scrub interval sweep)
-    scrub_sweep: tuple = (
+    scrub_sweep: Tuple[Tuple[float, float, float, float, float], ...] = (
         # (interval_s, ber, fit_ecc5, fit_ecc6, fit_sudoku_z)
         (0.010, 2.7e-6, 6.74, 1.66e-3, 5.49e-7),
         (0.020, 5.3e-6, 215.0, 0.092, 1.05e-4),
@@ -129,10 +130,10 @@ class PaperConstants:
     )
 
     # Table IX (cache-size sweep, SuDoku-Z FIT)
-    size_sweep: tuple = ((32, 0.52e-4), (64, 1.05e-4), (128, 2.1e-4))
+    size_sweep: Tuple[Tuple[int, float], ...] = ((32, 0.52e-4), (64, 1.05e-4), (128, 2.1e-4))
 
     # Table X (Delta sweep: (delta, fit_ecc6, fit_sudoku, strength))
-    delta_sweep: tuple = (
+    delta_sweep: Tuple[Tuple[float, float, float, float], ...] = (
         (35, 0.092, 1.05e-4, 874.0),
         (34, 4.63, 1.15e-2, 402.0),
         (33, 1240.0, 8.0, 155.0),

@@ -20,7 +20,7 @@ baseline accepts it unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.coding.bch import BCH
 from repro.coding.crc import CRC, CRC31_SUDOKU
@@ -81,7 +81,7 @@ class ECC2Layout:
             raise ValueError(f"crc does not fit in {self.crc_bits} bits")
         return data | (crc_value << self.data_bits)
 
-    def split_payload(self, payload: int) -> tuple:
+    def split_payload(self, payload: int) -> Tuple[int, int]:
         """Unpack an ECC payload word into (data, crc)."""
         data = payload & ((1 << self.data_bits) - 1)
         return data, payload >> self.data_bits

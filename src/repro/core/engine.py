@@ -25,7 +25,7 @@ the quantity Table III tracks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SuDokuConfig
 from repro.core.grouping import GroupMapper, SkewedGroupMapper
@@ -36,7 +36,15 @@ from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import GroupScan, reconstruct_line, scan_group
 from repro.core.sdr import resurrect
 from repro.core.stats import CorrectionStats, LatencyModel
+from repro.obs import Telemetry, resolve_telemetry
 from repro.sttram.array import STTRAMArray
+
+#: Bucket edges for modelled per-line repair latencies: the interesting
+#: range spans the 1-cycle syndrome check (~0.3 ns) up to multi-group
+#: Hash-2 repairs (tens of microseconds).
+REPAIR_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-9, 1e-8, 1e-7, 1e-6, 2e-6, 5e-6, 1e-5, 5e-5, 1e-4,
+)
 
 
 class SuDokuEngine:
@@ -61,6 +69,7 @@ class SuDokuEngine:
         latency: Optional[LatencyModel] = None,
         audit: bool = True,
         format_array: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.codec = codec if codec is not None else LineCodec()
         if array.line_bits != self.codec.stored_bits:
@@ -80,9 +89,37 @@ class SuDokuEngine:
         #: Optional structured event recorder (see repro.core.eventlog);
         #: attach one to capture per-line correction events.
         self.event_log = None
+        self.attach_telemetry(resolve_telemetry(telemetry))
         self._init_extra_tables()
         if format_array:
             self.format()
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a telemetry bundle (see :mod:`repro.obs`).
+
+        Registers this engine's metric families and caches them so the
+        scrub hot path pays one dict-free method call per event.  The
+        default (null) bundle makes every call a no-op; results are
+        bit-identical with telemetry attached or not.
+        """
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._m_outcomes = metrics.counter(
+            "sudoku_outcomes_total",
+            "Resolved line outcomes by engine level and outcome label.",
+            labels=("level", "outcome"),
+        )
+        self._m_corrections = metrics.counter(
+            "sudoku_corrections_total",
+            "Correction-mechanism invocations by engine level.",
+            labels=("level", "mechanism"),
+        )
+        self._m_repair_latency = metrics.histogram(
+            "sudoku_repair_latency_seconds",
+            "Modelled hardware latency of resolving one line.",
+            labels=("level",),
+            buckets=REPAIR_LATENCY_BUCKETS,
+        )
 
     def _init_extra_tables(self) -> None:
         """Hook for subclasses that maintain additional parity tables."""
@@ -133,7 +170,7 @@ class SuDokuEngine:
                 members = [self.array.read(f) for f in mapper.members(group)]
                 plt.rebuild(group, members)
 
-    def _tables(self) -> List[tuple]:
+    def _tables(self) -> List[Tuple[ParityLineTable, GroupMapper]]:
         """(PLT, mapper) pairs maintained by this engine."""
         return [(self.plt, self.mapper)]
 
@@ -167,7 +204,7 @@ class SuDokuEngine:
                 )
         self.stats.writes += 1
 
-    def read_data(self, frame: int) -> tuple:
+    def read_data(self, frame: int) -> Tuple[int, Outcome]:
         """Demand read: returns ``(data, outcome)``, repairing as needed."""
         self.stats.reads += 1
         self.correction_time_s += self.latency.syndrome_check()
@@ -206,6 +243,11 @@ class SuDokuEngine:
             outcome = self._resolve_line(frame)
         outcome = self._audit(frame, outcome)
         self.stats.record(outcome)
+        if self.telemetry.enabled:
+            self._m_outcomes.labels(level=self.level, outcome=outcome.value).inc()
+            self._m_repair_latency.labels(level=self.level).observe(
+                self._latency_for(outcome)
+            )
         if self.event_log is not None:
             self.event_log.record(
                 frame,
@@ -264,6 +306,10 @@ class SuDokuEngine:
         if decode.status is DecodeStatus.CORRECTED:
             self.array.restore(frame, decode.word)
             self.correction_time_s += self.latency.ecc1_repair()
+            if self.telemetry.enabled:
+                self._m_corrections.labels(
+                    level=self.level, mechanism="ecc1"
+                ).inc()
             return Outcome.CORRECTED_ECC1
         outcomes = self._repair_group_of(frame)
         outcome = outcomes.pop(frame, Outcome.DUE)
@@ -297,7 +343,14 @@ class SuDokuEngine:
             return
         self.stats.raid4_invocations += 1
         self.correction_time_s += self.latency.raid4_repair(len(scan.frames))
-        reconstruct_line(self.array, self.codec, plt, scan, scan.uncorrectable[0])
+        self._m_corrections.labels(level=self.level, mechanism="raid4").inc()
+        with self.telemetry.tracer.span(
+            "raid4_repair", level=self.level, group=scan.group,
+            frame=scan.uncorrectable[0],
+        ):
+            reconstruct_line(
+                self.array, self.codec, plt, scan, scan.uncorrectable[0]
+            )
 
     def _scan(self, mapper, group: int) -> GroupScan:
         self.stats.group_scans += 1
@@ -359,13 +412,19 @@ class SuDokuY(SuDokuEngine):
     def _group_level_repair(self, scan: GroupScan, plt: ParityLineTable) -> None:
         if len(scan.uncorrectable) > 1:
             self.stats.sdr_invocations += 1
-            report = resurrect(
-                self.array,
-                self.codec,
-                plt,
-                scan,
-                max_mismatches=self.sdr_max_mismatches,
-            )
+            self._m_corrections.labels(level=self.level, mechanism="sdr").inc()
+            with self.telemetry.tracer.span(
+                "sdr_repair", level=self.level, group=scan.group,
+                survivors=len(scan.uncorrectable),
+            ) as span:
+                report = resurrect(
+                    self.array,
+                    self.codec,
+                    plt,
+                    scan,
+                    max_mismatches=self.sdr_max_mismatches,
+                )
+                span.set_attribute("trials", report.trials)
             self.stats.sdr_trials += report.trials
             self.correction_time_s += self.latency.sdr_repair(
                 len(scan.frames), report.trials
@@ -396,7 +455,7 @@ class SuDokuZ(SuDokuY):
         self.mapper2 = SkewedGroupMapper(self.array.num_lines, self.group_size)
         self.plt2 = ParityLineTable(self.mapper2.num_groups, self.array.line_bits)
 
-    def _tables(self) -> List[tuple]:
+    def _tables(self) -> List[Tuple[ParityLineTable, GroupMapper]]:
         return [(self.plt, self.mapper), (self.plt2, self.mapper2)]
 
     def _repair_group_of(self, frame: int) -> Dict[int, Outcome]:
@@ -406,6 +465,18 @@ class SuDokuZ(SuDokuY):
             return outcomes
 
         self.stats.hash2_invocations += 1
+        self._m_corrections.labels(level=self.level, mechanism="hash2").inc()
+        with self.telemetry.tracer.span(
+            "hash2_repair", level=self.level,
+            group=self.mapper.group_of(frame), survivors=len(unresolved),
+        ):
+            outcomes = self._peel_hash2(outcomes, unresolved)
+        return outcomes
+
+    def _peel_hash2(
+        self, outcomes: Dict[int, Outcome], unresolved: set
+    ) -> Dict[int, Outcome]:
+        """The Hash-2 peeling fixed point (split out for span scoping)."""
         seen = set(unresolved)
         for _ in range(self.MAX_ROUNDS):
             progressed = False

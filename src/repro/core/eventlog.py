@@ -13,11 +13,12 @@ can be shipped to external analysis without this package.
 from __future__ import annotations
 
 import json
-from collections import Counter
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional
+from collections import Counter, deque
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.outcomes import Outcome
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -52,18 +53,45 @@ class EventLog:
     """Bounded in-memory event recorder.
 
     :param capacity: maximum retained events; the oldest are dropped
-        beyond it (the totals keep counting).
+        beyond it (the totals keep counting).  The backing store is a
+        ``deque(maxlen=capacity)``, so eviction at capacity is O(1) --
+        logs sized in the hundreds of thousands stay cheap to feed.
+    :param metrics: optional :class:`repro.obs.metrics.MetricsRegistry`;
+        when given, every recorded event also feeds the
+        ``eventlog_events_total`` / ``eventlog_dropped_total`` counters
+        and the ``eventlog_latency_seconds`` histogram.
     """
 
-    def __init__(self, capacity: int = 100_000) -> None:
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._events: List[CorrectionEvent] = []
+        self._events: Deque[CorrectionEvent] = deque(maxlen=capacity)
         self._sequence = 0
         self._dropped = 0
         self.interval = -1
         self.totals: Counter = Counter()
+        self._m_events = self._m_dropped = self._m_latency = None
+        if metrics is not None:
+            self._m_events = metrics.counter(
+                "eventlog_events_total",
+                "Correction events recorded, by outcome label.",
+                labels=("outcome",),
+            )
+            self._m_dropped = metrics.counter(
+                "eventlog_dropped_total",
+                "Events evicted from the bounded event log.",
+            )
+            self._m_latency = metrics.histogram(
+                "eventlog_latency_seconds",
+                "Modelled repair latency attributed to recorded events.",
+                labels=("outcome",),
+                buckets=(1e-9, 1e-8, 1e-7, 1e-6, 2e-6, 5e-6, 1e-5, 5e-5, 1e-4),
+            )
 
     # -- recording -----------------------------------------------------------------
 
@@ -91,10 +119,15 @@ class EventLog:
         )
         self._sequence += 1
         self.totals[outcome.value] += 1
-        if len(self._events) >= self.capacity:
-            self._events.pop(0)
+        if len(self._events) == self.capacity:
+            # deque(maxlen=...) evicts the oldest entry on append in O(1).
             self._dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
         self._events.append(event)
+        if self._m_events is not None:
+            self._m_events.labels(outcome=outcome.value).inc()
+            self._m_latency.labels(outcome=outcome.value).observe(latency_s)
         return event
 
     # -- access --------------------------------------------------------------------
@@ -114,8 +147,16 @@ class EventLog:
         """All retained events touching one frame."""
         return [event for event in self._events if event.frame == frame]
 
-    def hottest_groups(self, top: int = 5) -> List[tuple]:
-        """(group, event count) pairs, busiest first (clean excluded)."""
+    def hottest_groups(self, top: int = 5) -> List[Tuple[int, int]]:
+        """(group, event count) pairs, busiest first (clean excluded).
+
+        >>> log = EventLog()
+        >>> _ = log.record(1, Outcome.CORRECTED_RAID4, group=7)
+        >>> _ = log.record(2, Outcome.CORRECTED_RAID4, group=7)
+        >>> _ = log.record(3, Outcome.CORRECTED_ECC1, group=2)
+        >>> log.hottest_groups(top=2)
+        [(7, 2), (2, 1)]
+        """
         counts: Counter = Counter()
         for event in self._events:
             if event.outcome != Outcome.CLEAN.value and event.group >= 0:

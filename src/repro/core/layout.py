@@ -18,6 +18,7 @@ This ordering buys two properties the engines rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.coding.crc import CRC, CRC31_SUDOKU
 from repro.coding.hamming import HammingSEC
@@ -81,7 +82,7 @@ class LineLayout:
             raise ValueError(f"crc does not fit in {self.crc_bits} bits")
         return data | (crc_value << self.data_bits)
 
-    def split_payload(self, payload: int) -> tuple:
+    def split_payload(self, payload: int) -> Tuple[int, int]:
         """Unpack an ECC payload word into (data, crc)."""
         if payload < 0 or payload >> self.payload_bits:
             raise ValueError(f"payload does not fit in {self.payload_bits} bits")

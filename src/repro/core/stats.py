@@ -65,6 +65,23 @@ class CorrectionStats:
         )
         return snapshot
 
+    def publish_to(self, metrics, level: str = "") -> None:
+        """Mirror the current snapshot into a metrics registry.
+
+        Each counter becomes one series of the
+        ``sudoku_engine_stat{level,stat}`` gauge family (gauges, not
+        counters, because this publishes absolute totals at a point in
+        time rather than deltas).  ``metrics`` is a
+        :class:`repro.obs.metrics.MetricsRegistry` (or the null one).
+        """
+        gauge = metrics.gauge(
+            "sudoku_engine_stat",
+            "CorrectionStats snapshot values by engine level.",
+            labels=("level", "stat"),
+        )
+        for stat, value in self.as_dict().items():
+            gauge.labels(level=level, stat=stat).set(value)
+
 
 @dataclass(frozen=True)
 class LatencyModel:

@@ -1,0 +1,124 @@
+"""repro.obs -- the unified telemetry layer.
+
+A dependency-free observability subsystem shared by the functional
+engines, the reliability campaigns, and the performance simulator:
+
+* :class:`MetricsRegistry` -- labelled counters / gauges / fixed-bucket
+  histograms (``sudoku_corrections_total{mechanism="raid4"}``,
+  ``campaign_interval_seconds``, ...).
+* :class:`Tracer` -- nested wall-clock spans with a context-manager API
+  and a bounded ring of completed spans.
+* :class:`ProgressReporter` -- throttled rate/ETA heartbeat lines for
+  multi-minute campaigns.
+* :mod:`repro.obs.export` -- Prometheus text exposition, JSONL dumps,
+  and run manifests (config, seed, git SHA, durations).
+
+Everything defaults to null objects (:data:`NULL_TELEMETRY`,
+:class:`NullRegistry`, :class:`NullTracer`, :data:`NULL_PROGRESS`), so
+instrumented hot paths pay only a no-op method call when telemetry is
+detached and simulation results are bit-identical either way.
+
+Typical attachment::
+
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.create()
+    engine.attach_telemetry(telemetry)
+    result = run_engine_campaign(engine, ber, intervals, telemetry=telemetry)
+    print(telemetry.prometheus_text())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.export import (
+    build_manifest,
+    git_sha,
+    metrics_to_json_lines,
+    to_prometheus_text,
+    write_manifest,
+    write_metrics_json_lines,
+    write_metrics_text,
+    write_spans_json_lines,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+
+@dataclass
+class Telemetry:
+    """The registry + tracer pair instrumented code carries around.
+
+    Use :meth:`create` for a live bundle and :meth:`null` (or the shared
+    :data:`NULL_TELEMETRY`) for the zero-cost default.  ``enabled`` is
+    the one flag hot paths may branch on to skip clock reads or label
+    formatting entirely.
+    """
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one backend actually records."""
+        return bool(self.metrics.enabled or self.tracer.enabled)
+
+    @classmethod
+    def create(cls, span_capacity: int = 65_536) -> "Telemetry":
+        """A live telemetry bundle."""
+        return cls(metrics=MetricsRegistry(), tracer=Tracer(capacity=span_capacity))
+
+    @classmethod
+    def null(cls) -> "Telemetry":
+        """The shared zero-cost bundle."""
+        return NULL_TELEMETRY
+
+    # -- export conveniences ---------------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return to_prometheus_text(self.metrics)
+
+    def spans_json_lines(self) -> str:
+        """Completed spans as newline-delimited JSON."""
+        return self.tracer.to_json_lines()
+
+
+#: The shared zero-cost bundle every instrumented default points at.
+NULL_TELEMETRY = Telemetry(metrics=NullRegistry(), tracer=NullTracer())
+
+
+def resolve_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` if given, else the shared null bundle."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "ProgressReporter",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "resolve_telemetry",
+    "to_prometheus_text",
+    "metrics_to_json_lines",
+    "write_metrics_text",
+    "write_metrics_json_lines",
+    "write_spans_json_lines",
+    "build_manifest",
+    "write_manifest",
+    "git_sha",
+]

@@ -1,0 +1,170 @@
+"""Telemetry exporters: Prometheus text format, JSONL, run manifests.
+
+The registry and tracer are storage; this module is the serialisation
+boundary.  Three formats:
+
+* :func:`to_prometheus_text` -- the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with
+  ``le`` labels, ``_sum`` / ``_count``), scrapeable by any Prometheus-
+  compatible collector.
+* :func:`metrics_to_json_lines` / ``Tracer.to_json_lines`` -- newline-
+  delimited JSON for ad-hoc analysis without a metrics stack.
+* :func:`build_manifest` / :func:`write_manifest` -- a run manifest
+  (command, config, seed, git SHA, durations) so any exported metrics
+  file can be traced back to the exact run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import (
+    CounterChild,
+    GaugeChild,
+    HistogramChild,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Tracer
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names, values, extra: str = "") -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.samples():
+            if isinstance(child, HistogramChild):
+                cumulative = child.cumulative_counts()
+                edges = [_format_value(edge) for edge in child.buckets] + ["+Inf"]
+                for edge, count in zip(edges, cumulative):
+                    labels = _format_labels(
+                        family.label_names, values, extra=f'le="{edge}"'
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _format_labels(family.label_names, values)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _format_labels(family.label_names, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_json_lines(registry: MetricsRegistry) -> str:
+    """One JSON record per series (histograms keep their bucket arrays)."""
+    records: List[str] = []
+    for family in registry.families():
+        for values, child in family.samples():
+            record: Dict[str, object] = {
+                "name": family.name,
+                "type": family.kind,
+                "labels": dict(zip(family.label_names, values)),
+            }
+            if isinstance(child, HistogramChild):
+                record["buckets"] = list(child.buckets)
+                record["counts"] = child.cumulative_counts()
+                record["sum"] = child.sum
+                record["count"] = child.count
+            elif isinstance(child, (CounterChild, GaugeChild)):
+                record["value"] = child.value
+            records.append(json.dumps(record, separators=(",", ":")))
+    return "\n".join(records) + ("\n" if records else "")
+
+
+def write_metrics_text(registry: MetricsRegistry, path: str) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_prometheus_text(registry))
+
+
+def write_metrics_json_lines(registry: MetricsRegistry, path: str) -> None:
+    """Write the JSONL metric dump to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(metrics_to_json_lines(registry))
+
+
+def write_spans_json_lines(tracer: Tracer, path: str) -> None:
+    """Write the tracer's completed spans as JSONL to ``path``."""
+    text = tracer.to_json_lines()
+    with open(path, "w") as handle:
+        handle.write(text + ("\n" if text else ""))
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def build_manifest(
+    command: str,
+    config: Optional[Dict[str, object]] = None,
+    seed: Optional[int] = None,
+    durations_s: Optional[Dict[str, float]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the run-manifest dict (no filesystem access except git)."""
+    manifest: Dict[str, object] = {
+        "command": command,
+        "config": dict(config) if config else {},
+        "seed": seed,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "durations_s": dict(durations_s) if durations_s else {},
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str, manifest: Dict[str, object]) -> None:
+    """Write a manifest dict as pretty JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -1,0 +1,150 @@
+"""Heartbeat progress reporting for long-running campaigns.
+
+Monte-Carlo and rare-event campaigns run for minutes with no output;
+:class:`ProgressReporter` emits throttled rate/ETA lines so an operator
+(or a fleet log scraper) can see the run is alive::
+
+    [campaign] 1200/5000 (24.0%) 312.4/s eta 12.2s
+
+Lines go to ``stream`` (stderr by default, so stdout stays parseable).
+Emission is time-throttled -- at most one line per ``min_interval_s`` --
+so per-item ``update()`` calls from tight loops stay cheap.
+:class:`NullProgress` is the no-op default instrumented code holds when
+progress display is off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Rate/ETA heartbeat for a loop of known (or unknown) length.
+
+    :param total: expected number of items (None disables ETA/percent).
+    :param label: prefix identifying the loop in shared logs.
+    :param stream: where heartbeat lines go (default stderr).
+    :param min_interval_s: minimum spacing between emitted lines.
+    :param clock: monotonic time source, injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        label: str = "progress",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ValueError("total must be non-negative")
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self.done = 0
+        self.started_s = self._clock()
+        self._last_emit_s = self.started_s
+        self.lines_emitted = 0
+        self._finished = False
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(self, done: Optional[int] = None, advance: int = 1) -> None:
+        """Advance the loop (or set absolute progress) and maybe emit."""
+        self.done = done if done is not None else self.done + advance
+        now = self._clock()
+        if now - self._last_emit_s >= self.min_interval_s:
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Emit the final summary line (always, regardless of throttle)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._emit(self._clock(), final=True)
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finish()
+
+    # -- formatting ----------------------------------------------------------------
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Items per second since the reporter started."""
+        elapsed = (now if now is not None else self._clock()) - self.started_s
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def eta_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Estimated seconds to completion (None when unknowable)."""
+        if self.total is None or self.done <= 0:
+            return None
+        rate = self.rate(now)
+        return (self.total - self.done) / rate if rate > 0 else None
+
+    def render(self, now: Optional[float] = None, final: bool = False) -> str:
+        """The heartbeat line for the current state."""
+        now = now if now is not None else self._clock()
+        parts = [f"[{self.label}]"]
+        if self.total:
+            parts.append(f"{self.done}/{self.total}")
+            parts.append(f"({100.0 * self.done / self.total:.1f}%)")
+        else:
+            parts.append(str(self.done))
+        parts.append(f"{self.rate(now):.1f}/s")
+        if final:
+            parts.append(f"done in {_format_duration(now - self.started_s)}")
+        else:
+            eta = self.eta_s(now)
+            if eta is not None:
+                parts.append(f"eta {_format_duration(eta)}")
+        return " ".join(parts)
+
+    def _emit(self, now: float, final: bool = False) -> None:
+        self._last_emit_s = now
+        self.lines_emitted += 1
+        print(self.render(now, final=final), file=self.stream)
+
+
+class NullProgress:
+    """Zero-cost progress stand-in."""
+
+    enabled = False
+    done = 0
+    total = None
+    lines_emitted = 0
+
+    def update(self, done: Optional[int] = None, advance: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_PROGRESS = NullProgress()

@@ -1,0 +1,208 @@
+"""Nested wall-clock span tracing with a bounded completed-span ring.
+
+A :class:`Tracer` hands out context-manager spans::
+
+    with tracer.span("sdr_repair", group=7, level="Z"):
+        ...
+
+Spans nest lexically: the tracer keeps an active-span stack, so each
+completed span knows its parent and depth, and the ring of finished
+spans (a ``deque(maxlen=...)``; the oldest are dropped, with a counter)
+serialises to JSON lines for offline analysis.  :class:`NullTracer`
+is the zero-cost stand-in: ``span()`` returns one shared no-op context
+manager and never reads the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed operation; use as a context manager via ``Tracer.span``."""
+
+    __slots__ = (
+        "_tracer", "name", "attributes", "span_id", "parent_id",
+        "depth", "start_s", "end_s", "status",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.status = "ok"
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration (0 until the span has finished)."""
+        return max(0.0, self.end_s - self.start_s)
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach an attribute after the span has started."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("exception", exc_type.__name__)
+        self._tracer._exit(self)
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (the JSONL record)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Produces nested spans and retains the most recent completed ones.
+
+    :param capacity: bound on retained completed spans; the oldest are
+        dropped beyond it (``dropped`` keeps counting).
+    :param clock: monotonic time source, injectable for deterministic
+        tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65_536,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._finished: Deque[Span] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._next_id = 0
+        self.dropped = 0
+        self.started = 0
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; enter it with ``with``."""
+        return Span(self, name, attributes)
+
+    # -- span lifecycle (called by Span) -------------------------------------------
+
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        self.started += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.depth = self._stack[-1].depth + 1
+        self._stack.append(span)
+        span.start_s = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        span.end_s = self._clock()
+        # Tolerate out-of-order exits (generator-held spans): unwind to
+        # this span rather than corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if len(self._finished) == self.capacity:
+            self.dropped += 1
+        self._finished.append(span)
+
+    # -- access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def __iter__(self) -> Iterator[Span]:
+        """Completed spans, oldest first (completion order)."""
+        return iter(self._finished)
+
+    @property
+    def active_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def spans_named(self, name: str) -> List[Span]:
+        """Completed spans with the given name."""
+        return [span for span in self._finished if span.name == name]
+
+    def names(self) -> List[str]:
+        """Distinct completed-span names, first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self._finished:
+            seen.setdefault(span.name, None)
+        return list(seen)
+
+    def to_json_lines(self) -> str:
+        """Completed spans as newline-delimited JSON."""
+        return "\n".join(
+            json.dumps(span.to_dict(), separators=(",", ":"), default=str)
+            for span in self._finished
+        )
+
+
+class _NullSpan:
+    """Shared no-op span context manager."""
+
+    __slots__ = ()
+    name = ""
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-cost tracer: never reads the clock, retains nothing."""
+
+    enabled = False
+    dropped = 0
+    started = 0
+    active_depth = 0
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(())
+
+    def spans_named(self, name: str) -> List[Span]:
+        return []
+
+    def names(self) -> List[str]:
+        return []
+
+    def to_json_lines(self) -> str:
+        return ""

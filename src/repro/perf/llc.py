@@ -77,10 +77,30 @@ class LLCConfig:
 
 
 class LLCTiming:
-    """Bank-contention timing for the LLC."""
+    """Bank-contention timing for the LLC.
 
-    def __init__(self, config: LLCConfig, seed: int = 0) -> None:
+    :param metrics: optional :class:`repro.obs.metrics.MetricsRegistry`;
+        when given, scrub chunks and correction intrusions feed the
+        ``perf_llc_scrub_chunks_total`` / ``perf_llc_corrections_total``
+        counters (labelled by config kind) as they occur.  Default None:
+        the hot path carries no telemetry cost at all.
+    """
+
+    def __init__(self, config: LLCConfig, seed: int = 0, metrics=None) -> None:
         self.config = config
+        self._label = "sudoku" if config.scrub_enabled else "ideal"
+        self._m_scrub_chunks = self._m_corrections = None
+        if metrics is not None:
+            self._m_scrub_chunks = metrics.counter(
+                "perf_llc_scrub_chunks_total",
+                "Blocking-mode scrub chunks applied to the banks.",
+                labels=("config",),
+            ).labels(config=self._label)
+            self._m_corrections = metrics.counter(
+                "perf_llc_corrections_total",
+                "RAID-repair correction intrusions applied to the banks.",
+                labels=("config",),
+            ).labels(config=self._label)
         self._busy_until: List[float] = [0.0] * config.num_banks
         self._rng = random.Random(seed)
         self._next_scrub_chunk_s: Optional[float] = (
@@ -127,6 +147,8 @@ class LLCTiming:
             self.busy_time_s += chunk_service * config.num_banks
             self.scrub_chunks += 1
             self.scrub_lines_done += config.scrub_chunk_lines
+            if self._m_scrub_chunks is not None:
+                self._m_scrub_chunks.inc()
             self._next_scrub_chunk_s += self._chunk_period_s
         while (
             self._next_correction_s is not None and self._next_correction_s <= now_s
@@ -139,6 +161,8 @@ class LLCTiming:
                 self._busy_until[bank] = start + repair_service
             self.busy_time_s += repair_service * config.num_banks
             self.corrections += 1
+            if self._m_corrections is not None:
+                self._m_corrections.inc()
             self._next_correction_s = self._draw_correction_gap(
                 self._next_correction_s
             )

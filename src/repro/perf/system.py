@@ -18,11 +18,13 @@ simulation noise down to the sub-percent effects being measured.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cache.functional import FunctionalCache
 from repro.cache.geometry import CacheGeometry
+from repro.obs import Telemetry, resolve_telemetry
 from repro.perf.dram import DRAMConfig, DRAMModel
 from repro.perf.llc import LLCConfig, LLCTiming
 from repro.perf.trace import SyntheticTrace
@@ -121,6 +123,7 @@ class SystemSimulator:
         config_label: str = "",
         warmup_accesses_per_core: int = 0,
         traces: Optional[list] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
         self.workload = workload
@@ -135,12 +138,31 @@ class SystemSimulator:
         #: Optional explicit per-core traces (e.g. repro.perf.tracefile
         #: FileTrace objects); overrides the synthetic generator.
         self.traces = traces
+        #: Telemetry bundle (null by default); :meth:`run` publishes
+        #: simulated-vs-wall-clock throughput gauges through it.
+        self.telemetry = resolve_telemetry(telemetry)
 
     def run(self) -> SimulationResult:
         """Simulate to completion of every core's trace."""
+        tel = self.telemetry
+        wall_started = time.perf_counter() if tel.enabled else 0.0
+        with tel.tracer.span(
+            "perf_sim", workload=self.workload, config=self.config_label,
+            accesses_per_core=self.accesses_per_core,
+        ):
+            result = self._run_simulation()
+        if tel.enabled:
+            self._publish_metrics(result, time.perf_counter() - wall_started)
+        return result
+
+    def _run_simulation(self) -> SimulationResult:
         config = self.config
         cache = FunctionalCache(config.geometry)
-        llc = LLCTiming(config.llc, seed=self.seed)
+        llc = LLCTiming(
+            config.llc,
+            seed=self.seed,
+            metrics=self.telemetry.metrics if self.telemetry.enabled else None,
+        )
         dram = DRAMModel(config.dram)
         profiles = (
             profiles_for(self.workload, config.num_cores)
@@ -249,6 +271,60 @@ class SystemSimulator:
             total_memory_latency_s=total_latency,
         )
 
+    def _publish_metrics(
+        self, result: SimulationResult, wall_s: float
+    ) -> None:
+        """Publish run gauges: simulated vs wall-clock plus LLC traffic."""
+        metrics = self.telemetry.metrics
+        labels = dict(workload=self.workload, config=self.config_label)
+        label_names = ("workload", "config")
+
+        def gauge(name: str, help_text: str, value: float) -> None:
+            metrics.gauge(name, help_text, labels=label_names).labels(
+                **labels
+            ).set(value)
+
+        gauge(
+            "perf_sim_simulated_seconds",
+            "Simulated execution time of the run.",
+            result.execution_time_s,
+        )
+        gauge(
+            "perf_sim_wallclock_seconds",
+            "Host wall-clock time spent simulating the run.",
+            wall_s,
+        )
+        if wall_s > 0:
+            gauge(
+                "perf_sim_time_ratio",
+                "Simulated seconds produced per host wall-clock second.",
+                result.execution_time_s / wall_s,
+            )
+            gauge(
+                "perf_sim_accesses_per_wall_second",
+                "Simulator throughput: LLC accesses processed per host second.",
+                result.llc_accesses / wall_s,
+            )
+        gauge(
+            "perf_llc_accesses", "LLC accesses in the run.", result.llc_accesses
+        )
+        gauge("perf_llc_misses", "LLC misses in the run.", result.llc_misses)
+        gauge(
+            "perf_llc_utilisation",
+            "Aggregate LLC bank utilisation over the run.",
+            result.llc_utilisation,
+        )
+        gauge(
+            "perf_dram_requests",
+            "DRAM requests issued by the run.",
+            result.dram_requests,
+        )
+        gauge(
+            "perf_scrub_deficit_lines",
+            "Scrub lines the idle bank capacity failed to cover.",
+            result.scrub_deficit_lines,
+        )
+
 
 def compare_ideal_vs_sudoku(
     workload: str,
@@ -257,6 +333,7 @@ def compare_ideal_vs_sudoku(
     geometry: Optional[CacheGeometry] = None,
     corrections_per_interval: float = 4.0,
     warmup_accesses_per_core: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, SimulationResult]:
     """Run one workload under both configurations (the Fig. 8 pair)."""
     geometry = geometry if geometry is not None else CacheGeometry()
@@ -272,10 +349,12 @@ def compare_ideal_vs_sudoku(
         "ideal": SystemSimulator(
             ideal, workload, accesses_per_core, seed, "ideal",
             warmup_accesses_per_core=warmup_accesses_per_core,
+            telemetry=telemetry,
         ).run(),
         "sudoku": SystemSimulator(
             sudoku, workload, accesses_per_core, seed, "sudoku",
             warmup_accesses_per_core=warmup_accesses_per_core,
+            telemetry=telemetry,
         ).run(),
     }
 

@@ -19,6 +19,7 @@ before the next interval (the golden copies make this exact).
 from __future__ import annotations
 
 import math
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -26,12 +27,20 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.engine import SuDokuEngine, build_engine
+from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.fit import (
     fit_from_interval_probability,
     mttf_seconds_from_interval_probability,
 )
 from repro.sttram.array import STTRAMArray
 from repro.sttram.faults import TransientFaultInjector
+
+#: Bucket edges for per-interval wall-clock times: small validation
+#: campaigns clear an interval in microseconds, paper-geometry ones take
+#: seconds.
+INTERVAL_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
 
 
 @dataclass
@@ -102,6 +111,8 @@ def run_engine_campaign(
     interval_s: float = 0.020,
     rng: Optional[np.random.Generator] = None,
     randomize_content: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
 ) -> CampaignResult:
     """Inject-scrub-heal for ``intervals`` independent intervals.
 
@@ -111,8 +122,44 @@ def run_engine_campaign(
     :param randomize_content: write random data once before the campaign
         (recommended; all-zero content makes overlap pathologies invisible
         to content-sensitive bugs the campaign exists to catch).
+    :param telemetry: optional :class:`repro.obs.Telemetry`; when given it
+        is also attached to the engine, so per-mechanism counters and
+        repair spans are recorded alongside the campaign-level series.
+        Telemetry never touches the RNG stream: results are bit-identical
+        with it on or off.
+    :param progress: a :class:`repro.obs.ProgressReporter` (default: the
+        shared no-op) fed once per interval.
     """
     generator = rng if rng is not None else np.random.default_rng()
+    tel = resolve_telemetry(telemetry)
+    if telemetry is not None:
+        attach = getattr(engine, "attach_telemetry", None)
+        if attach is not None:
+            attach(telemetry)
+    metrics = tel.metrics
+    m_interval = metrics.histogram(
+        "campaign_interval_seconds",
+        "Wall-clock time per campaign interval (inject + scrub + heal).",
+        buckets=INTERVAL_BUCKETS,
+    )
+    m_intervals = metrics.counter(
+        "campaign_intervals_total", "Campaign intervals completed."
+    )
+    m_failures = metrics.counter(
+        "campaign_interval_failures_total",
+        "Intervals with at least one DUE or SDC.",
+    )
+    m_outcomes = metrics.counter(
+        "campaign_outcomes_total",
+        "Line outcomes accumulated across campaign intervals.",
+        labels=("outcome",),
+    )
+    m_faulty = metrics.histogram(
+        "campaign_faulty_lines_per_interval",
+        "Lines hit by at least one injected fault, per interval.",
+        buckets=(0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000),
+    )
+
     array = engine.array
     if randomize_content:
         _fill_random_through_engine(engine, generator)
@@ -120,21 +167,43 @@ def run_engine_campaign(
     result = CampaignResult(
         intervals=intervals, ber=ber, interval_s=interval_s, lines=array.num_lines
     )
-    for _ in range(intervals):
-        vectors = injector.error_vectors(array.num_lines)
-        for frame, vector in vectors.items():
-            array.inject(frame, vector)
-        counts = engine.scrub_frames(sorted(vectors))
-        result.outcomes.update(counts)
-        if counts.get("due", 0) or counts.get("sdc", 0):
-            result.interval_failures += 1
-            heal(array)
-            # A DUE may have triggered a parity rebuild over still-corrupt
-            # words (write-path poisoning semantics); healing invalidates
-            # those entries, so restore the ground-truth parities too.
-            initialize = getattr(engine, "initialize_parities", None)
-            if initialize is not None:
-                initialize()
+    level = getattr(engine, "level", "?")
+    with tel.tracer.span(
+        "campaign", level=level, ber=ber, intervals=intervals,
+        lines=array.num_lines,
+    ):
+        for _ in range(intervals):
+            started = time.perf_counter() if tel.enabled else 0.0
+            vectors = injector.error_vectors(array.num_lines)
+            for frame, vector in vectors.items():
+                array.inject(frame, vector)
+            counts = engine.scrub_frames(sorted(vectors))
+            result.outcomes.update(counts)
+            failed = counts.get("due", 0) or counts.get("sdc", 0)
+            if failed:
+                result.interval_failures += 1
+                heal(array)
+                # A DUE may have triggered a parity rebuild over
+                # still-corrupt words (write-path poisoning semantics);
+                # healing invalidates those entries, so restore the
+                # ground-truth parities too.
+                initialize = getattr(engine, "initialize_parities", None)
+                if initialize is not None:
+                    initialize()
+            if tel.enabled:
+                m_intervals.inc()
+                if failed:
+                    m_failures.inc()
+                m_faulty.observe(len(vectors))
+                for label, count in counts.items():
+                    m_outcomes.labels(outcome=label).inc(count)
+                m_interval.observe(time.perf_counter() - started)
+            progress.update()
+    progress.finish()
+    if telemetry is not None:
+        stats = getattr(engine, "stats", None)
+        if stats is not None:
+            stats.publish_to(metrics, level=str(level))
     return result
 
 
@@ -145,6 +214,8 @@ def run_group_campaign(
     group_size: int = 64,
     interval_s: float = 0.020,
     rng: Optional[np.random.Generator] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
 ) -> CampaignResult:
     """Single-cache campaign sized for group-level statistics.
 
@@ -160,7 +231,7 @@ def run_group_campaign(
     engine = build_engine(level, array, group_size=group_size, codec=codec)
     return run_engine_campaign(
         engine, ber, trials, interval_s=interval_s, rng=rng,
-        randomize_content=False,
+        randomize_content=False, telemetry=telemetry, progress=progress,
     )
 
 

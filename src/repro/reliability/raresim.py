@@ -32,17 +32,26 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.coding.bitvec import random_error_vector
 from repro.core.linecodec import LineCodec
 from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import reconstruct_line, scan_group
 from repro.core.sdr import resurrect
+from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.binomial import binomial_pmf, binomial_tail, complement_power
 from repro.reliability.fit import fit_from_interval_probability
 from repro.sttram.array import STTRAMArray
+
+#: Bucket edges for conditioned-trial wall times: a Y trial is one group
+#: scan (sub-millisecond at bench geometries); Z trials fan out into
+#: side-groups and can take tens of milliseconds.
+TRIAL_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0,
+)
 
 #: Truncation of the conditioned fault-count distribution; the mass
 #: beyond this is ~(n*ber)^k / k! and utterly negligible for every BER
@@ -104,7 +113,7 @@ class ConditionalResult:
             self.cache_failure_probability(), self.interval_s
         )
 
-    def conditional_ci(self, z: float = 1.96) -> tuple:
+    def conditional_ci(self, z: float = 1.96) -> Tuple[float, float]:
         """Wilson interval on the conditional failure probability."""
         n = self.trials
         if n == 0:
@@ -160,7 +169,7 @@ class ConditionalGroupSimulator:
 
     # -- group construction ----------------------------------------------------------
 
-    def _fresh_group(self) -> tuple:
+    def _fresh_group(self) -> Tuple[STTRAMArray, ParityLineTable]:
         """A formatted G-line array with content, parity, and no faults."""
         array = STTRAMArray(self.group_size, self.line_bits)
         plt = ParityLineTable(1, self.line_bits)
@@ -237,12 +246,61 @@ class ConditionalGroupSimulator:
 
     # -- campaigns ---------------------------------------------------------------------
 
-    def run(self, level: str, trials: int) -> ConditionalResult:
-        """Run ``trials`` conditioned trials for level 'Y' or 'Z'."""
+    def run(
+        self,
+        level: str,
+        trials: int,
+        telemetry: Optional[Telemetry] = None,
+        progress=NULL_PROGRESS,
+    ) -> ConditionalResult:
+        """Run ``trials`` conditioned trials for level 'Y' or 'Z'.
+
+        :param telemetry: optional :class:`repro.obs.Telemetry` for
+            per-trial timing histograms and counters (RNG-neutral).
+        :param progress: a :class:`repro.obs.ProgressReporter` fed once
+            per conditioned trial.
+        """
         trial = {"Y": self.trial_y, "Z": self.trial_z}.get(level.upper())
         if trial is None:
             raise ValueError("conditional campaigns support levels Y and Z")
-        failures = sum(1 for _ in range(trials) if trial())
+        tel = resolve_telemetry(telemetry)
+        metrics = tel.metrics
+        m_trials = metrics.counter(
+            "raresim_trials_total",
+            "Conditioned rare-event trials completed.",
+            labels=("level",),
+        )
+        m_failures = metrics.counter(
+            "raresim_conditional_failures_total",
+            "Conditioned trials ending in a group DUE.",
+            labels=("level",),
+        )
+        m_trial_time = metrics.histogram(
+            "raresim_trial_seconds",
+            "Wall-clock time per conditioned trial.",
+            labels=("level",),
+            buckets=TRIAL_BUCKETS,
+        )
+        label = level.upper()
+        failures = 0
+        with tel.tracer.span(
+            "raresim_campaign", level=label, trials=trials, ber=self.ber,
+            group_size=self.group_size,
+        ):
+            for _ in range(trials):
+                started = time.perf_counter() if tel.enabled else 0.0
+                failed = trial()
+                if failed:
+                    failures += 1
+                if tel.enabled:
+                    m_trials.labels(level=label).inc()
+                    if failed:
+                        m_failures.labels(level=label).inc()
+                    m_trial_time.labels(level=label).observe(
+                        time.perf_counter() - started
+                    )
+                progress.update()
+        progress.finish()
         return ConditionalResult(
             trials=trials,
             conditional_failures=failures,
@@ -261,6 +319,8 @@ def estimate_fit(
     group_size: int = 64,
     num_groups: int = 2048,
     seed: int = 0,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
 ) -> ConditionalResult:
     """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z."""
     simulator = ConditionalGroupSimulator(
@@ -269,4 +329,4 @@ def estimate_fit(
         num_groups=num_groups,
         rng=random.Random(seed),
     )
-    return simulator.run(level, trials)
+    return simulator.run(level, trials, telemetry=telemetry, progress=progress)

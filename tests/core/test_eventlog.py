@@ -1,6 +1,7 @@
 """Tests for the correction-event log."""
 
 import random
+import time
 
 import pytest
 
@@ -36,6 +37,29 @@ class TestEventLog:
         with pytest.raises(ValueError):
             EventLog(capacity=0)
 
+    def test_eviction_stays_fast_at_scale(self):
+        """Recording far past capacity must not degrade.
+
+        The log used to evict with ``list.pop(0)``, making a full log
+        O(n) per record -- 120k records into a 4k-capacity log took
+        seconds.  With the deque backing it is O(1); the whole run
+        should finish in well under a second even on slow CI.
+        """
+        log = EventLog(capacity=4_096)
+        records = 120_000
+        started = time.perf_counter()
+        for index in range(records):
+            log.record(index % 512, Outcome.CLEAN)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0
+        assert len(log) == 4_096
+        assert log.dropped == records - 4_096
+        assert log.totals["clean"] == records  # totals keep counting
+        # The ring holds exactly the newest events, oldest first.
+        newest = list(log)
+        assert newest[0].sequence == records - 4_096
+        assert newest[-1].sequence == records - 1
+
     def test_queries(self):
         log = EventLog()
         log.record(1, Outcome.CORRECTED_RAID4, group=4, latency_s=4e-6)
@@ -46,6 +70,30 @@ class TestEventLog:
         assert hottest[0][0] in (4, 5)  # clean events excluded from heat
         latency = log.latency_by_outcome()
         assert latency["corrected_raid4"] == pytest.approx(4e-6)
+
+    def test_metrics_feed(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        log = EventLog(capacity=2, metrics=registry)
+        log.record(1, Outcome.CORRECTED_RAID4, group=3, latency_s=4e-6)
+        log.record(2, Outcome.CLEAN, latency_s=1e-9)
+        log.record(3, Outcome.CLEAN, latency_s=1e-9)  # evicts event 1
+        events = registry.get("eventlog_events_total")
+        assert events.labels(outcome="corrected_raid4").value == 1
+        assert events.labels(outcome="clean").value == 2
+        ((_, dropped),) = registry.get("eventlog_dropped_total").samples()
+        assert dropped.value == 1
+        latency = registry.get("eventlog_latency_seconds")
+        assert latency.labels(outcome="corrected_raid4").count == 1
+
+    def test_hottest_groups_returns_typed_pairs(self):
+        log = EventLog()
+        log.record(1, Outcome.CORRECTED_RAID4, group=7)
+        log.record(2, Outcome.CORRECTED_RAID4, group=7)
+        log.record(3, Outcome.CORRECTED_ECC1, group=2)
+        log.record(4, Outcome.CLEAN, group=7)  # clean excluded from heat
+        assert log.hottest_groups(top=2) == [(7, 2), (2, 1)]
 
     def test_json_roundtrip(self):
         log = EventLog()

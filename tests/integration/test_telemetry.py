@@ -1,0 +1,221 @@
+"""End-to-end telemetry integration.
+
+The two load-bearing guarantees:
+
+1. telemetry is observational only -- a campaign with a registry and
+   tracer attached produces bit-identical results to one without, given
+   the same seed; and
+2. the CLI export path emits parseable Prometheus text plus JSONL spans
+   that cover the raid4/sdr/hash2 repair paths.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import ProgressReporter, Telemetry
+from repro.reliability.montecarlo import run_group_campaign
+from repro.reliability.raresim import ConditionalGroupSimulator
+import random
+
+# Small, failure-rich campaign: high accelerated BER over 8-line groups
+# exercises ECC-1, RAID-4, SDR, and Hash-2 within a few intervals.
+CAMPAIGN = dict(level="Z", ber=2e-3, trials=4, group_size=8)
+SEED = 5
+
+
+class TestBitIdenticalResults:
+    def test_campaign_identical_with_and_without_telemetry(self):
+        bare = run_group_campaign(
+            **CAMPAIGN, rng=np.random.default_rng(SEED)
+        )
+        telemetry = Telemetry.create()
+        instrumented = run_group_campaign(
+            **CAMPAIGN, rng=np.random.default_rng(SEED), telemetry=telemetry
+        )
+        assert instrumented.outcomes == bare.outcomes
+        assert instrumented.interval_failures == bare.interval_failures
+        assert instrumented.failure_probability == bare.failure_probability
+        # ... and the instrumented run actually recorded something.
+        outcomes = telemetry.metrics.get("campaign_outcomes_total")
+        assert outcomes is not None
+        total = sum(child.value for _, child in outcomes.samples())
+        assert total == sum(bare.outcomes.values())
+
+    def test_raresim_identical_with_and_without_telemetry(self):
+        def run(telemetry):
+            simulator = ConditionalGroupSimulator(
+                ber=1e-3, group_size=16, rng=random.Random(11)
+            )
+            return simulator.run("Z", trials=20, telemetry=telemetry)
+
+        bare = run(None)
+        telemetry = Telemetry.create()
+        instrumented = run(telemetry)
+        assert instrumented.conditional_failures == bare.conditional_failures
+        trials = telemetry.metrics.get("raresim_trials_total")
+        assert trials.labels(level="Z").value == 20
+
+
+class TestCampaignMetricsSeries:
+    def test_interval_and_mechanism_series_recorded(self):
+        telemetry = Telemetry.create()
+        result = run_group_campaign(
+            **CAMPAIGN, rng=np.random.default_rng(SEED), telemetry=telemetry
+        )
+        metrics = telemetry.metrics
+        intervals = metrics.get("campaign_intervals_total")
+        ((_, child),) = intervals.samples()
+        assert child.value == result.intervals
+        histogram = metrics.get("campaign_interval_seconds")
+        ((_, h),) = histogram.samples()
+        assert h.count == result.intervals
+        corrections = metrics.get("sudoku_corrections_total")
+        mechanisms = {values[1] for values, _ in corrections.samples()}
+        assert {"raid4", "sdr", "hash2"} <= mechanisms
+        # CorrectionStats snapshot published at campaign end.
+        stat = metrics.get("sudoku_engine_stat")
+        assert stat.labels(level="Z", stat="group_scans").value > 0
+
+    def test_spans_cover_repair_paths(self):
+        telemetry = Telemetry.create()
+        run_group_campaign(
+            **CAMPAIGN, rng=np.random.default_rng(SEED), telemetry=telemetry
+        )
+        names = set(telemetry.tracer.names())
+        assert {"campaign", "raid4_repair", "sdr_repair", "hash2_repair"} <= names
+        campaign_span = telemetry.tracer.spans_named("campaign")[0]
+        assert campaign_span.attributes["intervals"] == CAMPAIGN["trials"]
+        # Repair spans nest under the campaign span.
+        raid4 = telemetry.tracer.spans_named("raid4_repair")[0]
+        assert raid4.depth >= 1
+
+    def test_progress_reporter_heartbeats(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        progress = ProgressReporter(
+            total=CAMPAIGN["trials"], label="mc", stream=stream,
+            min_interval_s=0.0,
+        )
+        run_group_campaign(
+            **CAMPAIGN, rng=np.random.default_rng(SEED), progress=progress
+        )
+        text = stream.getvalue()
+        assert "[mc]" in text
+        assert "done in" in text
+
+
+class TestCliExport:
+    def test_campaign_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        code = main([
+            "campaign", "--level", "Z", "--ber", "2e-3", "--intervals", "4",
+            "--group-size", "8", "--seed", str(SEED),
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+            "--manifest-out", str(manifest_path),
+        ])
+        assert code == 0
+
+        # Prometheus text: every sample line parses as name{labels} value.
+        samples = {}
+        for line in metrics_path.read_text().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            samples[name_and_labels] = float(value)
+        assert any(
+            key.startswith("sudoku_corrections_total") for key in samples
+        )
+        assert any(
+            key.startswith("campaign_interval_seconds_bucket") for key in samples
+        )
+
+        # Spans: JSONL records covering the three repair mechanisms.
+        names = {
+            json.loads(line)["name"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert {"raid4_repair", "sdr_repair", "hash2_repair"} <= names
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "campaign"
+        assert manifest["seed"] == SEED
+        assert manifest["config"]["level"] == "Z"
+        assert manifest["durations_s"]["total"] > 0
+
+    def test_campaign_results_unchanged_by_flags(self, tmp_path, capsys):
+        """The CLI table is byte-identical with and without telemetry."""
+        argv = [
+            "campaign", "--level", "X", "--ber", "3e-4", "--intervals", "6",
+            "--group-size", "8", "--seed", "3",
+        ]
+        assert main(argv) == 0
+        bare_out = capsys.readouterr().out
+        assert main(
+            argv + ["--metrics-out", str(tmp_path / "m.prom")]
+        ) == 0
+        instrumented_out = capsys.readouterr().out
+        assert instrumented_out == bare_out
+
+    def test_perf_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "perf.prom"
+        code = main([
+            "perf", "--workloads", "povray", "--accesses", "1200",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(tmp_path / "perf-trace.jsonl"),
+        ])
+        assert code == 0
+        text = metrics_path.read_text()
+        assert 'perf_sim_simulated_seconds{workload="povray",config="ideal"}' in text
+        assert 'perf_sim_simulated_seconds{workload="povray",config="sudoku"}' in text
+        assert "perf_sim_wallclock_seconds" in text
+        assert "perf_sim_time_ratio" in text
+        spans = (tmp_path / "perf-trace.jsonl").read_text()
+        assert spans.count('"name":"perf_sim"') == 2
+
+    def test_metrics_out_jsonl_extension_switches_format(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "metrics.jsonl"
+        assert main([
+            "campaign", "--level", "X", "--ber", "1e-3", "--intervals", "2",
+            "--group-size", "8", "--seed", "1",
+            "--metrics-out", str(target),
+        ]) == 0
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert records and all("name" in record for record in records)
+
+    def test_unwritable_out_path_fails_before_running(self, tmp_path):
+        """A bad export dir must not cost the user the whole campaign."""
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "campaign", "--level", "X", "--ber", "1e-3",
+                "--intervals", "2", "--group-size", "8", "--seed", "1",
+                "--metrics-out", str(tmp_path / "missing" / "m.prom"),
+            ])
+        assert "does not exist" in str(excinfo.value)
+
+    def test_exhibits_telemetry(self, tmp_path, capsys):
+        metrics_path = tmp_path / "exhibits.prom"
+        code = main([
+            "exhibits", "--only", "Table IX",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(tmp_path / "exhibits.jsonl"),
+        ])
+        assert code == 0
+        assert "exhibits_rendered_total 1" in metrics_path.read_text()
+        record = json.loads(
+            (tmp_path / "exhibits.jsonl").read_text().splitlines()[0]
+        )
+        assert record["name"] == "exhibit"
+        assert "Table IX" in record["attributes"]["title"]

@@ -1,0 +1,157 @@
+"""Tests for exporters: Prometheus text format, JSONL, manifests."""
+
+import json
+
+from repro.obs import Telemetry
+from repro.obs.export import (
+    build_manifest,
+    git_sha,
+    metrics_to_json_lines,
+    to_prometheus_text,
+    write_manifest,
+    write_metrics_text,
+    write_spans_json_lines,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "sudoku_corrections_total", "Corrections by mechanism.",
+        labels=("mechanism",),
+    )
+    counter.labels(mechanism="raid4").inc(3)
+    counter.labels(mechanism="sdr").inc()
+    registry.gauge("llc_utilisation", "Bank utilisation.").set(0.25)
+    histogram = registry.histogram(
+        "campaign_interval_seconds", "Interval wall time.",
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.05, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+GOLDEN = """\
+# HELP sudoku_corrections_total Corrections by mechanism.
+# TYPE sudoku_corrections_total counter
+sudoku_corrections_total{mechanism="raid4"} 3
+sudoku_corrections_total{mechanism="sdr"} 1
+# HELP llc_utilisation Bank utilisation.
+# TYPE llc_utilisation gauge
+llc_utilisation 0.25
+# HELP campaign_interval_seconds Interval wall time.
+# TYPE campaign_interval_seconds histogram
+campaign_interval_seconds_bucket{le="0.01"} 1
+campaign_interval_seconds_bucket{le="0.1"} 3
+campaign_interval_seconds_bucket{le="1"} 3
+campaign_interval_seconds_bucket{le="+Inf"} 4
+campaign_interval_seconds_sum 2.105
+campaign_interval_seconds_count 4
+"""
+
+
+class TestPrometheusText:
+    def test_golden_output(self):
+        assert to_prometheus_text(build_registry()) == GOLDEN
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("path",)).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        text = to_prometheus_text(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_write_to_file(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_metrics_text(build_registry(), str(target))
+        assert target.read_text() == GOLDEN
+
+
+class TestMetricsJsonLines:
+    def test_every_series_is_a_record(self):
+        lines = metrics_to_json_lines(build_registry()).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4  # 2 counter series + gauge + histogram
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        raid4 = [
+            r for r in by_name["sudoku_corrections_total"]
+            if r["labels"] == {"mechanism": "raid4"}
+        ]
+        assert raid4[0]["value"] == 3
+        histogram = by_name["campaign_interval_seconds"][0]
+        assert histogram["counts"] == [1, 3, 3, 4]
+        assert histogram["buckets"] == [0.01, 0.1, 1.0]
+
+
+class TestSpansExport:
+    def test_write_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        target = tmp_path / "trace.jsonl"
+        write_spans_json_lines(tracer, str(target))
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert [record["name"] for record in records] == ["inner", "outer"]
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        write_spans_json_lines(Tracer(), str(target))
+        assert target.read_text() == ""
+
+
+class TestManifest:
+    def test_build_manifest_fields(self):
+        manifest = build_manifest(
+            "campaign",
+            config={"level": "Z", "ber": 8e-4},
+            seed=7,
+            durations_s={"total": 1.5},
+            extra={"note": "test"},
+        )
+        assert manifest["command"] == "campaign"
+        assert manifest["config"]["level"] == "Z"
+        assert manifest["seed"] == 7
+        assert manifest["durations_s"] == {"total": 1.5}
+        assert manifest["note"] == "test"
+        assert "python" in manifest and "platform" in manifest
+
+    def test_git_sha_in_this_repo(self):
+        # The test suite runs inside the repro git repo, so a SHA exists.
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_write_manifest_roundtrip(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        write_manifest(str(target), build_manifest("perf", seed=1))
+        loaded = json.loads(target.read_text())
+        assert loaded["command"] == "perf"
+        assert loaded["seed"] == 1
+
+
+class TestTelemetryBundle:
+    def test_create_and_export(self):
+        telemetry = Telemetry.create()
+        assert telemetry.enabled
+        telemetry.metrics.counter("x_total", "X.").inc()
+        with telemetry.tracer.span("s"):
+            pass
+        assert "x_total 1" in telemetry.prometheus_text()
+        assert '"name":"s"' in telemetry.spans_json_lines()
+
+    def test_null_bundle_disabled(self):
+        null = Telemetry.null()
+        assert not null.enabled
+        assert null.prometheus_text() == ""
+        assert null.spans_json_lines() == ""

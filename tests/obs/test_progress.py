@@ -1,0 +1,112 @@
+"""Tests for the progress heartbeat reporter."""
+
+import io
+
+import pytest
+
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
+
+
+class ManualClock:
+    """Clock the test advances explicitly."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_reporter(total=100, min_interval_s=1.0):
+    clock = ManualClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        total=total, label="campaign", stream=stream,
+        min_interval_s=min_interval_s, clock=clock,
+    )
+    return reporter, clock, stream
+
+
+class TestThrottling:
+    def test_updates_within_interval_are_silent(self):
+        reporter, clock, stream = make_reporter()
+        clock.advance(0.5)
+        reporter.update()
+        assert stream.getvalue() == ""
+        assert reporter.done == 1
+
+    def test_update_after_interval_emits(self):
+        reporter, clock, stream = make_reporter()
+        clock.advance(2.0)
+        reporter.update()
+        assert stream.getvalue().count("\n") == 1
+
+    def test_finish_always_emits(self):
+        reporter, clock, stream = make_reporter()
+        reporter.update(done=100)
+        reporter.finish()
+        text = stream.getvalue()
+        assert "done in" in text
+        reporter.finish()  # idempotent
+        assert stream.getvalue() == text
+
+
+class TestMath:
+    def test_rate_and_eta(self):
+        reporter, clock, stream = make_reporter(total=100)
+        clock.advance(10.0)
+        reporter.update(done=20)
+        assert reporter.rate() == pytest.approx(2.0)
+        assert reporter.eta_s() == pytest.approx(40.0)
+
+    def test_render_format(self):
+        reporter, clock, stream = make_reporter(total=200)
+        clock.advance(10.0)
+        reporter.update(done=50)
+        line = reporter.render()
+        assert line.startswith("[campaign] 50/200 (25.0%)")
+        assert "5.0/s" in line
+        assert "eta 30.0s" in line
+
+    def test_unknown_total_has_no_eta(self):
+        reporter, clock, stream = make_reporter(total=None)
+        clock.advance(1.0)
+        reporter.update(advance=5)
+        line = reporter.render()
+        assert "eta" not in line
+        assert "%" not in line
+        assert reporter.eta_s() is None
+
+    def test_long_durations_formatted(self):
+        reporter, clock, _ = make_reporter(total=1000)
+        clock.advance(100.0)
+        reporter.update(done=1)
+        line = reporter.render()
+        # 999 items at 0.01/s -> ETA in hours
+        assert "h" in line.split("eta ")[1]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(total=-1)
+
+
+class TestContextManager:
+    def test_with_block_finishes(self):
+        reporter, clock, stream = make_reporter()
+        with reporter:
+            clock.advance(1.0)
+            reporter.update(done=100)
+        assert "done in" in stream.getvalue()
+
+
+class TestNullProgress:
+    def test_noop(self):
+        assert NULL_PROGRESS.enabled is False
+        with NullProgress() as progress:
+            progress.update()
+            progress.update(done=5)
+            progress.finish()
+        assert NULL_PROGRESS.done == 0

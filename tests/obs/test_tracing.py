@@ -1,0 +1,111 @@
+"""Tests for span tracing: nesting, ordering, the bounded ring."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import NullTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing 1.0 per read."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work") as span:
+            pass
+        assert span.start_s == 1.0
+        assert span.end_s == 2.0
+        assert span.duration_s == 1.0
+        assert span.status == "ok"
+
+    def test_nesting_sets_parent_and_depth(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.active_depth == 2
+        assert outer.depth == 0 and outer.parent_id is None
+        assert inner.depth == 1 and inner.parent_id == outer.span_id
+        assert tracer.active_depth == 0
+
+    def test_completion_order(self):
+        """Inner spans finish (and are ringed) before their parents."""
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [span.name for span in tracer] == ["b", "c", "a"]
+        assert tracer.names() == ["b", "c", "a"]
+        assert [s.name for s in tracer.spans_named("b")] == ["b"]
+
+    def test_attributes_and_set_attribute(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("repair", group=3) as span:
+            span.set_attribute("trials", 6)
+        recorded = next(iter(tracer))
+        assert recorded.attributes == {"group": 3, "trials": 6}
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("boom")
+        span = next(iter(tracer))
+        assert span.status == "error"
+        assert span.attributes["exception"] == "RuntimeError"
+        assert tracer.active_depth == 0
+
+    def test_ring_capacity_and_dropped(self):
+        tracer = Tracer(capacity=3, clock=FakeClock())
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert tracer.started == 5
+        assert [span.name for span in tracer] == ["s2", "s3", "s4"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_json_lines_roundtrip(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", level="Z"):
+            with tracer.span("inner"):
+                pass
+        lines = tracer.to_json_lines().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "inner"
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert records[1]["attributes"] == {"level": "Z"}
+        assert records[0]["duration_s"] == pytest.approx(1.0)
+
+
+class TestNullTracer:
+    def test_noop_surface(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("anything", group=1) as span:
+            span.set_attribute("x", 1)
+        assert len(tracer) == 0
+        assert list(tracer) == []
+        assert tracer.names() == []
+        assert tracer.spans_named("anything") == []
+        assert tracer.to_json_lines() == ""
+
+    def test_shared_span_instance(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
