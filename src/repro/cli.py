@@ -8,6 +8,10 @@ subcommands cover the common flows:
   subset by substring match on the title).
 * ``campaign``  -- run a Monte-Carlo fault-injection campaign on a
   functional engine and compare with the analytical model.
+* ``raresim``   -- conditional (rare-event) campaign for Y/Z FIT
+  estimates.
+* ``chaos``     -- sweep metadata-fault rates against the engines and
+  report the SDC/DUE breakdown per SuDoku level.
 * ``perf``      -- run the Fig. 8/9 ideal-vs-SuDoku comparison on chosen
   workloads.
 
@@ -19,6 +23,16 @@ flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
 * ``--manifest-out FILE`` -- run manifest (config, seed, git SHA,
   durations);
 * ``--progress``          -- rate/ETA heartbeat lines on stderr.
+
+``campaign`` and ``raresim`` additionally accept the resilience flags
+(see :mod:`repro.resilience` and ``docs/resilience.md``):
+
+* ``--checkpoint FILE`` / ``--checkpoint-every N`` -- periodic atomic
+  snapshots of campaign state;
+* ``--resume FILE``       -- continue a killed campaign bit-identically;
+* ``--deadline SECONDS``  -- wall-clock budget; expiry ends the campaign
+  cleanly with partial results;
+* ``--result-out FILE``   -- final aggregates as JSON (atomic write).
 """
 
 from __future__ import annotations
@@ -56,6 +70,84 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float (``--deadline``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
+def _rate(text: str) -> float:
+    """Argparse type: a probability in [0, 1] (chaos rates)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {text!r}")
+    return value
+
+
+def _resilience_parent() -> argparse.ArgumentParser:
+    """Shared checkpoint/resume/deadline flags for campaign commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("resilience")
+    group.add_argument(
+        "--checkpoint", default="", metavar="FILE",
+        help="write campaign checkpoints (atomically) to FILE",
+    )
+    group.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="flush a checkpoint every N completed intervals/trials "
+             "(0: only on interrupt, deadline, or completion)",
+    )
+    group.add_argument(
+        "--resume", default="", metavar="FILE",
+        help="resume from a checkpoint written by a previous run",
+    )
+    group.add_argument(
+        "--deadline", type=_positive_float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the campaign ends cleanly "
+             "with partial results",
+    )
+    group.add_argument(
+        "--result-out", default="", metavar="FILE",
+        help="write the final campaign aggregates as JSON to FILE",
+    )
+    return parent
+
+
+def _chaos_parent() -> argparse.ArgumentParser:
+    """Metadata chaos-injection flags (see docs/resilience.md)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("chaos")
+    group.add_argument(
+        "--plt-flip-rate", type=_rate, default=0.0, metavar="P",
+        help="per-group, per-interval probability of a PLT parity bit flip",
+    )
+    group.add_argument(
+        "--map-swap-rate", type=_rate, default=0.0, metavar="P",
+        help="per-group, per-interval probability of a group-mapping swap",
+    )
+    group.add_argument(
+        "--visit-drop-rate", type=_rate, default=0.0, metavar="P",
+        help="per-visit probability a scheduled scrub visit is dropped",
+    )
+    group.add_argument(
+        "--visit-duplicate-rate", type=_rate, default=0.0, metavar="P",
+        help="per-visit probability a scrub visit is performed twice",
+    )
+    group.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the (separate) chaos RNG stream",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -64,6 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     telemetry = _telemetry_parent()
+    resilience = _resilience_parent()
+    chaos_flags = _chaos_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
@@ -75,13 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     campaign = sub.add_parser(
-        "campaign", help="Monte-Carlo fault injection", parents=[telemetry]
+        "campaign", help="Monte-Carlo fault injection",
+        parents=[telemetry, resilience, chaos_flags],
     )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
     campaign.add_argument("--ber", type=float, default=8e-4)
     campaign.add_argument("--intervals", type=int, default=100)
     campaign.add_argument("--group-size", type=int, default=32)
     campaign.add_argument("--seed", type=int, default=0)
+
+    raresim = sub.add_parser(
+        "raresim", help="conditional rare-event FIT estimate",
+        parents=[telemetry, resilience],
+    )
+    raresim.add_argument("--level", choices=["Y", "Z"], default="Z")
+    raresim.add_argument("--ber", type=float, default=1e-4)
+    raresim.add_argument("--trials", type=int, default=2000)
+    raresim.add_argument("--group-size", type=int, default=64)
+    raresim.add_argument("--num-groups", type=int, default=2048)
+    raresim.add_argument("--seed", type=int, default=0)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep metadata-fault rates; report SDC/DUE per SuDoku level",
+        parents=[telemetry],
+    )
+    chaos.add_argument(
+        "--levels", nargs="+", choices=["X", "Y", "Z"], default=["X", "Y", "Z"]
+    )
+    chaos.add_argument(
+        "--plt-flip-rates", nargs="+", type=_rate,
+        default=[0.0, 1e-3, 1e-2], metavar="P",
+        help="PLT bit-flip rates to sweep",
+    )
+    chaos.add_argument(
+        "--map-swap-rate", type=_rate, default=0.0, metavar="P",
+        help="group-mapping swap rate applied at every sweep point",
+    )
+    chaos.add_argument("--ber", type=float, default=8e-4)
+    chaos.add_argument("--intervals", type=int, default=50)
+    chaos.add_argument("--group-size", type=int, default=16)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--chaos-seed", type=int, default=0)
+    chaos.add_argument(
+        "--result-out", default="", metavar="FILE",
+        help="write the sweep table as JSON to FILE",
+    )
 
     perf = sub.add_parser(
         "perf", help="Fig. 8/9 performance comparison", parents=[telemetry]
@@ -127,7 +260,8 @@ def _check_out_paths(args: argparse.Namespace) -> None:
     ``--metrics-out`` points into a missing directory would discard the
     whole run.
     """
-    for attr in ("metrics_out", "trace_out", "manifest_out"):
+    for attr in ("metrics_out", "trace_out", "manifest_out",
+                 "result_out", "checkpoint"):
         path = getattr(args, attr, "")
         if not path:
             continue
@@ -263,26 +397,97 @@ def cmd_exhibits(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_resilience(args: argparse.Namespace, kind: str):
+    """(checkpointer, deadline) from the resilience flags.
+
+    :raises CheckpointError: on an unreadable/invalid ``--resume`` file
+        or inconsistent flag combinations (one-line message; ``main``
+        turns it into a non-zero exit).
+    """
+    from repro.resilience import (
+        Checkpointer,
+        CheckpointError,
+        Deadline,
+        load_checkpoint,
+    )
+
+    resume_payload = None
+    if args.resume:
+        resume_payload = load_checkpoint(args.resume, kind)
+    checkpoint_path = args.checkpoint or args.resume
+    checkpointer = None
+    if checkpoint_path:
+        checkpointer = Checkpointer(
+            path=checkpoint_path,
+            every=max(0, args.checkpoint_every),
+            resume=resume_payload,
+        )
+    elif args.checkpoint_every:
+        raise CheckpointError(
+            "--checkpoint-every requires --checkpoint (or --resume)"
+        )
+    deadline = Deadline(args.deadline) if args.deadline is not None else None
+    return checkpointer, deadline
+
+
+def _write_result_out(args: argparse.Namespace, payload: Dict[str, object]) -> None:
+    if getattr(args, "result_out", ""):
+        from repro.obs import atomic_write_json
+
+        atomic_write_json(args.result_out, payload)
+        print(f"wrote result to {args.result_out}", file=sys.stderr)
+
+
+def _truncation_exit(result, default: int = 0) -> int:
+    """Exit code for a possibly truncated campaign result.
+
+    Deadline expiry is a *clean* stop (exit 0); an interrupt propagates
+    the conventional 130 after exports have flushed.
+    """
+    if result.truncated:
+        print(
+            f"campaign truncated ({result.stop_reason}); "
+            "partial results above, checkpoint flushed",
+            file=sys.stderr,
+        )
+        if result.stop_reason == "interrupted":
+            return 130
+    return default
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.analysis.tables import format_table
     from repro.reliability.montecarlo import run_group_campaign
     from repro.reliability.sudokumodel import SuDokuReliabilityModel
+    from repro.resilience import ChaosInjector, ChaosPolicy
 
     level, ber = args.level, args.ber
     intervals, group_size, seed = args.intervals, args.group_size, args.seed
     telemetry, make_progress = _build_telemetry(args)
+    checkpointer, deadline = _build_resilience(args, "montecarlo")
+    policy = ChaosPolicy(
+        plt_flip_rate=args.plt_flip_rate,
+        map_swap_rate=args.map_swap_rate,
+        visit_drop_rate=args.visit_drop_rate,
+        visit_duplicate_rate=args.visit_duplicate_rate,
+    )
+    chaos = (
+        ChaosInjector(policy, seed=args.chaos_seed) if policy.enabled else None
+    )
     started = time.perf_counter()
     print(
         f"running SuDoku-{level} campaign: BER {ber:g}, {intervals} intervals, "
         f"{group_size}-line groups, {group_size * group_size} lines"
+        + (" [chaos enabled]" if chaos is not None else "")
     )
     result = run_group_campaign(
         level, ber, trials=intervals, group_size=group_size,
         rng=np.random.default_rng(seed),
         telemetry=telemetry,
         progress=make_progress(intervals, f"campaign-{level}"),
+        chaos=chaos, checkpointer=checkpointer, deadline=deadline,
     )
     model = SuDokuReliabilityModel(
         ber=ber, group_size=group_size, num_lines=group_size * group_size
@@ -292,20 +497,139 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     }[level]()
     low, high = result.wilson_interval()
     rows = [
+        ["intervals completed", result.intervals],
         ["measured P(fail)/interval", result.failure_probability],
         ["95% CI", f"[{low:.4f}, {high:.4f}]"],
         ["analytical model", predicted],
         ["SDC events", result.outcomes.get("sdc", 0)],
     ]
     rows += [[f"outcome: {k}", v] for k, v in sorted(result.outcomes.items())]
+    rows += [[f"metadata: {k}", v] for k, v in sorted(result.metadata.items())]
     print(format_table(["quantity", "value"], rows))
+    _write_result_out(args, result.as_dict())
     _export_telemetry(
         args, telemetry, "campaign",
         {
             "level": level, "ber": ber, "intervals": intervals,
-            "group_size": group_size,
+            "group_size": group_size, "chaos": policy.as_dict(),
         },
         seed,
+        {"total": time.perf_counter() - started},
+    )
+    return _truncation_exit(result)
+
+
+def cmd_raresim(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.reliability.raresim import estimate_fit
+
+    telemetry, make_progress = _build_telemetry(args)
+    checkpointer, deadline = _build_resilience(args, "raresim")
+    started = time.perf_counter()
+    print(
+        f"running SuDoku-{args.level} conditional campaign: BER {args.ber:g}, "
+        f"{args.trials} trials, {args.group_size}-line groups"
+    )
+    result = estimate_fit(
+        args.level, args.ber, trials=args.trials,
+        group_size=args.group_size, num_groups=args.num_groups,
+        seed=args.seed, telemetry=telemetry,
+        progress=make_progress(args.trials, f"raresim-{args.level}"),
+        checkpointer=checkpointer, deadline=deadline,
+    )
+    low, high = result.conditional_ci()
+    rows = [
+        ["trials completed", result.trials],
+        ["conditional failures", result.conditional_failures],
+        ["P(DUE | >=2 multi-bit lines)", result.conditional_failure_probability],
+        ["95% CI", f"[{low:.4g}, {high:.4g}]"],
+        ["conditioning probability", result.conditioning_probability],
+        ["estimated cache FIT", result.fit()],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    _write_result_out(args, result.as_dict())
+    _export_telemetry(
+        args, telemetry, "raresim",
+        {
+            "level": args.level, "ber": args.ber, "trials": args.trials,
+            "group_size": args.group_size, "num_groups": args.num_groups,
+        },
+        args.seed,
+        {"total": time.perf_counter() - started},
+    )
+    return _truncation_exit(result)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.tables import format_table
+    from repro.reliability.montecarlo import run_group_campaign
+    from repro.resilience import ChaosInjector, ChaosPolicy
+
+    telemetry, make_progress = _build_telemetry(args)
+    started = time.perf_counter()
+    total = len(args.levels) * len(args.plt_flip_rates)
+    progress = make_progress(total, "chaos-sweep")
+    print(
+        f"chaos sweep: levels {','.join(args.levels)} x PLT flip rates "
+        f"{args.plt_flip_rates} (map swap {args.map_swap_rate:g}), "
+        f"BER {args.ber:g}, {args.intervals} intervals"
+    )
+    rows = []
+    records = []
+    for level in args.levels:
+        for rate in args.plt_flip_rates:
+            policy = ChaosPolicy(
+                plt_flip_rate=rate, map_swap_rate=args.map_swap_rate
+            )
+            chaos = (
+                ChaosInjector(policy, seed=args.chaos_seed)
+                if policy.enabled else None
+            )
+            result = run_group_campaign(
+                level, args.ber, trials=args.intervals,
+                group_size=args.group_size,
+                rng=np.random.default_rng(args.seed),
+                telemetry=telemetry, chaos=chaos,
+            )
+            meta = result.metadata
+            rows.append([
+                level, rate,
+                result.outcomes.get("sdc", 0),
+                result.outcomes.get("due", 0),
+                result.outcomes.get("metadata_due", 0),
+                meta.get("plt_flips", 0) + meta.get("map_swaps", 0),
+                meta.get("residual_crc_faults", 0)
+                + meta.get("residual_recompute_faults", 0),
+                meta.get("residual_rebuilt", 0),
+            ])
+            records.append({
+                "level": level,
+                "plt_flip_rate": rate,
+                "map_swap_rate": args.map_swap_rate,
+                "result": result.as_dict(),
+            })
+            progress.update()
+    progress.finish()
+    print(format_table(
+        ["level", "flip rate", "sdc", "due", "metadata_due",
+         "faults injected", "residual detected", "rebuilt"],
+        rows,
+    ))
+    print(
+        "sdc column must stay 0: metadata faults may cost availability "
+        "(metadata_due) but never silent corruption"
+    )
+    _write_result_out(args, {"sweep": records})
+    _export_telemetry(
+        args, telemetry, "chaos",
+        {
+            "levels": args.levels, "plt_flip_rates": args.plt_flip_rates,
+            "map_swap_rate": args.map_swap_rate, "ber": args.ber,
+            "intervals": args.intervals, "group_size": args.group_size,
+        },
+        args.seed,
         {"total": time.perf_counter() - started},
     )
     return 0
@@ -348,22 +672,40 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Checkpoint problems (bad ``--resume`` file, flag conflicts) become a
+    one-line ``repro: error:`` message and a non-zero exit -- never a
+    traceback.  An interrupt outside the campaign loops exits 130.
+    """
+    from repro.resilience import CheckpointError
+
     args = build_parser().parse_args(argv)
-    if args.command == "summary":
-        return cmd_summary()
-    if args.command == "exhibits":
-        return cmd_exhibits(args)
-    if args.command == "campaign":
-        return cmd_campaign(args)
-    if args.command == "perf":
-        return cmd_perf(args)
-    if args.command == "report":
-        return cmd_report(args.output, args.with_performance)
-    if args.command == "distance":
-        return cmd_distance(args.samples)
-    if args.command == "design":
-        return cmd_design(args.delta, args.target_fit)
+    try:
+        if args.command == "summary":
+            return cmd_summary()
+        if args.command == "exhibits":
+            return cmd_exhibits(args)
+        if args.command == "campaign":
+            return cmd_campaign(args)
+        if args.command == "raresim":
+            return cmd_raresim(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
+        if args.command == "perf":
+            return cmd_perf(args)
+        if args.command == "report":
+            return cmd_report(args.output, args.with_performance)
+        if args.command == "distance":
+            return cmd_distance(args.samples)
+        if args.command == "design":
+            return cmd_design(args.delta, args.target_fit)
+    except CheckpointError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -120,6 +120,11 @@ class SuDokuEngine:
             labels=("level",),
             buckets=REPAIR_LATENCY_BUCKETS,
         )
+        self._m_metadata = metrics.counter(
+            "sudoku_metadata_events_total",
+            "Parity-metadata integrity events by engine level and kind.",
+            labels=("level", "event"),
+        )
 
     def _init_extra_tables(self) -> None:
         """Hook for subclasses that maintain additional parity tables."""
@@ -194,7 +199,18 @@ class SuDokuEngine:
         self.array.write(frame, new_word)
         if old_trusted:
             for plt, mapper in self._tables():
-                plt.update(mapper.group_of(frame), old_word, new_word)
+                group = mapper.group_of(frame)
+                if plt.is_quarantined(group) or not plt.verify(group):
+                    # Folding a delta into a corrupt entry would launder
+                    # the corruption behind a freshly-valid CRC; rebuild
+                    # from the stored members instead.
+                    self.stats.parity_rebuilds += 1
+                    plt.rebuild(
+                        group,
+                        [self.array.read(f) for f in mapper.members(group)],
+                    )
+                else:
+                    plt.update(group, old_word, new_word)
         else:
             self.stats.parity_rebuilds += 1
             for plt, mapper in self._tables():
@@ -264,7 +280,12 @@ class SuDokuEngine:
             return self.latency.syndrome_check()
         if outcome is Outcome.CORRECTED_ECC1:
             return self.latency.ecc1_repair()
-        if outcome in (Outcome.CORRECTED_RAID4, Outcome.DUE, Outcome.SDC):
+        if outcome in (
+            Outcome.CORRECTED_RAID4,
+            Outcome.DUE,
+            Outcome.METADATA_DUE,
+            Outcome.SDC,
+        ):
             return self.latency.raid4_repair(self.group_size)
         if outcome is Outcome.CORRECTED_SDR:
             return self.latency.sdr_repair(self.group_size, trials=6)
@@ -325,13 +346,66 @@ class SuDokuEngine:
         return self._repair_hash1_group(group)
 
     def _repair_hash1_group(self, group: int) -> Dict[int, Outcome]:
-        """SuDoku-X group repair: scan, then RAID-4 for a single survivor."""
+        """SuDoku-X group repair: scan, then RAID-4 for a single survivor.
+
+        Before any parity-consuming machinery runs, the group's PLT entry
+        is verified; if it cannot be trusted (and cannot be rebuilt from
+        clean members) the group-level repair is refused and surviving
+        lines resolve to :data:`Outcome.METADATA_DUE` -- a detected
+        failure, never a silent one.  Per-line ECC-1 fixes from the scan
+        stand regardless: they never touch the parity store.
+        """
         scan = self._scan(self.mapper, group)
-        self._group_level_repair(scan, self.plt)
+        if self._verify_group_metadata(scan, self.plt):
+            self._group_level_repair(scan, self.plt)
+            fallback = Outcome.DUE
+        else:
+            fallback = Outcome.METADATA_DUE
         outcomes = dict(scan.line_outcomes)
         for frame in scan.uncorrectable:
-            outcomes[frame] = Outcome.DUE
+            outcomes[frame] = fallback
         return outcomes
+
+    def _verify_group_metadata(
+        self, scan: GroupScan, plt: ParityLineTable
+    ) -> bool:
+        """Is this group's parity entry safe to use for repairs?
+
+        Two detectors: the location-keyed per-entry CRC (catches raw SRAM
+        bit flips that bypassed the checksum logic *and* another group's
+        entry served by a perturbed mapping) and, when every member line
+        decoded clean, a recompute-and-compare (defence in depth against
+        wrong-but-consistent entries, e.g. a stale parity).  A
+        detected-corrupt entry quarantines the group; when all members
+        are verifiably clean the entry is immediately re-derived from
+        them (the CRC-verified group rebuild) and trust restored.
+        """
+        group = scan.group
+        known_bad = plt.is_quarantined(group)
+        event = None
+        if not known_bad:
+            if not plt.verify(group):
+                event = "crc_fault"
+            elif not scan.uncorrectable and plt.mismatch(
+                group, [scan.words[frame] for frame in scan.frames]
+            ):
+                event = "recompute_mismatch"
+            if event is None:
+                return True
+            self.stats.metadata_faults_detected += 1
+            self.stats.metadata_quarantines += 1
+            plt.quarantine(group)
+            if self.telemetry.enabled:
+                self._m_metadata.labels(level=self.level, event=event).inc()
+        if scan.uncorrectable:
+            # A member is still corrupt: the parity cannot be re-derived
+            # trustworthily, so the group stays quarantined.
+            return False
+        plt.rebuild(group, [scan.words[frame] for frame in scan.frames])
+        self.stats.metadata_rebuilds += 1
+        if self.telemetry.enabled:
+            self._m_metadata.labels(level=self.level, event="rebuild").inc()
+        return True
 
     def _group_level_repair(self, scan: GroupScan, plt: ParityLineTable) -> None:
         """Design-specific multi-line repair; X does RAID-4 only."""
@@ -360,13 +434,73 @@ class SuDokuEngine:
     # -- audit ------------------------------------------------------------------------
 
     def _audit(self, frame: int, outcome: Outcome) -> Outcome:
-        if not self.audit or outcome is Outcome.DUE:
+        if not self.audit or outcome.is_due:
             return outcome
         if self.array.is_clean(frame):
             return outcome
         # The engine believes this line is fine, but it differs from what
         # was written: silent data corruption.
         return Outcome.SDC
+
+    # -- metadata scrub ---------------------------------------------------------------
+
+    def audit_metadata(self, repair: bool = True) -> Dict[str, int]:
+        """Background metadata scrub: verify every PLT entry of every table.
+
+        For each group the entry CRC is checked and -- when every member
+        line decodes clean under ECC-1 -- the parity is recomputed from
+        the members and compared.  With ``repair`` True (the default),
+        detected-corrupt entries whose groups are otherwise healthy are
+        rebuilt in place (lifting any quarantine); groups that cannot be
+        re-derived yet are quarantined for the demand path to handle.
+
+        Returns counts: ``groups`` inspected, ``crc_faults`` and
+        ``recompute_faults`` newly detected, ``rebuilt``, and
+        ``quarantined`` (still-untrusted entries left behind).
+        """
+        report = {
+            "groups": 0,
+            "crc_faults": 0,
+            "recompute_faults": 0,
+            "rebuilt": 0,
+            "quarantined": 0,
+        }
+        for plt, mapper in self._tables():
+            for group in range(mapper.num_groups):
+                report["groups"] += 1
+                members: List[int] = []
+                members_clean = True
+                for frame in mapper.members(group):
+                    decode = self.codec.decode(self.array.read(frame))
+                    if decode.status is DecodeStatus.UNCORRECTABLE:
+                        members_clean = False
+                        break
+                    members.append(decode.word)
+                event = None
+                if not plt.verify(group):
+                    event = "crc_fault"
+                elif members_clean and plt.mismatch(group, members):
+                    event = "recompute_mismatch"
+                if event is None and not plt.is_quarantined(group):
+                    continue
+                if event is not None and not plt.is_quarantined(group):
+                    report[
+                        "crc_faults" if event == "crc_fault"
+                        else "recompute_faults"
+                    ] += 1
+                    self.stats.metadata_faults_detected += 1
+                    if self.telemetry.enabled:
+                        self._m_metadata.labels(
+                            level=self.level, event=event
+                        ).inc()
+                if repair and members_clean:
+                    plt.rebuild(group, members)
+                    report["rebuilt"] += 1
+                    self.stats.metadata_rebuilds += 1
+                else:
+                    plt.quarantine(group)
+                    report["quarantined"] += 1
+        return report
 
     # -- reporting -----------------------------------------------------------------------
 
@@ -460,7 +594,9 @@ class SuDokuZ(SuDokuY):
 
     def _repair_group_of(self, frame: int) -> Dict[int, Outcome]:
         outcomes = self._repair_hash1_group(self.mapper.group_of(frame))
-        unresolved = {f for f, o in outcomes.items() if o is Outcome.DUE}
+        # METADATA_DUE lines are prime Hash-2 candidates: their Hash-1
+        # parity is quarantined, but the Hash-2 table is independent.
+        unresolved = {f for f, o in outcomes.items() if o.is_due}
         if not unresolved:
             return outcomes
 
@@ -491,7 +627,8 @@ class SuDokuZ(SuDokuY):
                     self.correction_time_s += self.latency.raid4_repair(
                         len(scan.frames)
                     )
-                    self._group_level_repair(scan, plt)
+                    if self._verify_group_metadata(scan, plt):
+                        self._group_level_repair(scan, plt)
                     for fixed_frame, fixed_outcome in scan.line_outcomes.items():
                         if fixed_frame in unresolved:
                             unresolved.discard(fixed_frame)
@@ -511,7 +648,10 @@ class SuDokuZ(SuDokuY):
             if not unresolved or not progressed:
                 break
         for survivor in unresolved:
-            outcomes[survivor] = Outcome.DUE
+            # Preserve the metadata attribution when that is why the
+            # line could not be repaired anywhere.
+            if outcomes.get(survivor) is not Outcome.METADATA_DUE:
+                outcomes[survivor] = Outcome.DUE
         return outcomes
 
 

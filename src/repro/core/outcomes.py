@@ -30,6 +30,11 @@ class Outcome(str, enum.Enum):
     CORRECTED_HASH2 = "corrected_hash2"
     #: Detected but uncorrectable error.
     DUE = "due"
+    #: Detected-uncorrectable because the correction *metadata* (a PLT
+    #: parity entry) was itself found corrupt: the group is quarantined
+    #: and RAID-level repair refused rather than risking silent
+    #: corruption from a poisoned parity word.
+    METADATA_DUE = "metadata_due"
     #: Silent data corruption: the engine believed the line good/repaired,
     #: but the content disagrees with the golden copy (simulator audit).
     SDC = "sdc"
@@ -44,5 +49,10 @@ class Outcome(str, enum.Enum):
 
     @property
     def is_failure(self) -> bool:
-        """Does this outcome constitute a cache failure (DUE or SDC)?"""
-        return self in (Outcome.DUE, Outcome.SDC)
+        """Does this outcome constitute a cache failure (any DUE or SDC)?"""
+        return self in (Outcome.DUE, Outcome.METADATA_DUE, Outcome.SDC)
+
+    @property
+    def is_due(self) -> bool:
+        """Detected-uncorrectable (whether data- or metadata-caused)?"""
+        return self in (Outcome.DUE, Outcome.METADATA_DUE)

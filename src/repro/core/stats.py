@@ -31,6 +31,9 @@ class CorrectionStats:
     writes: int = 0
     reads: int = 0
     parity_rebuilds: int = 0
+    metadata_faults_detected: int = 0
+    metadata_rebuilds: int = 0
+    metadata_quarantines: int = 0
 
     def record(self, outcome: Outcome) -> None:
         """Count one line outcome."""
@@ -46,8 +49,12 @@ class CorrectionStats:
 
     @property
     def failures(self) -> int:
-        """Total DUE + SDC lines."""
-        return self.count(Outcome.DUE) + self.count(Outcome.SDC)
+        """Total DUE + METADATA_DUE + SDC lines."""
+        return (
+            self.count(Outcome.DUE)
+            + self.count(Outcome.METADATA_DUE)
+            + self.count(Outcome.SDC)
+        )
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict snapshot for reports."""
@@ -62,6 +69,9 @@ class CorrectionStats:
             writes=self.writes,
             reads=self.reads,
             parity_rebuilds=self.parity_rebuilds,
+            metadata_faults_detected=self.metadata_faults_detected,
+            metadata_rebuilds=self.metadata_rebuilds,
+            metadata_quarantines=self.metadata_quarantines,
         )
         return snapshot
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.atomicio import atomic_write_json, atomic_write_text
 from repro.obs.export import (
     build_manifest,
     git_sha,
@@ -121,4 +122,6 @@ __all__ = [
     "build_manifest",
     "write_manifest",
     "git_sha",
+    "atomic_write_text",
+    "atomic_write_json",
 ]

@@ -1,0 +1,46 @@
+"""Crash-safe file writes.
+
+Every artifact writer in the toolkit (metrics dumps, trace files,
+manifests, campaign checkpoints) goes through :func:`atomic_write_text`:
+the content is written to a ``*.tmp`` file *in the destination
+directory* (same filesystem, so the final rename cannot cross a mount
+boundary) and moved into place with :func:`os.replace`, which POSIX
+guarantees to be atomic.  A run killed mid-write leaves either the old
+artifact or the new one -- never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Includes KeyboardInterrupt: never leave a stray tmp file behind.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2) -> None:
+    """Serialise ``payload`` as JSON and write it atomically."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, indent=indent, sort_keys=True, default=str) + "\n",
+    )

@@ -12,6 +12,10 @@ boundary.  Three formats:
 * :func:`build_manifest` / :func:`write_manifest` -- a run manifest
   (command, config, seed, git SHA, durations) so any exported metrics
   file can be traced back to the exact run that produced it.
+
+All file writers route through :func:`repro.obs.atomicio.atomic_write_text`
+(tmp file in the destination directory + ``os.replace``), so a run killed
+mid-export never leaves a truncated artifact.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import subprocess
 import sys
 from typing import Dict, List, Optional
 
+from repro.obs.atomicio import atomic_write_text
 from repro.obs.metrics import (
     CounterChild,
     GaugeChild,
@@ -106,22 +111,19 @@ def metrics_to_json_lines(registry: MetricsRegistry) -> str:
 
 
 def write_metrics_text(registry: MetricsRegistry, path: str) -> None:
-    """Write the Prometheus text exposition to ``path``."""
-    with open(path, "w") as handle:
-        handle.write(to_prometheus_text(registry))
+    """Write the Prometheus text exposition to ``path`` (atomically)."""
+    atomic_write_text(path, to_prometheus_text(registry))
 
 
 def write_metrics_json_lines(registry: MetricsRegistry, path: str) -> None:
-    """Write the JSONL metric dump to ``path``."""
-    with open(path, "w") as handle:
-        handle.write(metrics_to_json_lines(registry))
+    """Write the JSONL metric dump to ``path`` (atomically)."""
+    atomic_write_text(path, metrics_to_json_lines(registry))
 
 
 def write_spans_json_lines(tracer: Tracer, path: str) -> None:
-    """Write the tracer's completed spans as JSONL to ``path``."""
+    """Write the tracer's completed spans as JSONL to ``path`` (atomically)."""
     text = tracer.to_json_lines()
-    with open(path, "w") as handle:
-        handle.write(text + ("\n" if text else ""))
+    atomic_write_text(path, text + ("\n" if text else ""))
 
 
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
@@ -164,7 +166,8 @@ def build_manifest(
 
 
 def write_manifest(path: str, manifest: Dict[str, object]) -> None:
-    """Write a manifest dict as pretty JSON to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
+    """Write a manifest dict as pretty JSON to ``path`` (atomically)."""
+    atomic_write_text(
+        path,
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n",
+    )

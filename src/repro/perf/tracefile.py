@@ -22,6 +22,19 @@ from typing import Iterable, Iterator, List, Sequence, Union
 from repro.perf.trace import Access
 
 
+class TraceFormatError(ValueError):
+    """A trace file line failed validation.
+
+    Carries the offending file (``path``, when known) and 1-based
+    ``line_number`` so callers can point users at the exact input line.
+    """
+
+    def __init__(self, message: str, path: str = "<trace>", line_number: int = 0):
+        super().__init__(f"{path}, line {line_number}: {message}")
+        self.path = path
+        self.line_number = line_number
+
+
 def write_trace(accesses: Iterable[Access], stream: io.TextIOBase) -> int:
     """Serialise accesses to a text stream; returns the count written."""
     count = 0
@@ -39,22 +52,35 @@ def save_trace(accesses: Iterable[Access], path: str) -> int:
         return write_trace(accesses, handle)
 
 
-def parse_trace(stream: Iterable[str]) -> Iterator[Access]:
-    """Parse accesses from an iterable of lines (strict; raises on junk)."""
+def parse_trace(stream: Iterable[str], path: str = "<trace>") -> Iterator[Access]:
+    """Parse accesses from an iterable of lines.
+
+    Strict: any malformed line raises :class:`TraceFormatError` naming
+    ``path`` and the 1-based line number.
+    """
     for line_number, line in enumerate(stream, start=1):
         text = line.strip()
         if not text or text.startswith("#"):
             continue
         parts = text.split()
         if len(parts) != 3:
-            raise ValueError(f"line {line_number}: expected 3 fields, got {len(parts)}")
+            raise TraceFormatError(
+                f"expected 3 fields, got {len(parts)}", path, line_number
+            )
         gap, address, kind = parts
         if kind not in ("R", "W"):
-            raise ValueError(f"line {line_number}: access kind must be R or W")
-        gap_cycles = int(gap)
-        line_address = int(address)
+            raise TraceFormatError(
+                f"access kind must be R or W, got {kind!r}", path, line_number
+            )
+        try:
+            gap_cycles = int(gap)
+            line_address = int(address)
+        except ValueError:
+            raise TraceFormatError(
+                f"non-integer field in {text!r}", path, line_number
+            ) from None
         if gap_cycles < 0 or line_address < 0:
-            raise ValueError(f"line {line_number}: negative field")
+            raise TraceFormatError("negative field", path, line_number)
         yield Access(
             gap_cycles=max(1, gap_cycles),
             line_address=line_address,
@@ -73,7 +99,7 @@ class FileTrace:
     def __init__(self, path: str) -> None:
         self.path = path
         with open(path, "r", encoding="utf-8") as handle:
-            self._accesses: List[Access] = list(parse_trace(handle))
+            self._accesses: List[Access] = list(parse_trace(handle, path=path))
 
     def __iter__(self) -> Iterator[Access]:
         return iter(self._accesses)

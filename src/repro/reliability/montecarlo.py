@@ -13,7 +13,17 @@ strategy, mirroring section VII-A, is:
 
 Each campaign interval is independent: faults are injected, the engine
 scrubs, outcomes are recorded, and all surviving corruption is healed
-before the next interval (the golden copies make this exact).
+before the next interval (the golden copies make this exact).  That
+interval-boundary invariant is also what makes campaigns *resumable*:
+a checkpoint captured between intervals (RNG states + aggregates; see
+:mod:`repro.resilience.checkpoint`) plus a deterministic re-fill fully
+determines the rest of the run, so a killed-and-resumed campaign is
+bit-identical to an uninterrupted one.
+
+Chaos campaigns (:mod:`repro.resilience.chaos`) additionally corrupt
+the correction metadata each interval and perturb the scrub schedule;
+the boundary invariant is preserved by healing the array and running the
+engine's metadata scrub (``audit_metadata``) at every interval end.
 """
 
 from __future__ import annotations
@@ -32,6 +42,16 @@ from repro.reliability.fit import (
     fit_from_interval_probability,
     mttf_seconds_from_interval_probability,
 )
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    CheckpointError,
+    Deadline,
+    build_payload,
+    numpy_rng_state,
+    require_config_match,
+    restore_numpy_rng_state,
+)
+from repro.resilience.chaos import ChaosInjector
 from repro.sttram.array import STTRAMArray
 from repro.sttram.faults import TransientFaultInjector
 
@@ -47,9 +67,16 @@ INTERVAL_BUCKETS: Tuple[float, ...] = (
 class CampaignResult:
     """Aggregate of a fault-injection campaign.
 
-    ``interval_failures`` counts intervals with at least one DUE or SDC;
-    the per-interval failure probability estimate and its Wilson interval
-    follow from it.
+    ``interval_failures`` counts intervals with at least one DUE (data-
+    or metadata-caused) or SDC; the per-interval failure probability
+    estimate and its Wilson interval follow from it.
+
+    ``truncated`` marks a campaign that ended early (``stop_reason`` is
+    ``"interrupted"`` or ``"deadline"``); ``intervals`` then reflects the
+    intervals actually *completed*, so every derived estimate remains
+    valid for the partial run.  ``metadata`` counts chaos events applied
+    and residual metadata faults detected/rebuilt by the interval-end
+    metadata scrub (empty for non-chaos campaigns).
     """
 
     intervals: int
@@ -58,6 +85,9 @@ class CampaignResult:
     outcomes: Counter = field(default_factory=Counter)
     interval_failures: int = 0
     lines: int = 0
+    truncated: bool = False
+    stop_reason: str = ""
+    metadata: Counter = field(default_factory=Counter)
 
     @property
     def failure_probability(self) -> float:
@@ -97,6 +127,21 @@ class CampaignResult:
             return 0.0
         return self.outcomes.get(label, 0) / self.intervals
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (``--result-out``, CI round-trip checks)."""
+        return {
+            "intervals": self.intervals,
+            "ber": self.ber,
+            "interval_s": self.interval_s,
+            "outcomes": dict(self.outcomes),
+            "interval_failures": self.interval_failures,
+            "lines": self.lines,
+            "truncated": self.truncated,
+            "stop_reason": self.stop_reason,
+            "metadata": dict(self.metadata),
+            "failure_probability": self.failure_probability,
+        }
+
 
 def heal(array: STTRAMArray) -> None:
     """Restore every corrupted line to its golden value (between trials)."""
@@ -113,6 +158,9 @@ def run_engine_campaign(
     randomize_content: bool = True,
     telemetry: Optional[Telemetry] = None,
     progress=NULL_PROGRESS,
+    chaos: Optional[ChaosInjector] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    deadline: Optional[Deadline] = None,
 ) -> CampaignResult:
     """Inject-scrub-heal for ``intervals`` independent intervals.
 
@@ -129,6 +177,26 @@ def run_engine_campaign(
         with it on or off.
     :param progress: a :class:`repro.obs.ProgressReporter` (default: the
         shared no-op) fed once per interval.
+    :param chaos: optional :class:`repro.resilience.chaos.ChaosInjector`;
+        each interval it corrupts the engine's parity metadata and
+        perturbs the scrub visit list.  It draws from its *own* RNG, so
+        ``chaos=None`` and an all-zero policy are bit-identical.
+    :param checkpointer: optional
+        :class:`repro.resilience.checkpoint.Checkpointer`; snapshots are
+        taken at interval boundaries and flushed on schedule, interrupt,
+        deadline expiry, and completion.  When its ``resume`` payload is
+        set, the campaign validates it against the current parameters and
+        continues where the snapshot left off (pass a *freshly built*
+        engine -- content is re-derived deterministically).
+    :param deadline: optional wall-clock
+        :class:`repro.resilience.checkpoint.Deadline`; on expiry the
+        campaign ends cleanly with partial results
+        (``truncated=True, stop_reason="deadline"``).
+
+    ``KeyboardInterrupt`` mid-campaign is caught at the interval
+    boundary: the partial result is returned (``truncated=True,
+    stop_reason="interrupted"``) with the last boundary snapshot flushed,
+    instead of discarding completed intervals.
     """
     generator = rng if rng is not None else np.random.default_rng()
     tel = resolve_telemetry(telemetry)
@@ -159,46 +227,171 @@ def run_engine_campaign(
         "Lines hit by at least one injected fault, per interval.",
         buckets=(0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000),
     )
+    m_chaos = metrics.counter(
+        "chaos_events_total",
+        "Metadata chaos events applied to the engine.",
+        labels=("event",),
+    )
+    m_checkpoints = metrics.counter(
+        "campaign_checkpoint_writes_total", "Campaign checkpoints flushed."
+    )
 
     array = engine.array
-    if randomize_content:
-        _fill_random_through_engine(engine, generator)
-    injector = TransientFaultInjector(array.line_bits, ber, generator)
+    level = getattr(engine, "level", "?")
+    config_fingerprint: Dict[str, object] = {
+        "kind": "montecarlo",
+        "level": str(level),
+        "ber": ber,
+        "intervals": intervals,
+        "interval_s": interval_s,
+        "lines": array.num_lines,
+        "line_bits": array.line_bits,
+        "group_size": getattr(engine, "group_size", None),
+        "randomize_content": bool(randomize_content),
+        "chaos": chaos.policy.as_dict() if chaos is not None else None,
+    }
+    resume = checkpointer.resume if checkpointer is not None else None
+    start = 0
     result = CampaignResult(
         intervals=intervals, ber=ber, interval_s=interval_s, lines=array.num_lines
     )
-    level = getattr(engine, "level", "?")
+    fill_seed: Optional[int] = None
+    if resume is not None:
+        require_config_match(resume, config_fingerprint)
+        start = int(resume["completed"])
+        aggregates = resume["aggregates"]
+        result.outcomes.update(aggregates.get("outcomes", {}))
+        result.interval_failures = int(aggregates.get("interval_failures", 0))
+        result.metadata.update(aggregates.get("metadata", {}))
+        raw_fill_seed = aggregates.get("fill_seed")
+        fill_seed = int(raw_fill_seed) if raw_fill_seed is not None else None
+        if randomize_content and fill_seed is None:
+            raise CheckpointError(
+                "checkpoint is missing the content fill seed; cannot "
+                "re-derive the campaign's array content"
+            )
+    elif randomize_content:
+        fill_seed = int(generator.integers(0, 2 ** 63))
+    if randomize_content:
+        _fill_random_through_engine(engine, fill_seed)
+    if resume is not None:
+        # RNG states are captured at interval boundaries, so restoring
+        # them *after* the deterministic re-fill replays the exact
+        # random sequence the uninterrupted run would have seen.
+        restore_numpy_rng_state(generator, resume["rng"]["numpy"])
+        if chaos is not None and "chaos" in resume["rng"]:
+            chaos.restore_rng_state(resume["rng"]["chaos"])
+    injector = TransientFaultInjector(array.line_bits, ber, generator)
+
+    def boundary_snapshot(completed: int) -> Dict[str, object]:
+        aggregates = {
+            "outcomes": dict(result.outcomes),
+            "interval_failures": result.interval_failures,
+            "metadata": dict(result.metadata),
+            "fill_seed": fill_seed,
+        }
+        rng_block: Dict[str, object] = {"numpy": numpy_rng_state(generator)}
+        if chaos is not None:
+            rng_block["chaos"] = chaos.rng_state()
+        return build_payload(
+            "montecarlo", config_fingerprint, completed, aggregates, rng_block
+        )
+
+    def flush_checkpoint(snapshot: Dict[str, object]) -> None:
+        with tel.tracer.span("checkpoint_write", path=checkpointer.path):
+            checkpointer.save(snapshot)
+        if tel.enabled:
+            m_checkpoints.inc()
+
+    completed = start
+    snapshot = boundary_snapshot(start)
     with tel.tracer.span(
         "campaign", level=level, ber=ber, intervals=intervals,
         lines=array.num_lines,
     ):
-        for _ in range(intervals):
-            started = time.perf_counter() if tel.enabled else 0.0
-            vectors = injector.error_vectors(array.num_lines)
-            for frame, vector in vectors.items():
-                array.inject(frame, vector)
-            counts = engine.scrub_frames(sorted(vectors))
-            result.outcomes.update(counts)
-            failed = counts.get("due", 0) or counts.get("sdc", 0)
-            if failed:
-                result.interval_failures += 1
-                heal(array)
-                # A DUE may have triggered a parity rebuild over
-                # still-corrupt words (write-path poisoning semantics);
-                # healing invalidates those entries, so restore the
-                # ground-truth parities too.
-                initialize = getattr(engine, "initialize_parities", None)
-                if initialize is not None:
-                    initialize()
-            if tel.enabled:
-                m_intervals.inc()
+        try:
+            for _ in range(start, intervals):
+                started = time.perf_counter() if tel.enabled else 0.0
+                if chaos is not None:
+                    applied = chaos.corrupt_metadata(engine)
+                    result.metadata.update(applied)
+                    if tel.enabled:
+                        for event, count in applied.items():
+                            m_chaos.labels(event=event).inc(count)
+                vectors = injector.error_vectors(array.num_lines)
+                for frame, vector in vectors.items():
+                    array.inject(frame, vector)
+                visits = sorted(vectors)
+                if chaos is not None:
+                    visits, applied = chaos.perturb_visits(visits)
+                    result.metadata.update(applied)
+                    if tel.enabled:
+                        for event, count in applied.items():
+                            m_chaos.labels(event=event).inc(count)
+                counts = engine.scrub_frames(visits)
+                result.outcomes.update(counts)
+                failed = (
+                    counts.get("due", 0)
+                    or counts.get("metadata_due", 0)
+                    or counts.get("sdc", 0)
+                )
                 if failed:
-                    m_failures.inc()
-                m_faulty.observe(len(vectors))
-                for label, count in counts.items():
-                    m_outcomes.labels(outcome=label).inc(count)
-                m_interval.observe(time.perf_counter() - started)
-            progress.update()
+                    result.interval_failures += 1
+                    heal(array)
+                    # A DUE may have triggered a parity rebuild over
+                    # still-corrupt words (write-path poisoning semantics);
+                    # healing invalidates those entries, so restore the
+                    # ground-truth parities too.
+                    initialize = getattr(engine, "initialize_parities", None)
+                    if initialize is not None:
+                        initialize()
+                if chaos is not None:
+                    # Dropped visits and undetected metadata corruption
+                    # must not leak across the interval boundary (the
+                    # independence invariant campaigns and checkpoints
+                    # both rely on): heal the array and run the engine's
+                    # metadata scrub.
+                    heal(array)
+                    audit = getattr(engine, "audit_metadata", None)
+                    if audit is not None:
+                        audit_report = audit(repair=True)
+                        for key in (
+                            "crc_faults", "recompute_faults", "rebuilt",
+                        ):
+                            if audit_report.get(key):
+                                result.metadata["residual_" + key] += (
+                                    audit_report[key]
+                                )
+                completed += 1
+                if tel.enabled:
+                    m_intervals.inc()
+                    if failed:
+                        m_failures.inc()
+                    m_faulty.observe(len(vectors))
+                    for label, count in counts.items():
+                        m_outcomes.labels(outcome=label).inc(count)
+                    m_interval.observe(time.perf_counter() - started)
+                snapshot = boundary_snapshot(completed)
+                if checkpointer is not None and checkpointer.due(completed):
+                    flush_checkpoint(snapshot)
+                if deadline is not None and deadline.expired():
+                    result.truncated = True
+                    result.stop_reason = "deadline"
+                    break
+                progress.update()
+        except KeyboardInterrupt:
+            # Completed intervals are not discarded: roll back to the
+            # last interval boundary and return the partial aggregates.
+            result.truncated = True
+            result.stop_reason = "interrupted"
+            completed = int(snapshot["completed"])
+            aggregates = snapshot["aggregates"]
+            result.outcomes = Counter(aggregates["outcomes"])
+            result.interval_failures = int(aggregates["interval_failures"])
+            result.metadata = Counter(aggregates["metadata"])
+    if checkpointer is not None:
+        flush_checkpoint(snapshot)
+    result.intervals = completed
     progress.finish()
     if telemetry is not None:
         stats = getattr(engine, "stats", None)
@@ -216,12 +409,17 @@ def run_group_campaign(
     rng: Optional[np.random.Generator] = None,
     telemetry: Optional[Telemetry] = None,
     progress=NULL_PROGRESS,
+    chaos: Optional[ChaosInjector] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    deadline: Optional[Deadline] = None,
 ) -> CampaignResult:
     """Single-cache campaign sized for group-level statistics.
 
     Builds a compact engine (``group_size^2`` lines so SuDoku-Z's skewed
     hash is valid) and runs :func:`run_engine_campaign` -- the analytical
-    model evaluated at the same geometry is the comparison target.
+    model evaluated at the same geometry is the comparison target.  The
+    resilience knobs (``chaos``, ``checkpointer``, ``deadline``) pass
+    straight through.
     """
     from repro.core.linecodec import LineCodec
 
@@ -232,16 +430,19 @@ def run_group_campaign(
     return run_engine_campaign(
         engine, ber, trials, interval_s=interval_s, rng=rng,
         randomize_content=False, telemetry=telemetry, progress=progress,
+        chaos=chaos, checkpointer=checkpointer, deadline=deadline,
     )
 
 
-def _fill_random_through_engine(
-    engine: SuDokuEngine, rng: np.random.Generator
-) -> None:
-    """Write random content via the engine so parities stay consistent."""
+def _fill_random_through_engine(engine: SuDokuEngine, seed: int) -> None:
+    """Write random content via the engine so parities stay consistent.
+
+    The content stream is a ``random.Random(seed)`` so a resumed
+    campaign can re-derive the identical array from the checkpointed
+    seed without consuming the campaign generator.
+    """
     import random as _random
 
-    seed = int(rng.integers(0, 2 ** 63))
     local = _random.Random(seed)
     data_bits = engine.data_bits
     for frame in range(engine.array.num_lines):

@@ -44,6 +44,14 @@ from repro.core.sdr import resurrect
 from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.binomial import binomial_pmf, binomial_tail, complement_power
 from repro.reliability.fit import fit_from_interval_probability
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    Deadline,
+    build_payload,
+    python_rng_state,
+    require_config_match,
+    restore_python_rng_state,
+)
 from repro.sttram.array import STTRAMArray
 
 #: Bucket edges for conditioned-trial wall times: a Y trial is one group
@@ -81,7 +89,12 @@ def _draw(rng: random.Random, support: List[int], weights: List[float]) -> int:
 
 @dataclass
 class ConditionalResult:
-    """Outcome of a conditional campaign."""
+    """Outcome of a conditional campaign.
+
+    ``truncated`` marks a campaign ended early by interrupt or deadline
+    (``stop_reason``); ``trials`` then reflects the trials actually
+    completed, keeping every derived estimate valid for the partial run.
+    """
 
     trials: int
     conditional_failures: int
@@ -90,6 +103,26 @@ class ConditionalResult:
     group_size: int
     num_groups: int
     interval_s: float
+    truncated: bool = False
+    stop_reason: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (``--result-out``, CI round-trip checks)."""
+        return {
+            "trials": self.trials,
+            "conditional_failures": self.conditional_failures,
+            "conditioning_probability": self.conditioning_probability,
+            "ber": self.ber,
+            "group_size": self.group_size,
+            "num_groups": self.num_groups,
+            "interval_s": self.interval_s,
+            "truncated": self.truncated,
+            "stop_reason": self.stop_reason,
+            "conditional_failure_probability": (
+                self.conditional_failure_probability
+            ),
+            "fit": self.fit(),
+        }
 
     @property
     def conditional_failure_probability(self) -> float:
@@ -252,6 +285,8 @@ class ConditionalGroupSimulator:
         trials: int,
         telemetry: Optional[Telemetry] = None,
         progress=NULL_PROGRESS,
+        checkpointer: Optional[Checkpointer] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ConditionalResult:
         """Run ``trials`` conditioned trials for level 'Y' or 'Z'.
 
@@ -259,6 +294,20 @@ class ConditionalGroupSimulator:
             per-trial timing histograms and counters (RNG-neutral).
         :param progress: a :class:`repro.obs.ProgressReporter` fed once
             per conditioned trial.
+        :param checkpointer: optional
+            :class:`repro.resilience.checkpoint.Checkpointer`; trial
+            boundaries are snapshot points, flushed on schedule,
+            interrupt, deadline expiry, and completion.  A resumed
+            campaign replays the exact trial sequence of an
+            uninterrupted same-seed run (every trial draws only from the
+            simulator RNG, whose state is checkpointed).
+        :param deadline: optional wall-clock
+            :class:`repro.resilience.checkpoint.Deadline`; on expiry the
+            campaign ends cleanly with partial results.
+
+        ``KeyboardInterrupt`` is caught at the trial boundary and yields
+        the partial result (``truncated=True``) instead of discarding
+        completed trials.
         """
         trial = {"Y": self.trial_y, "Z": self.trial_z}.get(level.upper())
         if trial is None:
@@ -282,33 +331,97 @@ class ConditionalGroupSimulator:
             buckets=TRIAL_BUCKETS,
         )
         label = level.upper()
+        m_checkpoints = metrics.counter(
+            "raresim_checkpoint_writes_total",
+            "Rare-event campaign checkpoints flushed.",
+        )
+        config_fingerprint = {
+            "kind": "raresim",
+            "level": label,
+            "ber": self.ber,
+            "trials": trials,
+            "group_size": self.group_size,
+            "num_groups": self.num_groups,
+            "interval_s": self.interval_s,
+            "line_bits": self.line_bits,
+            "sdr_max_mismatches": self.sdr_max_mismatches,
+        }
+        resume = checkpointer.resume if checkpointer is not None else None
+        start = 0
         failures = 0
+        if resume is not None:
+            require_config_match(resume, config_fingerprint)
+            start = int(resume["completed"])
+            failures = int(resume["aggregates"].get("conditional_failures", 0))
+            restore_python_rng_state(self._rng, resume["rng"]["python"])
+
+        def boundary_snapshot(completed: int, failed_so_far: int):
+            return build_payload(
+                "raresim",
+                config_fingerprint,
+                completed,
+                {"conditional_failures": failed_so_far},
+                {"python": python_rng_state(self._rng)},
+            )
+
+        def flush_checkpoint(snapshot) -> None:
+            with tel.tracer.span("checkpoint_write", path=checkpointer.path):
+                checkpointer.save(snapshot)
+            if tel.enabled:
+                m_checkpoints.inc()
+
+        truncated = False
+        stop_reason = ""
+        completed = start
+        snapshot = boundary_snapshot(start, failures)
         with tel.tracer.span(
             "raresim_campaign", level=label, trials=trials, ber=self.ber,
             group_size=self.group_size,
         ):
-            for _ in range(trials):
-                started = time.perf_counter() if tel.enabled else 0.0
-                failed = trial()
-                if failed:
-                    failures += 1
-                if tel.enabled:
-                    m_trials.labels(level=label).inc()
+            try:
+                for _ in range(start, trials):
+                    started = time.perf_counter() if tel.enabled else 0.0
+                    failed = trial()
                     if failed:
-                        m_failures.labels(level=label).inc()
-                    m_trial_time.labels(level=label).observe(
-                        time.perf_counter() - started
-                    )
-                progress.update()
+                        failures += 1
+                    completed += 1
+                    if tel.enabled:
+                        m_trials.labels(level=label).inc()
+                        if failed:
+                            m_failures.labels(level=label).inc()
+                        m_trial_time.labels(level=label).observe(
+                            time.perf_counter() - started
+                        )
+                    snapshot = boundary_snapshot(completed, failures)
+                    if checkpointer is not None and checkpointer.due(completed):
+                        flush_checkpoint(snapshot)
+                    if deadline is not None and deadline.expired():
+                        truncated = True
+                        stop_reason = "deadline"
+                        break
+                    progress.update()
+            except KeyboardInterrupt:
+                # Roll back to the last trial boundary; completed trials
+                # are kept, the in-flight one is discarded.
+                truncated = True
+                stop_reason = "interrupted"
+                completed = int(snapshot["completed"])
+                failures = int(
+                    snapshot["aggregates"]["conditional_failures"]
+                )
+        if checkpointer is not None:
+            flush_checkpoint(snapshot)
         progress.finish()
         return ConditionalResult(
-            trials=trials,
+            trials=completed,
             conditional_failures=failures,
             conditioning_probability=self.conditioning_probability,
             ber=self.ber,
             group_size=self.group_size,
             num_groups=self.num_groups,
             interval_s=self.interval_s,
+            truncated=truncated,
+            stop_reason=stop_reason,
         )
 
 
@@ -321,6 +434,8 @@ def estimate_fit(
     seed: int = 0,
     telemetry: Optional[Telemetry] = None,
     progress=NULL_PROGRESS,
+    checkpointer: Optional[Checkpointer] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ConditionalResult:
     """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z."""
     simulator = ConditionalGroupSimulator(
@@ -329,4 +444,7 @@ def estimate_fit(
         num_groups=num_groups,
         rng=random.Random(seed),
     )
-    return simulator.run(level, trials, telemetry=telemetry, progress=progress)
+    return simulator.run(
+        level, trials, telemetry=telemetry, progress=progress,
+        checkpointer=checkpointer, deadline=deadline,
+    )

@@ -1,0 +1,199 @@
+"""Crash-safe campaign checkpoints and the wall-clock deadline watchdog.
+
+A multi-hour campaign must survive being killed: every
+``--checkpoint-every`` intervals (and on SIGINT or deadline expiry) the
+campaign writes a JSON snapshot -- RNG states, completed-interval
+counter, and the running aggregates -- via the same atomic
+tmp-file+rename helper the telemetry exporters use.  ``--resume``
+restores the snapshot and continues; because RNG state is captured
+*between* intervals, a resumed campaign replays the exact random
+sequence an uninterrupted run would have seen, so the final aggregates
+are bit-identical (the acceptance property ``tests/reliability/
+test_resume.py`` pins down).
+
+Checkpoints are validated up front: a missing file, corrupt JSON, a
+snapshot from a different campaign kind, or mismatched campaign
+parameters all raise :class:`CheckpointError` with a one-line message --
+never a traceback from deep inside the interval loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.atomicio import atomic_write_json
+
+#: Format version stamped into every checkpoint file.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be loaded, validated, or applied."""
+
+
+class Deadline:
+    """Wall-clock watchdog: end a campaign cleanly with partial results.
+
+    :param seconds: budget from *now*; must be positive.
+    :param clock: monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if not seconds > 0.0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self.seconds = seconds
+        self._clock = clock
+        self._end = clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._end - self._clock()
+
+    def expired(self) -> bool:
+        """Has the budget run out?"""
+        return self.remaining() <= 0.0
+
+
+@dataclass
+class Checkpointer:
+    """Checkpoint schedule + destination for one campaign run.
+
+    :param path: where snapshots are written (atomically).
+    :param every: write a snapshot each time this many intervals/trials
+        complete; ``0`` means only on interrupt, deadline expiry, or
+        completion.
+    :param resume: a payload previously returned by
+        :func:`load_checkpoint` to continue from, or ``None`` for a
+        fresh run.
+    """
+
+    path: str
+    every: int = 0
+    resume: Optional[Dict[str, object]] = None
+    writes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("checkpoint path must be non-empty")
+        if self.every < 0:
+            raise ValueError("checkpoint interval must be >= 0")
+
+    def due(self, completed: int) -> bool:
+        """Is a periodic snapshot owed after ``completed`` units?"""
+        return self.every > 0 and completed > 0 and completed % self.every == 0
+
+    def save(self, payload: Dict[str, object]) -> None:
+        """Write a snapshot atomically."""
+        atomic_write_json(self.path, payload)
+        self.writes += 1
+
+
+def build_payload(
+    kind: str,
+    config: Dict[str, object],
+    completed: int,
+    aggregates: Dict[str, object],
+    rng: Dict[str, object],
+) -> Dict[str, object]:
+    """Assemble a checkpoint payload in the canonical shape."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "kind": kind,
+        "config": dict(config),
+        "completed": completed,
+        "aggregates": dict(aggregates),
+        "rng": dict(rng),
+    }
+
+
+def load_checkpoint(path: str, kind: str) -> Dict[str, object]:
+    """Load and structurally validate a checkpoint file.
+
+    :raises CheckpointError: on a missing/unreadable file, corrupt JSON,
+        wrong format version, or a snapshot of a different campaign kind.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {error}")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"corrupt checkpoint {path!r}: not a JSON object")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {path!r} is a {payload.get('kind')!r} snapshot, "
+            f"not {kind!r}"
+        )
+    for key in ("config", "completed", "aggregates", "rng"):
+        if key not in payload:
+            raise CheckpointError(f"checkpoint {path!r} is missing {key!r}")
+    return payload
+
+
+def require_config_match(
+    payload: Dict[str, object], config: Dict[str, object]
+) -> None:
+    """Refuse to resume under different campaign parameters.
+
+    :raises CheckpointError: naming the first mismatched key.
+    """
+    saved = payload.get("config")
+    if not isinstance(saved, dict):
+        raise CheckpointError("checkpoint config block is corrupt")
+    for key in sorted(set(saved) | set(config)):
+        if saved.get(key) != config.get(key):
+            raise CheckpointError(
+                f"checkpoint was taken with {key}={saved.get(key)!r} but this "
+                f"run uses {key}={config.get(key)!r}; refusing to resume"
+            )
+
+
+# -- RNG state (de)serialisation --------------------------------------------------
+
+
+def numpy_rng_state(generator) -> Dict[str, object]:
+    """JSON-serialisable snapshot of a ``numpy.random.Generator``."""
+    state = generator.bit_generator.state
+    return json.loads(json.dumps(state, default=int))
+
+
+def restore_numpy_rng_state(generator, state: Dict[str, object]) -> None:
+    """Restore a :func:`numpy_rng_state` snapshot onto ``generator``."""
+    expected = type(generator.bit_generator).__name__
+    saved = state.get("bit_generator") if isinstance(state, dict) else None
+    if saved != expected:
+        raise CheckpointError(
+            f"checkpoint RNG is {saved!r} but this run uses {expected!r}"
+        )
+    try:
+        generator.bit_generator.state = state
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint RNG state is corrupt: {error}")
+
+
+def python_rng_state(rng) -> List[object]:
+    """JSON-serialisable snapshot of a ``random.Random``."""
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def restore_python_rng_state(rng, state) -> None:
+    """Restore a :func:`python_rng_state` snapshot onto ``rng``."""
+    try:
+        version, internal, gauss = state
+        rng.setstate((version, tuple(internal), gauss))
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint RNG state is corrupt: {error}")

@@ -35,6 +35,10 @@ class FaultKind(enum.Enum):
     STUCK_AT_ZERO = "stuck-at-0"
     STUCK_AT_ONE = "stuck-at-1"
     DISTURB = "disturb"
+    #: A fault in the correction *metadata* (a PLT parity entry or the
+    #: group-mapping logic) rather than in the protected data array; the
+    #: chaos harness (:mod:`repro.resilience.chaos`) injects these.
+    METADATA = "metadata"
 
 
 @dataclass(frozen=True)

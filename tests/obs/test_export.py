@@ -9,6 +9,7 @@ from repro.obs.export import (
     metrics_to_json_lines,
     to_prometheus_text,
     write_manifest,
+    write_metrics_json_lines,
     write_metrics_text,
     write_spans_json_lines,
 )
@@ -155,3 +156,49 @@ class TestTelemetryBundle:
         assert not null.enabled
         assert null.prometheus_text() == ""
         assert null.spans_json_lines() == ""
+
+
+class TestCrashSafeWriters:
+    """Every exporter writes via tmp-file + atomic rename (no torn files)."""
+
+    def fresh_telemetry(self):
+        telemetry = Telemetry.create()
+        telemetry.metrics.counter("y_total", "Y.").inc(3)
+        with telemetry.tracer.span("op"):
+            pass
+        return telemetry
+
+    def test_no_tmp_droppings_after_exports(self, tmp_path):
+        telemetry = self.fresh_telemetry()
+        write_metrics_text(telemetry.metrics, str(tmp_path / "m.txt"))
+        write_metrics_json_lines(telemetry.metrics, str(tmp_path / "m.jsonl"))
+        write_spans_json_lines(telemetry.tracer, str(tmp_path / "s.jsonl"))
+        write_manifest(str(tmp_path / "mf.json"), build_manifest("t"))
+        import os
+
+        assert sorted(os.listdir(tmp_path)) == [
+            "m.jsonl", "m.txt", "mf.json", "s.jsonl",
+        ]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        telemetry = self.fresh_telemetry()
+        target = tmp_path / "m.txt"
+        write_metrics_text(telemetry.metrics, str(target))
+        first = target.read_text()
+        telemetry.metrics.counter("y_total", "Y.").inc()
+        write_metrics_text(telemetry.metrics, str(target))
+        assert target.read_text() != first
+        assert "y_total 4" in target.read_text()
+
+    def test_write_failure_preserves_existing_file(self, tmp_path):
+        telemetry = self.fresh_telemetry()
+        target = tmp_path / "m.txt"
+        write_metrics_text(telemetry.metrics, str(target))
+        before = target.read_text()
+        import pytest
+
+        with pytest.raises(OSError):
+            write_metrics_text(
+                telemetry.metrics, str(tmp_path / "missing" / "m.txt")
+            )
+        assert target.read_text() == before

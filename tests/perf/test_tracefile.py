@@ -94,3 +94,40 @@ class TestExplicitTraceSimulation:
     def test_trace_count_must_match_cores(self):
         with pytest.raises(ValueError):
             SystemSimulator(self.make_config(), "x", traces=[[]])
+
+
+class TestTraceFormatError:
+    """Malformed lines name the file and the exact line number."""
+
+    def test_names_line_number_and_default_path(self):
+        from repro.perf.tracefile import TraceFormatError
+
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(parse_trace(["1 2 R", "# fine", "1 2"]))
+        assert "line 3" in str(excinfo.value)
+        assert "<trace>" in str(excinfo.value)
+        assert excinfo.value.line_number == 3
+
+    def test_non_integer_fields(self):
+        from repro.perf.tracefile import TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            list(parse_trace(["x 2 R"]))
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            list(parse_trace(["1 y W"]))
+
+    def test_is_a_value_error(self):
+        from repro.perf.tracefile import TraceFormatError
+
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_file_trace_names_path(self, tmp_path):
+        from repro.perf.tracefile import TraceFormatError
+
+        path = tmp_path / "bad.trace"
+        path.write_text("5 7 R\nbroken line here\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            FileTrace(str(path))
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.line_number == 2
+        assert excinfo.value.path == str(path)

@@ -1,0 +1,191 @@
+"""Tests for checkpoint files, deadline watchdog, and atomic writes."""
+
+import json
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs import atomic_write_json, atomic_write_text
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    CheckpointError,
+    Deadline,
+    build_payload,
+    load_checkpoint,
+    numpy_rng_state,
+    python_rng_state,
+    require_config_match,
+    restore_numpy_rng_state,
+    restore_python_rng_state,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "one")
+        atomic_write_text(str(path), "two")
+        assert path.read_text() == "two"
+
+    def test_no_tmp_droppings_on_success(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(str(path), {"a": 1})
+        assert sorted(os.listdir(tmp_path)) == ["out.json"]
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(str(path), {"a": 1})
+
+        class Unserialisable:
+            def __str__(self):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_json(str(path), {"bad": Unserialisable()})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert sorted(os.listdir(tmp_path)) == ["out.json"]
+
+
+class TestDeadline:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_expiry_with_injected_clock(self):
+        now = [100.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(5.0)
+        now[0] = 104.9
+        assert not deadline.expired()
+        now[0] = 105.1
+        assert deadline.expired()
+        assert deadline.remaining() < 0
+
+
+class TestCheckpointer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Checkpointer(path="")
+        with pytest.raises(ValueError):
+            Checkpointer(path="x.json", every=-1)
+
+    def test_due_schedule(self):
+        ck = Checkpointer(path="x.json", every=3)
+        assert [n for n in range(1, 10) if ck.due(n)] == [3, 6, 9]
+        assert not Checkpointer(path="x.json", every=0).due(5)
+        assert not Checkpointer(path="x.json", every=3).due(0)
+
+    def test_save_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpointer(path=str(path), every=1)
+        payload = build_payload("montecarlo", {"ber": 1e-3}, 4, {"n": 4}, {})
+        ck.save(payload)
+        assert ck.writes == 1
+        loaded = load_checkpoint(str(path), "montecarlo")
+        assert loaded == payload
+
+
+class TestLoadCheckpoint:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def good_payload(self):
+        return build_payload("montecarlo", {"ber": 1e-3}, 2, {}, {})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.json"), "montecarlo")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            load_checkpoint(str(path), "montecarlo")
+
+    def test_not_an_object(self, tmp_path):
+        path = self.write(tmp_path, [1, 2, 3])
+        with pytest.raises(CheckpointError, match="not a JSON object"):
+            load_checkpoint(path, "montecarlo")
+
+    def test_wrong_version(self, tmp_path):
+        payload = self.good_payload()
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path = self.write(tmp_path, payload)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path, "montecarlo")
+
+    def test_wrong_kind(self, tmp_path):
+        path = self.write(tmp_path, self.good_payload())
+        with pytest.raises(CheckpointError, match="snapshot"):
+            load_checkpoint(path, "raresim")
+
+    def test_missing_key(self, tmp_path):
+        payload = self.good_payload()
+        del payload["rng"]
+        path = self.write(tmp_path, payload)
+        with pytest.raises(CheckpointError, match="missing 'rng'"):
+            load_checkpoint(path, "montecarlo")
+
+    def test_error_messages_are_one_line(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{bad")
+        try:
+            load_checkpoint(str(path), "montecarlo")
+        except CheckpointError as error:
+            assert "\n" not in str(error)
+
+
+class TestConfigMatch:
+    def test_accepts_identical(self):
+        payload = build_payload("montecarlo", {"ber": 1e-3, "n": 4}, 0, {}, {})
+        require_config_match(payload, {"ber": 1e-3, "n": 4})
+
+    def test_names_mismatched_key(self):
+        payload = build_payload("montecarlo", {"ber": 1e-3, "n": 4}, 0, {}, {})
+        with pytest.raises(CheckpointError, match="ber"):
+            require_config_match(payload, {"ber": 2e-3, "n": 4})
+
+    def test_catches_missing_and_extra_keys(self):
+        payload = build_payload("montecarlo", {"ber": 1e-3}, 0, {}, {})
+        with pytest.raises(CheckpointError, match="extra"):
+            require_config_match(payload, {"ber": 1e-3, "extra": 1})
+
+
+class TestRngRoundTrips:
+    def test_numpy_state_json_round_trip(self):
+        generator = np.random.default_rng(42)
+        generator.integers(0, 100, size=7)
+        state = json.loads(json.dumps(numpy_rng_state(generator)))
+        expected = generator.integers(0, 2 ** 32, size=16)
+        fresh = np.random.default_rng(0)
+        restore_numpy_rng_state(fresh, state)
+        assert (fresh.integers(0, 2 ** 32, size=16) == expected).all()
+
+    def test_numpy_wrong_bit_generator(self):
+        generator = np.random.default_rng(0)
+        state = numpy_rng_state(generator)
+        state["bit_generator"] = "MT19937"
+        with pytest.raises(CheckpointError, match="MT19937"):
+            restore_numpy_rng_state(np.random.default_rng(1), state)
+
+    def test_python_state_json_round_trip(self):
+        rng = random.Random(7)
+        rng.random()
+        state = json.loads(json.dumps(python_rng_state(rng)))
+        expected = [rng.random() for _ in range(5)]
+        fresh = random.Random(0)
+        restore_python_rng_state(fresh, state)
+        assert [fresh.random() for _ in range(5)] == expected
+
+    def test_python_corrupt_state(self):
+        with pytest.raises(CheckpointError, match="corrupt"):
+            restore_python_rng_state(random.Random(), [1])

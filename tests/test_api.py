@@ -66,6 +66,6 @@ class TestCrossModuleContracts:
 
         documented = {
             "clean", "corrected_ecc1", "corrected_raid4", "corrected_sdr",
-            "corrected_hash2", "due", "sdc",
+            "corrected_hash2", "due", "metadata_due", "sdc",
         }
         assert {outcome.value for outcome in Outcome} == documented
