@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from conftest import emit
+from repro.coding.bitvec import popcount
 from repro.core.engine import SuDokuZ
 from repro.core.linecodec import LineCodec
 from repro.reliability.montecarlo import heal
@@ -53,8 +54,9 @@ def campaign(injector_kind: str, seed: int = 41) -> dict:
         vectors = vectors_for(NUM_LINES)
         for frame, vector in vectors.items():
             array.inject(frame, vector)
-            flips += bin(vector).count("1")
-            if bin(vector).count("1") >= 2:
+            fault_bits = popcount(vector)
+            flips += fault_bits
+            if fault_bits >= 2:
                 multi_events += 1
         counts = engine.scrub_frames(sorted(vectors))
         if counts.get("due", 0) or counts.get("sdc", 0):

@@ -1,0 +1,90 @@
+"""Sharded campaign scaling: wall-clock speedup vs ``--shards``.
+
+The reliability campaigns dominate the cost of the whole evaluation, so
+the sharded executor (:mod:`repro.parallel`) is what makes the paper's
+large configurations tractable.  This benchmark runs one Monte-Carlo
+campaign at 1, 2, and 4 shards, records the wall time and speedup per
+shard count, and checks two properties:
+
+* every sharded run merges to the number of intervals requested (no
+  dropped work, regardless of core count);
+* on a machine with >= 4 cores, 4 shards deliver >= 2.5x over serial
+  (below that core count the speedup is recorded but not asserted --
+  a 1-core container runs the shards sequentially).
+
+Min-of-N timing is deliberately *not* used here: process start-up and
+queue traffic are part of the cost being measured, so each configuration
+is timed once over a campaign long enough to amortise noise.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, emit
+from repro.parallel import run_sharded_campaign
+
+#: Long enough that per-interval work dwarfs process start-up, small
+#: enough to stay friendly to CI runners.
+CAMPAIGN = dict(level="Z", ber=5e-3, intervals=16, group_size=16)
+SHARD_COUNTS = (1, 2, 4)
+SEED = 11
+MIN_CORES_FOR_ASSERT = 4
+REQUIRED_SPEEDUP = 2.5
+
+
+def _timed_run(shards):
+    started = time.perf_counter()
+    result = run_sharded_campaign(
+        CAMPAIGN["level"], CAMPAIGN["ber"], CAMPAIGN["intervals"],
+        CAMPAIGN["group_size"], shards=shards, seed=SEED,
+    )
+    return time.perf_counter() - started, result
+
+
+def test_bench_parallel_scaling(benchmark):
+    cores = os.cpu_count() or 1
+    # Warm-up: imports, allocator, and the worker start path.
+    _timed_run(2)
+
+    walls = {}
+    for shards in SHARD_COUNTS:
+        wall, result = _timed_run(shards)
+        walls[shards] = wall
+        assert result.intervals == CAMPAIGN["intervals"]
+
+    # One pedantic round: each configuration already ran above, and a
+    # multi-round rerun of a ~20 s campaign would dominate the whole
+    # benchmark suite for no extra signal.
+    benchmark.pedantic(
+        lambda: _timed_run(max(SHARD_COUNTS)), rounds=1, iterations=1
+    )
+
+    speedups = {shards: walls[1] / walls[shards] for shards in SHARD_COUNTS}
+    emit({
+        "title": "Sharded campaign scaling (wall-clock speedup)",
+        "headers": ["shards", "wall (s)", "speedup"],
+        "rows": [
+            [shards, f"{walls[shards]:.2f}", f"{speedups[shards]:.2f}x"]
+            for shards in SHARD_COUNTS
+        ],
+        "notes": (
+            f"{CAMPAIGN['intervals']} intervals at BER "
+            f"{CAMPAIGN['ber']:g}, {cores} core(s); the >= "
+            f"{REQUIRED_SPEEDUP}x @ 4 shards gate applies at >= "
+            f"{MIN_CORES_FOR_ASSERT} cores"
+        ),
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_scaling.json").write_text(json.dumps({
+        "cores": cores,
+        "campaign": CAMPAIGN,
+        "wall_s": {str(k): v for k, v in walls.items()},
+        "speedup": {str(k): v for k, v in speedups.items()},
+    }, indent=2) + "\n")
+
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert speedups[4] >= REQUIRED_SPEEDUP, (
+            f"4 shards on {cores} cores delivered only "
+            f"{speedups[4]:.2f}x (need {REQUIRED_SPEEDUP}x)"
+        )

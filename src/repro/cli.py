@@ -33,6 +33,11 @@ flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
 * ``--deadline SECONDS``  -- wall-clock budget; expiry ends the campaign
   cleanly with partial results;
 * ``--result-out FILE``   -- final aggregates as JSON (atomic write).
+
+``campaign``, ``raresim``, and ``chaos`` accept ``--shards N`` to split
+the campaign across N worker processes (see :mod:`repro.parallel` and
+``docs/parallelism.md``); ``--shards 1`` (the default) is bit-identical
+to the serial path, and checkpoints compose per shard.
 """
 
 from __future__ import annotations
@@ -90,6 +95,30 @@ def _rate(text: str) -> float:
     if not 0.0 <= value <= 1.0:
         raise argparse.ArgumentTypeError(f"must be in [0, 1], got {text!r}")
     return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (``--shards``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def _parallel_parent() -> argparse.ArgumentParser:
+    """Shared ``--shards`` flag for the campaign-style subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("parallelism")
+    group.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="split the campaign across N worker processes with "
+             "deterministically spawned RNG streams (1: serial, "
+             "bit-identical to the pre-sharding behaviour)",
+    )
+    return parent
 
 
 def _resilience_parent() -> argparse.ArgumentParser:
@@ -158,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry = _telemetry_parent()
     resilience = _resilience_parent()
     chaos_flags = _chaos_parent()
+    parallel = _parallel_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
@@ -170,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign", help="Monte-Carlo fault injection",
-        parents=[telemetry, resilience, chaos_flags],
+        parents=[telemetry, resilience, chaos_flags, parallel],
     )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
     campaign.add_argument("--ber", type=float, default=8e-4)
@@ -180,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     raresim = sub.add_parser(
         "raresim", help="conditional rare-event FIT estimate",
-        parents=[telemetry, resilience],
+        parents=[telemetry, resilience, parallel],
     )
     raresim.add_argument("--level", choices=["Y", "Z"], default="Z")
     raresim.add_argument("--ber", type=float, default=1e-4)
@@ -192,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="sweep metadata-fault rates; report SDC/DUE per SuDoku level",
-        parents=[telemetry],
+        parents=[telemetry, parallel],
     )
     chaos.add_argument(
         "--levels", nargs="+", choices=["X", "Y", "Z"], default=["X", "Y", "Z"]
@@ -397,37 +427,26 @@ def cmd_exhibits(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_resilience(args: argparse.Namespace, kind: str):
-    """(checkpointer, deadline) from the resilience flags.
+def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Sharded-runner keyword arguments from the resilience flags.
 
-    :raises CheckpointError: on an unreadable/invalid ``--resume`` file
-        or inconsistent flag combinations (one-line message; ``main``
-        turns it into a non-zero exit).
+    :raises CheckpointError: on inconsistent flag combinations (one-line
+        message; ``main`` turns it into a non-zero exit).  An unreadable
+        or invalid ``--resume`` file raises later, from inside the
+        runner, with the same one-line treatment.
     """
-    from repro.resilience import (
-        Checkpointer,
-        CheckpointError,
-        Deadline,
-        load_checkpoint,
-    )
+    from repro.resilience import CheckpointError
 
-    resume_payload = None
-    if args.resume:
-        resume_payload = load_checkpoint(args.resume, kind)
-    checkpoint_path = args.checkpoint or args.resume
-    checkpointer = None
-    if checkpoint_path:
-        checkpointer = Checkpointer(
-            path=checkpoint_path,
-            every=max(0, args.checkpoint_every),
-            resume=resume_payload,
-        )
-    elif args.checkpoint_every:
+    if args.checkpoint_every and not (args.checkpoint or args.resume):
         raise CheckpointError(
             "--checkpoint-every requires --checkpoint (or --resume)"
         )
-    deadline = Deadline(args.deadline) if args.deadline is not None else None
-    return checkpointer, deadline
+    return {
+        "checkpoint_path": args.checkpoint or args.resume,
+        "checkpoint_every": max(0, args.checkpoint_every),
+        "resume_from": args.resume,
+        "deadline_s": args.deadline,
+    }
 
 
 def _write_result_out(args: argparse.Namespace, payload: Dict[str, object]) -> None:
@@ -456,38 +475,36 @@ def _truncation_exit(result, default: int = 0) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.analysis.tables import format_table
-    from repro.reliability.montecarlo import run_group_campaign
+    from repro.parallel import run_sharded_campaign
     from repro.reliability.sudokumodel import SuDokuReliabilityModel
-    from repro.resilience import ChaosInjector, ChaosPolicy
+    from repro.resilience import ChaosPolicy
 
     level, ber = args.level, args.ber
     intervals, group_size, seed = args.intervals, args.group_size, args.seed
     telemetry, make_progress = _build_telemetry(args)
-    checkpointer, deadline = _build_resilience(args, "montecarlo")
+    resilience = _resilience_kwargs(args)
     policy = ChaosPolicy(
         plt_flip_rate=args.plt_flip_rate,
         map_swap_rate=args.map_swap_rate,
         visit_drop_rate=args.visit_drop_rate,
         visit_duplicate_rate=args.visit_duplicate_rate,
     )
-    chaos = (
-        ChaosInjector(policy, seed=args.chaos_seed) if policy.enabled else None
-    )
     started = time.perf_counter()
     print(
         f"running SuDoku-{level} campaign: BER {ber:g}, {intervals} intervals, "
         f"{group_size}-line groups, {group_size * group_size} lines"
-        + (" [chaos enabled]" if chaos is not None else "")
+        + (" [chaos enabled]" if policy.enabled else "")
+        + (f" [{args.shards} shards]" if args.shards > 1 else "")
     )
-    result = run_group_campaign(
-        level, ber, trials=intervals, group_size=group_size,
-        rng=np.random.default_rng(seed),
+    result = run_sharded_campaign(
+        level, ber, intervals, group_size,
+        shards=args.shards, seed=seed,
         telemetry=telemetry,
         progress=make_progress(intervals, f"campaign-{level}"),
-        chaos=chaos, checkpointer=checkpointer, deadline=deadline,
+        chaos_policy=policy if policy.enabled else None,
+        chaos_seed=args.chaos_seed,
+        **resilience,
     )
     model = SuDokuReliabilityModel(
         ber=ber, group_size=group_size, num_lines=group_size * group_size
@@ -511,7 +528,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         args, telemetry, "campaign",
         {
             "level": level, "ber": ber, "intervals": intervals,
-            "group_size": group_size, "chaos": policy.as_dict(),
+            "group_size": group_size, "shards": args.shards,
+            "chaos": policy.as_dict(),
         },
         seed,
         {"total": time.perf_counter() - started},
@@ -521,21 +539,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def cmd_raresim(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
-    from repro.reliability.raresim import estimate_fit
+    from repro.parallel import run_sharded_raresim
 
     telemetry, make_progress = _build_telemetry(args)
-    checkpointer, deadline = _build_resilience(args, "raresim")
+    resilience = _resilience_kwargs(args)
     started = time.perf_counter()
     print(
         f"running SuDoku-{args.level} conditional campaign: BER {args.ber:g}, "
         f"{args.trials} trials, {args.group_size}-line groups"
+        + (f" [{args.shards} shards]" if args.shards > 1 else "")
     )
-    result = estimate_fit(
-        args.level, args.ber, trials=args.trials,
-        group_size=args.group_size, num_groups=args.num_groups,
-        seed=args.seed, telemetry=telemetry,
+    result = run_sharded_raresim(
+        args.level, args.ber, args.trials,
+        args.group_size, args.num_groups,
+        shards=args.shards, seed=args.seed, telemetry=telemetry,
         progress=make_progress(args.trials, f"raresim-{args.level}"),
-        checkpointer=checkpointer, deadline=deadline,
+        **resilience,
     )
     low, high = result.conditional_ci()
     rows = [
@@ -553,6 +572,7 @@ def cmd_raresim(args: argparse.Namespace) -> int:
         {
             "level": args.level, "ber": args.ber, "trials": args.trials,
             "group_size": args.group_size, "num_groups": args.num_groups,
+            "shards": args.shards,
         },
         args.seed,
         {"total": time.perf_counter() - started},
@@ -561,11 +581,9 @@ def cmd_raresim(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.analysis.tables import format_table
-    from repro.reliability.montecarlo import run_group_campaign
-    from repro.resilience import ChaosInjector, ChaosPolicy
+    from repro.parallel import run_sharded_campaign
+    from repro.resilience import ChaosPolicy
 
     telemetry, make_progress = _build_telemetry(args)
     started = time.perf_counter()
@@ -575,6 +593,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos sweep: levels {','.join(args.levels)} x PLT flip rates "
         f"{args.plt_flip_rates} (map swap {args.map_swap_rate:g}), "
         f"BER {args.ber:g}, {args.intervals} intervals"
+        + (f" [{args.shards} shards]" if args.shards > 1 else "")
     )
     rows = []
     records = []
@@ -583,15 +602,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             policy = ChaosPolicy(
                 plt_flip_rate=rate, map_swap_rate=args.map_swap_rate
             )
-            chaos = (
-                ChaosInjector(policy, seed=args.chaos_seed)
-                if policy.enabled else None
-            )
-            result = run_group_campaign(
-                level, args.ber, trials=args.intervals,
-                group_size=args.group_size,
-                rng=np.random.default_rng(args.seed),
-                telemetry=telemetry, chaos=chaos,
+            result = run_sharded_campaign(
+                level, args.ber, args.intervals, args.group_size,
+                shards=args.shards, seed=args.seed,
+                telemetry=telemetry,
+                chaos_policy=policy if policy.enabled else None,
+                chaos_seed=args.chaos_seed,
             )
             meta = result.metadata
             rows.append([
@@ -628,6 +644,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             "levels": args.levels, "plt_flip_rates": args.plt_flip_rates,
             "map_swap_rate": args.map_swap_rate, "ber": args.ber,
             "intervals": args.intervals, "group_size": args.group_size,
+            "shards": args.shards,
         },
         args.seed,
         {"total": time.perf_counter() - started},
@@ -678,6 +695,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     one-line ``repro: error:`` message and a non-zero exit -- never a
     traceback.  An interrupt outside the campaign loops exits 130.
     """
+    from repro.parallel import ShardError
     from repro.resilience import CheckpointError
 
     args = build_parser().parse_args(argv)
@@ -703,6 +721,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CheckpointError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
+    except ShardError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 3
     except KeyboardInterrupt:
         print("repro: interrupted", file=sys.stderr)
         return 130

@@ -20,11 +20,27 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 
+if hasattr(int, "bit_count"):  # Python 3.10+
+    def _popcount_nonneg(value: int) -> int:
+        return value.bit_count()
+else:  # pragma: no cover - exercised on 3.9 only
+    #: Set-bit counts for every byte value; big ints are counted by
+    #: walking their little-endian bytes through this table, which is
+    #: several times faster than ``bin(value).count("1")`` at line widths.
+    _BYTE_POPCOUNTS = bytes(bin(byte).count("1") for byte in range(256))
+
+    def _popcount_nonneg(value: int) -> int:
+        if value == 0:
+            return 0
+        data = value.to_bytes((value.bit_length() + 7) // 8, "little")
+        return sum(map(_BYTE_POPCOUNTS.__getitem__, data))
+
+
 def popcount(value: int) -> int:
     """Number of set bits in ``value`` (which must be non-negative)."""
     if value < 0:
         raise ValueError("popcount is defined for non-negative integers")
-    return bin(value).count("1")
+    return _popcount_nonneg(value)
 
 
 def bit_positions(value: int) -> List[int]:
@@ -44,12 +60,25 @@ def bit_positions(value: int) -> List[int]:
     return positions
 
 
-def flip_bits(value: int, positions: Iterable[int]) -> int:
-    """Return ``value`` with every bit listed in ``positions`` flipped."""
+def flip_bits(
+    value: int, positions: Iterable[int], width: Optional[int] = None
+) -> int:
+    """Return ``value`` with every bit listed in ``positions`` flipped.
+
+    When ``width`` is given, every position must satisfy
+    ``0 <= position < width``; a position at or beyond the width raises
+    instead of silently widening the value (which would break any caller
+    holding fixed-width lines, e.g. the golden-copy heal invariant of the
+    fault-injection campaigns).
+    """
     mask = 0
     for position in positions:
         if position < 0:
             raise ValueError(f"bit position must be non-negative, got {position}")
+        if width is not None and position >= width:
+            raise ValueError(
+                f"bit position {position} out of range for a {width}-bit line"
+            )
         mask |= 1 << position
     return value ^ mask
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from repro.coding.bitvec import mask_of
+from repro.coding.bitvec import mask_of, popcount
 
 
 def xor_reduce(values: Iterable[int]) -> int:
@@ -124,10 +124,13 @@ def row_parity_bits(members: Sequence[int]) -> List[int]:
 
 
 def popcount_parity(value: int) -> int:
-    """Even/odd parity (0 or 1) of a non-negative integer."""
-    if value < 0:
-        raise ValueError("value must be non-negative")
-    return bin(value).count("1") & 1
+    """Even/odd parity (0 or 1) of a non-negative integer.
+
+    Delegates to the shared :func:`repro.coding.bitvec.popcount` kernel
+    (``int.bit_count`` on 3.10+, table-driven on 3.9), which also owns
+    the single negative-value check.
+    """
+    return popcount(value) & 1
 
 
 def interleave_groups(num_items: int, group_size: int) -> Dict[int, List[int]]:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.coding.bitvec import popcount
 from repro.core.config import SuDokuConfig
 from repro.core.grouping import GroupMapper, SkewedGroupMapper
 from repro.core.linecodec import DecodeStatus, LineCodec
@@ -250,7 +251,7 @@ class SuDokuEngine:
     def scrub_line(self, frame: int) -> str:
         """Resolve one line (LineScrubber protocol); returns outcome label."""
         fault_bits = (
-            bin(self.array.error_vector(frame)).count("1")
+            popcount(self.array.error_vector(frame))
             if self.event_log is not None
             else 0
         )

@@ -48,6 +48,7 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
     NullRegistry,
+    merge_registry,
 )
 from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
 from repro.obs.tracing import NullTracer, Span, Tracer
@@ -105,6 +106,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
     "NullRegistry",
+    "merge_registry",
     "Tracer",
     "NullTracer",
     "Span",

@@ -268,6 +268,39 @@ class MetricsRegistry:
         return self._families.get(name)
 
 
+def merge_registry(target: MetricsRegistry, source: MetricsRegistry) -> None:
+    """Fold ``source``'s samples into ``target`` (sharded-campaign merge).
+
+    Families are matched by name; a family absent from ``target`` is
+    created with the source's declaration, and a family already present
+    must agree on kind, label names, and bucket edges (the registry's
+    usual re-declaration rules apply, so a mismatch raises).  Counter and
+    gauge children add their values, histogram children add per-bucket
+    counts, sums, and totals -- exactly the semantics of running the
+    shards sequentially against one registry.
+    """
+    if isinstance(source, NullRegistry):
+        return
+    for family in source.families():
+        merged = target._get_or_create(
+            family.name, family.help, family.kind,
+            family.label_names, family.buckets,
+        )
+        for label_values, child in family.samples():
+            if family.label_names:
+                labels = dict(zip(family.label_names, label_values))
+                merged_child = merged.labels(**labels)
+            else:
+                merged_child = merged._require_default()
+            if family.kind == "histogram":
+                for slot, count in enumerate(child.counts):
+                    merged_child.counts[slot] += count
+                merged_child.sum += child.sum
+                merged_child.count += child.count
+            else:
+                merged_child.value += child.value
+
+
 class _NullSeries:
     """Shared no-op stand-in for families and children alike."""
 

@@ -40,6 +40,11 @@ class ProgressReporter:
     :param stream: where heartbeat lines go (default stderr).
     :param min_interval_s: minimum spacing between emitted lines.
     :param clock: monotonic time source, injectable for tests.
+    :param initial_done: items already completed before this reporter
+        started (a resumed campaign restoring ``completed`` from a
+        checkpoint).  Percent/position count it; rate and ETA do *not* --
+        they are computed from work done this session only, so a resume
+        never reports an inflated rate or a bogus ETA.
     """
 
     enabled = True
@@ -51,15 +56,19 @@ class ProgressReporter:
         stream: Optional[TextIO] = None,
         min_interval_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        initial_done: int = 0,
     ) -> None:
         if total is not None and total < 0:
             raise ValueError("total must be non-negative")
+        if initial_done < 0:
+            raise ValueError("initial_done must be non-negative")
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
         self._clock = clock
-        self.done = 0
+        self.initial_done = initial_done
+        self.done = initial_done
         self.started_s = self._clock()
         self._last_emit_s = self.started_s
         self.lines_emitted = 0
@@ -73,6 +82,18 @@ class ProgressReporter:
         now = self._clock()
         if now - self._last_emit_s >= self.min_interval_s:
             self._emit(now)
+
+    def note_resumed(self, units: int) -> None:
+        """Record ``units`` restored from a checkpoint, not done now.
+
+        Advances the position without counting toward the session rate;
+        sharded campaigns call this as each shard reports its resume
+        offset.
+        """
+        if units < 0:
+            raise ValueError("resumed units must be non-negative")
+        self.initial_done += units
+        self.done += units
 
     def finish(self) -> None:
         """Emit the final summary line (always, regardless of throttle)."""
@@ -91,13 +112,18 @@ class ProgressReporter:
     # -- formatting ----------------------------------------------------------------
 
     def rate(self, now: Optional[float] = None) -> float:
-        """Items per second since the reporter started."""
+        """Items per second *this session* (excludes resumed work)."""
         elapsed = (now if now is not None else self._clock()) - self.started_s
-        return self.done / elapsed if elapsed > 0 else 0.0
+        session_done = self.done - self.initial_done
+        return session_done / elapsed if elapsed > 0 else 0.0
 
     def eta_s(self, now: Optional[float] = None) -> Optional[float]:
-        """Estimated seconds to completion (None when unknowable)."""
-        if self.total is None or self.done <= 0:
+        """Estimated seconds to completion (None when unknowable).
+
+        Based on the session rate: a resumed campaign's checkpointed
+        intervals took no time this run, so they must not shrink the ETA.
+        """
+        if self.total is None or self.done <= self.initial_done:
             return None
         rate = self.rate(now)
         return (self.total - self.done) / rate if rate > 0 else None
@@ -132,9 +158,13 @@ class NullProgress:
     enabled = False
     done = 0
     total = None
+    initial_done = 0
     lines_emitted = 0
 
     def update(self, done: Optional[int] = None, advance: int = 1) -> None:
+        pass
+
+    def note_resumed(self, units: int) -> None:
         pass
 
     def finish(self) -> None:

@@ -1,0 +1,48 @@
+"""repro.parallel -- sharded execution of Monte-Carlo campaigns.
+
+The reliability campaigns dominate the wall-clock cost of the whole
+evaluation and are embarrassingly parallel (independent intervals).
+This package splits a campaign into K deterministic shards run across a
+process pool and merges the aggregates:
+
+* :func:`run_sharded_campaign` -- sharded Monte-Carlo fault injection
+  (``--shards`` on the ``campaign`` and ``chaos`` CLI subcommands);
+* :func:`run_sharded_raresim` -- sharded conditional rare-event FIT
+  estimation (``--shards`` on ``raresim``);
+* :mod:`repro.parallel.sharding` -- the deterministic shard arithmetic
+  (unit splits, ``SeedSequence.spawn`` streams, checkpoint paths);
+* :mod:`repro.parallel.merge` -- per-shard aggregate merging.
+
+See ``docs/parallelism.md`` for the seeding model, per-shard checkpoint
+layout, and merge semantics.
+"""
+
+from repro.parallel.merge import (
+    merge_campaign_results,
+    merge_conditional_results,
+)
+from repro.parallel.runner import (
+    ShardError,
+    run_sharded_campaign,
+    run_sharded_raresim,
+)
+from repro.parallel.sharding import (
+    shard_checkpoint_path,
+    shard_python_seeds,
+    spawn_generators,
+    spawn_seed_sequences,
+    split_units,
+)
+
+__all__ = [
+    "ShardError",
+    "run_sharded_campaign",
+    "run_sharded_raresim",
+    "merge_campaign_results",
+    "merge_conditional_results",
+    "split_units",
+    "spawn_seed_sequences",
+    "spawn_generators",
+    "shard_python_seeds",
+    "shard_checkpoint_path",
+]

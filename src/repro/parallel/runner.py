@@ -1,0 +1,482 @@
+"""Sharded campaign executor: K independent shards, one merged result.
+
+The Monte-Carlo and rare-event campaigns are embarrassingly parallel --
+every interval/trial is independent by construction (that is also what
+makes them checkpointable).  The executor exploits this by splitting a
+campaign into K shards, each a *complete* campaign over its slice of the
+work with its own deterministically spawned RNG stream, running the
+shards across worker processes, and merging the per-shard aggregates:
+
+* ``shards=1`` bypasses every parallel code path and calls the serial
+  runner with the exact RNG construction the CLI has always used, so it
+  is bit-identical to the pre-sharding behaviour.
+* ``shards=K`` is itself deterministic: the same ``(seed, shards)``
+  always reproduces the same merged result, because shard streams come
+  from ``SeedSequence.spawn`` and merging is order-fixed counter
+  addition (:mod:`repro.parallel.merge`).
+* Checkpoints compose per shard: shard *i* snapshots to
+  ``<base>.shard<i>of<K><ext>`` through the same atomic-write
+  checkpointer as serial runs, so a killed-and-resumed sharded campaign
+  equals an uninterrupted same-seed/same-K run bit for bit.
+* Telemetry composes by merge: each worker records into its own
+  registry, shipped back with the shard result and folded into the
+  caller's registry (:func:`repro.obs.merge_registry`); one aggregated
+  :class:`~repro.obs.ProgressReporter` in the parent is fed from a shard
+  progress queue.
+
+Workers communicate over a single message queue: ``("resumed", i, n)``
+when a shard restores n completed units from its checkpoint,
+``("progress", i, n)`` for batched progress, and ``("result", ...)`` /
+``("error", ...)`` exactly once per shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import traceback
+from dataclasses import dataclass
+from queue import Empty
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import NULL_PROGRESS, Telemetry, merge_registry, resolve_telemetry
+from repro.parallel.merge import (
+    merge_campaign_results,
+    merge_conditional_results,
+)
+from repro.parallel.sharding import (
+    shard_checkpoint_path,
+    shard_python_seeds,
+    spawn_seed_sequences,
+    split_units,
+)
+from repro.reliability.montecarlo import CampaignResult, run_group_campaign
+from repro.reliability.raresim import (
+    ConditionalGroupSimulator,
+    ConditionalResult,
+)
+from repro.resilience.chaos import ChaosInjector, ChaosPolicy
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    CheckpointError,
+    Deadline,
+    load_checkpoint,
+)
+
+#: Seconds between liveness checks while waiting on shard messages.
+_POLL_S = 0.2
+
+#: Prefer fork where the platform offers it (no re-import, ~ms startup);
+#: everything shipped to workers is picklable, so spawn works too.
+_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+class ShardError(RuntimeError):
+    """One or more campaign shards died; carries their tracebacks."""
+
+    def __init__(self, failures: Dict[int, str]) -> None:
+        self.failures = dict(failures)
+        details = "\n".join(
+            f"--- shard {index} ---\n{text}"
+            for index, text in sorted(failures.items())
+        )
+        super().__init__(
+            f"{len(failures)} campaign shard(s) failed:\n{details}"
+        )
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a worker needs to run one shard (must stay picklable)."""
+
+    kind: str  # "montecarlo" | "raresim"
+    index: int
+    shards: int
+    units: int
+    seed: int
+    level: str
+    ber: float
+    group_size: int
+    interval_s: float
+    num_groups: int = 0
+    chaos_policy: Optional[ChaosPolicy] = None
+    chaos_seed: int = 0
+    checkpoint_path: str = ""
+    checkpoint_every: int = 0
+    resume_path: str = ""
+    telemetry: bool = False
+    deadline_s: Optional[float] = None
+    progress_batch: int = 1
+
+
+class _ShardProgress:
+    """Worker-side progress adapter: batches updates onto the queue.
+
+    Batching by count (not wall clock) keeps the adapter deterministic
+    and cheap even for microsecond-scale validation intervals.
+    """
+
+    enabled = True
+
+    def __init__(self, queue, index: int, batch: int) -> None:
+        self._queue = queue
+        self._index = index
+        self._batch = max(1, batch)
+        self._pending = 0
+
+    def update(self, done: Optional[int] = None, advance: int = 1) -> None:
+        self._pending += advance
+        if self._pending >= self._batch:
+            self._queue.put(("progress", self._index, self._pending))
+            self._pending = 0
+
+    def finish(self) -> None:
+        if self._pending:
+            self._queue.put(("progress", self._index, self._pending))
+            self._pending = 0
+
+    def note_resumed(self, units: int) -> None:  # pragma: no cover - unused
+        pass
+
+
+def _shard_checkpointer(
+    spec: _ShardSpec, queue
+) -> Optional[Checkpointer]:
+    """Build the shard's checkpointer; reports any restored offset.
+
+    A shard whose checkpoint file is missing under ``--resume`` starts
+    fresh: that is the correct replay for a shard killed before its
+    first flush (the parent has already verified that *some* shard file
+    exists, so a wholesale wrong path still fails fast).
+    """
+    if not spec.checkpoint_path:
+        return None
+    payload = None
+    if spec.resume_path and os.path.exists(spec.resume_path):
+        payload = load_checkpoint(spec.resume_path, spec.kind)
+        queue.put(("resumed", spec.index, int(payload["completed"])))
+    return Checkpointer(
+        path=spec.checkpoint_path,
+        every=spec.checkpoint_every,
+        resume=payload,
+    )
+
+
+def _run_shard(spec: _ShardSpec, queue) -> Tuple[object, Optional[object]]:
+    """Execute one shard; returns (result, metrics registry or None)."""
+    telemetry = Telemetry.create() if spec.telemetry else None
+    progress = _ShardProgress(queue, spec.index, spec.progress_batch)
+    checkpointer = _shard_checkpointer(spec, queue)
+    deadline = Deadline(spec.deadline_s) if spec.deadline_s else None
+    if spec.kind == "montecarlo":
+        rng = np.random.default_rng(
+            spawn_seed_sequences(spec.seed, spec.shards)[spec.index]
+        )
+        chaos = (
+            ChaosInjector(
+                spec.chaos_policy,
+                seed=shard_python_seeds(spec.chaos_seed, spec.shards)[spec.index],
+            )
+            if spec.chaos_policy is not None
+            else None
+        )
+        result = run_group_campaign(
+            spec.level, spec.ber, trials=spec.units,
+            group_size=spec.group_size, interval_s=spec.interval_s,
+            rng=rng, telemetry=telemetry, progress=progress,
+            chaos=chaos, checkpointer=checkpointer, deadline=deadline,
+        )
+    elif spec.kind == "raresim":
+        simulator = ConditionalGroupSimulator(
+            ber=spec.ber, group_size=spec.group_size,
+            num_groups=spec.num_groups, interval_s=spec.interval_s,
+            rng=random.Random(
+                shard_python_seeds(spec.seed, spec.shards)[spec.index]
+            ),
+        )
+        result = simulator.run(
+            spec.level, spec.units, telemetry=telemetry, progress=progress,
+            checkpointer=checkpointer, deadline=deadline,
+        )
+    else:  # pragma: no cover - specs are built by this module only
+        raise ValueError(f"unknown shard kind {spec.kind!r}")
+    metrics = telemetry.metrics if telemetry is not None else None
+    return result, metrics
+
+
+def _shard_worker(spec: _ShardSpec, queue) -> None:
+    """Process entry point: run the shard, ship the outcome back."""
+    try:
+        result, metrics = _run_shard(spec, queue)
+        queue.put(("result", spec.index, result, metrics))
+    except BaseException:
+        queue.put(("error", spec.index, traceback.format_exc()))
+
+
+def _check_resume_files(specs: List[_ShardSpec]) -> None:
+    """Fail fast when a resume finds no shard checkpoints at all."""
+    if not any(spec.resume_path for spec in specs):
+        return
+    if not any(os.path.exists(spec.resume_path) for spec in specs):
+        base = specs[0].resume_path
+        raise CheckpointError(
+            f"no shard checkpoint files found (looked for {base!r} and "
+            f"siblings); was the interrupted run sharded with "
+            f"--shards {specs[0].shards}?"
+        )
+
+
+def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
+    """Run shard specs across processes; returns results in shard order."""
+    _check_resume_files(specs)
+    context = multiprocessing.get_context(_START_METHOD)
+    queue = context.Queue()
+    processes = [
+        context.Process(target=_shard_worker, args=(spec, queue), daemon=True)
+        for spec in specs
+    ]
+    for process in processes:
+        process.start()
+    outcomes: Dict[int, Tuple[object, Optional[object]]] = {}
+    errors: Dict[int, str] = {}
+    pending = {spec.index for spec in specs}
+    try:
+        while pending:
+            try:
+                message = queue.get(timeout=_POLL_S)
+            except KeyboardInterrupt:
+                # The workers received the same SIGINT; their campaign
+                # loops catch it, flush checkpoints, and ship truncated
+                # results -- keep draining so nothing is lost.
+                continue
+            except Empty:
+                if any(process.is_alive() for process in processes):
+                    continue
+                # All workers exited; drain stragglers then stop waiting.
+                try:
+                    message = queue.get(timeout=_POLL_S)
+                except Empty:
+                    break
+            kind = message[0]
+            if kind == "progress":
+                progress.update(advance=message[2])
+            elif kind == "resumed":
+                progress.note_resumed(message[2])
+            elif kind == "result":
+                outcomes[message[1]] = (message[2], message[3])
+                pending.discard(message[1])
+            elif kind == "error":
+                errors[message[1]] = message[2]
+                pending.discard(message[1])
+    finally:
+        # Bounded joins: a worker blocked mid-send (parent bailed out on
+        # an exception) must not hang the shutdown forever.
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        queue.close()
+    for index in pending:
+        errors.setdefault(
+            index, "shard process died without reporting a result"
+        )
+    if errors:
+        raise ShardError(errors)
+    if telemetry is not None:
+        for index in sorted(outcomes):
+            metrics = outcomes[index][1]
+            if metrics is not None:
+                merge_registry(telemetry.metrics, metrics)
+    return [outcomes[index][0] for index in sorted(outcomes)]
+
+
+def _serial_checkpointer(
+    kind: str, checkpoint_path: str, checkpoint_every: int, resume_from: str,
+    progress,
+) -> Optional[Checkpointer]:
+    """The single-shard checkpointer (same layout as the pre-sharding CLI)."""
+    if not checkpoint_path:
+        return None
+    payload = None
+    if resume_from:
+        payload = load_checkpoint(resume_from, kind)
+        progress.note_resumed(int(payload["completed"]))
+    return Checkpointer(
+        path=checkpoint_path, every=checkpoint_every, resume=payload
+    )
+
+
+def _validate(shards: int, units: int, checkpoint_path: str,
+              checkpoint_every: int) -> None:
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if units < 0:
+        raise ValueError(f"work units must be non-negative, got {units}")
+    if checkpoint_every and not checkpoint_path:
+        raise CheckpointError(
+            "periodic checkpointing requires a checkpoint path"
+        )
+
+
+def _progress_batch(units: int) -> int:
+    """Batch size keeping each shard to ~50 progress messages."""
+    return max(1, units // 50)
+
+
+def run_sharded_campaign(
+    level: str,
+    ber: float,
+    intervals: int,
+    group_size: int = 64,
+    *,
+    shards: int = 1,
+    seed: int = 0,
+    interval_s: float = 0.020,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
+    chaos_policy: Optional[ChaosPolicy] = None,
+    chaos_seed: int = 0,
+    checkpoint_path: str = "",
+    checkpoint_every: int = 0,
+    resume_from: str = "",
+    deadline_s: Optional[float] = None,
+) -> CampaignResult:
+    """Sharded Monte-Carlo campaign (see :func:`run_group_campaign`).
+
+    With ``shards=1`` this delegates to the serial runner with
+    ``np.random.default_rng(seed)`` -- bit-identical to the historical
+    CLI path.  With ``shards=K`` the intervals are split K ways, each
+    shard runs in its own process on its own spawned RNG stream, and the
+    merged :class:`CampaignResult` is returned.  ``chaos_policy`` (when
+    enabled) gets an independent per-shard chaos stream derived from
+    ``chaos_seed`` the same way.
+    """
+    if resume_from and not checkpoint_path:
+        checkpoint_path = resume_from
+    _validate(shards, intervals, checkpoint_path, checkpoint_every)
+    if chaos_policy is not None and not chaos_policy.enabled:
+        chaos_policy = None
+    if shards == 1:
+        checkpointer = _serial_checkpointer(
+            "montecarlo", checkpoint_path, checkpoint_every, resume_from,
+            progress,
+        )
+        chaos = (
+            ChaosInjector(chaos_policy, seed=chaos_seed)
+            if chaos_policy is not None else None
+        )
+        return run_group_campaign(
+            level, ber, trials=intervals, group_size=group_size,
+            interval_s=interval_s, rng=np.random.default_rng(seed),
+            telemetry=telemetry, progress=progress, chaos=chaos,
+            checkpointer=checkpointer,
+            deadline=Deadline(deadline_s) if deadline_s else None,
+        )
+    units = split_units(intervals, shards)
+    batch = _progress_batch(intervals)
+    specs = [
+        _ShardSpec(
+            kind="montecarlo", index=index, shards=shards, units=units[index],
+            seed=seed, level=level, ber=ber, group_size=group_size,
+            interval_s=interval_s, chaos_policy=chaos_policy,
+            chaos_seed=chaos_seed,
+            checkpoint_path=(
+                shard_checkpoint_path(checkpoint_path, index, shards)
+                if checkpoint_path else ""
+            ),
+            checkpoint_every=checkpoint_every,
+            resume_path=(
+                shard_checkpoint_path(resume_from, index, shards)
+                if resume_from else ""
+            ),
+            telemetry=telemetry is not None, deadline_s=deadline_s,
+            progress_batch=batch,
+        )
+        for index in range(shards)
+    ]
+    tel = resolve_telemetry(telemetry)
+    with tel.tracer.span(
+        "sharded_campaign", level=level, ber=ber, intervals=intervals,
+        shards=shards,
+    ):
+        results = _execute_shards(specs, telemetry, progress)
+    progress.finish()
+    return merge_campaign_results(results)
+
+
+def run_sharded_raresim(
+    level: str,
+    ber: float,
+    trials: int,
+    group_size: int = 64,
+    num_groups: int = 2048,
+    *,
+    shards: int = 1,
+    seed: int = 0,
+    interval_s: float = 0.020,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
+    checkpoint_path: str = "",
+    checkpoint_every: int = 0,
+    resume_from: str = "",
+    deadline_s: Optional[float] = None,
+) -> ConditionalResult:
+    """Sharded conditional rare-event campaign (see ``estimate_fit``).
+
+    ``shards=1`` matches :func:`repro.reliability.raresim.estimate_fit`
+    with ``random.Random(seed)`` bit for bit; ``shards=K`` splits the
+    trials across processes with per-shard stdlib RNG streams derived
+    from the same seed tree, then merges the conditional aggregates.
+    """
+    if resume_from and not checkpoint_path:
+        checkpoint_path = resume_from
+    _validate(shards, trials, checkpoint_path, checkpoint_every)
+    if shards == 1:
+        checkpointer = _serial_checkpointer(
+            "raresim", checkpoint_path, checkpoint_every, resume_from,
+            progress,
+        )
+        simulator = ConditionalGroupSimulator(
+            ber=ber, group_size=group_size, num_groups=num_groups,
+            interval_s=interval_s, rng=random.Random(seed),
+        )
+        return simulator.run(
+            level, trials, telemetry=telemetry, progress=progress,
+            checkpointer=checkpointer,
+            deadline=Deadline(deadline_s) if deadline_s else None,
+        )
+    units = split_units(trials, shards)
+    batch = _progress_batch(trials)
+    specs = [
+        _ShardSpec(
+            kind="raresim", index=index, shards=shards, units=units[index],
+            seed=seed, level=level, ber=ber, group_size=group_size,
+            interval_s=interval_s, num_groups=num_groups,
+            checkpoint_path=(
+                shard_checkpoint_path(checkpoint_path, index, shards)
+                if checkpoint_path else ""
+            ),
+            checkpoint_every=checkpoint_every,
+            resume_path=(
+                shard_checkpoint_path(resume_from, index, shards)
+                if resume_from else ""
+            ),
+            telemetry=telemetry is not None, deadline_s=deadline_s,
+            progress_batch=batch,
+        )
+        for index in range(shards)
+    ]
+    tel = resolve_telemetry(telemetry)
+    with tel.tracer.span(
+        "sharded_raresim", level=level, ber=ber, trials=trials, shards=shards,
+    ):
+        results = _execute_shards(specs, telemetry, progress)
+    progress.finish()
+    return merge_conditional_results(results)

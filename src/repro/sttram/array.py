@@ -13,7 +13,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-from repro.coding.bitvec import mask_of, random_bits
+from repro.coding.bitvec import mask_of, popcount, random_bits
 
 
 class STTRAMArray:
@@ -91,7 +91,7 @@ class STTRAMArray:
     def total_faulty_bits(self) -> int:
         """Total number of corrupted bits across the array."""
         return sum(
-            bin(self._stored[index] ^ self._golden[index]).count("1")
+            popcount(self._stored[index] ^ self._golden[index])
             for index in range(self.num_lines)
         )
 

@@ -91,7 +91,17 @@ class TransientFaultInjector:
         if count == 0:
             return 0
         positions = self._rng.choice(self.line_bits, size=count, replace=False)
-        return flip_bits(0, (int(p) for p in positions))
+        return flip_bits(0, (int(p) for p in positions), width=self.line_bits)
+
+    def error_vector_at(self, positions: Iterable[int]) -> int:
+        """Validated error mask for explicit bit positions.
+
+        Targeted studies and tests place faults at chosen positions; a
+        position at or beyond ``line_bits`` raises instead of silently
+        widening the line (which would corrupt state the golden-copy
+        heal invariant cannot restore).
+        """
+        return flip_bits(0, positions, width=self.line_bits)
 
     def error_vectors(self, num_lines: int) -> Dict[int, int]:
         """Sample error masks for ``num_lines`` lines; zero masks omitted.

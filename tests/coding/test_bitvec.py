@@ -34,6 +34,28 @@ class TestPopcount:
         with pytest.raises(ValueError):
             popcount(-1)
 
+    def test_matches_reference_on_wide_values(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            value = rng.getrandbits(rng.randrange(1, 700))
+            assert popcount(value) == bin(value).count("1")
+
+    def test_table_fallback_matches_kernel(self):
+        # The 3.9 fallback counts little-endian bytes through a table;
+        # keep it honest on 3.10+ too by reconstructing it here.
+        table = bytes(bin(byte).count("1") for byte in range(256))
+
+        def fallback(value):
+            if value == 0:
+                return 0
+            data = value.to_bytes((value.bit_length() + 7) // 8, "little")
+            return sum(map(table.__getitem__, data))
+
+        rng = random.Random(7)
+        for _ in range(100):
+            value = rng.getrandbits(rng.randrange(1, 700))
+            assert fallback(value) == popcount(value)
+
 
 class TestBitPositions:
     def test_empty(self):
@@ -63,6 +85,16 @@ class TestFlipBits:
     def test_negative_position_rejected(self):
         with pytest.raises(ValueError):
             flip_bits(0, [-1])
+
+    def test_width_bound_accepts_in_range(self):
+        assert flip_bits(0, [0, 7], width=8) == 0b10000001
+
+    def test_width_bound_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range for a 8-bit"):
+            flip_bits(0, [8], width=8)
+
+    def test_no_width_means_unbounded(self):
+        assert flip_bits(0, [512]) == 1 << 512
 
 
 class TestHammingDistance:

@@ -6,6 +6,7 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
     NullRegistry,
+    merge_registry,
 )
 
 
@@ -155,3 +156,75 @@ class TestNullRegistry:
     def test_shared_series_reports_zero(self):
         registry = NullRegistry()
         assert registry.counter("x").value == 0.0
+
+
+class TestMergeRegistry:
+    """merge_registry: the sharded-campaign fold of worker registries."""
+
+    def _source(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(3)
+        registry.counter(
+            "outcomes_total", labels=("kind",)
+        ).labels(kind="due").inc(2)
+        registry.gauge("level").set(7)
+        registry.histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        return registry
+
+    def test_merge_into_empty_equals_source(self):
+        target = MetricsRegistry()
+        merge_registry(target, self._source())
+        assert target.get("events_total").labels().value == 3
+        assert target.get("outcomes_total").labels(kind="due").value == 2
+        hist = target.get("latency_seconds").labels()
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.5)
+
+    def test_merge_adds_counters_and_histograms(self):
+        target = self._source()
+        merge_registry(target, self._source())
+        assert target.get("events_total").labels().value == 6
+        assert target.get("outcomes_total").labels(kind="due").value == 4
+        hist = target.get("latency_seconds").labels()
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(1.0)
+        assert sum(hist.counts) == 2
+
+    def test_merge_is_equivalent_to_sequential_recording(self):
+        # K workers each recording into their own registry, merged,
+        # must equal one registry that saw every event.
+        merged = MetricsRegistry()
+        sequential = MetricsRegistry()
+        for shard in range(3):
+            worker = MetricsRegistry()
+            for registry in (worker, sequential):
+                registry.counter("n_total").inc(shard + 1)
+                registry.histogram(
+                    "t_seconds", buckets=(1.0, 10.0)
+                ).observe(float(shard))
+            merge_registry(merged, worker)
+        assert (
+            merged.get("n_total").labels().value
+            == sequential.get("n_total").labels().value
+        )
+        a = merged.get("t_seconds").labels()
+        b = sequential.get("t_seconds").labels()
+        assert a.counts == b.counts
+        assert a.count == b.count
+        assert a.sum == pytest.approx(b.sum)
+
+    def test_merge_null_source_is_noop(self):
+        target = MetricsRegistry()
+        target.counter("events_total").inc()
+        merge_registry(target, NullRegistry())
+        assert target.get("events_total").labels().value == 1
+
+    def test_merge_kind_mismatch_raises(self):
+        target = MetricsRegistry()
+        target.counter("x")
+        source = MetricsRegistry()
+        source.gauge("x")
+        with pytest.raises(ValueError):
+            merge_registry(target, source)

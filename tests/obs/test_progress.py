@@ -93,6 +93,62 @@ class TestMath:
             ProgressReporter(total=-1)
 
 
+class TestResume:
+    """Regression tests: resumed work must not inflate rate or ETA.
+
+    The original ``rate()`` divided *total* done (including checkpointed
+    work restored instantaneously at startup) by session elapsed time, so
+    a campaign resumed at 80/100 after 10s reported 9.0/s instead of
+    1.0/s and a nonsense ETA.
+    """
+
+    def make_resumed(self, initial_done, total=100):
+        clock = ManualClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=total, label="campaign", stream=stream,
+            min_interval_s=1.0, clock=clock, initial_done=initial_done,
+        )
+        return reporter, clock, stream
+
+    def test_resumed_units_do_not_inflate_rate(self):
+        reporter, clock, _ = self.make_resumed(initial_done=80)
+        clock.advance(10.0)
+        reporter.update(advance=10)  # 90/100, but only 10 done this session
+        assert reporter.rate() == pytest.approx(1.0)
+        assert reporter.eta_s() == pytest.approx(10.0)
+
+    def test_note_resumed_equivalent_to_constructor_offset(self):
+        reporter, clock, _ = make_reporter(total=100)
+        reporter.note_resumed(80)
+        assert reporter.done == 80
+        assert reporter.initial_done == 80
+        clock.advance(5.0)
+        reporter.update(advance=5)
+        assert reporter.rate() == pytest.approx(1.0)
+
+    def test_no_session_work_means_no_rate_or_eta(self):
+        reporter, clock, _ = self.make_resumed(initial_done=50)
+        clock.advance(10.0)
+        assert reporter.rate() == 0.0
+        assert reporter.eta_s() is None
+
+    def test_position_and_percent_count_resumed_work(self):
+        reporter, clock, _ = self.make_resumed(initial_done=80)
+        clock.advance(10.0)
+        reporter.update(advance=10)
+        assert reporter.render().startswith("[campaign] 90/100 (90.0%)")
+
+    def test_negative_initial_done_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(total=10, initial_done=-1)
+
+    def test_negative_note_resumed_rejected(self):
+        reporter, _, _ = make_reporter()
+        with pytest.raises(ValueError):
+            reporter.note_resumed(-1)
+
+
 class TestContextManager:
     def test_with_block_finishes(self):
         reporter, clock, stream = make_reporter()

@@ -1,0 +1,98 @@
+"""Unit tests for per-shard aggregate merging."""
+
+import pytest
+
+from repro.parallel import merge_campaign_results, merge_conditional_results
+from repro.reliability.montecarlo import CampaignResult
+from repro.reliability.raresim import ConditionalResult
+
+
+def _campaign(intervals=4, failures=1, truncated=False, stop_reason="",
+              ber=1e-3, outcomes=None, metadata=None):
+    result = CampaignResult(
+        intervals=intervals, ber=ber, interval_s=0.020, lines=256,
+    )
+    result.interval_failures = failures
+    result.truncated = truncated
+    result.stop_reason = stop_reason
+    result.outcomes.update(outcomes or {"clean": intervals - failures,
+                                        "due": failures})
+    result.metadata.update(metadata or {})
+    return result
+
+
+class TestMergeCampaign:
+    def test_counts_add(self):
+        merged = merge_campaign_results(
+            [_campaign(4, 1), _campaign(6, 2, metadata={"plt_flips": 3})]
+        )
+        assert merged.intervals == 10
+        assert merged.interval_failures == 3
+        assert merged.outcomes["clean"] == 7
+        assert merged.outcomes["due"] == 3
+        assert merged.metadata["plt_flips"] == 3
+        assert merged.lines == 256
+
+    def test_single_shard_is_identity(self):
+        shard = _campaign(5, 2, metadata={"map_swaps": 1})
+        assert merge_campaign_results([shard]).as_dict() == shard.as_dict()
+
+    def test_truncation_and_stop_reason_precedence(self):
+        merged = merge_campaign_results([
+            _campaign(2, 0, truncated=True, stop_reason="deadline"),
+            _campaign(4, 0),
+        ])
+        assert merged.truncated
+        assert merged.stop_reason == "deadline"
+        merged = merge_campaign_results([
+            _campaign(2, 0, truncated=True, stop_reason="deadline"),
+            _campaign(1, 0, truncated=True, stop_reason="interrupted"),
+        ])
+        assert merged.stop_reason == "interrupted"
+
+    def test_differing_ber_rejected(self):
+        with pytest.raises(ValueError, match="ber"):
+            merge_campaign_results([_campaign(ber=1e-3), _campaign(ber=2e-3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_campaign_results([])
+
+
+def _conditional(trials=100, failures=2, truncated=False, stop_reason=""):
+    return ConditionalResult(
+        trials=trials, conditional_failures=failures,
+        conditioning_probability=1e-4, ber=1e-4, group_size=64,
+        num_groups=2048, interval_s=0.020, truncated=truncated,
+        stop_reason=stop_reason,
+    )
+
+
+class TestMergeConditional:
+    def test_counts_add_and_config_is_preserved(self):
+        merged = merge_conditional_results(
+            [_conditional(100, 2), _conditional(150, 5)]
+        )
+        assert merged.trials == 250
+        assert merged.conditional_failures == 7
+        assert merged.conditioning_probability == 1e-4
+        assert merged.group_size == 64
+
+    def test_truncation_propagates(self):
+        merged = merge_conditional_results([
+            _conditional(), _conditional(truncated=True, stop_reason="deadline"),
+        ])
+        assert merged.truncated
+        assert merged.stop_reason == "deadline"
+
+    def test_differing_geometry_rejected(self):
+        other = ConditionalResult(
+            trials=1, conditional_failures=0, conditioning_probability=1e-4,
+            ber=1e-4, group_size=32, num_groups=2048, interval_s=0.020,
+        )
+        with pytest.raises(ValueError, match="group_size"):
+            merge_conditional_results([_conditional(), other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_conditional_results([])

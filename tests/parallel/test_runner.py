@@ -1,0 +1,152 @@
+"""Golden determinism tests for the sharded campaign executor.
+
+These pin the three guarantees docs/parallelism.md promises:
+
+* ``shards=1`` is bit-identical to the serial runners;
+* the K-shard outcome of a seed is reproducible run to run;
+* a sharded campaign killed mid-flight (deadline as a deterministic
+  stand-in for kill -9) and resumed equals the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import ProgressReporter, Telemetry
+from repro.parallel import (
+    ShardError,
+    run_sharded_campaign,
+    run_sharded_raresim,
+)
+from repro.reliability.montecarlo import run_group_campaign
+from repro.reliability.raresim import estimate_fit
+from repro.resilience import CheckpointError
+
+# Small but non-trivial: BER high enough that every run sees corrections
+# and some failures, so the determinism assertions have teeth.
+LEVEL, BER, INTERVALS, GROUP = "Z", 5e-3, 6, 16
+RARE = dict(level="Z", ber=1e-3, trials=80, group_size=16, num_groups=64)
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def sharded_reference():
+    """The canonical 2-shard outcome of SEED (shared across tests)."""
+    return run_sharded_campaign(
+        LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED
+    )
+
+
+class TestSerialEquivalence:
+    def test_shards_one_matches_serial_campaign(self):
+        sharded = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=1, seed=SEED
+        )
+        serial = run_group_campaign(
+            LEVEL, BER, trials=INTERVALS, group_size=GROUP,
+            rng=np.random.default_rng(SEED),
+        )
+        assert sharded.as_dict() == serial.as_dict()
+
+    def test_shards_one_matches_estimate_fit(self):
+        sharded = run_sharded_raresim(
+            RARE["level"], RARE["ber"], RARE["trials"],
+            RARE["group_size"], RARE["num_groups"], shards=1, seed=SEED,
+        )
+        serial = estimate_fit(
+            RARE["level"], RARE["ber"], trials=RARE["trials"],
+            group_size=RARE["group_size"], num_groups=RARE["num_groups"],
+            seed=SEED,
+        )
+        assert sharded.as_dict() == serial.as_dict()
+
+
+class TestShardedDeterminism:
+    def test_same_seed_same_shards_reproduces(self, sharded_reference):
+        again = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED
+        )
+        assert again.as_dict() == sharded_reference.as_dict()
+
+    def test_merged_covers_all_intervals(self, sharded_reference):
+        assert sharded_reference.intervals == INTERVALS
+        # Line-level outcome counts from both shards must have survived
+        # the merge (at this BER every interval records corrections).
+        assert sum(sharded_reference.outcomes.values()) > 0
+
+    def test_kill_then_resume_matches_uninterrupted(
+        self, sharded_reference, tmp_path
+    ):
+        ck = str(tmp_path / "ck.json")
+        partial = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=1, deadline_s=1e-6,
+        )
+        assert partial.truncated and partial.stop_reason == "deadline"
+        assert partial.intervals < INTERVALS
+        resumed = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=1, resume_from=ck,
+        )
+        assert resumed.as_dict() == sharded_reference.as_dict()
+
+    def test_raresim_kill_then_resume_matches_uninterrupted(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        reference = run_sharded_raresim(
+            RARE["level"], RARE["ber"], RARE["trials"],
+            RARE["group_size"], RARE["num_groups"], shards=2, seed=SEED,
+        )
+        run_sharded_raresim(
+            RARE["level"], RARE["ber"], RARE["trials"],
+            RARE["group_size"], RARE["num_groups"], shards=2, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=5, deadline_s=1e-6,
+        )
+        resumed = run_sharded_raresim(
+            RARE["level"], RARE["ber"], RARE["trials"],
+            RARE["group_size"], RARE["num_groups"], shards=2, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=5, resume_from=ck,
+        )
+        assert resumed.as_dict() == reference.as_dict()
+
+
+class TestComposition:
+    def test_telemetry_merges_across_shards(self):
+        telemetry = Telemetry.create()
+        run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+            telemetry=telemetry,
+        )
+        family = telemetry.metrics.get("campaign_intervals_total")
+        assert family is not None
+        total = sum(child.value for _, child in family.samples())
+        assert total == INTERVALS
+
+    def test_aggregated_progress_sees_every_unit(self, capsys):
+        progress = ProgressReporter(
+            total=INTERVALS, label="t", min_interval_s=0.0
+        )
+        run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+            progress=progress,
+        )
+        assert progress.done == INTERVALS
+
+
+class TestFailureModes:
+    def test_resume_without_shard_files_fails_fast(self, tmp_path):
+        ck = str(tmp_path / "missing.json")
+        with pytest.raises(CheckpointError, match="no shard checkpoint"):
+            run_sharded_campaign(
+                LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+                checkpoint_path=ck, resume_from=ck,
+            )
+
+    def test_worker_failure_surfaces_as_shard_error(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded_campaign(
+                "NOPE", BER, INTERVALS, GROUP, shards=2, seed=SEED
+            )
+        assert excinfo.value.failures
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            run_sharded_campaign(LEVEL, BER, INTERVALS, GROUP, shards=0)

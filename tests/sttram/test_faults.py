@@ -71,6 +71,31 @@ class TestTransientFaultInjector:
             TransientFaultInjector(10, -0.1)
 
 
+class TestErrorVectorAt:
+    """Injector-boundary validation of explicit fault positions."""
+
+    def test_places_requested_bits(self):
+        injector = TransientFaultInjector(line_bits=16, ber=0.0)
+        assert injector.error_vector_at([0, 5, 15]) == (1 | 1 << 5 | 1 << 15)
+
+    def test_out_of_range_position_raises(self):
+        injector = TransientFaultInjector(line_bits=16, ber=0.0)
+        with pytest.raises(ValueError, match="out of range for a 16-bit"):
+            injector.error_vector_at([16])
+
+    def test_negative_position_raises(self):
+        injector = TransientFaultInjector(line_bits=16, ber=0.0)
+        with pytest.raises(ValueError):
+            injector.error_vector_at([-1])
+
+    def test_sampled_vectors_stay_in_width(self):
+        injector = TransientFaultInjector(
+            line_bits=32, ber=0.3, rng=np.random.default_rng(5)
+        )
+        for _ in range(100):
+            assert injector.error_vector() >> 32 == 0
+
+
 class TestPermanentFaultMap:
     def test_stuck_at_one(self):
         fault_map = PermanentFaultMap(line_bits=8)
