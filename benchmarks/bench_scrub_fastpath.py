@@ -1,0 +1,104 @@
+"""Fault-indexed sparse scrub fast path: speedup over the dense pass.
+
+At the paper's nominal BER (5.3e-6 per bit per 20 ms interval, Table I)
+a 2^16-line array carries only a few hundred faulty lines per interval,
+yet a dense scrub decodes all 65536 of them.  The sparse fast path
+(:meth:`repro.core.engine.SuDokuEngine.scrub_sparse`) walks the array's
+dirty-frame index instead and bulk-accounts the clean population,
+turning the pass from O(lines) into O(faults).
+
+This benchmark injects one interval of faults, times a dense pass, heals
+and re-injects the *identical* faults (same-seeded injector against the
+same golden content), times a sparse pass, and checks two properties:
+
+* the outcome counters are bit-identical between the passes (the golden
+  equivalence the fast path is allowed to exist under), and
+* the sparse pass is at least 10x faster at this geometry (in practice
+  it lands orders of magnitude above that floor).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR, emit
+from repro.core.engine import build_engine
+from repro.core.linecodec import LineCodec
+from repro.reliability.montecarlo import heal
+from repro.sttram.array import STTRAMArray
+from repro.sttram.faults import TransientFaultInjector
+
+#: Table I nominal: delta = 60 at 20 ms gives BER 5.3e-6.
+BER = 5.3e-6
+NUM_LINES = 1 << 16
+GROUP_SIZE = 256
+SEED = 23
+REQUIRED_SPEEDUP = 10.0
+
+
+def _inject(codec, array):
+    injector = TransientFaultInjector(
+        codec.stored_bits, BER, rng=np.random.default_rng(SEED)
+    )
+    return injector.inject_frames(array)
+
+
+def test_bench_scrub_fastpath(benchmark):
+    codec = LineCodec()
+    array = STTRAMArray(NUM_LINES, codec.stored_bits)
+    engine = build_engine("X", array, group_size=GROUP_SIZE, codec=codec)
+
+    dirty = _inject(codec, array)
+    started = time.perf_counter()
+    dense_counts = engine.scrub_all()
+    dense_wall = time.perf_counter() - started
+    assert array.dirty_frames() == []
+
+    heal(array)
+    assert _inject(codec, array) == dirty  # same seed, same faults
+
+    started = time.perf_counter()
+    sparse_counts = engine.scrub_sparse()
+    sparse_wall = time.perf_counter() - started
+    assert array.dirty_frames() == []
+
+    assert sparse_counts == dense_counts, (
+        "sparse pass diverged from dense outcome counters"
+    )
+
+    # One pedantic round on the fast path itself (already-clean array:
+    # the steady-state cost a campaign pays per interval between faults).
+    benchmark.pedantic(engine.scrub_sparse, rounds=1, iterations=1)
+
+    speedup = dense_wall / sparse_wall
+    emit({
+        "title": "Sparse scrub fast path vs dense pass (2^16 lines)",
+        "headers": ["pass", "wall (s)", "lines decoded"],
+        "rows": [
+            ["dense", f"{dense_wall:.3f}", NUM_LINES],
+            ["sparse", f"{sparse_wall:.4f}", len(dirty)],
+            ["speedup", f"{speedup:.0f}x", ""],
+        ],
+        "notes": (
+            f"SuDoku-X, {NUM_LINES} lines x {codec.stored_bits} stored "
+            f"bits at BER {BER:g}: {len(dirty)} dirty lines; outcome "
+            f"counters bit-identical between passes"
+        ),
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scrub_fastpath.json").write_text(json.dumps({
+        "num_lines": NUM_LINES,
+        "stored_bits": codec.stored_bits,
+        "ber": BER,
+        "group_size": GROUP_SIZE,
+        "dirty_lines": len(dirty),
+        "dense_wall_s": dense_wall,
+        "sparse_wall_s": sparse_wall,
+        "speedup": speedup,
+        "counters_identical": sparse_counts == dense_counts,
+    }, indent=2) + "\n")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"sparse pass only {speedup:.1f}x faster (need {REQUIRED_SPEEDUP}x)"
+    )

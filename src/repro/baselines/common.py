@@ -72,6 +72,27 @@ class BaselineCache:
         """Scrub every frame."""
         return self.scrub_frames(range(self.array.num_lines))
 
+    def scrub_sparse(self) -> Dict[str, int]:
+        """Fault-indexed scrub (mirrors ``SuDokuEngine.scrub_sparse``).
+
+        Decodes only the array's dirty frames and bulk-accounts every
+        other line as ``clean``; outcome counters are bit-identical to
+        :meth:`scrub_all` because clean frames hold valid codewords and
+        resolve to ``clean`` without side effects.
+        """
+        counts = Counter(self.scrub_frames(self.array.dirty_frames()))
+        counts[Outcome.CLEAN.value] += self.account_bulk_clean(
+            self.array.num_lines - sum(counts.values())
+        )
+        return dict(counts)
+
+    def account_bulk_clean(self, count: int) -> int:
+        """Record ``count`` known-clean lines without decoding them."""
+        if count < 0:
+            raise ValueError("bulk clean count cannot be negative")
+        self.outcome_counts[Outcome.CLEAN.value] += count
+        return count
+
     def _note(self, frame: int, outcome: Outcome) -> None:
         """Record a collateral outcome for a frame not yet visited."""
         self._pending.setdefault(frame, outcome)

@@ -150,6 +150,31 @@ def _resilience_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _scrub_mode_parent() -> argparse.ArgumentParser:
+    """Shared ``--sparse``/``--dense`` scrub-mode flags.
+
+    The two modes produce bit-identical outcome counters (see
+    docs/performance.md); ``--dense`` exists as a trust-nothing audit
+    mode that decodes every frame instead of only the fault-indexed
+    dirty ones.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("scrub mode")
+    mode = group.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--sparse", action="store_const", const="sparse", dest="scrub_mode",
+        help="fault-indexed sparse scrub: decode only dirty frames and "
+             "bulk-account the rest as clean (default; bit-identical "
+             "counters to --dense)",
+    )
+    mode.add_argument(
+        "--dense", action="store_const", const="dense", dest="scrub_mode",
+        help="decode every frame each pass (trust-nothing audit mode)",
+    )
+    parent.set_defaults(scrub_mode="sparse")
+    return parent
+
+
 def _chaos_parent() -> argparse.ArgumentParser:
     """Metadata chaos-injection flags (see docs/resilience.md)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -188,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     resilience = _resilience_parent()
     chaos_flags = _chaos_parent()
     parallel = _parallel_parent()
+    scrub_mode = _scrub_mode_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
@@ -200,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign", help="Monte-Carlo fault injection",
-        parents=[telemetry, resilience, chaos_flags, parallel],
+        parents=[telemetry, resilience, chaos_flags, parallel, scrub_mode],
     )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
     campaign.add_argument("--ber", type=float, default=8e-4)
@@ -210,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     raresim = sub.add_parser(
         "raresim", help="conditional rare-event FIT estimate",
-        parents=[telemetry, resilience, parallel],
+        parents=[telemetry, resilience, parallel, scrub_mode],
     )
     raresim.add_argument("--level", choices=["Y", "Z"], default="Z")
     raresim.add_argument("--ber", type=float, default=1e-4)
@@ -222,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="sweep metadata-fault rates; report SDC/DUE per SuDoku level",
-        parents=[telemetry, parallel],
+        parents=[telemetry, parallel, scrub_mode],
     )
     chaos.add_argument(
         "--levels", nargs="+", choices=["X", "Y", "Z"], default=["X", "Y", "Z"]
@@ -504,6 +530,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         progress=make_progress(intervals, f"campaign-{level}"),
         chaos_policy=policy if policy.enabled else None,
         chaos_seed=args.chaos_seed,
+        scrub_mode=args.scrub_mode,
         **resilience,
     )
     model = SuDokuReliabilityModel(
@@ -554,6 +581,7 @@ def cmd_raresim(args: argparse.Namespace) -> int:
         args.group_size, args.num_groups,
         shards=args.shards, seed=args.seed, telemetry=telemetry,
         progress=make_progress(args.trials, f"raresim-{args.level}"),
+        scrub_mode=args.scrub_mode,
         **resilience,
     )
     low, high = result.conditional_ci()
@@ -608,6 +636,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 telemetry=telemetry,
                 chaos_policy=policy if policy.enabled else None,
                 chaos_seed=args.chaos_seed,
+                scrub_mode=args.scrub_mode,
             )
             meta = result.metadata
             rows.append([

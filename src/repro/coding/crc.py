@@ -99,7 +99,7 @@ class CRC:
             index = ((register >> shift) ^ byte) & 0xFF
             register = ((register << 8) & self._mask) ^ table[index]
         if self.refout:
-            register = reflect(register, self.width)
+            register = reflect_bytewise(register, self.width)
         return register ^ self.xorout
 
     def compute_int(self, value: int, nbits: int) -> int:
@@ -148,7 +148,7 @@ class CRC:
             for bit_index in range(remainder_bits - 1, -1, -1):
                 feed((tail >> bit_index) & 1)
         if self.refout:
-            register = reflect(register, self.width)
+            register = reflect_bytewise(register, self.width)
         return register ^ self.xorout
 
     def matches(self, value: int, nbits: int, stored_crc: int) -> bool:
@@ -163,6 +163,25 @@ class CRC:
 
 
 _REFLECT8 = [reflect(byte, 8) for byte in range(256)]
+
+
+def reflect_bytewise(value: int, width: int) -> int:
+    """Bit-reverse ``value`` within ``width`` bits via the byte table.
+
+    Equivalent to :func:`reflect` (the tests pin the equivalence over the
+    catalogue widths) but walks ``ceil(width / 8)`` table lookups instead
+    of ``width`` single-bit shifts -- this runs once per message on every
+    ``refout=True`` computation, which made the bit loop a measurable tax
+    on CRC-32-heavy paths.
+    """
+    nbytes = (width + 7) >> 3
+    result = 0
+    for _ in range(nbytes):
+        result = (result << 8) | _REFLECT8[value & 0xFF]
+        value >>= 8
+    # The table reverses whole bytes; drop the padding bits a non-multiple
+    # width picked up.
+    return result >> ((nbytes << 3) - width)
 
 
 # ---------------------------------------------------------------------------

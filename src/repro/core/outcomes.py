@@ -56,3 +56,29 @@ class Outcome(str, enum.Enum):
     def is_due(self) -> bool:
         """Detected-uncorrectable (whether data- or metadata-caused)?"""
         return self in (Outcome.DUE, Outcome.METADATA_DUE)
+
+
+def is_due_label(label: str) -> bool:
+    """Is a (possibly non-catalogue) outcome label a DUE-class outcome?
+
+    Reports count labels as plain strings at the scrubber protocol
+    boundary; unknown labels from third-party scrubbers are conservatively
+    treated as not-DUE.
+    """
+    try:
+        return Outcome(label).is_due
+    except ValueError:
+        return False
+
+
+def is_failure_label(label: str) -> bool:
+    """Is an outcome label a cache failure (any DUE or SDC)?
+
+    String-label counterpart of :attr:`Outcome.is_failure`, so every
+    accounting path (``ScrubReport.failed``, the Monte-Carlo interval
+    failure predicate) shares one taxonomy instead of hand-picking keys.
+    """
+    try:
+        return Outcome(label).is_failure
+    except ValueError:
+        return False

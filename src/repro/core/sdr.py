@@ -22,7 +22,7 @@ the RAID-4 based correction" (section IV-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from repro.coding.bitvec import bit_positions
@@ -35,11 +35,23 @@ from repro.sttram.array import STTRAMArray
 
 @dataclass
 class SDRReport:
-    """Accounting of one SDR invocation (feeds the latency model)."""
+    """Accounting of one SDR invocation (feeds the latency model).
+
+    ``mismatch_positions`` is the *initial* parity-mismatch width -- the
+    candidate count that sizes the flip-and-check search and the
+    ``max_mismatches`` give-up test.  (It was previously overwritten on
+    every while-round, silently recording the final, smallest width
+    instead.)  ``peak_mismatch_positions`` is the largest width seen
+    across rounds (equal to the initial width unless a CRC-endorsed
+    miscorrection *grew* the mismatch), and ``mismatch_history`` records
+    the width at the top of each round for diagnostics.
+    """
 
     resurrected_frames: List[int]
     trials: int = 0
     mismatch_positions: int = 0
+    peak_mismatch_positions: int = 0
+    mismatch_history: List[int] = field(default_factory=list)
     gave_up_too_many_mismatches: bool = False
 
 
@@ -62,7 +74,13 @@ def resurrect(
     while scan.uncorrectable:
         mismatch = plt.mismatch(scan.group, [scan.words[f] for f in scan.frames])
         positions = bit_positions(mismatch)
-        report.mismatch_positions = len(positions)
+        width = len(positions)
+        report.mismatch_history.append(width)
+        if len(report.mismatch_history) == 1:
+            report.mismatch_positions = width
+        report.peak_mismatch_positions = max(
+            report.peak_mismatch_positions, width
+        )
         if not positions:
             # Perfectly overlapping faults leave no trace in the parity
             # (Fig. 3c); SDR has nothing to enumerate.

@@ -112,6 +112,7 @@ class _ShardSpec:
     telemetry: bool = False
     deadline_s: Optional[float] = None
     progress_batch: int = 1
+    scrub_mode: str = "sparse"
 
 
 class _ShardProgress:
@@ -190,6 +191,7 @@ def _run_shard(spec: _ShardSpec, queue) -> Tuple[object, Optional[object]]:
             group_size=spec.group_size, interval_s=spec.interval_s,
             rng=rng, telemetry=telemetry, progress=progress,
             chaos=chaos, checkpointer=checkpointer, deadline=deadline,
+            scrub_mode=spec.scrub_mode,
         )
     elif spec.kind == "raresim":
         simulator = ConditionalGroupSimulator(
@@ -198,6 +200,7 @@ def _run_shard(spec: _ShardSpec, queue) -> Tuple[object, Optional[object]]:
             rng=random.Random(
                 shard_python_seeds(spec.seed, spec.shards)[spec.index]
             ),
+            sparse=spec.scrub_mode == "sparse",
         )
         result = simulator.run(
             spec.level, spec.units, telemetry=telemetry, progress=progress,
@@ -314,7 +317,7 @@ def _serial_checkpointer(
 
 
 def _validate(shards: int, units: int, checkpoint_path: str,
-              checkpoint_every: int) -> None:
+              checkpoint_every: int, scrub_mode: str = "sparse") -> None:
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if units < 0:
@@ -322,6 +325,12 @@ def _validate(shards: int, units: int, checkpoint_path: str,
     if checkpoint_every and not checkpoint_path:
         raise CheckpointError(
             "periodic checkpointing requires a checkpoint path"
+        )
+    if scrub_mode not in ("sparse", "dense"):
+        # Fail fast in the parent: a bad mode inside a worker would only
+        # surface as a ShardError traceback.
+        raise ValueError(
+            f"scrub_mode must be 'sparse' or 'dense', got {scrub_mode!r}"
         )
 
 
@@ -347,6 +356,7 @@ def run_sharded_campaign(
     checkpoint_every: int = 0,
     resume_from: str = "",
     deadline_s: Optional[float] = None,
+    scrub_mode: str = "sparse",
 ) -> CampaignResult:
     """Sharded Monte-Carlo campaign (see :func:`run_group_campaign`).
 
@@ -356,11 +366,12 @@ def run_sharded_campaign(
     shard runs in its own process on its own spawned RNG stream, and the
     merged :class:`CampaignResult` is returned.  ``chaos_policy`` (when
     enabled) gets an independent per-shard chaos stream derived from
-    ``chaos_seed`` the same way.
+    ``chaos_seed`` the same way.  ``scrub_mode`` ("sparse"/"dense")
+    reaches every shard; per-seed results are bit-identical either way.
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
-    _validate(shards, intervals, checkpoint_path, checkpoint_every)
+    _validate(shards, intervals, checkpoint_path, checkpoint_every, scrub_mode)
     if chaos_policy is not None and not chaos_policy.enabled:
         chaos_policy = None
     if shards == 1:
@@ -378,6 +389,7 @@ def run_sharded_campaign(
             telemetry=telemetry, progress=progress, chaos=chaos,
             checkpointer=checkpointer,
             deadline=Deadline(deadline_s) if deadline_s else None,
+            scrub_mode=scrub_mode,
         )
     units = split_units(intervals, shards)
     batch = _progress_batch(intervals)
@@ -397,7 +409,7 @@ def run_sharded_campaign(
                 if resume_from else ""
             ),
             telemetry=telemetry is not None, deadline_s=deadline_s,
-            progress_batch=batch,
+            progress_batch=batch, scrub_mode=scrub_mode,
         )
         for index in range(shards)
     ]
@@ -427,6 +439,7 @@ def run_sharded_raresim(
     checkpoint_every: int = 0,
     resume_from: str = "",
     deadline_s: Optional[float] = None,
+    scrub_mode: str = "sparse",
 ) -> ConditionalResult:
     """Sharded conditional rare-event campaign (see ``estimate_fit``).
 
@@ -434,10 +447,13 @@ def run_sharded_raresim(
     with ``random.Random(seed)`` bit for bit; ``shards=K`` splits the
     trials across processes with per-shard stdlib RNG streams derived
     from the same seed tree, then merges the conditional aggregates.
+    ``scrub_mode`` controls the simulator's trusted-clean scan fast path
+    ("sparse", the default) vs full decodes ("dense"); trial outcomes
+    are bit-identical in both modes.
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
-    _validate(shards, trials, checkpoint_path, checkpoint_every)
+    _validate(shards, trials, checkpoint_path, checkpoint_every, scrub_mode)
     if shards == 1:
         checkpointer = _serial_checkpointer(
             "raresim", checkpoint_path, checkpoint_every, resume_from,
@@ -446,6 +462,7 @@ def run_sharded_raresim(
         simulator = ConditionalGroupSimulator(
             ber=ber, group_size=group_size, num_groups=num_groups,
             interval_s=interval_s, rng=random.Random(seed),
+            sparse=scrub_mode == "sparse",
         )
         return simulator.run(
             level, trials, telemetry=telemetry, progress=progress,
@@ -469,7 +486,7 @@ def run_sharded_raresim(
                 if resume_from else ""
             ),
             telemetry=telemetry is not None, deadline_s=deadline_s,
-            progress_batch=batch,
+            progress_batch=batch, scrub_mode=scrub_mode,
         )
         for index in range(shards)
     ]

@@ -37,6 +37,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.engine import SuDokuEngine, build_engine
+from repro.core.outcomes import Outcome, is_failure_label
 from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.fit import (
     fit_from_interval_probability,
@@ -144,9 +145,42 @@ class CampaignResult:
 
 
 def heal(array: STTRAMArray) -> None:
-    """Restore every corrupted line to its golden value (between trials)."""
+    """Restore every corrupted line to its golden value (between trials).
+
+    O(dirty) via the array's dirty-frame set, not O(lines).
+    """
     for frame in array.faulty_lines():
         array.restore(frame, array.golden(frame))
+
+
+#: Valid values for the campaign ``scrub_mode`` knob.
+SCRUB_MODES = ("sparse", "dense")
+
+
+def _require_scrub_mode(scrub_mode: str) -> None:
+    if scrub_mode not in SCRUB_MODES:
+        raise ValueError(
+            f"scrub_mode must be one of {SCRUB_MODES}, got {scrub_mode!r}"
+        )
+
+
+def _dense_walk(num_lines: int, dirty, visits) -> list:
+    """Full-pass visit order for dense-mode scrubs.
+
+    Every line is visited in index order; the faulty frames follow their
+    (possibly chaos-perturbed) schedule -- a dropped visit is omitted, a
+    duplicated one repeated -- so the sequence of non-trivial decodes is
+    identical to what the sparse path replays.
+    """
+    multiplicity = Counter(visits)
+    dirty_set = set(dirty)
+    walk = []
+    for frame in range(num_lines):
+        if frame in dirty_set:
+            walk.extend([frame] * multiplicity.get(frame, 0))
+        else:
+            walk.append(frame)
+    return walk
 
 
 def run_engine_campaign(
@@ -161,12 +195,22 @@ def run_engine_campaign(
     chaos: Optional[ChaosInjector] = None,
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
+    scrub_mode: str = "sparse",
 ) -> CampaignResult:
     """Inject-scrub-heal for ``intervals`` independent intervals.
 
     :param engine: a formatted SuDoku engine (or any object with the same
         array / scrub_frames / write_data interface, e.g. the baselines).
     :param ber: accelerated per-bit flip probability per interval.
+    :param scrub_mode: ``"sparse"`` (default) scrubs only the frames the
+        array's dirty index reports and bulk-accounts the rest as
+        ``clean``; ``"dense"`` decodes every line of the array each
+        interval.  The two modes draw the identical RNG sequence and
+        produce bit-identical outcome counters per seed (the golden
+        equivalence tests pin this, including under chaos), so
+        checkpoints deliberately omit the mode -- a dense run may be
+        resumed sparse and vice versa.  ``"dense"`` exists as the
+        trust-nothing audit mode; see docs/performance.md.
     :param randomize_content: write random data once before the campaign
         (recommended; all-zero content makes overlap pathologies invisible
         to content-sensitive bugs the campaign exists to catch).
@@ -198,6 +242,7 @@ def run_engine_campaign(
     stop_reason="interrupted"``) with the last boundary snapshot flushed,
     instead of discarding completed intervals.
     """
+    _require_scrub_mode(scrub_mode)
     generator = rng if rng is not None else np.random.default_rng()
     tel = resolve_telemetry(telemetry)
     if telemetry is not None:
@@ -318,22 +363,35 @@ def run_engine_campaign(
                     if tel.enabled:
                         for event, count in applied.items():
                             m_chaos.labels(event=event).inc(count)
-                vectors = injector.error_vectors(array.num_lines)
-                for frame, vector in vectors.items():
-                    array.inject(frame, vector)
-                visits = sorted(vectors)
+                dirty = injector.inject_frames(array)
+                visits = dirty
                 if chaos is not None:
                     visits, applied = chaos.perturb_visits(visits)
                     result.metadata.update(applied)
                     if tel.enabled:
                         for event, count in applied.items():
                             m_chaos.labels(event=event).inc(count)
-                counts = engine.scrub_frames(visits)
+                if scrub_mode == "dense":
+                    counts = engine.scrub_frames(
+                        _dense_walk(array.num_lines, dirty, visits)
+                    )
+                else:
+                    # Sparse fast path: decode the scheduled dirty visits
+                    # only; every frame outside the (pre-perturbation)
+                    # dirty set is a valid codeword and bulk-accounts as
+                    # clean -- exactly the outcomes a dense walk records
+                    # for those lines.
+                    sparse_counts = Counter(engine.scrub_frames(visits))
+                    bulk_clean = array.num_lines - len(dirty)
+                    account = getattr(engine, "account_bulk_clean", None)
+                    if account is not None:
+                        account(bulk_clean)
+                    sparse_counts[Outcome.CLEAN.value] += bulk_clean
+                    counts = dict(sparse_counts)
                 result.outcomes.update(counts)
-                failed = (
-                    counts.get("due", 0)
-                    or counts.get("metadata_due", 0)
-                    or counts.get("sdc", 0)
+                failed = any(
+                    count and is_failure_label(label)
+                    for label, count in counts.items()
                 )
                 if failed:
                     result.interval_failures += 1
@@ -367,7 +425,7 @@ def run_engine_campaign(
                     m_intervals.inc()
                     if failed:
                         m_failures.inc()
-                    m_faulty.observe(len(vectors))
+                    m_faulty.observe(len(dirty))
                     for label, count in counts.items():
                         m_outcomes.labels(outcome=label).inc(count)
                     m_interval.observe(time.perf_counter() - started)
@@ -412,14 +470,15 @@ def run_group_campaign(
     chaos: Optional[ChaosInjector] = None,
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
+    scrub_mode: str = "sparse",
 ) -> CampaignResult:
     """Single-cache campaign sized for group-level statistics.
 
     Builds a compact engine (``group_size^2`` lines so SuDoku-Z's skewed
     hash is valid) and runs :func:`run_engine_campaign` -- the analytical
     model evaluated at the same geometry is the comparison target.  The
-    resilience knobs (``chaos``, ``checkpointer``, ``deadline``) pass
-    straight through.
+    resilience knobs (``chaos``, ``checkpointer``, ``deadline``) and
+    ``scrub_mode`` pass straight through.
     """
     from repro.core.linecodec import LineCodec
 
@@ -431,6 +490,7 @@ def run_group_campaign(
         engine, ber, trials, interval_s=interval_s, rng=rng,
         randomize_content=False, telemetry=telemetry, progress=progress,
         chaos=chaos, checkpointer=checkpointer, deadline=deadline,
+        scrub_mode=scrub_mode,
     )
 
 

@@ -170,6 +170,7 @@ class ConditionalGroupSimulator:
         codec: Optional[LineCodec] = None,
         sdr_max_mismatches: int = 6,
         rng: Optional[random.Random] = None,
+        sparse: bool = True,
     ) -> None:
         if not 0.0 < ber < 1.0:
             raise ValueError("ber must be in (0, 1)")
@@ -180,6 +181,13 @@ class ConditionalGroupSimulator:
         self.codec = codec if codec is not None else LineCodec()
         self.sdr_max_mismatches = sdr_max_mismatches
         self._rng = rng if rng is not None else random.Random()
+        #: With ``sparse`` (the default) group scans consult the array's
+        #: dirty-frame index and skip decoding known-clean lines -- the
+        #: scan result is provably identical (see
+        #: :func:`repro.core.raid4.scan_group`), so trial outcomes and
+        #: checkpoints are bit-identical in both modes; ``sparse=False``
+        #: is the trust-nothing audit mode.
+        self.sparse = sparse
         self.line_bits = self.codec.stored_bits
 
         # Per-line multi-fault probability and the conditioned tails.
@@ -240,7 +248,10 @@ class ConditionalGroupSimulator:
 
     def _repair_y(self, array: STTRAMArray, plt: ParityLineTable) -> List[int]:
         """Full SuDoku-Y repair of one group; returns surviving frames."""
-        scan = scan_group(array, self.codec, 0, range(self.group_size))
+        scan = scan_group(
+            array, self.codec, 0, range(self.group_size),
+            trusted_clean=self.sparse,
+        )
         if len(scan.uncorrectable) > 1:
             resurrect(array, self.codec, plt, scan, self.sdr_max_mismatches)
         if len(scan.uncorrectable) == 1:
@@ -436,6 +447,7 @@ def estimate_fit(
     progress=NULL_PROGRESS,
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
+    sparse: bool = True,
 ) -> ConditionalResult:
     """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z."""
     simulator = ConditionalGroupSimulator(
@@ -443,6 +455,7 @@ def estimate_fit(
         group_size=group_size,
         num_groups=num_groups,
         rng=random.Random(seed),
+        sparse=sparse,
     )
     return simulator.run(
         level, trials, telemetry=telemetry, progress=progress,

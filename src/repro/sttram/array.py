@@ -5,11 +5,19 @@ faults corrupt) and the *golden* value (what was last written).  The
 golden copy is simulator bookkeeping, not hardware: it is what lets the
 Monte-Carlo harness classify every correction attempt as success,
 detectable-uncorrectable (DUE), or silent data corruption (SDC).
+
+The array additionally maintains a *dirty-frame set*: the indices whose
+stored word currently diverges from golden.  Every mutation keeps it
+exact (``write`` cleans, ``inject``/``restore`` compare against golden),
+so membership is O(1) and enumerating the faulty population is O(dirty)
+instead of O(lines) -- the index behind the sparse scrub fast path
+(:meth:`repro.sttram.scrub.ScrubEngine.scrub_pass` with ``sparse=True``)
+and the campaign ``heal`` step.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Set
 
 import numpy as np
 
@@ -29,6 +37,7 @@ class STTRAMArray:
         self._mask = mask_of(line_bits)
         self._stored: List[int] = [0] * num_lines
         self._golden: List[int] = [0] * num_lines
+        self._dirty: Set[int] = set()
 
     # -- access ---------------------------------------------------------------
 
@@ -43,6 +52,7 @@ class STTRAMArray:
         previous = self._stored[index]
         self._stored[index] = value
         self._golden[index] = value
+        self._dirty.discard(index)
         return previous
 
     def read(self, index: int) -> int:
@@ -61,6 +71,10 @@ class STTRAMArray:
         """XOR an error mask into the stored value (golden untouched)."""
         self._check(index, error_vector)
         self._stored[index] ^= error_vector
+        if self._stored[index] != self._golden[index]:
+            self._dirty.add(index)
+        else:
+            self._dirty.discard(index)
 
     def restore(self, index: int, value: int) -> None:
         """Write back a corrected value without touching golden.
@@ -70,6 +84,10 @@ class STTRAMArray:
         """
         self._check(index, value)
         self._stored[index] = value
+        if value != self._golden[index]:
+            self._dirty.add(index)
+        else:
+            self._dirty.discard(index)
 
     def error_vector(self, index: int) -> int:
         """Current stored-vs-golden difference mask."""
@@ -80,19 +98,34 @@ class STTRAMArray:
         """True when stored matches golden."""
         return self.error_vector(index) == 0
 
+    def is_dirty(self, index: int) -> bool:
+        """O(1) membership test against the dirty-frame set."""
+        return index in self._dirty
+
+    def dirty_frames(self) -> List[int]:
+        """Sorted indices whose stored word diverges from golden.
+
+        This is the fault index the sparse scrub fast path walks; sorted
+        so sparse and dense passes visit faulty frames in the same order
+        (group repairs consume parity state, so visit order matters for
+        bit-identical outcome accounting).
+        """
+        return sorted(self._dirty)
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of currently dirty frames (O(1))."""
+        return len(self._dirty)
+
     def faulty_lines(self) -> List[int]:
         """Indices of lines whose stored value differs from golden."""
-        return [
-            index
-            for index in range(self.num_lines)
-            if self._stored[index] != self._golden[index]
-        ]
+        return self.dirty_frames()
 
     def total_faulty_bits(self) -> int:
-        """Total number of corrupted bits across the array."""
+        """Total number of corrupted bits across the array (O(dirty))."""
         return sum(
             popcount(self._stored[index] ^ self._golden[index])
-            for index in range(self.num_lines)
+            for index in self._dirty
         )
 
     # -- bulk helpers -------------------------------------------------------------

@@ -125,6 +125,22 @@ class TransientFaultInjector:
             vectors[line_index] = vectors.get(line_index, 0) | (1 << bit_position)
         return vectors
 
+    def inject_frames(self, array: "STTRAMArray") -> List[int]:
+        """Inject one interval's faults; return the sorted frames hit.
+
+        The campaign fast path: one binomial draw plus an O(faults)
+        scatter, with the array's dirty-frame set maintained by
+        ``array.inject`` as a side effect.  The returned list equals the
+        dirty set delta for a clean array, which is exactly the visit
+        list a sparse scrub pass needs.  Consumes the same RNG sequence
+        as :meth:`error_vectors`, so campaigns are bit-identical whether
+        they use this helper or the manual inject loop.
+        """
+        vectors = self.error_vectors(array.num_lines)
+        for line_index, vector in vectors.items():
+            array.inject(line_index, vector)
+        return sorted(vectors)
+
     def inject_interval(self, array: "STTRAMArray") -> List[FaultEvent]:
         """Inject one scrub interval's worth of faults into an array."""
         vectors = self.error_vectors(array.num_lines)

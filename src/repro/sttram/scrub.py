@@ -18,6 +18,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Protocol
 
+from repro.core.outcomes import Outcome, is_due_label, is_failure_label
 from repro.sttram.array import STTRAMArray
 
 
@@ -57,18 +58,42 @@ class ScrubReport:
 
     @property
     def uncorrectable(self) -> int:
-        """Detected-uncorrectable lines (DUE) in this report."""
-        return self.outcomes.get("due", 0)
+        """Detected-uncorrectable lines in this report.
+
+        Counts every DUE-class label through the
+        :mod:`repro.core.outcomes` taxonomy -- both ``due`` (data-caused)
+        and ``metadata_due`` (a quarantined parity entry refused the
+        repair).  Reading only ``due`` here was a real undercounting bug:
+        a campaign whose only failures were metadata-caused reported
+        ``failed == False``.
+        """
+        return sum(
+            count for label, count in self.outcomes.items()
+            if is_due_label(label)
+        )
 
     @property
     def silent_corruptions(self) -> int:
         """Silently miscorrected lines (SDC) in this report."""
-        return self.outcomes.get("sdc", 0)
+        return self.outcomes.get(Outcome.SDC.value, 0)
+
+    @property
+    def failures(self) -> int:
+        """Total failed lines (any DUE-class outcome or SDC)."""
+        return sum(
+            count for label, count in self.outcomes.items()
+            if is_failure_label(label)
+        )
 
     @property
     def failed(self) -> bool:
-        """Did the cache fail this scrub (any DUE or SDC)?"""
-        return self.uncorrectable > 0 or self.silent_corruptions > 0
+        """Did the cache fail this scrub (any DUE, metadata-DUE, or SDC)?
+
+        Agrees with the Monte-Carlo interval failure predicate
+        (:mod:`repro.reliability.montecarlo`) by construction: both
+        delegate to :func:`repro.core.outcomes.is_failure_label`.
+        """
+        return self.failures > 0
 
 
 @dataclass(frozen=True)
@@ -105,15 +130,49 @@ class ScrubEngine:
         self.interval_s = interval_s
         self.timing = timing if timing is not None else ScrubTiming()
 
-    def scrub_pass(self) -> ScrubReport:
-        """Run one full scrub over the array."""
+    def scrub_pass(self, sparse: bool = False) -> ScrubReport:
+        """Run one full scrub over the array.
+
+        With ``sparse=True`` the pass consults the array's dirty-frame
+        index and only *decodes* frames whose stored word diverged from
+        the last scrubbed state; every other line is a valid codeword by
+        the dirty-set invariant, so it is bulk-accounted as ``clean``
+        without running the correction machinery.  Outcome counters are
+        bit-identical to a dense pass.  The timing model is unchanged in
+        both modes -- the hardware still reads every line; only the
+        simulator skips the redundant decodes -- so ``lines_scrubbed``
+        and ``busy_time_s`` always reflect the full array.
+        """
         report = ScrubReport()
         corrected = 0
-        for index in range(self.array.num_lines):
-            outcome = self.scheme.scrub_line(index)
-            report.outcomes[outcome] += 1
-            if outcome.startswith("corrected"):
-                corrected += 1
+        if sparse:
+            dirty = self.array.dirty_frames()
+            scrub_frames = getattr(self.scheme, "scrub_frames", None)
+            if scrub_frames is not None:
+                counts = Counter(scrub_frames(dirty))
+            else:
+                # Plain LineScrubber schemes: walk the dirty frames only.
+                counts = Counter()
+                for index in dirty:
+                    counts[self.scheme.scrub_line(index)] += 1
+            report.outcomes.update(counts)
+            for label, count in counts.items():
+                if label.startswith("corrected"):
+                    corrected += count
+            # Collateral group repairs only ever touch faulty frames, all
+            # of which are in the dirty set, so the remainder is exactly
+            # the untouched-clean population.
+            bulk_clean = self.array.num_lines - sum(counts.values())
+            report.outcomes["clean"] += bulk_clean
+            account = getattr(self.scheme, "account_bulk_clean", None)
+            if account is not None:
+                account(bulk_clean)
+        else:
+            for index in range(self.array.num_lines):
+                outcome = self.scheme.scrub_line(index)
+                report.outcomes[outcome] += 1
+                if outcome.startswith("corrected"):
+                    corrected += 1
         report.lines_scrubbed = self.array.num_lines
         report.busy_time_s = self.timing.pass_time(self.array.num_lines, corrected)
         return report

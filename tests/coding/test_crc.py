@@ -17,6 +17,7 @@ from repro.coding.crc import (
     DetectionModel,
     crc31,
     reflect,
+    reflect_bytewise,
 )
 
 CHECK_INPUT = b"123456789"
@@ -48,6 +49,30 @@ class TestEngineBasics:
     def test_reflect(self):
         assert reflect(0b0001, 4) == 0b1000
         assert reflect(0xA5, 8) == 0xA5  # palindromic byte
+
+    def test_reflect_bytewise_matches_bit_loop(self):
+        # The refout fast path must be a drop-in for the O(width) bit
+        # loop it replaced -- including non-byte widths like CRC-31.
+        rng = random.Random(11)
+        for width in (8, 16, 24, 31, 32, 64):
+            for _ in range(50):
+                value = rng.getrandbits(width)
+                assert reflect_bytewise(value, width) == reflect(value, width)
+
+    def test_reflect_bytewise_involution(self):
+        rng = random.Random(12)
+        for width in (8, 31, 32):
+            for _ in range(20):
+                value = rng.getrandbits(width)
+                assert reflect_bytewise(
+                    reflect_bytewise(value, width), width
+                ) == value
+
+    def test_reflected_crcs_pin_check_values(self):
+        # CRC-32 (refout=True) exercises the byte-wise reflection path
+        # end to end against the published check value.
+        assert CRC32.compute(CHECK_INPUT) == 0xCBF43926
+        assert CRC31_SUDOKU.compute(CHECK_INPUT) == CHECK_VALUES["CRC-31/PHILIPS"]
 
     def test_compute_int_requires_byte_multiple(self):
         with pytest.raises(ValueError):

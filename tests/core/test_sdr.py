@@ -146,6 +146,57 @@ class TestFig4AndBeyond:
         state = scan(codec, array)
         report = resurrect(array, codec, plt, state, max_mismatches=6)
         assert report.mismatch_positions <= 4
+        # The per-round history never grows for honest repairs.
+        assert report.mismatch_history == sorted(
+            report.mismatch_history, reverse=True
+        )
+
+
+class TestSDRReportWidths:
+    def test_initial_width_recorded_not_final(self, group):
+        """Regression: mismatch_positions was overwritten every round,
+        recording the final (smallest) width instead of the initial one."""
+        rng, codec, array, plt = group
+        inject_two_bit(array, rng, 2, [10, 20])
+        inject_two_bit(array, rng, 6, [30, 40])
+        state = scan(codec, array)
+        report = resurrect(array, codec, plt, state, max_mismatches=6)
+        # Two disjoint 2-fault lines: the first round sees all 4 positions.
+        assert report.mismatch_positions == 4
+        assert report.mismatch_history[0] == 4
+        # Later rounds saw fewer positions; the buggy code reported those.
+        if len(report.mismatch_history) > 1:
+            assert report.mismatch_history[-1] < 4
+
+    def test_peak_width_tracks_maximum(self, group):
+        rng, codec, array, plt = group
+        inject_two_bit(array, rng, 2, [10, 20])
+        inject_two_bit(array, rng, 6, [30, 40])
+        state = scan(codec, array)
+        report = resurrect(array, codec, plt, state, max_mismatches=6)
+        assert report.peak_mismatch_positions == max(report.mismatch_history)
+        assert report.peak_mismatch_positions >= report.mismatch_positions
+
+    def test_give_up_records_oversized_initial_width(self, group):
+        """Latency sizing needs the width SDR actually faced at entry."""
+        rng, codec, array, plt = group
+        for frame, base in ((1, 10), (3, 100), (5, 200), (7, 300)):
+            inject_two_bit(array, rng, frame, [base, base + 5])
+        state = scan(codec, array)
+        report = resurrect(array, codec, plt, state, max_mismatches=6)
+        assert report.gave_up_too_many_mismatches
+        assert report.mismatch_positions == 8
+        assert report.mismatch_history == [8]
+
+    def test_zero_mismatch_history(self, group):
+        rng, codec, array, plt = group
+        inject_two_bit(array, rng, 1, [10, 20])
+        inject_two_bit(array, rng, 2, [10, 20])
+        state = scan(codec, array)
+        report = resurrect(array, codec, plt, state, max_mismatches=6)
+        assert report.mismatch_positions == 0
+        assert report.peak_mismatch_positions == 0
+        assert report.mismatch_history == [0]
 
 
 class TestRandomisedSDR:

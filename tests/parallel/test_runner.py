@@ -60,6 +60,30 @@ class TestSerialEquivalence:
         assert sharded.as_dict() == serial.as_dict()
 
 
+class TestScrubModeThreading:
+    def test_sharded_dense_matches_sparse(self, sharded_reference):
+        """The modes are bit-identical, so the sharded dense run must
+        reproduce the (sparse-default) reference merge exactly."""
+        dense = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+            scrub_mode="dense",
+        )
+        assert dense.as_dict() == sharded_reference.as_dict()
+
+    def test_invalid_scrub_mode_fails_fast(self):
+        with pytest.raises(ValueError, match="scrub_mode"):
+            run_sharded_campaign(
+                LEVEL, BER, INTERVALS, GROUP, shards=2, seed=SEED,
+                scrub_mode="bogus",
+            )
+        with pytest.raises(ValueError, match="scrub_mode"):
+            run_sharded_raresim(
+                RARE["level"], RARE["ber"], RARE["trials"],
+                RARE["group_size"], RARE["num_groups"], shards=2,
+                seed=SEED, scrub_mode="bogus",
+            )
+
+
 class TestShardedDeterminism:
     def test_same_seed_same_shards_reproduces(self, sharded_reference):
         again = run_sharded_campaign(

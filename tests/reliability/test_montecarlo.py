@@ -89,7 +89,30 @@ class TestEngineCampaign:
             randomize_content=False,
         )
         assert result.interval_failures == 0
-        assert sum(result.outcomes.values()) == 0
+        # Sparse mode bulk-accounts every untouched line as clean: with
+        # zero BER that is all 64 lines in each of the 10 intervals.
+        assert result.outcomes == {"clean": 640}
+
+    def test_zero_ber_dense_decodes_everything(self):
+        codec = LineCodec()
+        array = STTRAMArray(64, codec.stored_bits)
+        engine = SuDokuX(array, group_size=8, codec=codec)
+        result = run_engine_campaign(
+            engine, ber=0.0, intervals=10, rng=np.random.default_rng(9),
+            randomize_content=False, scrub_mode="dense",
+        )
+        assert result.interval_failures == 0
+        assert result.outcomes == {"clean": 640}
+
+    def test_rejects_unknown_scrub_mode(self):
+        codec = LineCodec()
+        array = STTRAMArray(16, codec.stored_bits)
+        engine = SuDokuX(array, group_size=4, codec=codec)
+        with pytest.raises(ValueError, match="scrub_mode"):
+            run_engine_campaign(
+                engine, ber=0.0, intervals=1,
+                rng=np.random.default_rng(0), scrub_mode="bogus",
+            )
 
 
 class TestGroupCampaignValidation:

@@ -1,0 +1,160 @@
+"""Dense-vs-sparse golden equivalence for the scrub fast path.
+
+The sparse scrub mode decodes only the array's dirty frames and
+bulk-accounts every other line as ``clean``.  These tests pin the load
+bearing claim from docs/performance.md: for the same seed, the outcome
+counters (and hence every failure statistic derived from them) are
+*bit-identical* between modes -- for the SuDoku engines, for every
+baseline, under metadata/visit chaos, and for the rare-event simulator.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.cppc import CPPCCache
+from repro.baselines.eccline import ECCLineCache
+from repro.baselines.hiecc import HiECCCache
+from repro.baselines.raid6 import RAID6Cache
+from repro.baselines.twodp import TwoDPCache
+from repro.coding.bch import BCH
+from repro.core.linecodec import LineCodec
+from repro.reliability.montecarlo import (
+    run_engine_campaign,
+    run_group_campaign,
+)
+from repro.reliability.raresim import ConditionalGroupSimulator
+from repro.resilience.chaos import ChaosInjector, ChaosPolicy
+from repro.sttram.array import STTRAMArray
+
+BER = 3e-4
+INTERVALS = 12
+GROUP = 8
+
+#: Small shared BCH codes so the module builds generator polynomials once.
+LINE_CODE = BCH(64, 3, m=8)
+REGION_CODE = BCH(256, 3, m=9)
+
+
+def _campaign(make_scheme, scrub_mode, seed=5, ber=BER, chaos_policy=None):
+    """One campaign on a freshly built scheme; twin runs share the seed."""
+    chaos = (
+        ChaosInjector(chaos_policy, seed=99) if chaos_policy is not None else None
+    )
+    return run_engine_campaign(
+        make_scheme(),
+        ber=ber,
+        intervals=INTERVALS,
+        rng=np.random.default_rng(seed),
+        chaos=chaos,
+        scrub_mode=scrub_mode,
+    )
+
+
+def _assert_equivalent(make_scheme, ber=BER, chaos_policy=None):
+    dense = _campaign(make_scheme, "dense", ber=ber, chaos_policy=chaos_policy)
+    sparse = _campaign(make_scheme, "sparse", ber=ber, chaos_policy=chaos_policy)
+    assert sparse.as_dict() == dense.as_dict()
+    assert sum(sparse.outcomes.values()) > 0
+
+
+class TestSuDokuEngines:
+    @pytest.mark.parametrize("level", ["X", "Y", "Z"])
+    def test_group_campaign_equivalence(self, level):
+        results = [
+            run_group_campaign(
+                level, BER, trials=INTERVALS, group_size=GROUP,
+                rng=np.random.default_rng(21), scrub_mode=mode,
+            )
+            for mode in ("dense", "sparse")
+        ]
+        assert results[0].as_dict() == results[1].as_dict()
+
+    @pytest.mark.parametrize("level", ["X", "Y", "Z"])
+    def test_equivalence_under_chaos(self, level):
+        """Visit drops/duplicates and metadata faults perturb both modes
+        identically (the chaos RNG is consumed before mode dispatch)."""
+        policy = ChaosPolicy(
+            plt_flip_rate=0.02,
+            map_swap_rate=0.01,
+            visit_drop_rate=0.05,
+            visit_duplicate_rate=0.05,
+        )
+        results = [
+            run_group_campaign(
+                level, 8e-4, trials=INTERVALS, group_size=GROUP,
+                rng=np.random.default_rng(33),
+                chaos=ChaosInjector(policy, seed=7),
+                scrub_mode=mode,
+            )
+            for mode in ("dense", "sparse")
+        ]
+        assert results[0].as_dict() == results[1].as_dict()
+
+
+class TestBaselines:
+    def test_eccline(self):
+        _assert_equivalent(
+            lambda: ECCLineCache(
+                num_lines=16, t=LINE_CODE.t, data_bits=LINE_CODE.k,
+                code=LINE_CODE,
+            ),
+            ber=2e-3,
+        )
+
+    def test_cppc(self):
+        _assert_equivalent(lambda: CPPCCache(num_lines=16), ber=1e-3)
+
+    def test_raid6(self):
+        _assert_equivalent(
+            lambda: RAID6Cache(num_lines=32, group_size=8), ber=1e-3
+        )
+
+    def test_twodp(self):
+        def make():
+            codec = LineCodec()
+            array = STTRAMArray(GROUP * GROUP, codec.stored_bits)
+            return TwoDPCache(array, group_size=GROUP, codec=codec)
+
+        _assert_equivalent(make, ber=8e-4)
+
+    def test_hiecc(self):
+        _assert_equivalent(
+            lambda: HiECCCache(
+                num_regions=8, region_bytes=32, t=REGION_CODE.t,
+                code=REGION_CODE,
+            ),
+            ber=1e-3,
+        )
+
+
+class TestRaresim:
+    def test_sparse_matches_dense_trials(self):
+        results = []
+        for sparse in (False, True):
+            simulator = ConditionalGroupSimulator(
+                ber=4e-4, group_size=16, num_groups=16,
+                rng=random.Random(3), sparse=sparse,
+            )
+            results.append(simulator.run("Z", 40).as_dict())
+        assert results[0] == results[1]
+
+
+class TestCLIFlags:
+    def test_scrub_mode_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["campaign"]).scrub_mode == "sparse"
+        assert parser.parse_args(["campaign", "--dense"]).scrub_mode == "dense"
+        assert parser.parse_args(["campaign", "--sparse"]).scrub_mode == "sparse"
+        assert parser.parse_args(["raresim", "--dense"]).scrub_mode == "dense"
+        assert parser.parse_args(["chaos", "--dense"]).scrub_mode == "dense"
+
+    def test_flags_mutually_exclusive(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "--sparse", "--dense"])

@@ -74,6 +74,78 @@ class TestFaultTracking:
         assert array.is_clean(0)
 
 
+class TestDirtySet:
+    """The dirty-frame index must mirror stored != golden at all times."""
+
+    def test_starts_empty(self):
+        array = STTRAMArray(4, 16)
+        assert array.dirty_frames() == []
+        assert array.dirty_count == 0
+        assert not array.is_dirty(0)
+
+    def test_inject_marks_dirty(self):
+        array = STTRAMArray(4, 16)
+        array.write(1, 0xF0F0)
+        array.inject(1, 0x0001)
+        assert array.is_dirty(1)
+        assert array.dirty_frames() == [1]
+        assert array.dirty_count == 1
+
+    def test_inject_twice_cancels(self):
+        array = STTRAMArray(4, 16)
+        array.write(0, 0x1234)
+        array.inject(0, 0x00FF)
+        array.inject(0, 0x00FF)
+        assert not array.is_dirty(0)
+        assert array.dirty_frames() == []
+
+    def test_restore_to_golden_cleans(self):
+        array = STTRAMArray(4, 16)
+        array.write(2, 0xABCD)
+        array.inject(2, 0x0F00)
+        assert array.is_dirty(2)
+        array.restore(2, 0xABCD)
+        assert not array.is_dirty(2)
+
+    def test_restore_to_wrong_value_stays_dirty(self):
+        array = STTRAMArray(4, 16)
+        array.write(2, 0xABCD)
+        array.inject(2, 0x0F00)
+        array.restore(2, 0x0000)  # a miscorrection
+        assert array.is_dirty(2)
+
+    def test_write_cleans_dirty_frame(self):
+        array = STTRAMArray(4, 16)
+        array.inject(3, 0x0001)
+        assert array.is_dirty(3)
+        array.write(3, 0x5555)
+        assert not array.is_dirty(3)
+
+    def test_dirty_frames_sorted(self):
+        array = STTRAMArray(8, 16)
+        for index in (5, 1, 7, 3):
+            array.inject(index, 0x0001)
+        assert array.dirty_frames() == [1, 3, 5, 7]
+
+    def test_mirrors_brute_force_scan(self):
+        array = STTRAMArray(16, 32)
+        rng = np.random.default_rng(13)
+        for _ in range(200):
+            op = rng.integers(0, 3)
+            index = int(rng.integers(0, 16))
+            value = int(rng.integers(0, 1 << 32))
+            if op == 0:
+                array.write(index, value)
+            elif op == 1:
+                array.inject(index, value)
+            else:
+                array.restore(index, value)
+            expected = [
+                i for i in range(16) if array.read(i) != array.golden(i)
+            ]
+            assert array.dirty_frames() == expected
+
+
 class TestBulk:
     def test_fill_random_reproducible(self):
         array_a = STTRAMArray(32, 553)

@@ -36,6 +36,57 @@ class TestScrubReport:
         assert report.failed
         assert not ScrubReport().failed
 
+    def test_metadata_due_counts_as_uncorrectable(self):
+        # Regression: uncorrectable/failed only read outcomes["due"], so a
+        # pass whose only failures were metadata-caused reported success.
+        report = ScrubReport(outcomes=Counter(metadata_due=3))
+        assert report.uncorrectable == 3
+        assert report.failures == 3
+        assert report.failed
+
+    def test_mixed_failure_taxonomy(self):
+        report = ScrubReport(
+            outcomes=Counter(
+                clean=10, corrected_ecc1=2, due=1, metadata_due=2, sdc=1
+            )
+        )
+        assert report.uncorrectable == 3  # due + metadata_due
+        assert report.silent_corruptions == 1
+        assert report.failures == 4  # due + metadata_due + sdc
+        assert report.failed
+
+    def test_unknown_labels_are_not_failures(self):
+        report = ScrubReport(outcomes=Counter(weird_label=5, clean=1))
+        assert report.uncorrectable == 0
+        assert report.failures == 0
+        assert not report.failed
+
+    def test_merge_preserves_failure_accounting(self):
+        a = ScrubReport(lines_scrubbed=4, outcomes=Counter(clean=4))
+        b = ScrubReport(lines_scrubbed=4, outcomes=Counter(metadata_due=1, clean=3))
+        assert not a.failed
+        a.merge(b)
+        assert a.failed
+        assert a.uncorrectable == 1
+
+    def test_failed_agrees_with_montecarlo_predicate(self):
+        from repro.core.outcomes import is_failure_label
+
+        for outcomes in (
+            Counter(clean=5),
+            Counter(due=1),
+            Counter(metadata_due=1),
+            Counter(sdc=1),
+            Counter(corrected_sdr=4, corrected_raid4=1),
+            Counter(clean=2, due=1, metadata_due=1, sdc=1),
+        ):
+            report = ScrubReport(outcomes=outcomes)
+            predicate = any(
+                count and is_failure_label(label)
+                for label, count in outcomes.items()
+            )
+            assert report.failed == predicate
+
 
 class TestScrubTiming:
     def test_pass_time(self):
@@ -84,3 +135,73 @@ class TestScrubEngine:
         array = STTRAMArray(4, 8)
         with pytest.raises(ValueError):
             ScrubEngine(array, _FakeScrubber({}), interval_s=0.0)
+
+
+class _FakeFrameScrubber(_FakeScrubber):
+    """Scheme double exposing the narrowed per-frame entry point."""
+
+    def __init__(self, script):
+        super().__init__(script)
+        self.bulk_cleaned = 0
+
+    def scrub_frames(self, frames):
+        return [self.scrub_line(index) for index in frames]
+
+    def account_bulk_clean(self, count):
+        self.bulk_cleaned += count
+        return count
+
+
+class TestSparseScrubPass:
+    @staticmethod
+    def _dirty_array():
+        array = STTRAMArray(16, 8)
+        array.inject(3, 0x01)
+        array.inject(11, 0x02)
+        return array
+
+    def test_sparse_visits_only_dirty_frames(self):
+        array = self._dirty_array()
+        scrubber = _FakeFrameScrubber({3: "corrected_ecc1", 11: "due"})
+        report = ScrubEngine(array, scrubber).scrub_pass(sparse=True)
+        assert scrubber.visited == [3, 11]
+        assert scrubber.bulk_cleaned == 14
+        assert report.outcomes == Counter(clean=14, corrected_ecc1=1, due=1)
+        assert report.lines_scrubbed == 16
+
+    def test_sparse_matches_dense_counters(self):
+        script = {3: "corrected_ecc1", 11: "due"}
+        dense = ScrubEngine(
+            self._dirty_array(), _FakeFrameScrubber(script)
+        ).scrub_pass()
+        sparse = ScrubEngine(
+            self._dirty_array(), _FakeFrameScrubber(script)
+        ).scrub_pass(sparse=True)
+        assert sparse.outcomes == dense.outcomes
+        assert sparse.lines_scrubbed == dense.lines_scrubbed
+        assert sparse.busy_time_s == pytest.approx(dense.busy_time_s)
+
+    def test_sparse_falls_back_to_scrub_line(self):
+        # Plain LineScrubber schemes (no scrub_frames) still work sparse.
+        array = self._dirty_array()
+        scrubber = _FakeScrubber({3: "corrected_ecc1", 11: "due"})
+        report = ScrubEngine(array, scrubber).scrub_pass(sparse=True)
+        assert scrubber.visited == [3, 11]
+        assert report.outcomes == Counter(clean=14, corrected_ecc1=1, due=1)
+
+    def test_sparse_clean_array_is_all_bulk(self):
+        array = STTRAMArray(16, 8)
+        scrubber = _FakeFrameScrubber({})
+        report = ScrubEngine(array, scrubber).scrub_pass(sparse=True)
+        assert scrubber.visited == []
+        assert report.outcomes == Counter(clean=16)
+
+    def test_sparse_timing_reflects_full_array(self):
+        # The hardware still reads every line; only the simulator skips
+        # the redundant decodes, so busy time must not shrink.
+        timing = ScrubTiming(line_read_s=1e-9, line_write_s=2e-9)
+        array = self._dirty_array()
+        report = ScrubEngine(
+            array, _FakeFrameScrubber({3: "corrected_ecc1"}), timing=timing
+        ).scrub_pass(sparse=True)
+        assert report.busy_time_s == pytest.approx(16 * 1e-9 + 1 * 2e-9)
