@@ -5,7 +5,9 @@ analytic tables and writes a single self-contained Markdown document --
 the mechanism used to refresh the numbers quoted in EXPERIMENTS.md and
 a convenient artefact for downstream users tracking their own changes.
 The performance figures are optional (they take minutes; everything
-else takes seconds).
+else takes seconds).  The write is atomic (:mod:`repro.obs.atomicio`):
+a report can take minutes to build, and a crash mid-write must not
+leave a truncated document next to a valid manifest.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import all_experiments, fig8_performance, fig9_edp
 from repro.analysis.tables import format_table
+from repro.obs.atomicio import atomic_write_text
 
 
 def render_exhibit_markdown(exhibit: dict) -> str:
@@ -75,6 +78,5 @@ def write_report(
         performance_workloads=performance_workloads,
         accesses_per_core=accesses_per_core,
     )
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    atomic_write_text(path, text)
     return text

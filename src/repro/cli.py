@@ -291,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     distance.add_argument("--samples", type=int, default=20_000)
 
+    from repro.lint.cli import configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro domain linter (RPR rules; see "
+             "docs/static-analysis.md)",
+    )
+    configure_lint_parser(lint)
+
     design = sub.add_parser(
         "design", help="find the cheapest configuration meeting a FIT target"
     )
@@ -502,6 +511,7 @@ def _truncation_exit(result, default: int = 0) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
+    from repro.core.outcomes import Outcome
     from repro.parallel import run_sharded_campaign
     from repro.reliability.sudokumodel import SuDokuReliabilityModel
     from repro.resilience import ChaosPolicy
@@ -545,7 +555,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         ["measured P(fail)/interval", result.failure_probability],
         ["95% CI", f"[{low:.4f}, {high:.4f}]"],
         ["analytical model", predicted],
-        ["SDC events", result.outcomes.get("sdc", 0)],
+        ["SDC events", result.outcomes.get(Outcome.SDC.value, 0)],
     ]
     rows += [[f"outcome: {k}", v] for k, v in sorted(result.outcomes.items())]
     rows += [[f"metadata: {k}", v] for k, v in sorted(result.metadata.items())]
@@ -610,9 +620,14 @@ def cmd_raresim(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
+    from repro.core.outcomes import Outcome
     from repro.parallel import run_sharded_campaign
     from repro.resilience import ChaosPolicy
 
+    # Failure columns come from the taxonomy, not hand-picked strings:
+    # a future failure-class Outcome gets a column automatically instead
+    # of silently vanishing from the sweep table (the PR-4 bug class).
+    failure_columns = [Outcome.SDC] + [o for o in Outcome if o.is_due]
     telemetry, make_progress = _build_telemetry(args)
     started = time.perf_counter()
     total = len(args.levels) * len(args.plt_flip_rates)
@@ -641,9 +656,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             meta = result.metadata
             rows.append([
                 level, rate,
-                result.outcomes.get("sdc", 0),
-                result.outcomes.get("due", 0),
-                result.outcomes.get("metadata_due", 0),
+                *(result.outcomes.get(o.value, 0) for o in failure_columns),
                 meta.get("plt_flips", 0) + meta.get("map_swaps", 0),
                 meta.get("residual_crc_faults", 0)
                 + meta.get("residual_recompute_faults", 0),
@@ -658,7 +671,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             progress.update()
     progress.finish()
     print(format_table(
-        ["level", "flip rate", "sdc", "due", "metadata_due",
+        ["level", "flip rate", *(o.value for o in failure_columns),
          "faults injected", "residual detected", "rebuilt"],
         rows,
     ))
@@ -747,6 +760,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_distance(args.samples)
         if args.command == "design":
             return cmd_design(args.delta, args.target_fit)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint_command
+
+            return run_lint_command(args)
     except CheckpointError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

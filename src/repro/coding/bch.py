@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.coding.bitvec import bit_positions
 from repro.coding.gf2m import (
     GF2m,
     gf2_degree,
@@ -132,14 +133,7 @@ class BCH:
     def syndromes(self, word: int) -> List[int]:
         """S_i = r(alpha^i) for i = 1 .. 2t."""
         field = self.field
-        positions = []
-        index = 0
-        value = word
-        while value:
-            if value & 1:
-                positions.append(index)
-            value >>= 1
-            index += 1
+        positions = bit_positions(word)
         result = []
         for i in range(1, 2 * self.t + 1):
             accumulator = 0

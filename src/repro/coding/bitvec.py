@@ -115,7 +115,7 @@ def random_error_vector(
         raise ValueError(f"cannot place {nerrors} errors in {width} bits")
     generator = rng if rng is not None else random
     positions = generator.sample(range(width), nerrors)
-    return flip_bits(0, positions)
+    return flip_bits(0, positions, width=width)
 
 
 def int_from_bits(bits: Sequence[int]) -> int:
@@ -226,7 +226,9 @@ class BitVector:
         positions = list(positions)
         for position in positions:
             self._check_index(position)
-        return BitVector(flip_bits(self.value, positions), self.width)
+        return BitVector(
+            flip_bits(self.value, positions, width=self.width), self.width
+        )
 
     def extract(self, offset: int, width: int) -> "BitVector":
         """Sub-vector of ``width`` bits starting at ``offset``."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+from repro.coding.bitvec import bit_positions
+
 #: Primitive (irreducible, primitive-root) polynomials for GF(2^m),
 #: bit-packed with the x^m term included, e.g. m=4 -> x^4 + x + 1 = 0b10011.
 PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
@@ -182,11 +184,8 @@ def gf2_degree(poly: int) -> int:
 def gf2_mul(a: int, b: int) -> int:
     """Carry-less multiplication of bit-packed GF(2) polynomials."""
     result = 0
-    while b:
-        if b & 1:
-            result ^= a
-        a <<= 1
-        b >>= 1
+    for position in bit_positions(b):
+        result ^= a << position
     return result
 
 

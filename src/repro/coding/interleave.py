@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.coding.bitvec import mask_of
+from repro.coding.bitvec import bit_positions, mask_of
 
 
 class BitInterleaver:
@@ -69,13 +69,8 @@ class BitInterleaver:
         for line_index, line in enumerate(lines):
             if line < 0 or line > self._line_mask:
                 raise ValueError("line does not fit in line_bits")
-            remaining = line
-            bit = 0
-            while remaining:
-                if remaining & 1:
-                    row |= 1 << (bit * self.depth + line_index)
-                remaining >>= 1
-                bit += 1
+            for bit in bit_positions(line):
+                row |= 1 << (bit * self.depth + line_index)
         return row
 
     def deinterleave(self, row: int) -> List[int]:
@@ -83,14 +78,8 @@ class BitInterleaver:
         if row < 0 or row >> self.row_bits:
             raise ValueError("row does not fit in row_bits")
         lines = [0] * self.depth
-        position = 0
-        remaining = row
-        while remaining:
-            if remaining & 1:
-                line_index = position % self.depth
-                lines[line_index] |= 1 << (position // self.depth)
-            remaining >>= 1
-            position += 1
+        for position in bit_positions(row):
+            lines[position % self.depth] |= 1 << (position // self.depth)
         return lines
 
     # -- fault mapping ------------------------------------------------------------------

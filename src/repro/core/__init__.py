@@ -12,6 +12,8 @@ Everything specific to the SuDoku architecture lives here:
 * :mod:`repro.core.engine` -- the SuDoku-X / -Y / -Z controllers.
 * :mod:`repro.core.outcomes` / :mod:`repro.core.stats` -- outcome taxonomy
   and counters.
+* :mod:`repro.core.rng` -- seed/RNG resolution (the sanctioned fallback
+  policed by the ``repro lint`` RPR002 rule).
 """
 
 from repro.core.config import PAPER, PaperConstants, SuDokuConfig
@@ -21,6 +23,7 @@ from repro.core.grouping import GroupMapper, SkewedGroupMapper
 from repro.core.plt_ import ParityLineTable
 from repro.core.outcomes import Outcome
 from repro.core.engine import SuDokuEngine, SuDokuX, SuDokuY, SuDokuZ, build_engine
+from repro.core.rng import UnseededRNGWarning, resolve_pyrandom, resolve_rng
 from repro.core.stats import CorrectionStats, LatencyModel
 
 __all__ = [
@@ -42,4 +45,7 @@ __all__ = [
     "build_engine",
     "CorrectionStats",
     "LatencyModel",
+    "UnseededRNGWarning",
+    "resolve_pyrandom",
+    "resolve_rng",
 ]

@@ -1,0 +1,164 @@
+"""The committed baseline: grandfathered findings that do not gate.
+
+``lint-baseline.json`` records known findings so new rules can land
+with existing debt acknowledged instead of blocking the commit that
+introduces the rule.  Entries key on ``(rule, path, content)`` -- the
+*stripped source line text*, not the line number -- so a baselined
+finding survives unrelated edits that renumber the file; ``count``
+grandfathers that many occurrences of the identical line.  Fixing the
+line (or moving the file) invalidates the entry, exactly as intended.
+
+Path matching is suffix-tolerant: a baseline recorded as
+``src/repro/perf/tracefile.py`` matches a finding reported under any
+absolute or relative spelling of the same file, so the self-check runs
+identically from the repo root, a CI checkout, or a test tmpdir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed or wrong-version baseline file."""
+
+
+def _normalise(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _paths_match(finding_path: str, baseline_path: str) -> bool:
+    finding_path = _normalise(finding_path)
+    baseline_path = _normalise(baseline_path)
+    return (
+        finding_path == baseline_path
+        or finding_path.endswith("/" + baseline_path)
+        or baseline_path.endswith("/" + finding_path)
+    )
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered (rule, file, source-line) with a multiplicity."""
+
+    rule: str
+    path: str
+    content: str
+    count: int = 1
+
+
+class Baseline:
+    """A set of grandfathered findings with consume-on-match semantics."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    def filter_new(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline, in input order.
+
+        Each entry absorbs up to ``count`` findings whose rule and
+        stripped line text match and whose path matches modulo prefix.
+        """
+        budgets: Dict[int, int] = {
+            index: entry.count for index, entry in enumerate(self.entries)
+        }
+        fresh: List[Finding] = []
+        for finding in findings:
+            for index, entry in enumerate(self.entries):
+                if (
+                    budgets[index] > 0
+                    and entry.rule == finding.rule
+                    and entry.content == finding.content
+                    and _paths_match(finding.path, entry.path)
+                ):
+                    budgets[index] -= 1
+                    break
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def stale_entries(self, findings: Iterable[Finding]) -> List[BaselineEntry]:
+        """Entries no current finding matches (candidates for pruning)."""
+        remaining = list(self.entries)
+        for finding in findings:
+            for entry in remaining:
+                if (
+                    entry.rule == finding.rule
+                    and entry.content == finding.content
+                    and _paths_match(finding.path, entry.path)
+                ):
+                    remaining.remove(entry)
+                    break
+        return remaining
+
+    def __len__(self) -> int:
+        return sum(entry.count for entry in self.entries)
+
+
+def from_findings(findings: Iterable[Finding]) -> Baseline:
+    """Build a baseline grandfathering exactly the given findings."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule, _normalise(finding.path), finding.content)
+        counts[key] = counts.get(key, 0) + 1
+    return Baseline(
+        BaselineEntry(rule=rule, path=path, content=content, count=count)
+        for (rule, path, content), count in sorted(counts.items())
+    )
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; missing file means an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})")
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            f"{path}: expected a version-{_VERSION} baseline object"
+        )
+    entries = []
+    for raw in payload.get("findings", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    content=raw["content"],
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise BaselineError(f"{path}: malformed entry {raw!r} ({error})")
+    return Baseline(entries)
+
+
+def write_baseline(path: str, baseline: Baseline) -> None:
+    """Serialise a baseline (atomically -- it is a committed artifact)."""
+    from repro.obs.atomicio import atomic_write_json
+
+    atomic_write_json(
+        path,
+        {
+            "version": _VERSION,
+            "findings": [
+                {
+                    "rule": entry.rule,
+                    "path": _normalise(entry.path),
+                    "content": entry.content,
+                    "count": entry.count,
+                }
+                for entry in baseline.entries
+            ],
+        },
+    )

@@ -1,0 +1,444 @@
+"""The six RPR domain rules.
+
+Each rule mechanizes a bug this repository actually shipped and fixed
+by hand in an earlier PR (the ``rationale`` attribute names it); the
+rule exists so the *class* cannot recur.  See docs/static-analysis.md
+for the catalog and the repair direction of every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.core.outcomes import Outcome
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Checker, register
+
+#: The taxonomy labels, imported from the single source of truth so a
+#: future outcome is policed the moment it is added to the enum.
+OUTCOME_LABELS = frozenset(outcome.value for outcome in Outcome)
+
+#: Canonical dotted paths of RNG constructors.
+_NUMPY_DEFAULT_RNG = "numpy.random.default_rng"
+_STDLIB_RANDOM = "random.Random"
+
+#: Names whose presence inside a constructor argument marks the stream
+#: as derived from the campaign's SeedSequence tree (RPR006).
+_SEED_TREE_NAMES = frozenset(
+    {
+        "SeedSequence",
+        "spawn_seed_sequences",
+        "spawn_generators",
+        "shard_python_seeds",
+    }
+)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    """The value of a string ``Constant`` node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class OutcomeLiteralChecker(Checker):
+    """RPR001: outcome labels compared or looked up as raw strings.
+
+    Flags an :class:`~repro.core.outcomes.Outcome` label string used as
+    a comparison operand, a ``dict.get``/``pop``/``setdefault`` key, a
+    subscript index, or a member of an ``in`` container.  Display-only
+    uses (table headers, docstrings) are deliberately not flagged.
+    """
+
+    rule = "RPR001"
+    name = "outcome-literal"
+    severity = Severity.ERROR
+    description = (
+        "outcome label used as a raw string in a comparison or lookup"
+    )
+    rationale = (
+        "PR 4: ScrubReport.failed counted 'due' and 'sdc' by hand-picked "
+        "string keys and silently dropped the PR-2 'metadata_due' outcome "
+        "from failure accounting"
+    )
+    interests = ("Compare", "Call", "Subscript")
+
+    def _flag(self, node: ast.AST, ctx: ModuleContext, label: str, how: str):
+        member = Outcome(label).name
+        return self.finding(
+            node,
+            ctx,
+            f"outcome label '{label}' {how} as a raw string; use "
+            f"Outcome.{member}.value or the is_due_label/is_failure_label "
+            "helpers from repro.core.outcomes",
+        )
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                label = _const_str(operand)
+                if label in OUTCOME_LABELS:
+                    yield self._flag(operand, ctx, label, "compared")
+                # ``x in ("due", "sdc")`` -- containers of labels.
+                if isinstance(operand, (ast.Tuple, ast.List, ast.Set)):
+                    for element in operand.elts:
+                        element_label = _const_str(element)
+                        if element_label in OUTCOME_LABELS:
+                            yield self._flag(
+                                element, ctx, element_label, "tested"
+                            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("get", "pop", "setdefault")
+                and node.args
+            ):
+                label = _const_str(node.args[0])
+                if label in OUTCOME_LABELS:
+                    yield self._flag(node.args[0], ctx, label, "looked up")
+        elif isinstance(node, ast.Subscript):
+            index = node.slice
+            label = _const_str(index)
+            if label in OUTCOME_LABELS:
+                yield self._flag(index, ctx, label, "indexed")
+
+
+@register
+class UnseededRngChecker(Checker):
+    """RPR002: RNG constructed (or used) without an explicit seed.
+
+    Flags zero-argument ``np.random.default_rng()`` / ``random.Random()``
+    constructions and any call through numpy's module-level global RNG
+    (``np.random.binomial`` etc.).  Both silently break the guarantee
+    that a campaign is a pure function of its seed -- the property every
+    shard-determinism and resume test in this repo pins.
+    """
+
+    rule = "RPR002"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    description = "RNG constructed without a seed, or numpy global RNG used"
+    rationale = (
+        "ten `rng or np.random.default_rng()` fallback sites made "
+        "sttram/reliability constructors non-reproducible whenever a "
+        "caller forgot to thread rng=, a shard-determinism hazard"
+    )
+    interests = ("Call",)
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in (_NUMPY_DEFAULT_RNG, _STDLIB_RANDOM):
+            if not node.args and not node.keywords:
+                constructor = resolved.rsplit(".", 1)[-1]
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{constructor}() constructed without a seed; accept "
+                    "rng=/seed= and route the fallback through "
+                    "repro.core.rng.resolve_rng (warns on the truly "
+                    "unseeded interactive path)",
+                )
+            return
+        prefix, _, attribute = resolved.rpartition(".")
+        if (
+            prefix == "numpy.random"
+            and attribute
+            and attribute[0].islower()
+            and attribute != "default_rng"
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                f"numpy.random.{attribute}() draws from the process-global "
+                "RNG; construct a Generator from an explicit seed instead",
+            )
+
+
+@register
+class NonAtomicWriteChecker(Checker):
+    """RPR003: artifact written with a bare ``open(path, 'w')``.
+
+    Any write-mode ``open`` outside :mod:`repro.obs.atomicio` can leave
+    a truncated artifact next to a valid manifest when the process dies
+    mid-write; route it through ``atomic_write_text``/``_json``.
+    """
+
+    rule = "RPR003"
+    name = "non-atomic-write"
+    severity = Severity.ERROR
+    description = "write-mode open() outside the atomic writer"
+    rationale = (
+        "PR 2 made every exporter crash-safe via obs/atomicio after "
+        "checkpoint corruption from mid-write kills; "
+        "analysis/reporting.py regressed the pattern"
+    )
+    interests = ("Call",)
+
+    _WRITE_MODES = frozenset("wax")
+
+    def _mode_of(self, node: ast.Call, mode_index: int) -> Optional[str]:
+        if len(node.args) > mode_index:
+            return _const_str(node.args[mode_index])
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                return _const_str(keyword.value)
+        return None
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        is_builtin_open = resolved in ("open", "io.open")
+        is_method_open = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+        )
+        if not (is_builtin_open or is_method_open):
+            return
+        # ``open(path, mode)`` takes the mode second; ``Path.open(mode)``
+        # takes it first.
+        mode = self._mode_of(node, 1 if is_builtin_open else 0)
+        if mode is None or not (set(mode) & self._WRITE_MODES):
+            return
+        yield self.finding(
+            node,
+            ctx,
+            f"open(..., {mode!r}) writes non-atomically; a crash mid-write "
+            "leaves a truncated artifact -- use atomic_write_text/"
+            "atomic_write_json from repro.obs.atomicio",
+        )
+
+
+@register
+class RawPopcountChecker(Checker):
+    """RPR004: set bits counted without the shared popcount kernel.
+
+    Flags ``bin(x).count('1')`` / ``format(x, 'b').count('1')`` and the
+    manual ``while x: ... x >>= 1`` bit-walk.  PR 3 unified these on
+    ``repro.coding.bitvec.popcount`` / ``bit_positions`` (``int.bit_count``
+    on 3.10+, a byte table on 3.9) -- several times faster at line widths
+    and one place to keep correct.
+    """
+
+    rule = "RPR004"
+    name = "raw-popcount"
+    severity = Severity.WARNING
+    description = "manual popcount instead of repro.coding.bitvec"
+    rationale = (
+        "PR 3 replaced bin(x).count('1') hot-path popcounts with the "
+        "unified bitvec.popcount kernel (int.bit_count + 3.9 fallback)"
+    )
+    interests = ("Call", "While")
+
+    def _is_bin_count(self, node: ast.Call, ctx: ModuleContext) -> bool:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+            return False
+        if not (node.args and _const_str(node.args[0]) == "1"):
+            return False
+        inner = func.value
+        if not isinstance(inner, ast.Call):
+            return False
+        resolved = ctx.resolve(inner.func)
+        if resolved == "bin":
+            return True
+        if resolved == "format" and len(inner.args) >= 2:
+            spec = _const_str(inner.args[1])
+            return spec is not None and spec.endswith("b")
+        return False
+
+    def _is_bit_walk(self, node: ast.While) -> bool:
+        """``while x:`` whose body both tests ``x & 1`` and ``x >>= ...``."""
+        if not isinstance(node.test, ast.Name):
+            return False
+        variable = node.test.id
+        shifts_right = False
+        tests_low_bit = False
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.AugAssign)
+                and isinstance(child.op, ast.RShift)
+                and isinstance(child.target, ast.Name)
+                and child.target.id == variable
+            ):
+                shifts_right = True
+            if isinstance(child, ast.BinOp) and isinstance(
+                child.op, ast.BitAnd
+            ):
+                operands = (child.left, child.right)
+                has_variable = any(
+                    isinstance(op, ast.Name) and op.id == variable
+                    for op in operands
+                )
+                has_one = any(
+                    isinstance(op, ast.Constant) and op.value == 1
+                    for op in operands
+                )
+                if has_variable and has_one:
+                    tests_low_bit = True
+        return shifts_right and tests_low_bit
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call) and self._is_bin_count(node, ctx):
+            yield self.finding(
+                node,
+                ctx,
+                "manual popcount; use repro.coding.bitvec.popcount "
+                "(int.bit_count on 3.10+, byte table on 3.9)",
+            )
+        elif isinstance(node, ast.While) and self._is_bit_walk(node):
+            yield self.finding(
+                node,
+                ctx,
+                "manual bit-position walk; use repro.coding.bitvec."
+                "bit_positions (or popcount) instead of shifting through "
+                "the word",
+            )
+
+
+@register
+class UnvalidatedWidthChecker(Checker):
+    """RPR005: ``flip_bits`` called without a width guard.
+
+    ``flip_bits`` without ``width=`` silently widens the value when a
+    position is out of range, corrupting fixed-width line state the
+    golden-copy heal invariant cannot restore (the PR-3 bug class).
+    """
+
+    rule = "RPR005"
+    name = "unvalidated-width"
+    severity = Severity.ERROR
+    description = "flip_bits(...) without the width= guard"
+    rationale = (
+        "PR 3 added width validation to flip_bits after out-of-range "
+        "positions silently widened lines past the codec width"
+    )
+    interests = ("Call",)
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None or resolved.rsplit(".", 1)[-1] != "flip_bits":
+            return
+        if len(node.args) >= 3:
+            return
+        if any(keyword.arg == "width" for keyword in node.keywords):
+            return
+        yield self.finding(
+            node,
+            ctx,
+            "flip_bits without width=: an out-of-range position silently "
+            "widens the line instead of raising; pass the line width",
+        )
+
+
+@register
+class ParallelRngChecker(Checker):
+    """RPR006: worker RNG not derived from the SeedSequence tree.
+
+    Inside :mod:`repro.parallel`, every generator must come from the
+    ``SeedSequence.spawn`` derivation in ``sharding.py`` (or visibly
+    consume its output); an ad-hoc ``default_rng(seed)`` in a worker
+    path gives two shards correlated streams -- or the *same* stream --
+    and invalidates the merged campaign statistics.
+    """
+
+    rule = "RPR006"
+    name = "naive-rng-in-parallel"
+    severity = Severity.ERROR
+    description = "parallel-path RNG not derived from SeedSequence.spawn"
+    rationale = (
+        "PR 3's sharded executor is only a well-defined campaign because "
+        "per-shard streams come from one spawned SeedSequence tree; an "
+        "ad-hoc per-worker RNG breaks merged-result determinism"
+    )
+    interests = ("Call",)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Names bound *from* a seed-tree derivation are themselves
+        # blessed: ``for ss in spawn_seed_sequences(...): default_rng(ss)``
+        # must pass.  One pre-pass collects such binding targets.
+        self._derived: set = set()
+        if not ctx.path_contains("parallel"):
+            return
+        for node in ast.walk(ctx.tree):
+            value: Optional[ast.AST] = None
+            targets: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, tuple(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, (node.target,)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                value, targets = node.iter, (node.target,)
+            if value is None or not self._mentions_seed_tree(value):
+                continue
+            for target in targets:
+                for child in ast.walk(target):
+                    if isinstance(child, ast.Name):
+                        self._derived.add(child.id)
+
+    @staticmethod
+    def _mentions_seed_tree(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in _SEED_TREE_NAMES:
+                return True
+            if (
+                isinstance(child, ast.Attribute)
+                and child.attr in _SEED_TREE_NAMES
+            ):
+                return True
+        return False
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not ctx.path_contains("parallel"):
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved not in (_NUMPY_DEFAULT_RNG, _STDLIB_RANDOM):
+            return
+        argument_nodes = list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]
+        for argument in argument_nodes:
+            if self._mentions_seed_tree(argument):
+                return
+            for child in ast.walk(argument):
+                if isinstance(child, ast.Name) and child.id in self._derived:
+                    return
+        constructor = (resolved or "").rsplit(".", 1)[-1]
+        yield self.finding(
+            node,
+            ctx,
+            f"{constructor}(...) in a parallel path is not visibly derived "
+            "from the campaign SeedSequence tree; use "
+            "parallel.sharding.spawn_generators / shard_python_seeds",
+        )
+
+
+#: Exported for docs/tests: (rule id, name, severity, description).
+def rule_catalog() -> Tuple[Tuple[str, str, str, str], ...]:
+    """A stable summary of the registered rules for docs and --list-rules."""
+    from repro.lint.registry import all_checkers
+
+    return tuple(
+        (checker.rule, checker.name, str(checker.severity), checker.description)
+        for checker in all_checkers()
+    )

@@ -1,0 +1,79 @@
+"""Value types for lint results.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`Severity` orders how loudly it should gate.  Both are plain
+data -- checkers produce findings, the runner filters them through
+suppressions and the baseline, and reporting renders whatever survives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+
+class Severity(enum.IntEnum):
+    """How a finding gates: higher is worse (orderable)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a case-insensitive severity name (CLI flag values)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            names = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {text!r} (expected {names})")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    :param rule: the rule identifier (``RPR001`` ...).
+    :param severity: gate level of the owning rule.
+    :param path: file the finding is in, as given to the runner
+        (normalised to posix separators).
+    :param line: 1-based source line of the offending node.
+    :param column: 0-based column of the offending node.
+    :param message: human explanation, including the repair direction.
+    :param content: the stripped source line text -- the baseline keys
+        on ``(rule, path, content)`` so grandfathered findings survive
+        unrelated line-number drift.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    content: str = field(default="", compare=False)
+
+    def with_path(self, path: str) -> "Finding":
+        """Copy with a replacement (normalised) path."""
+        return replace(self, path=path)
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` -- the clickable prefix of text output."""
+        return f"{self.path}:{self.line}:{self.column + 1}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "content": self.content,
+        }

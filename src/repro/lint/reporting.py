@@ -1,0 +1,91 @@
+"""Render a :class:`~repro.lint.runner.LintReport` for people and machines.
+
+Three formats:
+
+* ``text``   -- ``path:line:col: RPR001 [error] message`` lines plus a
+  summary, for terminals (the default);
+* ``json``   -- one machine-readable object (findings + counts), for
+  tooling;
+* ``github`` -- GitHub Actions workflow commands (``::error file=...``)
+  that annotate the offending lines directly in a pull request, plus
+  the same human summary on stdout for the job log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.findings import Severity
+from repro.lint.runner import LintReport
+
+_GITHUB_LEVELS = {
+    Severity.INFO: "notice",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _summary_line(report: LintReport) -> str:
+    parts = [
+        f"{report.files_checked} file(s) checked",
+        f"{len(report.new_findings)} new finding(s)",
+    ]
+    if report.baselined:
+        parts.append(f"{report.baselined} baselined")
+    if report.suppressed:
+        parts.append(f"{report.suppressed} suppressed inline")
+    if report.new_findings:
+        by_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in report.counts_by_rule().items()
+        )
+        parts.append(f"by rule: {by_rule}")
+    return "repro lint: " + "; ".join(parts)
+
+
+def format_text(report: LintReport) -> str:
+    """Human terminal output: one line per new finding plus a summary."""
+    lines: List[str] = [
+        f"{finding.location}: {finding.rule} [{finding.severity}] "
+        f"{finding.message}"
+        for finding in report.new_findings
+    ]
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable output for tooling."""
+    return json.dumps(
+        {
+            "files_checked": report.files_checked,
+            "rules": list(report.rules),
+            "new_findings": [f.as_dict() for f in report.new_findings],
+            "counts_by_rule": report.counts_by_rule(),
+            "baselined": report.baselined,
+            "suppressed": report.suppressed,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def format_github(report: LintReport) -> str:
+    """GitHub Actions annotations plus the human summary."""
+    lines: List[str] = []
+    for finding in report.new_findings:
+        level = _GITHUB_LEVELS[finding.severity]
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.column + 1},title={finding.rule}::{message}"
+        )
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}

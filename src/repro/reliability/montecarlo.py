@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.engine import SuDokuEngine, build_engine
 from repro.core.outcomes import Outcome, is_failure_label
+from repro.core.rng import SeedLike, resolve_rng
 from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.fit import (
     fit_from_interval_probability,
@@ -196,6 +197,7 @@ def run_engine_campaign(
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
     scrub_mode: str = "sparse",
+    seed: Optional[SeedLike] = None,
 ) -> CampaignResult:
     """Inject-scrub-heal for ``intervals`` independent intervals.
 
@@ -243,7 +245,7 @@ def run_engine_campaign(
     instead of discarding completed intervals.
     """
     _require_scrub_mode(scrub_mode)
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng, seed, owner="run_engine_campaign")
     tel = resolve_telemetry(telemetry)
     if telemetry is not None:
         attach = getattr(engine, "attach_telemetry", None)
@@ -471,6 +473,7 @@ def run_group_campaign(
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
     scrub_mode: str = "sparse",
+    seed: Optional[SeedLike] = None,
 ) -> CampaignResult:
     """Single-cache campaign sized for group-level statistics.
 
@@ -490,7 +493,7 @@ def run_group_campaign(
         engine, ber, trials, interval_s=interval_s, rng=rng,
         randomize_content=False, telemetry=telemetry, progress=progress,
         chaos=chaos, checkpointer=checkpointer, deadline=deadline,
-        scrub_mode=scrub_mode,
+        scrub_mode=scrub_mode, seed=seed,
     )
 
 

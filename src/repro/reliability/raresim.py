@@ -40,6 +40,7 @@ from repro.coding.bitvec import random_error_vector
 from repro.core.linecodec import LineCodec
 from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import reconstruct_line, scan_group
+from repro.core.rng import resolve_pyrandom
 from repro.core.sdr import resurrect
 from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
 from repro.reliability.binomial import binomial_pmf, binomial_tail, complement_power
@@ -171,6 +172,7 @@ class ConditionalGroupSimulator:
         sdr_max_mismatches: int = 6,
         rng: Optional[random.Random] = None,
         sparse: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         if not 0.0 < ber < 1.0:
             raise ValueError("ber must be in (0, 1)")
@@ -180,7 +182,9 @@ class ConditionalGroupSimulator:
         self.interval_s = interval_s
         self.codec = codec if codec is not None else LineCodec()
         self.sdr_max_mismatches = sdr_max_mismatches
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = resolve_pyrandom(
+            rng, seed, owner="ConditionalGroupSimulator"
+        )
         #: With ``sparse`` (the default) group scans consult the array's
         #: dirty-frame index and skip decoding known-clean lines -- the
         #: scan result is provably identical (see

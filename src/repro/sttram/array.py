@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Set
 import numpy as np
 
 from repro.coding.bitvec import mask_of, popcount, random_bits
+from repro.core.rng import SeedLike, resolve_rng
 
 
 class STTRAMArray:
@@ -130,9 +131,14 @@ class STTRAMArray:
 
     # -- bulk helpers -------------------------------------------------------------
 
-    def fill_random(self, rng: Optional[np.random.Generator] = None) -> None:
+    def fill_random(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
+    ) -> None:
         """Write uniformly random content to every line."""
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng, seed, owner="STTRAMArray.fill_random")
         for index in range(self.num_lines):
             bits = generator.bit_generator.random_raw()  # cheap 64-bit seed
             value = random_bits(self.line_bits, _IntRandom(int(bits)))

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.core.rng import SeedLike, resolve_rng
 from repro.sttram.faults import burst_error_vector
 
 
@@ -40,6 +41,8 @@ class DisturbChannel:
         neighbours: int = 1,
         burst_length: int = 1,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> None:
         if not 0.0 <= disturb_probability <= 1.0:
             raise ValueError("disturb_probability must be a probability")
@@ -51,7 +54,7 @@ class DisturbChannel:
         self.disturb_probability = disturb_probability
         self.neighbours = neighbours
         self.burst_length = burst_length
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed, owner="DisturbChannel")
         self.disturb_events = 0
 
     # -- the disturb mechanism ------------------------------------------------------

@@ -24,7 +24,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.coding.bitvec import flip_bits
+from repro.coding.bitvec import bit_positions, flip_bits
+from repro.core.rng import SeedLike, resolve_rng
 from repro.sttram.array import STTRAMArray
 
 
@@ -51,14 +52,18 @@ class FaultEvent:
 
 
 def sample_fault_count(
-    num_bits: int, ber: float, rng: Optional[np.random.Generator] = None
+    num_bits: int,
+    ber: float,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    seed: Optional[SeedLike] = None,
 ) -> int:
     """Binomial draw of how many bits flip in ``num_bits`` at rate ``ber``."""
     if num_bits < 0:
         raise ValueError("num_bits must be non-negative")
     if not 0.0 <= ber <= 1.0:
         raise ValueError("ber must be a probability")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng, seed, owner="sample_fault_count")
     return int(generator.binomial(num_bits, ber))
 
 
@@ -69,6 +74,9 @@ class TransientFaultInjector:
         the paper's thermal flips strike ECC and CRC bits just as readily
         as data bits).
     :param ber: per-bit flip probability per scrub interval.
+    :param rng: explicit generator (campaign paths thread this).
+    :param seed: derive a generator from this seed instead; omitting
+        both warns once (:class:`repro.core.rng.UnseededRNGWarning`).
     """
 
     def __init__(
@@ -76,6 +84,8 @@ class TransientFaultInjector:
         line_bits: int,
         ber: float,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> None:
         if line_bits <= 0:
             raise ValueError("line_bits must be positive")
@@ -83,7 +93,7 @@ class TransientFaultInjector:
             raise ValueError("ber must be a probability")
         self.line_bits = line_bits
         self.ber = ber
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed, owner="TransientFaultInjector")
 
     def error_vector(self) -> int:
         """Sample an error mask for a single line (may be zero)."""
@@ -147,13 +157,10 @@ class TransientFaultInjector:
         events: List[FaultEvent] = []
         for line_index, vector in vectors.items():
             array.inject(line_index, vector)
-            position = 0
-            value = vector
-            while value:
-                if value & 1:
-                    events.append(FaultEvent(line_index, position))
-                value >>= 1
-                position += 1
+            events.extend(
+                FaultEvent(line_index, position)
+                for position in bit_positions(vector)
+            )
         return events
 
     def _sample_distinct(self, population: int, count: int) -> np.ndarray:
@@ -211,9 +218,11 @@ class PermanentFaultMap:
         line_bits: int,
         fault_ppm: float,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> "PermanentFaultMap":
         """Uniformly random stuck-at faults at a parts-per-million density."""
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng, seed, owner="PermanentFaultMap.random")
         fault_map = cls(line_bits)
         total_bits = num_lines * line_bits
         count = int(generator.binomial(total_bits, fault_ppm * 1e-6))

@@ -163,7 +163,7 @@ class ScrubEngine:
             # of which are in the dirty set, so the remainder is exactly
             # the untouched-clean population.
             bulk_clean = self.array.num_lines - sum(counts.values())
-            report.outcomes["clean"] += bulk_clean
+            report.outcomes[Outcome.CLEAN.value] += bulk_clean
             account = getattr(self.scheme, "account_bulk_clean", None)
             if account is not None:
                 account(bulk_clean)

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 from scipy import integrate, stats
 
+from repro.core.rng import SeedLike, resolve_rng
 from repro.sttram.device import THERMAL_ATTEMPT_FREQUENCY_HZ, flip_probability
 
 
@@ -50,14 +51,20 @@ class DeltaDistribution:
         """Absolute standard deviation of Delta."""
         return self.mean * self.sigma_fraction
 
-    def sample(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def sample(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
+    ) -> np.ndarray:
         """Draw per-cell Delta values (truncated at a small positive floor).
 
         Truncation only matters for sigma fractions far beyond the paper's
         10 %; it guards the physics (Delta must be positive) without
         disturbing the statistics in the studied regime.
         """
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng, seed, owner="DeltaDistribution.sample")
         values = generator.normal(self.mean, self.sigma, size=count)
         return np.clip(values, 1e-6, None)
 

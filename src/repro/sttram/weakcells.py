@@ -32,6 +32,7 @@ import numpy as np
 from scipy import integrate, stats
 
 from repro.coding.bitvec import flip_bits
+from repro.core.rng import SeedLike, resolve_rng
 from repro.sttram.device import THERMAL_ATTEMPT_FREQUENCY_HZ
 from repro.sttram.variation import effective_ber
 
@@ -66,6 +67,8 @@ class WeakCellMap:
         interval_s: float = 0.020,
         floor: float = 1e-4,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> None:
         if num_lines <= 0 or line_bits <= 0:
             raise ValueError("geometry must be positive")
@@ -75,7 +78,7 @@ class WeakCellMap:
         self.line_bits = line_bits
         self.interval_s = interval_s
         self.floor = floor
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng, seed, owner="WeakCellMap")
 
         # Delta below which a cell's per-interval flip probability
         # exceeds the floor:  1 - exp(-f0 e^-D t) > floor.
@@ -144,9 +147,11 @@ class HeterogeneousFaultInjector:
         self,
         weak_map: WeakCellMap,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> None:
         self.weak_map = weak_map
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed, owner="HeterogeneousFaultInjector")
 
     def error_vectors(self, num_lines: int) -> Dict[int, int]:
         """One interval's faults: weak cells fire + uniform background."""

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 
 from repro.coding.bitvec import flip_bits
+from repro.core.rng import SeedLike, resolve_rng
 
 
 class WriteErrorChannel:
@@ -30,12 +31,14 @@ class WriteErrorChannel:
         engine,
         wer: float,
         rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[SeedLike] = None,
     ) -> None:
         if not 0.0 <= wer <= 1.0:
             raise ValueError("wer must be a probability")
         self.engine = engine
         self.wer = wer
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng, seed, owner="WriteErrorChannel")
         self.write_errors_injected = 0
 
     # -- write path ---------------------------------------------------------------
@@ -47,7 +50,12 @@ class WriteErrorChannel:
         count = int(self._rng.binomial(array.line_bits, self.wer))
         if count:
             positions = self._rng.choice(array.line_bits, size=count, replace=False)
-            array.inject(frame, flip_bits(0, (int(p) for p in positions)))
+            array.inject(
+                frame,
+                flip_bits(
+                    0, (int(p) for p in positions), width=array.line_bits
+                ),
+            )
             self.write_errors_injected += count
 
     # -- forwarded campaign interface --------------------------------------------------

@@ -1,0 +1,280 @@
+"""Per-rule fixture tests: each RPR rule on minimal good/bad snippets.
+
+Every bad snippet is the distilled form of a bug this repository
+actually shipped (see the checker ``rationale`` strings); every good
+snippet is the sanctioned repair.  The fixtures lint in memory through
+:func:`repro.lint.runner.lint_source` -- no filesystem involved.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Severity
+from repro.lint.registry import all_checkers, get_checker
+from repro.lint.runner import PARSE_ERROR_RULE, lint_source
+
+
+def rules_of(source, path="pkg/mod.py", config=None):
+    """Sorted rule ids the snippet trips."""
+    source = textwrap.dedent(source)
+    return sorted(f.rule for f in lint_source(source, path, config))
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert [c.rule for c in all_checkers()] == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        ]
+
+    def test_get_checker(self):
+        assert get_checker("RPR001").name == "outcome-literal"
+        with pytest.raises(KeyError):
+            get_checker("RPR999")
+
+    def test_every_rule_documents_its_origin(self):
+        for checker in all_checkers():
+            assert checker.rationale, f"{checker.rule} has no rationale"
+            assert checker.description, f"{checker.rule} has no description"
+
+
+class TestParseError:
+    def test_unparseable_file_is_a_finding_not_a_crash(self):
+        findings = lint_source("def broken(:\n", "pkg/mod.py")
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestOutcomeLiteral:
+    def test_comparison_flagged(self):
+        assert rules_of('ok = outcome == "sdc"') == ["RPR001"]
+
+    def test_dict_get_flagged(self):
+        assert rules_of('n = counts.get("due", 0)') == ["RPR001"]
+
+    def test_subscript_flagged(self):
+        assert rules_of('n = counts["metadata_due"]') == ["RPR001"]
+
+    def test_membership_container_flags_each_label(self):
+        assert rules_of('bad = x in ("due", "sdc")') == ["RPR001", "RPR001"]
+
+    def test_display_only_use_not_flagged(self):
+        assert rules_of('print("due")') == []
+        assert rules_of('header = ["level", "due", "sdc"]') == []
+
+    def test_non_label_strings_not_flagged(self):
+        assert rules_of('ok = x == "corrected"') == []
+
+    def test_taxonomy_module_exempt(self):
+        source = 'ok = label == "sdc"'
+        assert rules_of(source, path="src/repro/core/outcomes.py") == []
+
+
+class TestUnseededRng:
+    def test_zero_arg_default_rng_flagged(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert rules_of(source) == ["RPR002"]
+
+    def test_from_import_alias_resolved(self):
+        source = """\
+        from numpy.random import default_rng
+        rng = default_rng()
+        """
+        assert rules_of(source) == ["RPR002"]
+
+    def test_zero_arg_stdlib_random_flagged(self):
+        source = """\
+        import random
+        r = random.Random()
+        """
+        assert rules_of(source) == ["RPR002"]
+
+    def test_numpy_global_rng_call_flagged(self):
+        source = """\
+        import numpy as np
+        x = np.random.normal(0.0, 1.0)
+        """
+        assert rules_of(source) == ["RPR002"]
+
+    def test_seeded_constructions_clean(self):
+        source = """\
+        import random
+        import numpy as np
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(seed)
+        c = random.Random(3)
+        d = np.random.SeedSequence(5)
+        """
+        assert rules_of(source) == []
+
+    def test_blessed_fallback_module_exempt(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert rules_of(source, path="src/repro/core/rng.py") == []
+
+
+class TestNonAtomicWrite:
+    def test_write_mode_open_flagged(self):
+        assert rules_of('f = open(p, "w")') == ["RPR003"]
+
+    def test_mode_keyword_flagged(self):
+        assert rules_of('f = open(p, mode="ab")') == ["RPR003"]
+
+    def test_path_open_method_flagged(self):
+        assert rules_of('f = path.open("x")') == ["RPR003"]
+
+    def test_read_modes_clean(self):
+        source = """\
+        a = open(p)
+        b = open(p, "r")
+        c = open(p, "rb")
+        d = path.open()
+        """
+        assert rules_of(source) == []
+
+    def test_atomic_writer_module_exempt(self):
+        source = 'f = open(tmp, "w")'
+        assert rules_of(source, path="src/repro/obs/atomicio.py") == []
+
+
+class TestRawPopcount:
+    def test_bin_count_flagged(self):
+        assert rules_of('n = bin(x).count("1")') == ["RPR004"]
+
+    def test_format_count_flagged(self):
+        assert rules_of('n = format(x, "b").count("1")') == ["RPR004"]
+        assert rules_of('n = format(x, "010b").count("1")') == ["RPR004"]
+
+    def test_manual_bit_walk_flagged(self):
+        source = """\
+        def walk(value):
+            positions = []
+            index = 0
+            while value:
+                if value & 1:
+                    positions.append(index)
+                value >>= 1
+                index += 1
+            return positions
+        """
+        assert rules_of(source) == ["RPR004"]
+
+    def test_is_warning_severity(self):
+        findings = lint_source('n = bin(x).count("1")', "pkg/mod.py")
+        assert findings[0].severity is Severity.WARNING
+
+    def test_sanctioned_kernels_clean(self):
+        source = """\
+        from repro.coding.bitvec import bit_positions, popcount
+        n = popcount(x)
+        m = x.bit_count()
+        positions = bit_positions(x)
+        """
+        assert rules_of(source) == []
+
+    def test_non_popcount_while_loop_clean(self):
+        source = """\
+        while a:
+            a, b = b % a, a
+        """
+        assert rules_of(source) == []
+
+    def test_kernel_module_exempt(self):
+        source = 'table = bytes(bin(b).count("1") for b in range(256))'
+        assert rules_of(source, path="src/repro/coding/bitvec.py") == []
+
+
+class TestUnvalidatedWidth:
+    def test_missing_width_flagged(self):
+        source = """\
+        from repro.coding.bitvec import flip_bits
+        v = flip_bits(value, positions)
+        """
+        assert rules_of(source) == ["RPR005"]
+
+    def test_width_keyword_clean(self):
+        source = """\
+        from repro.coding.bitvec import flip_bits
+        v = flip_bits(value, positions, width=512)
+        """
+        assert rules_of(source) == []
+
+    def test_third_positional_clean(self):
+        source = """\
+        from repro.coding.bitvec import flip_bits
+        v = flip_bits(value, positions, 512)
+        """
+        assert rules_of(source) == []
+
+    def test_attribute_call_resolved(self):
+        source = """\
+        from repro.coding import bitvec
+        v = bitvec.flip_bits(value, positions)
+        """
+        assert rules_of(source) == ["RPR005"]
+
+
+class TestParallelRng:
+    PARALLEL = "src/repro/parallel/worker.py"
+
+    def test_ad_hoc_rng_in_parallel_path_flagged(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        """
+        assert rules_of(source, path=self.PARALLEL) == ["RPR006"]
+
+    def test_stdlib_random_in_parallel_path_flagged(self):
+        source = """\
+        import random
+        rng = random.Random(seed + shard)
+        """
+        assert rules_of(source, path=self.PARALLEL) == ["RPR006"]
+
+    def test_seed_tree_derivation_clean(self):
+        source = """\
+        import numpy as np
+        from repro.parallel.sharding import spawn_seed_sequences
+        rngs = [
+            np.random.default_rng(sequence)
+            for sequence in spawn_seed_sequences(seed, shards)
+        ]
+        direct = np.random.default_rng(np.random.SeedSequence(seed))
+        """
+        assert rules_of(source, path=self.PARALLEL) == []
+
+    def test_same_code_outside_parallel_clean(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        """
+        assert rules_of(source, path="src/repro/sttram/faults.py") == []
+
+    def test_sharding_module_exempt(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng(entropy)
+        """
+        assert rules_of(source, path="src/repro/parallel/sharding.py") == []
+
+
+class TestConfigSelection:
+    def test_select_restricts_rules(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng()
+        f = open(p, "w")
+        """
+        config = LintConfig(select=frozenset({"RPR003"}))
+        assert rules_of(source, config=config) == ["RPR003"]
+
+    def test_disable_skips_rules(self):
+        source = 'f = open(p, "w")'
+        config = LintConfig(disable=frozenset({"RPR003"}))
+        assert rules_of(source, config=config) == []

@@ -1,0 +1,64 @@
+"""The linter's own acceptance gate: the tree at HEAD is clean.
+
+``repro lint src/`` must report zero non-baselined findings against
+the committed ``lint-baseline.json`` -- the same invariant the CI lint
+job enforces -- and must *fail* the moment a file regresses one of the
+policed patterns.  Running it here keeps the gate honest even where CI
+is not wired up.
+"""
+
+import os
+import shutil
+
+from repro.lint.baseline import load_baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Severity
+from repro.lint.runner import lint_paths
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+BASELINE = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+
+def test_tree_is_clean_at_head():
+    config = LintConfig(baseline_path=BASELINE)
+    report = lint_paths([SRC], config)
+    assert report.files_checked > 50
+    assert report.new_findings == [], (
+        "repro lint found non-baselined findings at HEAD:\n"
+        + "\n".join(
+            f"  {f.location}: {f.rule} {f.message}"
+            for f in report.new_findings
+        )
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    report = lint_paths([SRC], LintConfig())
+    stale = load_baseline(BASELINE).stale_entries(report.findings)
+    assert stale == [], (
+        "lint-baseline.json grandfathers findings that no longer exist; "
+        f"refresh with --write-baseline: {stale}"
+    )
+
+
+def test_regression_fixture_fails_the_gate(tmp_path):
+    # A copy of the tree plus one regressed file must gate: the clean
+    # state is an equilibrium, not an accident of the exemptions.
+    fixture_dir = tmp_path / "src"
+    fixture_dir.mkdir()
+    shutil.copy(
+        os.path.join(SRC, "repro", "__init__.py"),
+        fixture_dir / "clean.py",
+    )
+    (fixture_dir / "regressed.py").write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    config = LintConfig(baseline_path=BASELINE)
+    report = lint_paths([str(fixture_dir)], config)
+    assert [f.rule for f in report.new_findings] == ["RPR002"]
+    assert report.failed(Severity.WARNING)

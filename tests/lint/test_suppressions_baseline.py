@@ -1,0 +1,187 @@
+"""Round trips for the two debt mechanisms: suppressions and baseline.
+
+Inline suppressions silence a finding at the line that owns it; the
+committed baseline grandfathers findings across the whole tree.  Both
+must neither over- nor under-silence, and the baseline must survive a
+serialise/parse round trip and path-prefix drift (repo root vs CI
+checkout vs tmpdir).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.runner import lint_paths, lint_source
+from repro.lint.suppressions import SuppressionIndex
+
+
+def lint(source, path="pkg/mod.py"):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestInlineSuppressions:
+    def test_same_line_directive(self):
+        source = """\
+        f = open(p, "w")  # repro-lint: disable=RPR003
+        """
+        assert lint(source) == []
+
+    def test_preceding_comment_only_line(self):
+        source = """\
+        # The historical CLI stream predates the atomic writer.
+        # repro-lint: disable=RPR003
+        f = open(p, "w")
+        """
+        assert lint(source) == []
+
+    def test_disable_all(self):
+        source = """\
+        f = open(p, "w")  # repro-lint: disable=all
+        """
+        assert lint(source) == []
+
+    def test_multiple_rules_in_one_directive(self):
+        source = """\
+        import numpy as np
+        rng = np.random.default_rng(); f = open(p, "w")  # repro-lint: disable=RPR002,RPR003
+        """
+        assert lint(source) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = """\
+        f = open(p, "w")  # repro-lint: disable=RPR001
+        """
+        assert [f.rule for f in lint(source)] == ["RPR003"]
+
+    def test_preceding_code_line_does_not_carry(self):
+        # The directive rides a *code* line, so it must not leak onto
+        # the next line's finding.
+        source = """\
+        a = 1  # repro-lint: disable=RPR003
+        f = open(p, "w")
+        """
+        assert [f.rule for f in lint(source)] == ["RPR003"]
+
+    def test_index_directly(self):
+        index = SuppressionIndex(
+            ["x = 1", "# repro-lint: disable=RPR001, RPR002", "y = 2"]
+        )
+        assert index.is_suppressed("RPR001", 3)
+        assert index.is_suppressed("RPR002", 3)
+        assert index.is_suppressed("RPR001", 2)
+        assert not index.is_suppressed("RPR003", 3)
+        assert not index.is_suppressed("RPR001", 1)
+
+
+def make_finding(rule="RPR003", path="src/repro/perf/tracefile.py",
+                 content='with open(path, "w") as handle:', line=50):
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        column=0,
+        message="non-atomic write",
+        content=content,
+    )
+
+
+class TestBaseline:
+    def test_round_trip_filters_to_empty(self, tmp_path):
+        findings = [make_finding()]
+        target = tmp_path / "baseline.json"
+        write_baseline(str(target), from_findings(findings))
+        loaded = load_baseline(str(target))
+        assert loaded.filter_new(findings) == []
+
+    def test_line_number_drift_still_matches(self):
+        baseline = from_findings([make_finding(line=50)])
+        drifted = make_finding(line=93)
+        assert baseline.filter_new([drifted]) == []
+
+    def test_changed_content_invalidates_entry(self):
+        baseline = from_findings([make_finding()])
+        fixed = make_finding(content="atomic_write_text(path, text)")
+        assert baseline.filter_new([fixed]) == [fixed]
+        assert len(baseline.stale_entries([fixed])) == 1
+
+    def test_count_budget_absorbs_exactly_n(self):
+        findings = [make_finding(line=10), make_finding(line=20)]
+        baseline = from_findings(findings)
+        assert baseline.entries[0].count == 2
+        third = make_finding(line=30)
+        fresh = baseline.filter_new(findings + [third])
+        assert fresh == [third]
+
+    def test_path_prefix_tolerance(self):
+        baseline = Baseline(
+            [BaselineEntry(
+                rule="RPR003",
+                path="src/repro/perf/tracefile.py",
+                content='with open(path, "w") as handle:',
+            )]
+        )
+        absolute = make_finding(path="/ci/checkout/src/repro/perf/tracefile.py")
+        assert baseline.filter_new([absolute]) == []
+        other_file = make_finding(path="src/repro/perf/other.py")
+        assert baseline.filter_new([other_file]) == [other_file]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "nope.json"))
+        assert len(baseline) == 0
+
+    def test_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "v2.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+
+    def test_malformed_entry_raises(self, tmp_path):
+        bad = tmp_path / "entry.json"
+        bad.write_text(
+            json.dumps({"version": 1, "findings": [{"rule": "RPR003"}]})
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+
+
+class TestLintPathsWithBaseline:
+    def test_baselined_findings_do_not_gate(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text('f = open(p, "w")\n', encoding="utf-8")
+        report = lint_paths([str(tmp_path)])
+        assert [f.rule for f in report.new_findings] == ["RPR003"]
+        assert report.failed(Severity.WARNING)
+
+        baseline = from_findings(report.findings)
+        report = lint_paths([str(tmp_path)], baseline=baseline)
+        assert report.new_findings == []
+        assert report.baselined == 1
+        assert not report.failed(Severity.WARNING)
+
+    def test_new_finding_alongside_baselined_still_gates(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text('f = open(p, "w")\n', encoding="utf-8")
+        baseline = from_findings(lint_paths([str(tmp_path)]).findings)
+        module.write_text(
+            'f = open(p, "w")\ng = open(q, "w")\n', encoding="utf-8"
+        )
+        report = lint_paths([str(tmp_path)], baseline=baseline)
+        assert len(report.new_findings) == 1
+        assert report.failed(Severity.WARNING)

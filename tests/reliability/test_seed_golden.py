@@ -1,0 +1,60 @@
+"""Golden same-seed results: the RNG refactor changed nothing.
+
+These exact dictionaries were captured from the seeded sharded runners
+*before* the ``core.rng`` seed-threading refactor and the RPR001-RPR003
+repairs landed.  A seeded campaign is a pure function of its seed; any
+drift here means a code change silently rewired an RNG stream or an
+outcome label, which is precisely the regression class the refactor is
+not allowed to introduce.
+
+Do not "update" these values to make a failure pass without
+establishing exactly which change moved them and why that is correct.
+"""
+
+from repro.parallel.runner import run_sharded_campaign, run_sharded_raresim
+
+GOLDEN_CAMPAIGN = {
+    "intervals": 5,
+    "ber": 0.005,
+    "interval_s": 0.02,
+    "outcomes": {
+        "due": 235,
+        "corrected_ecc1": 54,
+        "clean": 29,
+        "corrected_hash2": 2,
+    },
+    "interval_failures": 5,
+    "lines": 64,
+    "truncated": False,
+    "stop_reason": "",
+    "metadata": {},
+    "failure_probability": 1.0,
+}
+
+GOLDEN_RARESIM = {
+    "trials": 6,
+    "conditional_failures": 1,
+    "conditioning_probability": 0.5208748866882723,
+    "ber": 0.001,
+    "group_size": 16,
+    "num_groups": 64,
+    "interval_s": 0.02,
+    "truncated": False,
+    "stop_reason": "",
+    "conditional_failure_probability": 0.16666666666666666,
+    "fit": 1046177647133291.6,
+}
+
+
+def test_seeded_campaign_is_bit_identical_to_pre_refactor_capture():
+    result = run_sharded_campaign(
+        "Z", 5e-3, 5, 8, shards=1, seed=7
+    ).as_dict()
+    assert result == GOLDEN_CAMPAIGN
+
+
+def test_seeded_raresim_is_bit_identical_to_pre_refactor_capture():
+    result = run_sharded_raresim(
+        "Z", 1e-3, 6, 16, 64, shards=1, seed=3
+    ).as_dict()
+    assert result == GOLDEN_RARESIM
