@@ -12,8 +12,14 @@ from repro.reliability.sudokumodel import SuDokuReliabilityModel
 
 def test_bench_fig7_headlines(benchmark):
     exhibit = benchmark(fig7_reliability)
-    emit(exhibit)
     rows = {row[0]: row[1] for row in exhibit["rows"]}
+    # FIT is the headline reliability number: track it as a trajectory
+    # scalar so a model regression shows up in `repro bench --compare`.
+    exhibit["scalars"] = {
+        "fit_z": rows["SuDoku-Z FIT"],
+        "fit_z_no_sdr": rows["SuDoku-Z (no SDR) FIT"],
+    }
+    emit(exhibit)
     assert rows["SuDoku-X MTTF (s)"] == pytest.approx(PAPER.sudoku_x_mttf_s, rel=0.25)
     assert rows["SuDoku-Z strength vs ECC-6"] > PAPER.sudoku_z_vs_ecc6
     assert rows["SuDoku-Z (no SDR) FIT"] == pytest.approx(

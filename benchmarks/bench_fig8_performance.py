@@ -32,6 +32,7 @@ def test_bench_fig8_performance(benchmark):
     )
     from conftest import RESULTS_DIR
     from repro.analysis.tables import format_table
+    from repro.obs.atomicio import atomic_write_text
     from repro.perf.summary import summarise
 
     slowdowns = {str(row[0]): float(row[3]) / 100 for row in workload_rows}
@@ -45,7 +46,9 @@ def test_bench_fig8_performance(benchmark):
         suite_rows,
     )
     print("\nper-suite breakdown:\n" + suite_table)
-    (RESULTS_DIR / "fig_8_suite_breakdown.txt").write_text(suite_table + "\n")
+    atomic_write_text(
+        str(RESULTS_DIR / "fig_8_suite_breakdown.txt"), suite_table + "\n"
+    )
 
     mean_row = exhibit["rows"][-1]
     assert mean_row[0] == "MEAN"

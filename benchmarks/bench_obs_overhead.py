@@ -83,6 +83,10 @@ def test_bench_telemetry_overhead(benchmark):
             f"min of {REPEATS} interleaved repeats; budget "
             f"{OVERHEAD_BUDGET * 100:.0f}%"
         ),
+        # Tracked trajectory scalar: the baseline gates it with a "max"
+        # threshold, so overhead creep fails CI before it reaches 5 %.
+        "scalars": {"overhead": overhead},
+        "config": dict(CAMPAIGN),
     })
     assert overhead < OVERHEAD_BUDGET
     # Identical outcomes, instrumented or not -- same seed, same numbers.

@@ -17,11 +17,11 @@ queue traffic are part of the cost being measured, so each configuration
 is timed once over a campaign long enough to amortise noise.
 """
 
-import json
 import os
 import time
 
 from conftest import RESULTS_DIR, emit
+from repro.obs.atomicio import atomic_write_json
 from repro.parallel import run_sharded_campaign
 
 #: Long enough that per-interval work dwarfs process start-up, small
@@ -76,12 +76,12 @@ def test_bench_parallel_scaling(benchmark):
         ),
     })
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "parallel_scaling.json").write_text(json.dumps({
+    atomic_write_json(str(RESULTS_DIR / "parallel_scaling.json"), {
         "cores": cores,
         "campaign": CAMPAIGN,
         "wall_s": {str(k): v for k, v in walls.items()},
         "speedup": {str(k): v for k, v in speedups.items()},
-    }, indent=2) + "\n")
+    })
 
     if cores >= MIN_CORES_FOR_ASSERT:
         assert speedups[4] >= REQUIRED_SPEEDUP, (

@@ -1,0 +1,58 @@
+"""repro.bench -- benchmark trajectory records, baselines, dashboards.
+
+The observability layer for *performance*: every paper-exhibit
+benchmark persists a schema-versioned :class:`BenchRecord` (rows,
+wall-clock timing, git SHA, machine fingerprint) into an append-only
+:class:`TrajectoryStore`; the committed :class:`Baseline` gates the
+latest run with per-metric tolerance thresholds; and
+:mod:`repro.bench.report` renders the trend dashboard.  Driven by
+``python -m repro bench`` (see docs/benchmarking.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    Comparison,
+    Regression,
+    Threshold,
+)
+from repro.bench.record import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    machine_fingerprint,
+    record_from_exhibit,
+    stable_bench_id,
+)
+from repro.bench.report import render_dashboard, trend_chart, write_dashboard
+from repro.bench.runner import RunOutcome, discover, run_benchmarks
+from repro.bench.store import (
+    DEFAULT_STORE,
+    STORE_ENV,
+    TrajectoryStore,
+    resolve_store_root,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "stable_bench_id",
+    "machine_fingerprint",
+    "record_from_exhibit",
+    "TrajectoryStore",
+    "resolve_store_root",
+    "STORE_ENV",
+    "DEFAULT_STORE",
+    "Baseline",
+    "Threshold",
+    "Regression",
+    "Comparison",
+    "DEFAULT_BASELINE",
+    "render_dashboard",
+    "trend_chart",
+    "write_dashboard",
+    "discover",
+    "run_benchmarks",
+    "RunOutcome",
+]

@@ -1,0 +1,249 @@
+"""Committed per-benchmark baselines and the regression comparator.
+
+The perf analogue of the lint gate: ``benchmarks/baseline.json`` pins,
+per bench id, the expected wall-clock time and any tracked scalars
+(speedups, FIT estimates, overhead fractions), each with a tolerance.
+``repro bench --compare`` measures the latest trajectory record against
+it and exits non-zero on regression, so a 2x slowdown is a red CI job
+instead of an eyeballed table.
+
+Tolerances are *relative*: a wall-time entry of ``{"value": 0.8,
+"tolerance": 1.0}`` allows up to ``0.8 * (1 + 1.0)`` seconds.  Scalars
+carry a direction -- ``"max"`` metrics (wall time, FIT, overhead)
+regress upward, ``"min"`` metrics (speedup) regress downward -- so one
+comparator covers both "slower is worse" and "smaller is worse".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.record import BenchRecord
+from repro.bench.store import TrajectoryStore
+from repro.obs.atomicio import atomic_write_json
+
+#: Default committed baseline, relative to the repository checkout.
+DEFAULT_BASELINE = "benchmarks/baseline.json"
+
+#: Relative slack applied when an entry does not set its own tolerance.
+DEFAULT_TOLERANCE = 1.0
+
+_DIRECTIONS = ("max", "min")
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One gated metric: expected value, relative tolerance, direction."""
+
+    value: float
+    tolerance: float = DEFAULT_TOLERANCE
+    direction: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got "
+                f"{self.direction!r}"
+            )
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+    @property
+    def allowed(self) -> float:
+        """The worst measurement that still passes."""
+        if self.direction == "max":
+            return self.value * (1.0 + self.tolerance)
+        return self.value * max(0.0, 1.0 - self.tolerance)
+
+    def regressed(self, measured: float) -> bool:
+        if self.direction == "max":
+            return measured > self.allowed
+        return measured < self.allowed
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One threshold violation found by the comparator."""
+
+    bench_id: str
+    metric: str
+    measured: float
+    threshold: Threshold
+
+    def describe(self) -> str:
+        worse = ">" if self.threshold.direction == "max" else "<"
+        return (
+            f"{self.bench_id}: {self.metric} {self.measured:.6g} "
+            f"{worse} allowed {self.threshold.allowed:.6g} "
+            f"(baseline {self.threshold.value:.6g}, "
+            f"tolerance {self.threshold.tolerance:g})"
+        )
+
+
+@dataclass
+class Comparison:
+    """The full outcome of one baseline comparison."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+    missing_baseline: List[str] = field(default_factory=list)
+    missing_records: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+class Baseline:
+    """The committed thresholds, keyed by bench id."""
+
+    def __init__(
+        self, benchmarks: Optional[Dict[str, Dict[str, Threshold]]] = None
+    ) -> None:
+        #: bench id -> metric name -> threshold; ``"wall_s"`` is the
+        #: reserved metric name for the record's wall clock.
+        self.benchmarks: Dict[str, Dict[str, Threshold]] = benchmarks or {}
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        benchmarks: Dict[str, Dict[str, Threshold]] = {}
+        for bench_id, metrics in payload.get("benchmarks", {}).items():
+            benchmarks[bench_id] = {
+                name: Threshold(
+                    value=float(entry["value"]),
+                    tolerance=float(
+                        entry.get("tolerance", DEFAULT_TOLERANCE)
+                    ),
+                    direction=str(entry.get("direction", "max")),
+                )
+                for name, entry in metrics.items()
+            }
+        return cls(benchmarks)
+
+    def save(self, path: str) -> None:
+        """Write the baseline (atomically, stable key order)."""
+        payload = {
+            "version": 1,
+            "benchmarks": {
+                bench_id: {
+                    name: {
+                        "value": threshold.value,
+                        "tolerance": threshold.tolerance,
+                        "direction": threshold.direction,
+                    }
+                    for name, threshold in sorted(metrics.items())
+                }
+                for bench_id, metrics in sorted(self.benchmarks.items())
+            },
+        }
+        atomic_write_json(path, payload)
+
+    # -- comparison ------------------------------------------------------------
+
+    def compare_record(self, record: BenchRecord) -> List[Regression]:
+        """Regressions of one record against its thresholds."""
+        metrics = self.benchmarks.get(record.bench_id)
+        if not metrics:
+            return []
+        measured: Dict[str, float] = {"wall_s": record.wall_s}
+        measured.update(record.scalars)
+        regressions = []
+        for name, threshold in sorted(metrics.items()):
+            if name not in measured:
+                # A baselined scalar the benchmark stopped reporting is
+                # itself a regression: the gate must not silently relax.
+                regressions.append(
+                    Regression(
+                        bench_id=record.bench_id,
+                        metric=f"{name} (missing from record)",
+                        measured=float("nan"),
+                        threshold=threshold,
+                    )
+                )
+                continue
+            if threshold.regressed(measured[name]):
+                regressions.append(
+                    Regression(
+                        bench_id=record.bench_id,
+                        metric=name,
+                        measured=measured[name],
+                        threshold=threshold,
+                    )
+                )
+        return regressions
+
+    def compare(
+        self, store: TrajectoryStore, bench_ids: Optional[Iterable[str]] = None
+    ) -> Comparison:
+        """Compare the latest record of each bench id against the baseline.
+
+        ``bench_ids`` restricts the check (e.g. to the benches recorded
+        by the current run); default is every id in the store *or* the
+        baseline.  Ids with a baseline entry but no trajectory record
+        are reported in ``missing_records`` -- a benchmark that silently
+        stopped running must not read as green.
+        """
+        if bench_ids is not None:
+            ids = sorted(bench_ids)
+        else:
+            ids = sorted(set(store.bench_ids()) | set(self.benchmarks))
+        comparison = Comparison()
+        for bench_id in ids:
+            latest = store.latest(bench_id)
+            if latest is None:
+                comparison.missing_records.append(bench_id)
+                continue
+            comparison.checked.append(bench_id)
+            if bench_id not in self.benchmarks:
+                comparison.missing_baseline.append(bench_id)
+                continue
+            comparison.regressions.extend(self.compare_record(latest))
+        return comparison
+
+    # -- maintenance -----------------------------------------------------------
+
+    def update_from_store(
+        self,
+        store: TrajectoryStore,
+        bench_ids: Optional[Iterable[str]] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        """Re-pin thresholds at the latest recorded values.
+
+        Existing entries keep their tolerance and direction; new metrics
+        get ``tolerance`` and the ``"max"`` default (edit the JSON for
+        ``"min"`` metrics like speedups -- a direction cannot be
+        inferred from one measurement).
+        """
+        ids = bench_ids if bench_ids is not None else store.bench_ids()
+        for bench_id in ids:
+            latest = store.latest(bench_id)
+            if latest is None:
+                continue
+            previous = self.benchmarks.get(bench_id, {})
+            measured: Dict[str, float] = {"wall_s": latest.wall_s}
+            measured.update(latest.scalars)
+            self.benchmarks[bench_id] = {
+                name: Threshold(
+                    value=value,
+                    tolerance=(
+                        previous[name].tolerance
+                        if name in previous else tolerance
+                    ),
+                    direction=(
+                        previous[name].direction
+                        if name in previous else "max"
+                    ),
+                )
+                for name, value in sorted(measured.items())
+            }

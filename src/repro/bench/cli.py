@@ -1,0 +1,190 @@
+"""``repro bench`` subcommand glue.
+
+The perf analogue of ``repro lint``: run the benchmark suite (or a
+subset), record schema-versioned trajectory entries, gate against the
+committed baseline, and render the trend dashboard.
+
+Actions (the first positional argument, default ``run``):
+
+* ``run``    -- discover + execute benchmarks, appending one trajectory
+  record per exhibit; with ``--compare`` the latest records are checked
+  against ``benchmarks/baseline.json`` and a regression exits non-zero.
+* ``report`` -- render the markdown (and optionally HTML) dashboard of
+  every recorded trajectory.
+* ``list``   -- print the discovered benchmark files and recorded ids.
+
+Exit codes: 0 clean, 1 benchmark run failed (pytest's failure), 4 a
+baseline threshold regressed, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.baseline import DEFAULT_BASELINE, Baseline
+from repro.bench.report import write_dashboard
+from repro.bench.runner import DEFAULT_BENCH_DIR, discover, run_benchmarks
+from repro.bench.store import TrajectoryStore, resolve_store_root
+
+#: Exit code for a baseline regression (distinct from pytest failures).
+REGRESSION_EXIT = 4
+
+
+def configure_bench_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro bench`` arguments to a subparser."""
+    parser.add_argument(
+        "action", nargs="?", choices=["run", "report", "list"], default="run",
+        help="run the suite (default), render the dashboard, or list "
+             "benchmarks",
+    )
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="SUBSTR",
+        help="case-insensitive substring filter on benchmark file names "
+             "(repeatable; filters OR together)",
+    )
+    parser.add_argument(
+        "--bench-dir", default=DEFAULT_BENCH_DIR, metavar="DIR",
+        help=f"benchmark suite directory (default: {DEFAULT_BENCH_DIR})",
+    )
+    parser.add_argument(
+        "--store", default="", metavar="DIR",
+        help="trajectory store directory (default: $REPRO_BENCH_STORE or "
+             "benchmarks/trajectory)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"committed threshold file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="after running, compare the recorded entries against the "
+             "baseline and exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="after running, re-pin the baseline at the recorded values "
+             "(keeps existing tolerances and directions)",
+    )
+    parser.add_argument(
+        "--skip-run", action="store_true",
+        help="with --compare/--update-baseline: use the latest recorded "
+             "trajectory entries instead of running the suite",
+    )
+    parser.add_argument(
+        "--output", default="", metavar="FILE",
+        help="report: write the markdown dashboard to FILE "
+             "(default: <store>/DASHBOARD.md)",
+    )
+    parser.add_argument(
+        "--html", default="", metavar="FILE",
+        help="report: also write a self-contained HTML dashboard to FILE",
+    )
+    parser.add_argument(
+        "--window", type=int, default=12, metavar="N",
+        help="report: runs shown per trend chart (default: 12)",
+    )
+
+
+def _cmd_list(args: argparse.Namespace, store: TrajectoryStore) -> int:
+    files = discover(args.bench_dir, args.only)
+    print(f"{len(files)} benchmark file(s) in {args.bench_dir}:")
+    for path in files:
+        print(f"  {path}")
+    ids = store.bench_ids()
+    print(f"{len(ids)} recorded trajectory id(s) in {store.root}:")
+    for bench_id in ids:
+        print(f"  {bench_id} ({len(store.load(bench_id))} run(s))")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, store: TrajectoryStore) -> int:
+    output = args.output or str(store.root / "DASHBOARD.md")
+    baseline = Baseline.load(args.baseline)
+    write_dashboard(
+        store, output,
+        baseline=baseline, html_output=args.html, window=max(1, args.window),
+    )
+    print(f"wrote dashboard to {output}"
+          + (f" and {args.html}" if args.html else ""))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, store: TrajectoryStore) -> int:
+    recorded = None
+    if args.skip_run:
+        if not (args.compare or args.update_baseline):
+            print(
+                "repro bench: error: --skip-run needs --compare or "
+                "--update-baseline",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        files = discover(args.bench_dir, args.only)
+        if not files:
+            print(
+                f"repro bench: error: no benchmarks match {args.only!r} "
+                f"in {args.bench_dir}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"running {len(files)} benchmark file(s), trajectory -> "
+            f"{store.root}"
+        )
+        outcome = run_benchmarks(files, str(store.root))
+        recorded = outcome.recorded
+        print(
+            f"recorded {len(outcome.recorded)} trajectory entr"
+            f"{'y' if len(outcome.recorded) == 1 else 'ies'}"
+        )
+        if not outcome.ok:
+            print(
+                f"repro bench: benchmark run failed (pytest exit "
+                f"{outcome.exit_code})",
+                file=sys.stderr,
+            )
+            return 1
+
+    status = 0
+    if args.compare:
+        baseline = Baseline.load(args.baseline)
+        comparison = baseline.compare(store, bench_ids=recorded)
+        for bench_id in comparison.missing_baseline:
+            print(f"repro bench: note: no baseline entry for {bench_id}")
+        for bench_id in comparison.missing_records:
+            print(
+                f"repro bench: error: no trajectory recorded for "
+                f"{bench_id}",
+                file=sys.stderr,
+            )
+            status = REGRESSION_EXIT
+        if comparison.regressions:
+            for regression in comparison.regressions:
+                print(
+                    f"repro bench: REGRESSION {regression.describe()}",
+                    file=sys.stderr,
+                )
+            status = REGRESSION_EXIT
+        else:
+            print(
+                f"baseline comparison clean: {len(comparison.checked)} "
+                "benchmark(s) within thresholds"
+            )
+    if args.update_baseline:
+        baseline = Baseline.load(args.baseline)
+        baseline.update_from_store(store, bench_ids=recorded)
+        baseline.save(args.baseline)
+        print(f"updated baseline {args.baseline}")
+    return status
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Execute ``repro bench`` from parsed arguments."""
+    store = TrajectoryStore(resolve_store_root(args.store))
+    if args.action == "list":
+        return _cmd_list(args, store)
+    if args.action == "report":
+        return _cmd_report(args, store)
+    return _cmd_run(args, store)

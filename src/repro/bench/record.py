@@ -1,0 +1,163 @@
+"""Schema-versioned benchmark records and stable bench identifiers.
+
+Every paper-exhibit benchmark persists one :class:`BenchRecord` per run
+into the trajectory store (:mod:`repro.bench.store`).  A record is the
+machine-readable twin of the human-readable ``.txt`` exhibit: the same
+rows, plus everything needed to interpret a timing across time and
+machines -- wall-clock duration, git SHA, a machine fingerprint, and a
+schema version so future readers can migrate old entries instead of
+guessing.
+
+Bench identifiers must be *stable* (the trajectory of one benchmark is
+the sequence of records sharing an id) and *collision-free* (two
+exhibits whose titles agree on a 60-character prefix must not share a
+file).  :func:`stable_bench_id` therefore keys on the full title: a
+readable slug prefix plus a short digest of the untruncated title.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import re
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+#: Bump when a field changes meaning; readers dispatch on it.
+SCHEMA_VERSION = 1
+
+#: Readable prefix length of a bench id (the digest suffix disambiguates).
+_SLUG_PREFIX = 60
+
+
+def slugify(text: str) -> str:
+    """Lowercase filesystem-safe slug of ``text`` (full length)."""
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def stable_bench_id(title: str) -> str:
+    """A stable, collision-free identifier for one exhibit title.
+
+    ``<slug prefix>-<8 hex>``: the prefix keeps files greppable, the
+    digest of the *full* title keeps two long titles that agree on the
+    prefix from silently sharing a file (the old 60-character
+    truncation bug).
+    """
+    digest = hashlib.blake2b(title.encode("utf-8"), digest_size=4).hexdigest()
+    return f"{slugify(title)[:_SLUG_PREFIX].rstrip('_')}-{digest}"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Where a record was produced (timings are machine-relative)."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def utc_timestamp() -> str:
+    """The current UTC time as an ISO-8601 string (a timestamp, so
+    ``datetime`` rather than a monotonic clock)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run: exhibit rows plus timing and provenance.
+
+    ``scalars`` carries named numeric outputs a benchmark wants tracked
+    over time beyond its wall clock -- a FIT estimate, a speedup factor,
+    a telemetry-overhead fraction.  The baseline comparator and the
+    dashboard treat every scalar as a first-class trajectory series.
+    """
+
+    bench_id: str
+    title: str
+    wall_s: float
+    test: str = ""
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[object]] = field(default_factory=list)
+    notes: str = ""
+    scalars: Dict[str, float] = field(default_factory=dict)
+    git_sha: Optional[str] = None
+    machine: Dict[str, object] = field(default_factory=machine_fingerprint)
+    config: Dict[str, object] = field(default_factory=dict)
+    recorded_at: str = field(default_factory=utc_timestamp)
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (one trajectory-store line)."""
+        return {
+            "schema": self.schema,
+            "bench_id": self.bench_id,
+            "title": self.title,
+            "test": self.test,
+            "wall_s": self.wall_s,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "scalars": dict(self.scalars),
+            "git_sha": self.git_sha,
+            "machine": dict(self.machine),
+            "config": dict(self.config),
+            "recorded_at": self.recorded_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BenchRecord":
+        """Parse one stored record (raises ``KeyError`` on missing core
+        fields -- the store never writes partial lines, so a failure
+        here means genuine corruption, not a torn write)."""
+        return cls(
+            bench_id=str(payload["bench_id"]),
+            title=str(payload["title"]),
+            wall_s=float(payload["wall_s"]),
+            test=str(payload.get("test", "")),
+            headers=list(payload.get("headers", [])),
+            rows=[list(row) for row in payload.get("rows", [])],
+            notes=str(payload.get("notes", "")),
+            scalars={
+                str(k): float(v)
+                for k, v in dict(payload.get("scalars", {})).items()
+            },
+            git_sha=payload.get("git_sha"),
+            machine=dict(payload.get("machine", {})),
+            config=dict(payload.get("config", {})),
+            recorded_at=str(payload.get("recorded_at", "")),
+            schema=int(payload.get("schema", SCHEMA_VERSION)),
+        )
+
+
+def record_from_exhibit(
+    exhibit: Dict[str, object],
+    wall_s: float,
+    test: str = "",
+    config: Optional[Dict[str, object]] = None,
+) -> BenchRecord:
+    """Build a record from the ``emit()`` exhibit dict of a benchmark.
+
+    The optional ``scalars`` key of the exhibit (name -> number) is
+    copied through; everything else is derived.
+    """
+    from repro.obs.export import git_sha
+
+    title = str(exhibit["title"])
+    return BenchRecord(
+        bench_id=stable_bench_id(title),
+        title=title,
+        wall_s=wall_s,
+        test=test,
+        headers=list(exhibit.get("headers", [])),
+        rows=[list(row) for row in exhibit.get("rows", [])],
+        notes=str(exhibit.get("notes", "") or ""),
+        scalars={
+            str(k): float(v)
+            for k, v in dict(exhibit.get("scalars", {}) or {}).items()
+        },
+        git_sha=git_sha(),
+        config=dict(config or {}),
+    )

@@ -1,0 +1,204 @@
+"""The perf-trajectory dashboard: trend charts over recorded runs.
+
+``repro bench report`` folds every trajectory in the store into one
+document: a summary table (latest wall clock, delta vs the previous run
+and vs the committed baseline), then a section per bench id with the
+run history and a Unicode trend chart per tracked metric (wall clock
+plus every recorded scalar), rendered through
+:mod:`repro.analysis.charts` -- the same dependency-free charts the
+exhibits use, so the dashboard works where no plotting stack exists.
+
+Markdown is the primary format (it renders in a terminal, a PR, and a
+CI artifact viewer alike); the optional HTML output wraps the same
+content for artifact hosting.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Optional
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.tables import format_table
+from repro.bench.baseline import Baseline
+from repro.bench.record import BenchRecord
+from repro.bench.store import TrajectoryStore
+from repro.obs.atomicio import atomic_write_text
+
+#: Runs shown per trend chart (the trajectory files keep everything).
+DEFAULT_WINDOW = 12
+
+
+def _run_label(record: BenchRecord, index: int) -> str:
+    sha = (record.git_sha or "")[:7] or "-"
+    return f"run{index} {sha}"
+
+
+def _delta(current: float, previous: Optional[float]) -> str:
+    if previous is None or previous == 0:
+        return "--"
+    return f"{(current / previous - 1.0) * 100:+.1f}%"
+
+
+def _metric_series(records: List[BenchRecord]) -> Dict[str, List[float]]:
+    """metric name -> per-run values (wall clock first, scalars after).
+
+    A scalar absent from some runs charts only the runs that report it.
+    """
+    series: Dict[str, List[float]] = {"wall_s": []}
+    names = []
+    for record in records:
+        for name in record.scalars:
+            if name not in names:
+                names.append(name)
+    for record in records:
+        series["wall_s"].append(record.wall_s)
+    for name in names:
+        series[name] = [
+            record.scalars[name]
+            for record in records if name in record.scalars
+        ]
+    return series
+
+
+def trend_chart(
+    records: List[BenchRecord], metric: str = "wall_s", width: int = 40
+) -> str:
+    """Unicode trend chart of one metric across recorded runs."""
+    if metric == "wall_s":
+        values = [record.wall_s for record in records]
+        labelled = list(enumerate(records))
+    else:
+        labelled = [
+            (index, record)
+            for index, record in enumerate(records)
+            if metric in record.scalars
+        ]
+        values = [record.scalars[metric] for _, record in labelled]
+    if not values:
+        return "(no recorded values)"
+    labels = [_run_label(record, index) for index, record in labelled]
+    return bar_chart(labels, values, width=width)
+
+
+def _summary_rows(
+    store: TrajectoryStore, baseline: Optional[Baseline]
+) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for bench_id in store.bench_ids():
+        records = store.load(bench_id)
+        latest = records[-1]
+        previous = records[-2].wall_s if len(records) > 1 else None
+        pinned = "--"
+        if baseline is not None:
+            entry = baseline.benchmarks.get(bench_id, {})
+            if "wall_s" in entry:
+                pinned = f"{entry['wall_s'].value:.4g}s"
+        rows.append([
+            bench_id,
+            len(records),
+            f"{latest.wall_s:.4g}s",
+            _delta(latest.wall_s, previous),
+            pinned,
+        ])
+    return rows
+
+
+def render_dashboard(
+    store: TrajectoryStore,
+    baseline: Optional[Baseline] = None,
+    window: int = DEFAULT_WINDOW,
+) -> str:
+    """The full markdown dashboard for one trajectory store."""
+    lines = [
+        "# Benchmark trajectory dashboard",
+        "",
+        f"Store: `{store.root}` -- {len(store.bench_ids())} benchmarks, "
+        "append-only JSONL (see docs/benchmarking.md).",
+        "",
+    ]
+    ids = store.bench_ids()
+    if not ids:
+        lines.append("_No recorded runs yet: `python -m repro bench`._")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "## Summary",
+        "",
+        "```",
+        format_table(
+            ["benchmark", "runs", "latest wall", "vs prev", "baseline"],
+            _summary_rows(store, baseline),
+        ),
+        "```",
+        "",
+    ]
+    for bench_id in ids:
+        records = store.load(bench_id)[-window:]
+        latest = records[-1]
+        lines += [f"## {latest.title}", "", f"`{bench_id}` -- {latest.test}"]
+        if latest.notes:
+            lines.append(f"\n> {latest.notes}")
+        lines.append("")
+        for metric in _metric_series(records):
+            lines += [
+                f"### {metric}",
+                "",
+                "```",
+                trend_chart(records, metric),
+                "```",
+                "",
+            ]
+        lines += [
+            "### runs",
+            "",
+            "```",
+            format_table(
+                ["recorded", "git", "wall (s)", "scalars"],
+                [
+                    [
+                        record.recorded_at,
+                        (record.git_sha or "")[:10] or "--",
+                        f"{record.wall_s:.4g}",
+                        ", ".join(
+                            f"{name}={value:.6g}"
+                            for name, value in sorted(record.scalars.items())
+                        ) or "--",
+                    ]
+                    for record in records
+                ],
+            ),
+            "```",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def render_dashboard_html(markdown: str) -> str:
+    """A self-contained HTML wrapper around the markdown dashboard.
+
+    Deliberately minimal (no converter dependency): the monospace
+    content -- tables and Unicode charts -- is the dashboard.
+    """
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Benchmark trajectory dashboard</title>"
+        "<style>body{background:#111;color:#eee;}"
+        "pre{font-family:ui-monospace,monospace;font-size:13px;"
+        "line-height:1.35;}</style></head>\n"
+        "<body><pre>" + _html.escape(markdown) + "</pre></body></html>\n"
+    )
+
+
+def write_dashboard(
+    store: TrajectoryStore,
+    output: str,
+    baseline: Optional[Baseline] = None,
+    html_output: str = "",
+    window: int = DEFAULT_WINDOW,
+) -> str:
+    """Render and atomically write the dashboard; returns the markdown."""
+    markdown = render_dashboard(store, baseline=baseline, window=window)
+    atomic_write_text(output, markdown)
+    if html_output:
+        atomic_write_text(html_output, render_dashboard_html(markdown))
+    return markdown

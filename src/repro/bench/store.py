@@ -1,0 +1,99 @@
+"""The append-only benchmark trajectory store.
+
+Layout: one JSON-lines file per bench id under the store root
+(``benchmarks/trajectory/`` by default), each line one
+:class:`~repro.bench.record.BenchRecord`.  Appends rewrite the file
+through :func:`repro.obs.atomicio.atomic_write_text` -- the POSIX
+append-with-rename idiom -- so a run killed mid-record leaves the
+previous trajectory intact rather than a torn line.
+
+The store is the single source the comparator (:mod:`repro.bench
+.baseline`) and the dashboard (:mod:`repro.bench.report`) read; nothing
+in it is ever mutated in place, only appended, which is what makes
+"trajectory" a meaningful word: the history of a bench id is the file,
+in write order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.bench.record import BenchRecord
+from repro.obs.atomicio import atomic_write_text
+
+#: Environment override for the store root (the bench CLI and the
+#: benchmark conftest both honour it, so a CI job can point every
+#: producer and consumer at one scratch directory).
+STORE_ENV = "REPRO_BENCH_STORE"
+
+#: Default store root, relative to the repository checkout.
+DEFAULT_STORE = "benchmarks/trajectory"
+
+
+def resolve_store_root(explicit: str = "") -> str:
+    """The store root: explicit flag > ``REPRO_BENCH_STORE`` > default."""
+    return explicit or os.environ.get(STORE_ENV, "") or DEFAULT_STORE
+
+
+class TrajectoryStore:
+    """Read/append access to one trajectory directory."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, bench_id: str) -> pathlib.Path:
+        return self.root / f"{bench_id}.jsonl"
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: BenchRecord) -> pathlib.Path:
+        """Append one record to its bench trajectory (crash-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(record.bench_id)
+        existing = path.read_text(encoding="utf-8") if path.exists() else ""
+        line = json.dumps(record.to_dict(), sort_keys=True, default=str)
+        atomic_write_text(str(path), existing + line + "\n")
+        return path
+
+    # -- reading ---------------------------------------------------------------
+
+    def bench_ids(self) -> List[str]:
+        """Every bench id with at least one record, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.stem
+            for entry in self.root.glob("*.jsonl")
+            if entry.is_file()
+        )
+
+    def load(self, bench_id: str) -> List[BenchRecord]:
+        """All records of one bench id, oldest first."""
+        path = self._path(bench_id)
+        if not path.exists():
+            return []
+        records = []
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                records.append(BenchRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError) as error:
+                raise ValueError(
+                    f"corrupt trajectory record {path}:{number}: {error}"
+                ) from error
+        return records
+
+    def latest(self, bench_id: str) -> Optional[BenchRecord]:
+        """The most recent record of one bench id (None when absent)."""
+        records = self.load(bench_id)
+        return records[-1] if records else None
+
+    def counts(self) -> Dict[str, int]:
+        """bench id -> number of recorded runs (run-delta detection)."""
+        return {bench_id: len(self.load(bench_id)) for bench_id in self.bench_ids()}

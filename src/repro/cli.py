@@ -14,6 +14,9 @@ subcommands cover the common flows:
   report the SDC/DUE breakdown per SuDoku level.
 * ``perf``      -- run the Fig. 8/9 ideal-vs-SuDoku comparison on chosen
   workloads.
+* ``lint``      -- domain static analysis (RPR rules).
+* ``bench``     -- run the benchmark suite, record perf trajectories,
+  and gate against the committed baseline (docs/benchmarking.md).
 
 ``campaign``, ``perf``, and ``exhibits`` accept the shared telemetry
 flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
@@ -299,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
              "docs/static-analysis.md)",
     )
     configure_lint_parser(lint)
+
+    from repro.bench.cli import configure_bench_parser
+
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmarks, record perf trajectories, gate against the "
+             "baseline (see docs/benchmarking.md)",
+    )
+    configure_bench_parser(bench)
 
     design = sub.add_parser(
         "design", help="find the cheapest configuration meeting a FIT target"
@@ -764,6 +776,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.lint.cli import run_lint_command
 
             return run_lint_command(args)
+        if args.command == "bench":
+            from repro.bench.cli import run_bench_command
+
+            return run_bench_command(args)
     except CheckpointError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

@@ -1,4 +1,4 @@
-"""The six RPR domain rules.
+"""The seven RPR domain rules.
 
 Each rule mechanizes a bug this repository actually shipped and fixed
 by hand in an earlier PR (the ``rationale`` attribute names it); the
@@ -430,6 +430,44 @@ class ParallelRngChecker(Checker):
             f"{constructor}(...) in a parallel path is not visibly derived "
             "from the campaign SeedSequence tree; use "
             "parallel.sharding.spawn_generators / shard_python_seeds",
+        )
+
+
+@register
+class WallClockDurationChecker(Checker):
+    """RPR007: ``time.time()`` used where a duration source belongs.
+
+    ``time.time()`` follows the wall clock: NTP slews, DST, and manual
+    adjustments make deltas taken from it wrong by arbitrary amounts,
+    which silently corrupts benchmark timings, deadline accounting, and
+    span durations.  Durations must come from ``time.perf_counter()``
+    (or an injected clock); calendar timestamps from
+    ``datetime.now(timezone.utc)``.
+    """
+
+    rule = "RPR007"
+    name = "wall-clock-duration"
+    severity = Severity.ERROR
+    description = "time.time() used instead of perf_counter/injected clock"
+    rationale = (
+        "PR 6's benchmark trajectory store keys regressions off recorded "
+        "wall times; a time.time() delta is not monotonic, so one NTP "
+        "step can fabricate or mask a 2x slowdown"
+    )
+    interests = ("Call",)
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if ctx.resolve(node.func) != "time.time":
+            return
+        yield self.finding(
+            node,
+            ctx,
+            "time.time() is wall-clock and non-monotonic; use "
+            "time.perf_counter() (or the component's injected clock) for "
+            "durations, datetime.now(timezone.utc) for timestamps",
         )
 
 

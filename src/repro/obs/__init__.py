@@ -51,7 +51,13 @@ from repro.obs.metrics import (
     merge_registry,
 )
 from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
-from repro.obs.tracing import NullTracer, Span, Tracer
+from repro.obs.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    export_spans,
+    merge_traces,
+)
 
 
 @dataclass
@@ -110,6 +116,8 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "Span",
+    "export_spans",
+    "merge_traces",
     "ProgressReporter",
     "NullProgress",
     "NULL_PROGRESS",

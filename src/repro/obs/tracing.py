@@ -185,6 +185,7 @@ class NullTracer:
     """Zero-cost tracer: never reads the clock, retains nothing."""
 
     enabled = False
+    capacity = 0
     dropped = 0
     started = 0
     active_depth = 0
@@ -206,3 +207,81 @@ class NullTracer:
 
     def to_json_lines(self) -> str:
         return ""
+
+
+def export_spans(tracer) -> List[Dict]:
+    """Completed spans as plain dicts -- the cross-process wire form.
+
+    Worker processes cannot ship :class:`Span` objects (they hold a
+    tracer reference); they ship this instead, and the parent adopts
+    with :func:`merge_traces`.  A :class:`NullTracer` exports ``[]``.
+    """
+    return [span.to_dict() for span in tracer]
+
+
+def merge_traces(target, spans, shard: Optional[int] = None) -> int:
+    """Adopt completed worker spans into ``target`` (cf. merge_registry).
+
+    ``spans`` is a :class:`Tracer` or an iterable of span dicts (the
+    :func:`export_spans` wire form).  Adopted spans keep their names,
+    attributes, durations, statuses, and completion order; span ids are
+    remapped onto the target's id sequence, the worker's root spans are
+    re-parented under the target's innermost *active* span (so a merge
+    performed inside ``with tracer.span("sharded_campaign")`` files every
+    worker under that span), and ``shard`` -- when given -- is stamped on
+    every adopted span's attributes.
+
+    Merging shards in a fixed (sorted-index) order therefore yields a
+    trace whose structure -- names, depths, parent chains, shard tags --
+    is bit-stable across same-seed reruns; only the clock readings vary.
+    Worker ``start_s``/``end_s`` are per-process monotonic readings:
+    durations are meaningful, cross-process offsets are not, so they are
+    adopted untranslated.
+
+    Returns the number of spans adopted; a disabled ``target`` (the
+    :class:`NullTracer`) adopts nothing.
+    """
+    if not getattr(target, "enabled", False):
+        return 0
+    payload = [
+        span.to_dict() if isinstance(span, Span) else dict(span)
+        for span in spans
+    ]
+    if not payload:
+        return 0
+    base = target._stack[-1] if target._stack else None
+    base_depth = base.depth + 1 if base is not None else 0
+    # Two passes: completed spans arrive in completion order, so a
+    # worker parent is exported *after* its children -- the id map must
+    # be complete before any parent link is resolved.
+    id_map: Dict[object, int] = {}
+    adopted: List[Span] = []
+    for entry in payload:
+        span = Span(
+            target,
+            str(entry.get("name", "")),
+            dict(entry.get("attributes", {})),
+        )
+        if shard is not None:
+            span.attributes["shard"] = shard
+        span.span_id = target._next_id
+        target._next_id += 1
+        target.started += 1
+        id_map[entry.get("span_id")] = span.span_id
+        span.depth = int(entry.get("depth", 0)) + base_depth
+        span.start_s = float(entry.get("start_s", 0.0))
+        span.end_s = float(entry.get("end_s", 0.0))
+        span.status = str(entry.get("status", "ok"))
+        adopted.append(span)
+    for entry, span in zip(payload, adopted):
+        parent = entry.get("parent_id")
+        if parent is not None and parent in id_map:
+            span.parent_id = id_map[parent]
+        elif base is not None:
+            # A worker root (or a span whose parent fell out of the
+            # worker's bounded ring): file it under the merge point.
+            span.parent_id = base.span_id
+        if len(target._finished) == target.capacity:
+            target.dropped += 1
+        target._finished.append(span)
+    return len(payload)

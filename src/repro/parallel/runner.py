@@ -19,8 +19,12 @@ shards across worker processes, and merging the per-shard aggregates:
   checkpointer as serial runs, so a killed-and-resumed sharded campaign
   equals an uninterrupted same-seed/same-K run bit for bit.
 * Telemetry composes by merge: each worker records into its own
-  registry, shipped back with the shard result and folded into the
-  caller's registry (:func:`repro.obs.merge_registry`); one aggregated
+  registry and tracer, shipped back with the shard result and folded
+  into the caller's bundle (:func:`repro.obs.merge_registry` for
+  counters, :func:`repro.obs.merge_traces` for spans -- worker phase
+  spans land under the parent's ``sharded_campaign`` span, tagged with
+  their shard index, in fixed shard order so the merged trace structure
+  is reproducible); one aggregated
   :class:`~repro.obs.ProgressReporter` in the parent is fed from a shard
   progress queue.
 
@@ -42,7 +46,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import NULL_PROGRESS, Telemetry, merge_registry, resolve_telemetry
+from repro.obs import (
+    NULL_PROGRESS,
+    Telemetry,
+    export_spans,
+    merge_registry,
+    merge_traces,
+    resolve_telemetry,
+)
 from repro.parallel.merge import (
     merge_campaign_results,
     merge_conditional_results,
@@ -168,8 +179,10 @@ def _shard_checkpointer(
     )
 
 
-def _run_shard(spec: _ShardSpec, queue) -> Tuple[object, Optional[object]]:
-    """Execute one shard; returns (result, metrics registry or None)."""
+def _run_shard(
+    spec: _ShardSpec, queue
+) -> Tuple[object, Optional[object], Optional[List[Dict]]]:
+    """Execute one shard; returns (result, metrics or None, spans or None)."""
     telemetry = Telemetry.create() if spec.telemetry else None
     progress = _ShardProgress(queue, spec.index, spec.progress_batch)
     checkpointer = _shard_checkpointer(spec, queue)
@@ -208,15 +221,19 @@ def _run_shard(spec: _ShardSpec, queue) -> Tuple[object, Optional[object]]:
         )
     else:  # pragma: no cover - specs are built by this module only
         raise ValueError(f"unknown shard kind {spec.kind!r}")
-    metrics = telemetry.metrics if telemetry is not None else None
-    return result, metrics
+    if telemetry is None:
+        return result, None, None
+    # Spans ship as plain dicts (the export_spans wire form): Span
+    # objects hold a tracer reference and must not cross the pickle
+    # boundary.
+    return result, telemetry.metrics, export_spans(telemetry.tracer)
 
 
 def _shard_worker(spec: _ShardSpec, queue) -> None:
     """Process entry point: run the shard, ship the outcome back."""
     try:
-        result, metrics = _run_shard(spec, queue)
-        queue.put(("result", spec.index, result, metrics))
+        result, metrics, spans = _run_shard(spec, queue)
+        queue.put(("result", spec.index, result, metrics, spans))
     except BaseException:
         queue.put(("error", spec.index, traceback.format_exc()))
 
@@ -245,7 +262,7 @@ def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
     ]
     for process in processes:
         process.start()
-    outcomes: Dict[int, Tuple[object, Optional[object]]] = {}
+    outcomes: Dict[int, Tuple[object, Optional[object], Optional[List[Dict]]]] = {}
     errors: Dict[int, str] = {}
     pending = {spec.index for spec in specs}
     try:
@@ -271,7 +288,7 @@ def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
             elif kind == "resumed":
                 progress.note_resumed(message[2])
             elif kind == "result":
-                outcomes[message[1]] = (message[2], message[3])
+                outcomes[message[1]] = (message[2], message[3], message[4])
                 pending.discard(message[1])
             elif kind == "error":
                 errors[message[1]] = message[2]
@@ -293,10 +310,14 @@ def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
     if errors:
         raise ShardError(errors)
     if telemetry is not None:
+        # Fixed (sorted-index) merge order: the merged trace structure
+        # and counter totals are reproducible for a given (seed, shards).
         for index in sorted(outcomes):
-            metrics = outcomes[index][1]
+            _, metrics, spans = outcomes[index]
             if metrics is not None:
                 merge_registry(telemetry.metrics, metrics)
+            if spans:
+                merge_traces(telemetry.tracer, spans, shard=index)
     return [outcomes[index][0] for index in sorted(outcomes)]
 
 

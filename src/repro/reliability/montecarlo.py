@@ -352,76 +352,85 @@ def run_engine_campaign(
 
     completed = start
     snapshot = boundary_snapshot(start)
-    with tel.tracer.span(
+    # Per-phase spans are attribute-free: a live tracer pays two clock
+    # reads per span, the NullTracer pays one no-op call, and either way
+    # the RNG stream is untouched.
+    tracer = tel.tracer
+    with tracer.span(
         "campaign", level=level, ber=ber, intervals=intervals,
         lines=array.num_lines,
     ):
         try:
             for _ in range(start, intervals):
                 started = time.perf_counter() if tel.enabled else 0.0
-                if chaos is not None:
-                    applied = chaos.corrupt_metadata(engine)
-                    result.metadata.update(applied)
-                    if tel.enabled:
-                        for event, count in applied.items():
-                            m_chaos.labels(event=event).inc(count)
-                dirty = injector.inject_frames(array)
-                visits = dirty
-                if chaos is not None:
-                    visits, applied = chaos.perturb_visits(visits)
-                    result.metadata.update(applied)
-                    if tel.enabled:
-                        for event, count in applied.items():
-                            m_chaos.labels(event=event).inc(count)
-                if scrub_mode == "dense":
-                    counts = engine.scrub_frames(
-                        _dense_walk(array.num_lines, dirty, visits)
-                    )
-                else:
-                    # Sparse fast path: decode the scheduled dirty visits
-                    # only; every frame outside the (pre-perturbation)
-                    # dirty set is a valid codeword and bulk-accounts as
-                    # clean -- exactly the outcomes a dense walk records
-                    # for those lines.
-                    sparse_counts = Counter(engine.scrub_frames(visits))
-                    bulk_clean = array.num_lines - len(dirty)
-                    account = getattr(engine, "account_bulk_clean", None)
-                    if account is not None:
-                        account(bulk_clean)
-                    sparse_counts[Outcome.CLEAN.value] += bulk_clean
-                    counts = dict(sparse_counts)
+                with tracer.span("phase_inject"):
+                    if chaos is not None:
+                        applied = chaos.corrupt_metadata(engine)
+                        result.metadata.update(applied)
+                        if tel.enabled:
+                            for event, count in applied.items():
+                                m_chaos.labels(event=event).inc(count)
+                    dirty = injector.inject_frames(array)
+                    visits = dirty
+                    if chaos is not None:
+                        visits, applied = chaos.perturb_visits(visits)
+                        result.metadata.update(applied)
+                        if tel.enabled:
+                            for event, count in applied.items():
+                                m_chaos.labels(event=event).inc(count)
+                with tracer.span("phase_scrub"):
+                    if scrub_mode == "dense":
+                        counts = engine.scrub_frames(
+                            _dense_walk(array.num_lines, dirty, visits)
+                        )
+                    else:
+                        # Sparse fast path: decode the scheduled dirty
+                        # visits only; every frame outside the
+                        # (pre-perturbation) dirty set is a valid codeword
+                        # and bulk-accounts as clean -- exactly the
+                        # outcomes a dense walk records for those lines.
+                        sparse_counts = Counter(engine.scrub_frames(visits))
+                        bulk_clean = array.num_lines - len(dirty)
+                        account = getattr(engine, "account_bulk_clean", None)
+                        if account is not None:
+                            account(bulk_clean)
+                        sparse_counts[Outcome.CLEAN.value] += bulk_clean
+                        counts = dict(sparse_counts)
                 result.outcomes.update(counts)
                 failed = any(
                     count and is_failure_label(label)
                     for label, count in counts.items()
                 )
-                if failed:
-                    result.interval_failures += 1
-                    heal(array)
-                    # A DUE may have triggered a parity rebuild over
-                    # still-corrupt words (write-path poisoning semantics);
-                    # healing invalidates those entries, so restore the
-                    # ground-truth parities too.
-                    initialize = getattr(engine, "initialize_parities", None)
-                    if initialize is not None:
-                        initialize()
-                if chaos is not None:
-                    # Dropped visits and undetected metadata corruption
-                    # must not leak across the interval boundary (the
-                    # independence invariant campaigns and checkpoints
-                    # both rely on): heal the array and run the engine's
-                    # metadata scrub.
-                    heal(array)
-                    audit = getattr(engine, "audit_metadata", None)
-                    if audit is not None:
-                        audit_report = audit(repair=True)
-                        for key in (
-                            "crc_faults", "recompute_faults", "rebuilt",
-                        ):
-                            if audit_report.get(key):
-                                result.metadata["residual_" + key] += (
-                                    audit_report[key]
-                                )
+                with tracer.span("phase_correct"):
+                    if failed:
+                        result.interval_failures += 1
+                        heal(array)
+                        # A DUE may have triggered a parity rebuild over
+                        # still-corrupt words (write-path poisoning
+                        # semantics); healing invalidates those entries, so
+                        # restore the ground-truth parities too.
+                        initialize = getattr(
+                            engine, "initialize_parities", None
+                        )
+                        if initialize is not None:
+                            initialize()
+                    if chaos is not None:
+                        # Dropped visits and undetected metadata corruption
+                        # must not leak across the interval boundary (the
+                        # independence invariant campaigns and checkpoints
+                        # both rely on): heal the array and run the
+                        # engine's metadata scrub.
+                        heal(array)
+                        audit = getattr(engine, "audit_metadata", None)
+                        if audit is not None:
+                            audit_report = audit(repair=True)
+                            for key in (
+                                "crc_faults", "recompute_faults", "rebuilt",
+                            ):
+                                if audit_report.get(key):
+                                    result.metadata["residual_" + key] += (
+                                        audit_report[key]
+                                    )
                 completed += 1
                 if tel.enabled:
                     m_intervals.inc()

@@ -42,7 +42,7 @@ from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import reconstruct_line, scan_group
 from repro.core.rng import resolve_pyrandom
 from repro.core.sdr import resurrect
-from repro.obs import NULL_PROGRESS, Telemetry, resolve_telemetry
+from repro.obs import NULL_PROGRESS, NullTracer, Telemetry, resolve_telemetry
 from repro.reliability.binomial import binomial_pmf, binomial_tail, complement_power
 from repro.reliability.fit import fit_from_interval_probability
 from repro.resilience.checkpoint import (
@@ -193,6 +193,9 @@ class ConditionalGroupSimulator:
         #: is the trust-nothing audit mode.
         self.sparse = sparse
         self.line_bits = self.codec.stored_bits
+        #: Phase-span tracer; :meth:`run` swaps in the campaign's live
+        #: tracer (RNG-neutral: spans never touch the trial stream).
+        self._tracer = NullTracer()
 
         # Per-line multi-fault probability and the conditioned tails.
         self.p_multi = binomial_tail(self.line_bits, 2, ber)
@@ -252,26 +255,34 @@ class ConditionalGroupSimulator:
 
     def _repair_y(self, array: STTRAMArray, plt: ParityLineTable) -> List[int]:
         """Full SuDoku-Y repair of one group; returns surviving frames."""
-        scan = scan_group(
-            array, self.codec, 0, range(self.group_size),
-            trusted_clean=self.sparse,
-        )
-        if len(scan.uncorrectable) > 1:
-            resurrect(array, self.codec, plt, scan, self.sdr_max_mismatches)
-        if len(scan.uncorrectable) == 1:
-            reconstruct_line(array, self.codec, plt, scan, scan.uncorrectable[0])
+        with self._tracer.span("phase_scrub"):
+            scan = scan_group(
+                array, self.codec, 0, range(self.group_size),
+                trusted_clean=self.sparse,
+            )
+        with self._tracer.span("phase_correct"):
+            if len(scan.uncorrectable) > 1:
+                resurrect(
+                    array, self.codec, plt, scan, self.sdr_max_mismatches
+                )
+            if len(scan.uncorrectable) == 1:
+                reconstruct_line(
+                    array, self.codec, plt, scan, scan.uncorrectable[0]
+                )
         return list(scan.uncorrectable)
 
     def trial_y(self) -> bool:
         """One conditioned trial of SuDoku-Y; True = the group failed."""
-        array, plt = self._fresh_group()
-        self._inject_conditioned(array)
+        with self._tracer.span("phase_inject"):
+            array, plt = self._fresh_group()
+            self._inject_conditioned(array)
         return bool(self._repair_y(array, plt))
 
     def trial_z(self) -> bool:
         """One conditioned trial of SuDoku-Z (one peeling level of Hash-2)."""
-        array, plt = self._fresh_group()
-        self._inject_conditioned(array)
+        with self._tracer.span("phase_inject"):
+            array, plt = self._fresh_group()
+            self._inject_conditioned(array)
         survivors = self._repair_y(array, plt)
         if not survivors:
             return False
@@ -279,12 +290,15 @@ class ConditionalGroupSimulator:
         # (guaranteed disjoint by the skewing invariant) with an
         # unconditioned multi-fault background.
         for survivor in survivors:
-            side_array, side_plt = self._fresh_group()
-            golden = array.golden(survivor)
-            side_array.write(0, golden)  # the survivor aliases slot 0
-            side_plt.rebuild(0, [side_array.read(f) for f in range(self.group_size)])
-            side_array.inject(0, array.error_vector(survivor))
-            self._inject_background(side_array, exclude=0)
+            with self._tracer.span("phase_inject"):
+                side_array, side_plt = self._fresh_group()
+                golden = array.golden(survivor)
+                side_array.write(0, golden)  # the survivor aliases slot 0
+                side_plt.rebuild(
+                    0, [side_array.read(f) for f in range(self.group_size)]
+                )
+                side_array.inject(0, array.error_vector(survivor))
+                self._inject_background(side_array, exclude=0)
             self._repair_y(side_array, side_plt)
             if side_array.is_clean(0):
                 array.restore(survivor, golden)
@@ -328,6 +342,10 @@ class ConditionalGroupSimulator:
         if trial is None:
             raise ValueError("conditional campaigns support levels Y and Z")
         tel = resolve_telemetry(telemetry)
+        # Phase spans (inject/scrub/correct) record into the campaign's
+        # tracer for the duration of the run; a null bundle swaps the
+        # no-op tracer back in.
+        self._tracer = tel.tracer
         metrics = tel.metrics
         m_trials = metrics.counter(
             "raresim_trials_total",

@@ -1,0 +1,171 @@
+"""The baseline comparator: thresholds, directions, missing data."""
+
+import math
+
+import pytest
+
+from repro.bench.baseline import Baseline, Threshold
+from repro.bench.record import BenchRecord, stable_bench_id
+from repro.bench.store import TrajectoryStore
+
+
+def make_record(title="t", wall_s=1.0, scalars=None):
+    return BenchRecord(
+        bench_id=stable_bench_id(title),
+        title=title,
+        wall_s=wall_s,
+        scalars=scalars or {},
+    )
+
+
+class TestThreshold:
+    def test_max_direction_regresses_upward(self):
+        threshold = Threshold(value=1.0, tolerance=0.5, direction="max")
+        assert threshold.allowed == pytest.approx(1.5)
+        assert not threshold.regressed(1.5)
+        assert threshold.regressed(1.51)
+
+    def test_min_direction_regresses_downward(self):
+        # Speedups: smaller is worse.
+        threshold = Threshold(value=20.0, tolerance=0.5, direction="min")
+        assert threshold.allowed == pytest.approx(10.0)
+        assert not threshold.regressed(10.0)
+        assert threshold.regressed(9.9)
+
+    def test_min_direction_tolerance_floor_is_zero(self):
+        threshold = Threshold(value=5.0, tolerance=2.0, direction="min")
+        assert threshold.allowed == 0.0
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Threshold(value=1.0, direction="down")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            Threshold(value=1.0, tolerance=-0.1)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        baseline = Baseline({
+            "bench-a": {
+                "wall_s": Threshold(value=0.8, tolerance=1.0),
+                "speedup": Threshold(
+                    value=20.0, tolerance=0.5, direction="min"
+                ),
+            },
+        })
+        baseline.save(path)
+        restored = Baseline.load(path)
+        assert restored.benchmarks == baseline.benchmarks
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.json"))
+        assert baseline.benchmarks == {}
+
+
+class TestCompareRecord:
+    def test_clean_record_no_regressions(self):
+        record = make_record(wall_s=1.0, scalars={"fit": 3.0})
+        baseline = Baseline({
+            record.bench_id: {
+                "wall_s": Threshold(value=1.0),
+                "fit": Threshold(value=3.0),
+            },
+        })
+        assert baseline.compare_record(record) == []
+
+    def test_wall_clock_regression_detected(self):
+        record = make_record(wall_s=2.1)
+        baseline = Baseline({
+            record.bench_id: {"wall_s": Threshold(value=1.0, tolerance=1.0)},
+        })
+        regressions = baseline.compare_record(record)
+        assert [r.metric for r in regressions] == ["wall_s"]
+        assert "allowed 2" in regressions[0].describe()
+
+    def test_missing_baselined_scalar_is_a_regression(self):
+        # A benchmark that stops reporting a gated scalar must fail,
+        # not silently relax the gate.
+        record = make_record(wall_s=1.0, scalars={})
+        baseline = Baseline({
+            record.bench_id: {"fit": Threshold(value=3.0)},
+        })
+        regressions = baseline.compare_record(record)
+        assert len(regressions) == 1
+        assert "missing from record" in regressions[0].metric
+        assert math.isnan(regressions[0].measured)
+
+    def test_unbaselined_record_passes(self):
+        baseline = Baseline()
+        assert baseline.compare_record(make_record()) == []
+
+
+class TestCompareStore:
+    def test_restricts_to_requested_ids(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(title="ran", wall_s=1.0))
+        baseline = Baseline({
+            stable_bench_id("ran"): {"wall_s": Threshold(value=1.0)},
+            stable_bench_id("skipped"): {"wall_s": Threshold(value=1.0)},
+        })
+        comparison = baseline.compare(
+            store, bench_ids=[stable_bench_id("ran")]
+        )
+        assert comparison.ok
+        assert comparison.checked == [stable_bench_id("ran")]
+        assert comparison.missing_records == []
+
+    def test_baselined_id_without_record_is_missing(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        baseline = Baseline({
+            stable_bench_id("gone"): {"wall_s": Threshold(value=1.0)},
+        })
+        comparison = baseline.compare(
+            store, bench_ids=[stable_bench_id("gone")]
+        )
+        assert comparison.missing_records == [stable_bench_id("gone")]
+
+    def test_recorded_id_without_baseline_is_noted(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(title="new"))
+        comparison = Baseline().compare(store)
+        assert comparison.ok
+        assert comparison.missing_baseline == [stable_bench_id("new")]
+
+    def test_compares_latest_record_only(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(wall_s=10.0))  # old, terrible
+        store.append(make_record(wall_s=1.0))   # latest, fine
+        baseline = Baseline({
+            stable_bench_id("t"): {"wall_s": Threshold(value=1.0)},
+        })
+        assert baseline.compare(store).ok
+
+
+class TestUpdateFromStore:
+    def test_pins_latest_values(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(wall_s=2.5, scalars={"fit": 4.0}))
+        baseline = Baseline()
+        baseline.update_from_store(store)
+        entry = baseline.benchmarks[stable_bench_id("t")]
+        assert entry["wall_s"].value == 2.5
+        assert entry["fit"].value == 4.0
+
+    def test_keeps_existing_tolerance_and_direction(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(wall_s=1.0, scalars={"speedup": 30.0}))
+        baseline = Baseline({
+            stable_bench_id("t"): {
+                "speedup": Threshold(
+                    value=20.0, tolerance=0.25, direction="min"
+                ),
+            },
+        })
+        baseline.update_from_store(store)
+        pinned = baseline.benchmarks[stable_bench_id("t")]["speedup"]
+        assert pinned.value == 30.0
+        assert pinned.tolerance == 0.25
+        assert pinned.direction == "min"

@@ -1,0 +1,166 @@
+"""End-to-end ``repro bench``: run, gate, regress, report.
+
+The centrepiece is the acceptance test the subsystem exists for: a
+fixture benchmark whose cost is injected through the environment runs
+clean at 1x, the baseline is pinned, and the artificially injected 2x
+slowdown must turn ``repro bench --compare`` into a non-zero exit.
+"""
+
+import argparse
+
+import pytest
+
+from repro.bench.baseline import Baseline, Threshold
+from repro.bench.cli import (
+    REGRESSION_EXIT,
+    configure_bench_parser,
+    run_bench_command,
+)
+from repro.bench.record import stable_bench_id
+from repro.bench.store import TrajectoryStore
+
+# A real benchmark file for the pytest subprocess: its wall clock and
+# its ``cost`` scalar both scale with the injected multiplier, so the
+# gate trips on either metric.
+FIXTURE_BENCH = '''\
+import os
+
+from repro.bench.record import record_from_exhibit
+from repro.bench.store import TrajectoryStore, resolve_store_root
+
+
+def test_fixture_cost():
+    cost = float(os.environ.get("REPRO_BENCH_FIXTURE_COST", "1.0"))
+    exhibit = {
+        "title": "fixture benchmark cost",
+        "headers": ["metric", "value"],
+        "rows": [["cost", cost]],
+        "scalars": {"cost": cost},
+    }
+    TrajectoryStore(resolve_store_root("")).append(
+        record_from_exhibit(exhibit, wall_s=0.25 * cost, test="fixture")
+    )
+'''
+
+FIXTURE_ID = stable_bench_id("fixture benchmark cost")
+
+
+def bench_args(*argv):
+    parser = argparse.ArgumentParser(prog="repro bench")
+    configure_bench_parser(parser)
+    return parser.parse_args(list(argv))
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    directory = tmp_path / "suite"
+    directory.mkdir()
+    (directory / "bench_fixture.py").write_text(
+        FIXTURE_BENCH, encoding="utf-8"
+    )
+    return directory
+
+
+class TestUsageErrors:
+    def test_no_matching_benchmarks_is_usage_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        args = bench_args(
+            "run", "--bench-dir", str(empty), "--store", str(tmp_path / "s")
+        )
+        assert run_bench_command(args) == 2
+
+    def test_skip_run_requires_a_consumer(self, tmp_path):
+        args = bench_args(
+            "run", "--skip-run", "--store", str(tmp_path / "s")
+        )
+        assert run_bench_command(args) == 2
+
+
+class TestEndToEnd:
+    def test_two_x_slowdown_trips_the_gate(
+        self, bench_dir, tmp_path, monkeypatch, capsys
+    ):
+        store_root = tmp_path / "trajectory"
+        baseline_path = str(tmp_path / "baseline.json")
+        common = [
+            "--bench-dir", str(bench_dir),
+            "--store", str(store_root),
+            "--baseline", baseline_path,
+        ]
+
+        # Run at 1x and pin the baseline at the recorded values.
+        monkeypatch.setenv("REPRO_BENCH_FIXTURE_COST", "1.0")
+        assert run_bench_command(
+            bench_args("run", "--update-baseline", *common)
+        ) == 0
+        store = TrajectoryStore(store_root)
+        assert store.counts() == {FIXTURE_ID: 1}
+
+        # Tighten the default 1x slack to 50% so a 2x measurement is
+        # unambiguously past the allowance.
+        baseline = Baseline.load(baseline_path)
+        baseline.benchmarks[FIXTURE_ID] = {
+            name: Threshold(
+                value=threshold.value,
+                tolerance=0.5,
+                direction=threshold.direction,
+            )
+            for name, threshold in baseline.benchmarks[FIXTURE_ID].items()
+        }
+        baseline.save(baseline_path)
+
+        # A clean re-run at 1x passes the gate.
+        assert run_bench_command(
+            bench_args("run", "--compare", *common)
+        ) == 0
+        assert "baseline comparison clean" in capsys.readouterr().out
+
+        # The injected 2x slowdown must be a non-zero exit.
+        monkeypatch.setenv("REPRO_BENCH_FIXTURE_COST", "2.0")
+        assert run_bench_command(
+            bench_args("run", "--compare", *common)
+        ) == REGRESSION_EXIT
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert FIXTURE_ID in captured.err
+
+    def test_baselined_bench_that_stopped_running_fails(self, tmp_path):
+        store_root = tmp_path / "trajectory"
+        baseline_path = str(tmp_path / "baseline.json")
+        Baseline({
+            "vanished-bench-00000000": {"wall_s": Threshold(value=1.0)},
+        }).save(baseline_path)
+        args = bench_args(
+            "run", "--skip-run", "--compare",
+            "--store", str(store_root), "--baseline", baseline_path,
+        )
+        assert run_bench_command(args) == REGRESSION_EXIT
+
+    def test_list_and_report(self, bench_dir, tmp_path, capsys):
+        store_root = tmp_path / "trajectory"
+        common = ["--bench-dir", str(bench_dir), "--store", str(store_root)]
+
+        # Two recorded runs so the dashboard has a trend to draw.
+        for _ in range(2):
+            assert run_bench_command(bench_args("run", *common)) == 0
+        capsys.readouterr()
+
+        assert run_bench_command(bench_args("list", *common)) == 0
+        listing = capsys.readouterr().out
+        assert "bench_fixture.py" in listing
+        assert f"{FIXTURE_ID} (2 run(s))" in listing
+
+        output = tmp_path / "DASHBOARD.md"
+        html = tmp_path / "DASHBOARD.html"
+        assert run_bench_command(bench_args(
+            "report", *common,
+            "--output", str(output), "--html", str(html),
+        )) == 0
+        markdown = output.read_text(encoding="utf-8")
+        # Every recorded bench id renders a trend section with both runs.
+        for bench_id in TrajectoryStore(store_root).bench_ids():
+            assert bench_id in markdown
+        assert "### wall_s" in markdown and "### cost" in markdown
+        assert "run0" in markdown and "run1" in markdown
+        assert html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

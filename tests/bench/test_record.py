@@ -1,0 +1,106 @@
+"""Bench identifiers and records: stability, collisions, round-trips."""
+
+import pytest
+
+from repro.bench.record import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    machine_fingerprint,
+    record_from_exhibit,
+    slugify,
+    stable_bench_id,
+)
+
+
+class TestSlugify:
+    def test_lowercases_and_collapses_punctuation(self):
+        assert slugify("Fig. 7: MTTF vs BER (SuDoku-Z)") == \
+            "fig_7_mttf_vs_ber_sudoku_z"
+
+    def test_strips_leading_and_trailing_separators(self):
+        assert slugify("  (edge)  ") == "edge"
+
+
+class TestStableBenchId:
+    def test_id_is_deterministic(self):
+        assert stable_bench_id("Table 1") == stable_bench_id("Table 1")
+
+    def test_distinct_titles_distinct_ids(self):
+        assert stable_bench_id("Table 1") != stable_bench_id("Table 2")
+
+    def test_sixty_char_prefix_collision_resolved(self):
+        # The historical bug: two titles agreeing on the first 60 slug
+        # characters silently shared one results file.  The digest of
+        # the full title must keep them apart while the readable prefix
+        # stays identical (so existing artifact globs keep matching).
+        stem = "sparse scrub fast path equivalence sweep over dirty line "
+        a = stable_bench_id(stem + "counts one")
+        b = stable_bench_id(stem + "counts two")
+        assert a != b
+        assert a.rsplit("-", 1)[0] == b.rsplit("-", 1)[0]
+
+    def test_id_is_filesystem_safe(self):
+        bench_id = stable_bench_id("Fig. 7: MTTF vs BER @ 2x10^-3!")
+        assert "/" not in bench_id and " " not in bench_id
+
+
+class TestMachineFingerprint:
+    def test_carries_interpretation_context(self):
+        fingerprint = machine_fingerprint()
+        assert set(fingerprint) == {
+            "python", "platform", "machine", "cpu_count",
+        }
+
+
+class TestBenchRecord:
+    def test_round_trip_through_dict(self):
+        record = BenchRecord(
+            bench_id=stable_bench_id("t"),
+            title="t",
+            wall_s=1.25,
+            test="benchmarks/bench_x.py::test_y",
+            headers=["metric", "value"],
+            rows=[["fit", 3.5]],
+            notes="a note",
+            scalars={"fit": 3.5},
+            git_sha="abc123",
+            config={"ber": 2e-3},
+        )
+        restored = BenchRecord.from_dict(record.to_dict())
+        assert restored == record
+        assert restored.schema == SCHEMA_VERSION
+
+    def test_missing_core_field_raises(self):
+        with pytest.raises(KeyError):
+            BenchRecord.from_dict({"title": "t", "wall_s": 1.0})
+
+
+class TestRecordFromExhibit:
+    EXHIBIT = {
+        "title": "Fig. 7 MTTF",
+        "headers": ["quantity", "value"],
+        "rows": [["FIT", 12.5]],
+        "notes": None,
+        "scalars": {"fit": 12.5},
+    }
+
+    def test_derives_id_and_copies_scalars(self):
+        record = record_from_exhibit(self.EXHIBIT, wall_s=0.5, test="node")
+        assert record.bench_id == stable_bench_id("Fig. 7 MTTF")
+        assert record.scalars == {"fit": 12.5}
+        assert record.rows == [["FIT", 12.5]]
+        assert record.wall_s == 0.5
+        assert record.test == "node"
+        assert record.notes == ""
+
+    def test_config_passthrough(self):
+        record = record_from_exhibit(
+            self.EXHIBIT, wall_s=0.5, config={"seed": 7}
+        )
+        assert record.config == {"seed": 7}
+
+    def test_scalar_values_coerced_to_float(self):
+        exhibit = dict(self.EXHIBIT, scalars={"n": 3})
+        record = record_from_exhibit(exhibit, wall_s=0.1)
+        assert record.scalars == {"n": 3.0}
+        assert isinstance(record.scalars["n"], float)

@@ -1,0 +1,103 @@
+"""The trend dashboard: charts per metric, summary deltas, HTML wrap."""
+
+from repro.bench.baseline import Baseline, Threshold
+from repro.bench.record import BenchRecord, stable_bench_id
+from repro.bench.report import (
+    render_dashboard,
+    render_dashboard_html,
+    trend_chart,
+    write_dashboard,
+)
+from repro.bench.store import TrajectoryStore
+
+
+def make_record(title, wall_s, scalars=None, sha="deadbeef01"):
+    return BenchRecord(
+        bench_id=stable_bench_id(title),
+        title=title,
+        wall_s=wall_s,
+        test=f"benchmarks/bench_x.py::{title}",
+        scalars=scalars or {},
+        git_sha=sha,
+    )
+
+
+def two_run_store(tmp_path):
+    """Two bench ids, two recorded runs each -- the trend-chart case."""
+    store = TrajectoryStore(tmp_path / "trajectory")
+    store.append(make_record("alpha bench", 1.0, {"fit": 3.0}))
+    store.append(make_record("alpha bench", 1.2, {"fit": 3.5}))
+    store.append(make_record("beta bench", 0.5, {"speedup": 30.0}))
+    store.append(make_record("beta bench", 0.4, {"speedup": 31.0}))
+    return store
+
+
+class TestTrendChart:
+    def test_wall_clock_chart_has_one_bar_per_run(self):
+        records = [make_record("t", 1.0), make_record("t", 2.0)]
+        chart = trend_chart(records)
+        assert "run0 deadbee" in chart
+        assert "run1 deadbee" in chart
+
+    def test_scalar_chart_skips_runs_missing_the_scalar(self):
+        records = [
+            make_record("t", 1.0, {"fit": 3.0}),
+            make_record("t", 1.0),
+            make_record("t", 1.0, {"fit": 4.0}),
+        ]
+        chart = trend_chart(records, metric="fit")
+        assert "run0" in chart and "run2" in chart
+        assert "run1" not in chart
+
+    def test_no_values_placeholder(self):
+        assert trend_chart([], metric="fit") == "(no recorded values)"
+
+
+class TestRenderDashboard:
+    def test_every_bench_id_gets_a_trend_section(self, tmp_path):
+        store = two_run_store(tmp_path)
+        markdown = render_dashboard(store)
+        for bench_id in store.bench_ids():
+            assert bench_id in markdown
+        # Wall clock charts for both benches, scalar charts for each
+        # recorded scalar, two labelled runs per chart.
+        assert markdown.count("### wall_s") == 2
+        assert "### fit" in markdown and "### speedup" in markdown
+        assert "run0" in markdown and "run1" in markdown
+
+    def test_summary_reports_delta_vs_previous(self, tmp_path):
+        markdown = render_dashboard(two_run_store(tmp_path))
+        assert "+20.0%" in markdown   # alpha: 1.0 -> 1.2
+        assert "-20.0%" in markdown   # beta: 0.5 -> 0.4
+
+    def test_baseline_column(self, tmp_path):
+        store = two_run_store(tmp_path)
+        baseline = Baseline({
+            stable_bench_id("alpha bench"): {
+                "wall_s": Threshold(value=1.0),
+            },
+        })
+        markdown = render_dashboard(store, baseline=baseline)
+        assert "1s" in markdown
+
+    def test_empty_store_renders_hint(self, tmp_path):
+        markdown = render_dashboard(TrajectoryStore(tmp_path / "none"))
+        assert "No recorded runs yet" in markdown
+
+
+class TestWriteDashboard:
+    def test_writes_markdown_and_html(self, tmp_path):
+        store = two_run_store(tmp_path)
+        output = tmp_path / "DASHBOARD.md"
+        html_output = tmp_path / "DASHBOARD.html"
+        markdown = write_dashboard(
+            store, str(output), html_output=str(html_output)
+        )
+        assert output.read_text(encoding="utf-8") == markdown
+        html = html_output.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "alpha bench" in html
+
+    def test_html_escapes_content(self):
+        html = render_dashboard_html("a < b & c")
+        assert "a &lt; b &amp; c" in html

@@ -1,0 +1,93 @@
+"""The append-only trajectory store: ordering, corruption, resolution."""
+
+import pytest
+
+from repro.bench.record import BenchRecord, stable_bench_id
+from repro.bench.store import (
+    DEFAULT_STORE,
+    STORE_ENV,
+    TrajectoryStore,
+    resolve_store_root,
+)
+
+
+def make_record(title="t", wall_s=1.0, **overrides):
+    fields = dict(
+        bench_id=stable_bench_id(title),
+        title=title,
+        wall_s=wall_s,
+    )
+    fields.update(overrides)
+    return BenchRecord(**fields)
+
+
+class TestResolveStoreRoot:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "/env/store")
+        assert resolve_store_root("/flag/store") == "/flag/store"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "/env/store")
+        assert resolve_store_root() == "/env/store"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert resolve_store_root() == DEFAULT_STORE
+
+
+class TestAppendLoad:
+    def test_round_trip(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "trajectory")
+        record = make_record(scalars={"fit": 3.0})
+        path = store.append(record)
+        assert path.name == f"{record.bench_id}.jsonl"
+        assert store.load(record.bench_id) == [record]
+
+    def test_appends_preserve_write_order(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        for wall in (1.0, 2.0, 3.0):
+            store.append(make_record(wall_s=wall))
+        records = store.load(stable_bench_id("t"))
+        assert [record.wall_s for record in records] == [1.0, 2.0, 3.0]
+        assert store.latest(stable_bench_id("t")).wall_s == 3.0
+
+    def test_one_file_per_bench_id(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        store.append(make_record(title="b"))
+        store.append(make_record(title="a"))
+        assert store.bench_ids() == sorted(
+            [stable_bench_id("a"), stable_bench_id("b")]
+        )
+        assert store.counts() == {
+            stable_bench_id("a"): 1,
+            stable_bench_id("b"): 1,
+        }
+
+    def test_empty_store(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "never_created")
+        assert store.bench_ids() == []
+        assert store.load("anything") == []
+        assert store.latest("anything") is None
+        assert store.counts() == {}
+
+
+class TestCorruption:
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        record = make_record()
+        path = store.append(record)
+        path.write_text(
+            path.read_text(encoding="utf-8") + "{not json\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match=r"corrupt trajectory record .*:2"):
+            store.load(record.bench_id)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        store = TrajectoryStore(tmp_path)
+        record = make_record()
+        path = store.append(record)
+        path.write_text(
+            path.read_text(encoding="utf-8") + "\n\n", encoding="utf-8"
+        )
+        assert store.load(record.bench_id) == [record]

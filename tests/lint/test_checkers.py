@@ -23,9 +23,10 @@ def rules_of(source, path="pkg/mod.py", config=None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert [c.rule for c in all_checkers()] == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         ]
 
     def test_get_checker(self):
@@ -262,6 +263,44 @@ class TestParallelRng:
         rng = np.random.default_rng(entropy)
         """
         assert rules_of(source, path="src/repro/parallel/sharding.py") == []
+
+
+class TestWallClockDuration:
+    def test_module_call_flagged(self):
+        source = """\
+        import time
+        started = time.time()
+        """
+        assert rules_of(source) == ["RPR007"]
+
+    def test_from_import_alias_resolved(self):
+        source = """\
+        from time import time
+        elapsed = time() - started
+        """
+        assert rules_of(source) == ["RPR007"]
+
+    def test_module_alias_resolved(self):
+        source = """\
+        import time as t
+        started = t.time()
+        """
+        assert rules_of(source) == ["RPR007"]
+
+    def test_sanctioned_clocks_clean(self):
+        source = """\
+        import time
+        from datetime import datetime, timezone
+        started = time.perf_counter()
+        mono = time.monotonic()
+        stamp = datetime.now(timezone.utc)
+        """
+        assert rules_of(source) == []
+
+    def test_unrelated_time_attribute_clean(self):
+        # ``record.time()`` on some other object must not resolve to the
+        # stdlib clock.
+        assert rules_of("value = record.time()") == []
 
 
 class TestConfigSelection:

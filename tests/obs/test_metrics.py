@@ -228,3 +228,73 @@ class TestMergeRegistry:
         source.gauge("x")
         with pytest.raises(ValueError):
             merge_registry(target, source)
+
+    def test_merge_bucket_mismatch_raises(self):
+        # Adding per-bucket counts across different edge layouts would
+        # silently misfile observations; the merge must refuse instead.
+        target = MetricsRegistry()
+        target.histogram("latency_seconds", buckets=(0.1, 1.0))
+        source = MetricsRegistry()
+        source.histogram("latency_seconds", buckets=(0.5, 5.0)).observe(0.2)
+        with pytest.raises(ValueError, match="buckets"):
+            merge_registry(target, source)
+
+    def test_merge_label_mismatch_raises(self):
+        target = MetricsRegistry()
+        target.counter("outcomes_total", labels=("kind",))
+        source = MetricsRegistry()
+        source.counter("outcomes_total", labels=("mechanism",))
+        with pytest.raises(ValueError, match="labels"):
+            merge_registry(target, source)
+
+    def test_merge_empty_source_is_noop(self):
+        target = self._source()
+        before = target.get("events_total").labels().value
+        merge_registry(target, MetricsRegistry())
+        assert target.get("events_total").labels().value == before
+
+    def test_repeated_merge_accumulates_bucket_counts(self):
+        # Merging the same worker registry twice must double every
+        # histogram slot, including the cumulative view the exporters
+        # read -- a regression here corrupts sharded percentiles.
+        target = MetricsRegistry()
+        source = self._source()
+        merge_registry(target, source)
+        once = list(target.get("latency_seconds").labels().cumulative_counts())
+        merge_registry(target, source)
+        hist = target.get("latency_seconds").labels()
+        assert hist.cumulative_counts() == [2 * n for n in once]
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(1.0)
+
+
+class TestNullRegistryParity:
+    def test_null_registry_covers_the_real_surface(self):
+        # Instrumented code calls the same methods whether telemetry is
+        # attached or not; any public name on the real registry missing
+        # from the null one is an AttributeError waiting in a hot path.
+        real = {n for n in dir(MetricsRegistry) if not n.startswith("_")}
+        null = {n for n in dir(NullRegistry) if not n.startswith("_")}
+        assert real <= null
+
+    def test_null_children_cover_the_real_child_surface(self):
+        registry = MetricsRegistry()
+        null = NullRegistry()
+        pairs = [
+            (registry.counter("c", labels=("a",)), null.counter("c")),
+            (registry.gauge("g"), null.gauge("g")),
+            (registry.histogram("h"), null.histogram("h")),
+        ]
+        for real_family, null_family in pairs:
+            real_names = {
+                n for n in dir(real_family) if not n.startswith("_")
+            }
+            # The null stand-in only needs the mutation surface, not the
+            # declaration metadata (name/help/kind/samples).
+            mutators = real_names & {
+                "labels", "inc", "dec", "set", "observe", "value",
+            }
+            for name in mutators:
+                assert hasattr(null_family, name), (
+                    f"NullRegistry family lacks {name}"
+                )

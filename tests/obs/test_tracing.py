@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.tracing import NullTracer, Tracer
+from repro.obs.tracing import NullTracer, Tracer, export_spans, merge_traces
 
 
 class FakeClock:
@@ -109,3 +109,132 @@ class TestNullTracer:
     def test_shared_span_instance(self):
         tracer = NullTracer()
         assert tracer.span("a") is tracer.span("b")
+
+    def test_covers_the_real_tracer_surface(self):
+        # Engines hold either tracer behind the same calls; a public
+        # name on the real tracer missing from the null one is a
+        # telemetry-off crash waiting in a hot path.
+        real = {
+            n for n in dir(Tracer(clock=FakeClock())) if not n.startswith("_")
+        }
+        null = {n for n in dir(NullTracer()) if not n.startswith("_")}
+        assert real <= null
+        assert NullTracer().capacity == 0
+
+    def test_null_span_covers_the_real_span_surface(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("real") as real_span:
+            pass
+        null_span = NullTracer().span("null")
+        for name in ("name", "duration_s", "set_attribute"):
+            assert hasattr(real_span, name)
+            assert hasattr(null_span, name)
+
+
+def worker_trace():
+    """A worker-side tracer with a nested trace, plus its wire form."""
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("campaign", level="Z"):
+        with tracer.span("phase_inject"):
+            pass
+        with tracer.span("phase_scrub"):
+            pass
+    return tracer, export_spans(tracer)
+
+
+class TestExportSpans:
+    def test_wire_form_matches_to_dict(self):
+        tracer, wire = worker_trace()
+        assert wire == [span.to_dict() for span in tracer]
+        assert [entry["name"] for entry in wire] == [
+            "phase_inject", "phase_scrub", "campaign",
+        ]
+
+    def test_null_tracer_exports_nothing(self):
+        assert export_spans(NullTracer()) == []
+
+
+class TestMergeTraces:
+    def test_adopts_under_the_active_span(self):
+        _, wire = worker_trace()
+        target = Tracer(clock=FakeClock())
+        with target.span("sharded_campaign") as merge_point:
+            adopted = merge_traces(target, wire, shard=3)
+        assert adopted == 3
+        spans = {span.name: span for span in target}
+        # The worker root files under the merge point; children keep
+        # their worker-side parentage, remapped onto target ids.
+        assert spans["campaign"].parent_id == merge_point.span_id
+        assert spans["phase_inject"].parent_id == spans["campaign"].span_id
+        assert spans["phase_scrub"].parent_id == spans["campaign"].span_id
+        # Depths shift by the merge point's depth + 1.
+        assert spans["campaign"].depth == 1
+        assert spans["phase_inject"].depth == 2
+        # Every adopted span carries the shard tag; worker attributes
+        # and durations survive.
+        for name in ("campaign", "phase_inject", "phase_scrub"):
+            assert spans[name].attributes["shard"] == 3
+        assert spans["campaign"].attributes["level"] == "Z"
+        assert spans["phase_inject"].duration_s == pytest.approx(1.0)
+
+    def test_accepts_a_tracer_directly(self):
+        worker, wire = worker_trace()
+        from_tracer = Tracer(clock=FakeClock())
+        from_wire = Tracer(clock=FakeClock())
+        assert merge_traces(from_tracer, worker) == 3
+        assert merge_traces(from_wire, wire) == 3
+        assert (
+            [s.to_dict() for s in from_tracer]
+            == [s.to_dict() for s in from_wire]
+        )
+
+    def test_no_active_span_keeps_worker_roots_as_roots(self):
+        _, wire = worker_trace()
+        target = Tracer(clock=FakeClock())
+        merge_traces(target, wire)
+        spans = {span.name: span for span in target}
+        assert spans["campaign"].parent_id is None
+        assert spans["campaign"].depth == 0
+        assert "shard" not in spans["campaign"].attributes
+
+    def test_completion_order_and_started_preserved(self):
+        _, wire = worker_trace()
+        target = Tracer(clock=FakeClock())
+        merge_traces(target, wire)
+        assert [span.name for span in target] == [
+            "phase_inject", "phase_scrub", "campaign",
+        ]
+        assert target.started == 3
+
+    def test_null_target_adopts_nothing(self):
+        _, wire = worker_trace()
+        assert merge_traces(NullTracer(), wire) == 0
+
+    def test_empty_payload_is_noop(self):
+        target = Tracer(clock=FakeClock())
+        assert merge_traces(target, []) == 0
+        assert merge_traces(target, NullTracer()) == 0
+        assert len(target) == 0
+
+    def test_respects_target_capacity(self):
+        _, wire = worker_trace()
+        target = Tracer(capacity=2, clock=FakeClock())
+        merge_traces(target, wire)
+        assert len(target) == 2
+        assert target.dropped == 1
+
+    def test_fixed_merge_order_is_structurally_stable(self):
+        # Two identical shard merges must produce identical structure
+        # (names, depths, parents, shard tags) -- the property the
+        # sharded campaign trace test pins end to end.
+        def merged():
+            target = Tracer(clock=FakeClock())
+            with target.span("sharded_campaign"):
+                for shard in (0, 1):
+                    _, wire = worker_trace()
+                    merge_traces(target, wire, shard=shard)
+            return [
+                (s.name, s.depth, s.parent_id, s.attributes.get("shard"))
+                for s in target
+            ]
+        assert merged() == merged()

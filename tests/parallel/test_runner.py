@@ -155,6 +155,66 @@ class TestComposition:
         assert progress.done == INTERVALS
 
 
+class TestMergedTraces:
+    """A sharded run yields one coherent trace: worker phase spans are
+    adopted under the parent's ``sharded_campaign`` span, shard-tagged,
+    and structurally bit-stable across same-seed reruns."""
+
+    @staticmethod
+    def _structure(tracer):
+        by_id = {span.span_id: span for span in tracer}
+
+        def chain(span):
+            names = []
+            parent = span.parent_id
+            while parent is not None and parent in by_id:
+                names.append(by_id[parent].name)
+                parent = by_id[parent].parent_id
+            return tuple(names)
+
+        return [
+            (span.name, span.depth, span.attributes.get("shard"), chain(span))
+            for span in tracer
+        ]
+
+    @staticmethod
+    def _traced_run():
+        telemetry = Telemetry.create()
+        run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=4, seed=SEED,
+            telemetry=telemetry,
+        )
+        return telemetry.tracer
+
+    def test_trace_contains_per_shard_phase_spans(self):
+        tracer = self._traced_run()
+        names = set(tracer.names())
+        assert {
+            "sharded_campaign", "campaign", "phase_inject", "phase_scrub",
+        } <= names
+        shards = {
+            span.attributes["shard"]
+            for span in tracer if "shard" in span.attributes
+        }
+        assert shards == {0, 1, 2, 3}
+
+    def test_every_worker_span_files_under_the_merge_point(self):
+        structure = self._structure(self._traced_run())
+        adopted = [entry for entry in structure if entry[2] is not None]
+        assert adopted
+        for name, depth, _shard, parents in adopted:
+            assert parents[-1] == "sharded_campaign", (name, parents)
+            if name == "campaign":
+                assert parents == ("sharded_campaign",)
+                assert depth == 1
+
+    def test_structure_is_stable_across_same_seed_reruns(self):
+        assert (
+            self._structure(self._traced_run())
+            == self._structure(self._traced_run())
+        )
+
+
 class TestFailureModes:
     def test_resume_without_shard_files_fails_fast(self, tmp_path):
         ck = str(tmp_path / "missing.json")
