@@ -1,0 +1,139 @@
+"""MBU degradation: failure rate vs burst length across every scheme.
+
+Transient thermal flips are independent single-bit events, but disturb
+and wear-out faults arrive as *bursts* -- k physically adjacent cells
+flipping together (the section-VI scaling concern).  This benchmark runs
+the mixed-scenario campaign engine over SuDoku X/Y/Z and the five
+baselines with fixed-length bursts of k = 1, 2, 4 bits and records how
+each scheme's failure count degrades as k grows.
+
+The load-bearing exhibit is the burst-vs-interleave comparison: with a
+depth-D bit interleaver a k <= D burst lands at most one bit per logical
+line, so the per-line ECC-1 baseline goes from failing on nearly every
+length-4 event (D=1) to failing on none (D=4).  The gap is gated through
+``benchmarks/baseline.json`` so a regression in the interleaver, the
+burst injector, or the scenario plumbing fails CI.
+
+Everything here is a deterministic pure function of SEED (the scenario
+seed-tree contract), so the gated scalars are exact counts, not noisy
+timings.
+"""
+
+from conftest import RESULTS_DIR, emit
+from repro.obs.atomicio import atomic_write_json
+from repro.reliability.scenario import (
+    SCHEMES,
+    BurstSpec,
+    FaultScenario,
+    run_scenario_campaign,
+)
+
+#: Per-line per-interval burst-event rate: high enough that 150 intervals
+#: of a 64-line array see ~480 events (tight CIs on small hardware).
+RATE = 0.05
+BURST_LENGTHS = (1, 2, 4)
+INTERLEAVE_DEPTHS = (1, 2, 4)
+INTERVALS = 150
+GROUP_SIZE = 8
+SEED = 23
+
+
+def _failures(scheme, length, interleave=1):
+    scenario = FaultScenario(
+        burst=BurstSpec.fixed_length(
+            rate=RATE, length=length, interleave=interleave
+        )
+    )
+    result = run_scenario_campaign(
+        scheme, scenario, intervals=INTERVALS, group_size=GROUP_SIZE,
+        seed=SEED,
+    )
+    return result
+
+
+def test_bench_mbu_degradation(benchmark):
+    by_scheme = {
+        scheme: [_failures(scheme, k) for k in BURST_LENGTHS]
+        for scheme in SCHEMES
+    }
+    rows = [
+        [
+            scheme,
+            *(result.interval_failures for result in results),
+            f"{results[-1].fit():.3g}",
+        ]
+        for scheme, results in by_scheme.items()
+    ]
+
+    # Burst-vs-interleave on the per-line ECC baseline: length-4 bursts
+    # with depth-D interleaving damage at most ceil(4/D) bits per line,
+    # so D=4 returns every event to ECC-1 territory.
+    interleave_failures = [
+        _failures("eccline", 4, interleave=depth).interval_failures
+        for depth in INTERLEAVE_DEPTHS
+    ]
+    rows += [
+        [f"eccline D={depth}", "", "", failures, ""]
+        for depth, failures in zip(INTERLEAVE_DEPTHS, interleave_failures)
+    ]
+    interleave_gain = interleave_failures[0] - interleave_failures[-1]
+
+    # One pedantic round on the cheapest cell (steady-state scenario cost).
+    benchmark.pedantic(
+        _failures, args=("Z", 1), rounds=1, iterations=1
+    )
+
+    emit({
+        "title": "MBU degradation vs burst length (scenario campaigns)",
+        "headers": [
+            "scheme",
+            *(f"fails k={k}" for k in BURST_LENGTHS),
+            "FIT @ k=4",
+        ],
+        "rows": rows,
+        "notes": (
+            f"{INTERVALS} intervals x {GROUP_SIZE * GROUP_SIZE} lines, "
+            f"burst rate {RATE}/line/interval, seed {SEED}; eccline D-rows "
+            f"re-run k=4 under depth-D bit interleaving "
+            f"({interleave_failures[0]} -> {interleave_failures[-1]} "
+            "failing intervals)"
+        ),
+        "scalars": {
+            "interleave_gain": float(interleave_gain),
+            "eccline_flat_failures": float(interleave_failures[0]),
+            "eccline_interleaved_failures": float(interleave_failures[-1]),
+            "z_k4_failures": float(by_scheme["Z"][-1].interval_failures),
+        },
+        "config": {
+            "rate": RATE, "burst_lengths": list(BURST_LENGTHS),
+            "intervals": INTERVALS, "group_size": GROUP_SIZE, "seed": SEED,
+        },
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    atomic_write_json(str(RESULTS_DIR / "mbu_degradation.json"), {
+        "rate": RATE,
+        "intervals": INTERVALS,
+        "group_size": GROUP_SIZE,
+        "seed": SEED,
+        "failures": {
+            scheme: {
+                str(k): result.interval_failures
+                for k, result in zip(BURST_LENGTHS, results)
+            }
+            for scheme, results in by_scheme.items()
+        },
+        "eccline_interleave_failures": {
+            str(depth): failures
+            for depth, failures in zip(INTERLEAVE_DEPTHS, interleave_failures)
+        },
+        "interleave_gain": interleave_gain,
+    })
+
+    # The geometric claim itself: depth-4 interleaving must fully absorb
+    # length-4 bursts for the ECC-1 baseline, and degradation must be
+    # monotone in burst length for every scheme.
+    assert interleave_failures[-1] == 0
+    assert interleave_gain > 0
+    for scheme, results in by_scheme.items():
+        failures = [result.interval_failures for result in results]
+        assert failures == sorted(failures), (scheme, failures)

@@ -10,6 +10,10 @@ subcommands cover the common flows:
   functional engine and compare with the analytical model.
 * ``raresim``   -- conditional (rare-event) campaign for Y/Z FIT
   estimates.
+* ``scenario``  -- mixed transient/burst/stuck-at campaign over any
+  protection scheme (SuDoku-X/Y/Z and the five baselines); the spec
+  comes from a JSON file or inline burst/stuck flags
+  (docs/faultmodels.md).
 * ``chaos``     -- sweep metadata-fault rates against the engines and
   report the SDC/DUE breakdown per SuDoku level.
 * ``perf``      -- run the Fig. 8/9 ideal-vs-SuDoku comparison on chosen
@@ -37,10 +41,13 @@ flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
   cleanly with partial results;
 * ``--result-out FILE``   -- final aggregates as JSON (atomic write).
 
-``campaign``, ``raresim``, and ``chaos`` accept ``--shards N`` to split
-the campaign across N worker processes (see :mod:`repro.parallel` and
-``docs/parallelism.md``); ``--shards 1`` (the default) is bit-identical
-to the serial path, and checkpoints compose per shard.
+``campaign``, ``raresim``, ``scenario``, and ``chaos`` accept
+``--shards N`` to split the campaign across N worker processes (see
+:mod:`repro.parallel` and ``docs/parallelism.md``); ``--shards 1`` (the
+default) is bit-identical to the serial path, and checkpoints compose
+per shard.  ``campaign``, ``raresim``, and ``chaos`` also accept
+``--scenario FILE`` to overlay a mixed fault scenario
+(``docs/faultmodels.md``).
 """
 
 from __future__ import annotations
@@ -178,6 +185,50 @@ def _scrub_mode_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _burst_pmf(text: str) -> List:
+    """Argparse type: ``LEN:PROB[,LEN:PROB...]`` burst-length PMF.
+
+    A bare ``LEN`` (no colon) gets weight 1; weights are normalized by
+    the spec, so ``2,3,4`` means uniform over {2, 3, 4}.
+    """
+    entries = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            raw_length, raw_weight = part.split(":", 1)
+        else:
+            raw_length, raw_weight = part, "1"
+        try:
+            length = int(raw_length)
+            weight = float(raw_weight)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{part!r} is not LEN or LEN:PROB"
+            )
+        if length < 1 or weight < 0:
+            raise argparse.ArgumentTypeError(
+                f"{part!r}: length must be >= 1 and weight >= 0"
+            )
+        entries.append((length, weight))
+    if not entries:
+        raise argparse.ArgumentTypeError(f"{text!r} has no PMF entries")
+    return entries
+
+
+def _scenario_parent() -> argparse.ArgumentParser:
+    """Shared ``--scenario FILE`` flag for the campaign-style commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("fault scenario")
+    group.add_argument(
+        "--scenario", default="", metavar="FILE",
+        help="JSON FaultScenario spec (docs/faultmodels.md); overlays "
+             "burst and stuck-at fault sources on the campaign",
+    )
+    return parent
+
+
 def _chaos_parent() -> argparse.ArgumentParser:
     """Metadata chaos-injection flags (see docs/resilience.md)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -217,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_flags = _chaos_parent()
     parallel = _parallel_parent()
     scrub_mode = _scrub_mode_parent()
+    scenario_file = _scenario_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
@@ -229,7 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign", help="Monte-Carlo fault injection",
-        parents=[telemetry, resilience, chaos_flags, parallel, scrub_mode],
+        parents=[
+            telemetry, resilience, chaos_flags, parallel, scrub_mode,
+            scenario_file,
+        ],
     )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
     campaign.add_argument("--ber", type=float, default=8e-4)
@@ -239,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     raresim = sub.add_parser(
         "raresim", help="conditional rare-event FIT estimate",
-        parents=[telemetry, resilience, parallel, scrub_mode],
+        parents=[telemetry, resilience, parallel, scrub_mode, scenario_file],
     )
     raresim.add_argument("--level", choices=["Y", "Z"], default="Z")
     raresim.add_argument("--ber", type=float, default=1e-4)
@@ -251,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="sweep metadata-fault rates; report SDC/DUE per SuDoku level",
-        parents=[telemetry, parallel, scrub_mode],
+        parents=[telemetry, parallel, scrub_mode, scenario_file],
     )
     chaos.add_argument(
         "--levels", nargs="+", choices=["X", "Y", "Z"], default=["X", "Y", "Z"]
@@ -273,6 +328,61 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--result-out", default="", metavar="FILE",
         help="write the sweep table as JSON to FILE",
+    )
+
+    from repro.reliability.scenario import SCHEMES
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="mixed transient/burst/stuck-at campaign over any scheme",
+        parents=[telemetry, resilience, chaos_flags, parallel, scrub_mode],
+    )
+    scenario.add_argument(
+        "--scheme", choices=list(SCHEMES), default="Z",
+        help="protection scheme: SuDoku level or baseline",
+    )
+    scenario.add_argument(
+        "--scenario", default="", metavar="FILE",
+        help="JSON FaultScenario spec; when given, the inline "
+             "--ber/--burst-*/--stuck-ppm flags are ignored",
+    )
+    scenario.add_argument("--intervals", type=int, default=100)
+    scenario.add_argument("--group-size", type=int, default=8)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--ber", type=_rate, default=1e-3,
+        help="transient per-bit flip probability per interval",
+    )
+    scenario.add_argument(
+        "--burst-rate", type=_rate, default=0.0, metavar="P",
+        help="per-line, per-interval probability of a burst event",
+    )
+    scenario.add_argument(
+        "--burst-lengths", type=_burst_pmf, default=[(3, 1.0)],
+        metavar="LEN:PROB[,...]",
+        help="burst-length PMF, e.g. '2:0.5,3:0.3,4:0.2' (bare lengths "
+             "are uniform: '2,3,4')",
+    )
+    scenario.add_argument(
+        "--burst-span", type=_positive_int, default=None, metavar="BITS",
+        help="bit window bursts may start in (default: the physical row)",
+    )
+    scenario.add_argument(
+        "--burst-alignment", type=_positive_int, default=1, metavar="BITS",
+        help="burst start positions snap to multiples of this",
+    )
+    scenario.add_argument(
+        "--burst-multiplicity", type=_positive_int, default=1, metavar="N",
+        help="adjacent physical rows struck per burst event",
+    )
+    scenario.add_argument(
+        "--interleave", type=_positive_int, default=1, metavar="DEG",
+        help="bit-interleave degree: logical lines per physical row "
+             "(1 = no interleaving)",
+    )
+    scenario.add_argument(
+        "--stuck-ppm", type=float, default=0.0, metavar="PPM",
+        help="stuck-at permanent-fault density in parts per million bits",
     )
 
     perf = sub.add_parser(
@@ -521,6 +631,37 @@ def _truncation_exit(result, default: int = 0) -> int:
     return default
 
 
+def _load_scenario_file(path: str):
+    """Parse a ``--scenario`` JSON file into a :class:`FaultScenario`.
+
+    Malformed files surface as a one-line ``repro: error:`` (via
+    SystemExit), not a traceback -- the file is user input.
+    """
+    from repro.reliability.scenario import FaultScenario
+
+    try:
+        return FaultScenario.load(path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro: error: --scenario {path!r}: {error}")
+
+
+def _scenario_summary(scenario) -> str:
+    """One-line human description of a scenario's active sources."""
+    parts = [f"transient BER {scenario.transient_ber:g}"]
+    if scenario.burst is not None and scenario.burst.rate > 0:
+        lengths = ",".join(str(k) for k, _ in scenario.burst.length_pmf)
+        parts.append(
+            f"bursts rate {scenario.burst.rate:g} lengths {{{lengths}}}"
+            + (
+                f" interleave {scenario.burst.interleave}"
+                if scenario.burst.interleave > 1 else ""
+            )
+        )
+    if scenario.stuck is not None and scenario.stuck.ppm > 0:
+        parts.append(f"stuck-at {scenario.stuck.ppm:g} ppm")
+    return ", ".join(parts)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.core.outcomes import Outcome
@@ -538,6 +679,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         visit_drop_rate=args.visit_drop_rate,
         visit_duplicate_rate=args.visit_duplicate_rate,
     )
+    if args.scenario:
+        # A mixed scenario routes through the scenario engine (whose
+        # RNG model supports burst/stuck sources); the file is
+        # authoritative, including its transient BER.
+        from repro.parallel import run_sharded_scenario
+
+        scenario = _load_scenario_file(args.scenario)
+        started = time.perf_counter()
+        print(
+            f"running SuDoku-{level} scenario campaign: "
+            f"{_scenario_summary(scenario)}, {intervals} intervals, "
+            f"{group_size * group_size} lines"
+            + (" [chaos enabled]" if policy.enabled else "")
+            + (f" [{args.shards} shards]" if args.shards > 1 else "")
+        )
+        result = run_sharded_scenario(
+            level, scenario, intervals, group_size,
+            shards=args.shards, seed=seed, telemetry=telemetry,
+            progress=make_progress(intervals, f"scenario-{level}"),
+            chaos_policy=policy if policy.enabled else None,
+            chaos_seed=args.chaos_seed,
+            scrub_mode=args.scrub_mode,
+            **resilience,
+        )
+        _print_scenario_result(level, scenario, result)
+        _write_result_out(args, _scenario_payload(level, scenario, result))
+        _export_telemetry(
+            args, telemetry, "campaign",
+            {
+                "level": level, "scenario": scenario.as_dict(),
+                "intervals": intervals, "group_size": group_size,
+                "shards": args.shards, "chaos": policy.as_dict(),
+            },
+            seed,
+            {"total": time.perf_counter() - started},
+        )
+        return _truncation_exit(result)
     started = time.perf_counter()
     print(
         f"running SuDoku-{level} campaign: BER {ber:g}, {intervals} intervals, "
@@ -586,24 +764,130 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return _truncation_exit(result)
 
 
+def _print_scenario_result(scheme: str, scenario, result) -> None:
+    from repro.analysis.tables import format_table
+    from repro.core.outcomes import Outcome
+
+    low, high = result.wilson_interval()
+    rows = [
+        ["scheme", scheme],
+        ["intervals completed", result.intervals],
+        ["measured P(fail)/interval", result.failure_probability],
+        ["95% CI", f"[{low:.4f}, {high:.4f}]"],
+        ["measured FIT", result.fit()],
+        ["SDC events", result.outcomes.get(Outcome.SDC.value, 0)],
+    ]
+    rows += [[f"outcome: {k}", v] for k, v in sorted(result.outcomes.items())]
+    rows += [[f"metadata: {k}", v] for k, v in sorted(result.metadata.items())]
+    print(format_table(["quantity", "value"], rows))
+
+
+def _scenario_payload(scheme: str, scenario, result) -> Dict[str, object]:
+    """Result JSON for scenario runs: campaign aggregates + the spec."""
+    payload = dict(result.as_dict())
+    payload["scheme"] = scheme
+    payload["scenario"] = scenario.as_dict()
+    return payload
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.parallel import run_sharded_scenario
+    from repro.reliability.scenario import (
+        BurstSpec,
+        FaultScenario,
+        StuckSpec,
+    )
+    from repro.resilience import ChaosPolicy
+
+    if args.scenario:
+        scenario = _load_scenario_file(args.scenario)
+    else:
+        burst = (
+            BurstSpec(
+                rate=args.burst_rate,
+                length_pmf=tuple(sorted(args.burst_lengths)),
+                span=args.burst_span,
+                alignment=args.burst_alignment,
+                multiplicity=args.burst_multiplicity,
+                interleave=args.interleave,
+            )
+            if args.burst_rate > 0 else None
+        )
+        stuck = StuckSpec(ppm=args.stuck_ppm) if args.stuck_ppm > 0 else None
+        try:
+            scenario = FaultScenario(
+                transient_ber=args.ber, burst=burst, stuck=stuck
+            )
+        except ValueError as error:
+            raise SystemExit(f"repro: error: {error}")
+    telemetry, make_progress = _build_telemetry(args)
+    resilience = _resilience_kwargs(args)
+    policy = ChaosPolicy(
+        plt_flip_rate=args.plt_flip_rate,
+        map_swap_rate=args.map_swap_rate,
+        visit_drop_rate=args.visit_drop_rate,
+        visit_duplicate_rate=args.visit_duplicate_rate,
+    )
+    started = time.perf_counter()
+    print(
+        f"running {args.scheme} scenario campaign: "
+        f"{_scenario_summary(scenario)}, {args.intervals} intervals, "
+        f"{args.group_size * args.group_size} lines"
+        + (" [chaos enabled]" if policy.enabled else "")
+        + (f" [{args.shards} shards]" if args.shards > 1 else "")
+    )
+    result = run_sharded_scenario(
+        args.scheme, scenario, args.intervals, args.group_size,
+        shards=args.shards, seed=args.seed, telemetry=telemetry,
+        progress=make_progress(args.intervals, f"scenario-{args.scheme}"),
+        chaos_policy=policy if policy.enabled else None,
+        chaos_seed=args.chaos_seed,
+        scrub_mode=args.scrub_mode,
+        **resilience,
+    )
+    _print_scenario_result(args.scheme, scenario, result)
+    _write_result_out(args, _scenario_payload(args.scheme, scenario, result))
+    _export_telemetry(
+        args, telemetry, "scenario",
+        {
+            "scheme": args.scheme, "scenario": scenario.as_dict(),
+            "intervals": args.intervals, "group_size": args.group_size,
+            "shards": args.shards, "chaos": policy.as_dict(),
+        },
+        args.seed,
+        {"total": time.perf_counter() - started},
+    )
+    return _truncation_exit(result)
+
+
 def cmd_raresim(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.parallel import run_sharded_raresim
 
     telemetry, make_progress = _build_telemetry(args)
     resilience = _resilience_kwargs(args)
+    scenario = None
+    ber = args.ber
+    if args.scenario:
+        scenario = _load_scenario_file(args.scenario)
+        # The conditioned estimator needs a nonzero transient BER; the
+        # scenario's transient field takes over when it sets one.
+        if scenario.transient_ber > 0:
+            ber = scenario.transient_ber
     started = time.perf_counter()
     print(
-        f"running SuDoku-{args.level} conditional campaign: BER {args.ber:g}, "
+        f"running SuDoku-{args.level} conditional campaign: BER {ber:g}, "
         f"{args.trials} trials, {args.group_size}-line groups"
+        + (f" [scenario: {_scenario_summary(scenario)}]" if scenario else "")
         + (f" [{args.shards} shards]" if args.shards > 1 else "")
     )
     result = run_sharded_raresim(
-        args.level, args.ber, args.trials,
+        args.level, ber, args.trials,
         args.group_size, args.num_groups,
         shards=args.shards, seed=args.seed, telemetry=telemetry,
         progress=make_progress(args.trials, f"raresim-{args.level}"),
         scrub_mode=args.scrub_mode,
+        scenario=scenario,
         **resilience,
     )
     low, high = result.conditional_ci()
@@ -641,6 +925,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     # of silently vanishing from the sweep table (the PR-4 bug class).
     failure_columns = [Outcome.SDC] + [o for o in Outcome if o.is_due]
     telemetry, make_progress = _build_telemetry(args)
+    scenario = _load_scenario_file(args.scenario) if args.scenario else None
     started = time.perf_counter()
     total = len(args.levels) * len(args.plt_flip_rates)
     progress = make_progress(total, "chaos-sweep")
@@ -648,6 +933,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos sweep: levels {','.join(args.levels)} x PLT flip rates "
         f"{args.plt_flip_rates} (map swap {args.map_swap_rate:g}), "
         f"BER {args.ber:g}, {args.intervals} intervals"
+        + (f" [scenario: {_scenario_summary(scenario)}]" if scenario else "")
         + (f" [{args.shards} shards]" if args.shards > 1 else "")
     )
     rows = []
@@ -657,14 +943,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             policy = ChaosPolicy(
                 plt_flip_rate=rate, map_swap_rate=args.map_swap_rate
             )
-            result = run_sharded_campaign(
-                level, args.ber, args.intervals, args.group_size,
-                shards=args.shards, seed=args.seed,
-                telemetry=telemetry,
-                chaos_policy=policy if policy.enabled else None,
-                chaos_seed=args.chaos_seed,
-                scrub_mode=args.scrub_mode,
-            )
+            if scenario is not None:
+                from repro.parallel import run_sharded_scenario
+
+                result = run_sharded_scenario(
+                    level, scenario, args.intervals, args.group_size,
+                    shards=args.shards, seed=args.seed,
+                    telemetry=telemetry,
+                    chaos_policy=policy if policy.enabled else None,
+                    chaos_seed=args.chaos_seed,
+                    scrub_mode=args.scrub_mode,
+                )
+            else:
+                result = run_sharded_campaign(
+                    level, args.ber, args.intervals, args.group_size,
+                    shards=args.shards, seed=args.seed,
+                    telemetry=telemetry,
+                    chaos_policy=policy if policy.enabled else None,
+                    chaos_seed=args.chaos_seed,
+                    scrub_mode=args.scrub_mode,
+                )
             meta = result.metadata
             rows.append([
                 level, rate,
@@ -678,6 +976,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "level": level,
                 "plt_flip_rate": rate,
                 "map_swap_rate": args.map_swap_rate,
+                "scenario": scenario.as_dict() if scenario else None,
                 "result": result.as_dict(),
             })
             progress.update()
@@ -764,6 +1063,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_raresim(args)
         if args.command == "chaos":
             return cmd_chaos(args)
+        if args.command == "scenario":
+            return cmd_scenario(args)
         if args.command == "perf":
             return cmd_perf(args)
         if args.command == "report":

@@ -169,12 +169,25 @@ class SuDokuEngine:
     def initialize_parities(self) -> None:
         """Rebuild every PLT entry from the current array contents.
 
-        Call once after bulk-loading the array (e.g. ``fill_random``);
-        incremental write-path updates keep parity consistent thereafter.
+        Call once after bulk-loading the array (e.g. ``fill_random``) or
+        to re-canonicalize after out-of-band repairs; incremental
+        write-path updates keep parity consistent thereafter.  Members
+        contribute their ECC-corrected word when one exists (CLEAN or
+        CORRECTED decode), raw stored bits otherwise -- so a line whose
+        only divergence is a single stuck bit does not poison the group
+        parity for every later RAID repair of its groupmates.
         """
         for plt, mapper in self._tables():
             for group in range(mapper.num_groups):
-                members = [self.array.read(f) for f in mapper.members(group)]
+                members = []
+                for frame in mapper.members(group):
+                    stored = self.array.read(frame)
+                    decode = self.codec.decode(stored)
+                    members.append(
+                        stored
+                        if decode.status is DecodeStatus.UNCORRECTABLE
+                        else decode.word
+                    )
                 plt.rebuild(group, members)
 
     def _tables(self) -> List[Tuple[ParityLineTable, GroupMapper]]:

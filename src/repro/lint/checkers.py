@@ -1,4 +1,4 @@
-"""The seven RPR domain rules.
+"""The eight RPR domain rules.
 
 Each rule mechanizes a bug this repository actually shipped and fixed
 by hand in an earlier PR (the ``rationale`` attribute names it); the
@@ -468,6 +468,72 @@ class WallClockDurationChecker(Checker):
             "time.time() is wall-clock and non-monotonic; use "
             "time.perf_counter() (or the component's injected clock) for "
             "durations, datetime.now(timezone.utc) for timestamps",
+        )
+
+
+#: Fault-source primitives whose campaign-facing constructor lives in
+#: the scenario layer (RPR008).
+_FAULT_PRIMITIVES = frozenset(
+    {"PermanentFaultMap", "BurstFaultInjector", "burst_error_vector"}
+)
+
+
+@register
+class RawFaultPrimitiveChecker(Checker):
+    """RPR008: fault primitive constructed directly in campaign code.
+
+    Inside :mod:`repro.reliability` / :mod:`repro.parallel`, stuck-at
+    maps and burst injectors must come from a
+    :class:`repro.reliability.scenario.FaultScenario` (``build_stuck_map``
+    / ``build_burst_injector`` / the ``sample_*_py`` overlays), which
+    seeds them off the campaign's SeedSequence tree and serializes them
+    into checkpoint fingerprints.  A direct ``PermanentFaultMap(...)`` or
+    ``BurstFaultInjector(...)`` in a campaign path bypasses both: the
+    fault source is invisible to resume-compatibility checks and its
+    stream is not a pure function of ``(seed, interval)``, so sharded and
+    resumed runs can silently diverge from serial.
+    """
+
+    rule = "RPR008"
+    name = "raw-fault-primitive"
+    severity = Severity.ERROR
+    description = (
+        "fault primitive built in campaign code outside the scenario layer"
+    )
+    rationale = (
+        "PR 7 threaded stuck-at/burst faults through FaultScenario so "
+        "campaign checkpoints fingerprint the fault source and shards "
+        "replay identical fault streams; an ad-hoc injector in a campaign "
+        "path sidesteps both guarantees"
+    )
+    interests = ("Call",)
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not (
+            ctx.path_contains("reliability") or ctx.path_contains("parallel")
+        ):
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        parts = resolved.split(".")
+        # ``PermanentFaultMap.random(...)`` resolves with the classmethod
+        # as the tail segment; strip it so the class name matches.
+        name = parts[-1]
+        if name == "random" and len(parts) >= 2:
+            name = parts[-2]
+        if name not in _FAULT_PRIMITIVES:
+            return
+        yield self.finding(
+            node,
+            ctx,
+            f"{name}(...) built directly in campaign code; declare the "
+            "fault source on a FaultScenario (BurstSpec/StuckSpec) and let "
+            "repro.reliability.scenario construct it, so it is seeded off "
+            "the campaign seed tree and fingerprinted into checkpoints",
         )
 
 

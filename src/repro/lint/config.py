@@ -33,6 +33,9 @@ DEFAULT_EXEMPTIONS: Mapping[str, Tuple[str, ...]] = {
     "RPR005": ("repro/coding/bitvec.py",),
     # The seed-derivation module constructs generators by design.
     "RPR006": ("repro/parallel/sharding.py",),
+    # The scenario layer is where fault primitives are legitimately
+    # built from specs (seeded off the campaign tree, fingerprinted).
+    "RPR008": ("repro/reliability/scenario.py",),
 }
 
 

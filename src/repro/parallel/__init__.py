@@ -9,6 +9,9 @@ process pool and merges the aggregates:
   (``--shards`` on the ``campaign`` and ``chaos`` CLI subcommands);
 * :func:`run_sharded_raresim` -- sharded conditional rare-event FIT
   estimation (``--shards`` on ``raresim``);
+* :func:`run_sharded_scenario` -- sharded mixed transient/burst/stuck-at
+  scenario campaigns (``--shards`` on ``scenario``), whose merged result
+  is bit-identical to the serial run at the same seed;
 * :mod:`repro.parallel.sharding` -- the deterministic shard arithmetic
   (unit splits, ``SeedSequence.spawn`` streams, checkpoint paths);
 * :mod:`repro.parallel.merge` -- per-shard aggregate merging.
@@ -25,8 +28,12 @@ from repro.parallel.runner import (
     ShardError,
     run_sharded_campaign,
     run_sharded_raresim,
+    run_sharded_scenario,
 )
 from repro.parallel.sharding import (
+    interval_generator,
+    interval_python_seed,
+    interval_seed_sequence,
     shard_checkpoint_path,
     shard_python_seeds,
     spawn_generators,
@@ -38,6 +45,7 @@ __all__ = [
     "ShardError",
     "run_sharded_campaign",
     "run_sharded_raresim",
+    "run_sharded_scenario",
     "merge_campaign_results",
     "merge_conditional_results",
     "split_units",
@@ -45,4 +53,7 @@ __all__ = [
     "spawn_generators",
     "shard_python_seeds",
     "shard_checkpoint_path",
+    "interval_seed_sequence",
+    "interval_generator",
+    "interval_python_seed",
 ]

@@ -42,7 +42,10 @@ import random
 import traceback
 from dataclasses import dataclass
 from queue import Empty
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - cycle: scenario imports this package
+    from repro.reliability.scenario import FaultScenario
 
 import numpy as np
 
@@ -105,12 +108,12 @@ class ShardError(RuntimeError):
 class _ShardSpec:
     """Everything a worker needs to run one shard (must stay picklable)."""
 
-    kind: str  # "montecarlo" | "raresim"
+    kind: str  # "montecarlo" | "raresim" | "scenario"
     index: int
     shards: int
     units: int
     seed: int
-    level: str
+    level: str  # campaign level, or the scheme name for scenario shards
     ber: float
     group_size: int
     interval_s: float
@@ -124,6 +127,8 @@ class _ShardSpec:
     deadline_s: Optional[float] = None
     progress_batch: int = 1
     scrub_mode: str = "sparse"
+    scenario: Optional["FaultScenario"] = None
+    interval_start: int = 0
 
 
 class _ShardProgress:
@@ -214,10 +219,26 @@ def _run_shard(
                 shard_python_seeds(spec.seed, spec.shards)[spec.index]
             ),
             sparse=spec.scrub_mode == "sparse",
+            scenario=spec.scenario,
         )
         result = simulator.run(
             spec.level, spec.units, telemetry=telemetry, progress=progress,
             checkpointer=checkpointer, deadline=deadline,
+        )
+    elif spec.kind == "scenario":
+        from repro.reliability.scenario import run_scenario_campaign
+
+        # No per-shard RNG objects: scenario streams derive from the
+        # *global* interval index, so the shard only needs its slice.
+        assert spec.scenario is not None
+        result = run_scenario_campaign(
+            spec.level, spec.scenario, spec.units,
+            group_size=spec.group_size, interval_s=spec.interval_s,
+            seed=spec.seed, interval_start=spec.interval_start,
+            telemetry=telemetry, progress=progress,
+            chaos_policy=spec.chaos_policy, chaos_seed=spec.chaos_seed,
+            checkpointer=checkpointer, deadline=deadline,
+            scrub_mode=spec.scrub_mode,
         )
     else:  # pragma: no cover - specs are built by this module only
         raise ValueError(f"unknown shard kind {spec.kind!r}")
@@ -463,6 +484,7 @@ def run_sharded_raresim(
     resume_from: str = "",
     deadline_s: Optional[float] = None,
     scrub_mode: str = "sparse",
+    scenario: Optional["FaultScenario"] = None,
 ) -> ConditionalResult:
     """Sharded conditional rare-event campaign (see ``estimate_fit``).
 
@@ -472,7 +494,8 @@ def run_sharded_raresim(
     from the same seed tree, then merges the conditional aggregates.
     ``scrub_mode`` controls the simulator's trusted-clean scan fast path
     ("sparse", the default) vs full decodes ("dense"); trial outcomes
-    are bit-identical in both modes.
+    are bit-identical in both modes.  ``scenario`` overlays per-group
+    stuck-at maps and per-trial bursts on the conditioned transients.
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
@@ -487,6 +510,7 @@ def run_sharded_raresim(
             # Serial path: bit-identical to the historical stdlib stream.
             interval_s=interval_s, rng=random.Random(seed),  # repro-lint: disable=RPR006
             sparse=scrub_mode == "sparse",
+            scenario=scenario,
         )
         return simulator.run(
             level, trials, telemetry=telemetry, progress=progress,
@@ -511,6 +535,7 @@ def run_sharded_raresim(
             ),
             telemetry=telemetry is not None, deadline_s=deadline_s,
             progress_batch=batch, scrub_mode=scrub_mode,
+            scenario=scenario,
         )
         for index in range(shards)
     ]
@@ -521,3 +546,88 @@ def run_sharded_raresim(
         results = _execute_shards(specs, telemetry, progress)
     progress.finish()
     return merge_conditional_results(results)
+
+
+def run_sharded_scenario(
+    scheme: str,
+    scenario: "FaultScenario",
+    intervals: int,
+    group_size: int = 8,
+    *,
+    shards: int = 1,
+    seed: int = 0,
+    interval_s: float = 0.020,
+    telemetry: Optional[Telemetry] = None,
+    progress=NULL_PROGRESS,
+    chaos_policy: Optional[ChaosPolicy] = None,
+    chaos_seed: int = 0,
+    checkpoint_path: str = "",
+    checkpoint_every: int = 0,
+    resume_from: str = "",
+    deadline_s: Optional[float] = None,
+    scrub_mode: str = "sparse",
+) -> CampaignResult:
+    """Sharded mixed-fault scenario campaign (see
+    :func:`repro.reliability.scenario.run_scenario_campaign`).
+
+    Scenario campaigns derive every random draw from the *global*
+    interval index, so sharding is pure interval partitioning: shard
+    ``i`` owns the contiguous slice starting at ``sum(units[:i])`` and
+    re-derives exactly the streams the serial run uses for those
+    intervals.  The merged result is therefore bit-identical to
+    ``shards=1`` at the same seed -- a stronger property than the
+    Monte-Carlo runner (whose K-shard result is deterministic but a
+    *different* quantity than serial), and the one the acceptance tests
+    pin.  ``shards=1`` runs in-process with no worker machinery.
+    """
+    from repro.reliability.scenario import run_scenario_campaign
+
+    if resume_from and not checkpoint_path:
+        checkpoint_path = resume_from
+    _validate(shards, intervals, checkpoint_path, checkpoint_every, scrub_mode)
+    if chaos_policy is not None and not chaos_policy.enabled:
+        chaos_policy = None
+    if shards == 1:
+        checkpointer = _serial_checkpointer(
+            "scenario", checkpoint_path, checkpoint_every, resume_from,
+            progress,
+        )
+        return run_scenario_campaign(
+            scheme, scenario, intervals, group_size=group_size,
+            interval_s=interval_s, seed=seed, telemetry=telemetry,
+            progress=progress, chaos_policy=chaos_policy,
+            chaos_seed=chaos_seed, checkpointer=checkpointer,
+            deadline=Deadline(deadline_s) if deadline_s else None,
+            scrub_mode=scrub_mode,
+        )
+    units = split_units(intervals, shards)
+    starts = [sum(units[:index]) for index in range(shards)]
+    batch = _progress_batch(intervals)
+    specs = [
+        _ShardSpec(
+            kind="scenario", index=index, shards=shards, units=units[index],
+            seed=seed, level=scheme, ber=scenario.transient_ber,
+            group_size=group_size, interval_s=interval_s,
+            chaos_policy=chaos_policy, chaos_seed=chaos_seed,
+            checkpoint_path=(
+                shard_checkpoint_path(checkpoint_path, index, shards)
+                if checkpoint_path else ""
+            ),
+            checkpoint_every=checkpoint_every,
+            resume_path=(
+                shard_checkpoint_path(resume_from, index, shards)
+                if resume_from else ""
+            ),
+            telemetry=telemetry is not None, deadline_s=deadline_s,
+            progress_batch=batch, scrub_mode=scrub_mode,
+            scenario=scenario, interval_start=starts[index],
+        )
+        for index in range(shards)
+    ]
+    tel = resolve_telemetry(telemetry)
+    with tel.tracer.span(
+        "sharded_scenario", scheme=scheme, intervals=intervals, shards=shards,
+    ):
+        results = _execute_shards(specs, telemetry, progress)
+    progress.finish()
+    return merge_campaign_results(results)

@@ -72,6 +72,41 @@ def shard_python_seeds(seed: int, shards: int) -> List[int]:
     return seeds
 
 
+def interval_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """The per-interval child ``SeedSequence`` of a scenario campaign.
+
+    ``SeedSequence(seed, spawn_key=(index,))`` is by construction the
+    same sequence as ``SeedSequence(seed).spawn(n)[index]`` for any
+    ``n > index``, so per-interval streams can be derived directly from
+    the *global* interval index without knowing how many intervals the
+    campaign has or which shard owns this one.  That property is what
+    makes scenario campaigns shard-invariant: serial and K-sharded runs
+    consume identical randomness per interval.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def interval_generator(seed: int, index: int) -> np.random.Generator:
+    """Numpy generator for one (campaign seed, global index) pair."""
+    return np.random.default_rng(interval_seed_sequence(seed, index))
+
+
+def interval_python_seed(seed: int, index: int) -> int:
+    """Stdlib-RNG seed for one (campaign seed, global index) pair.
+
+    Used for the per-interval chaos injectors of scenario campaigns:
+    deriving a fresh injector per interval (instead of threading one
+    stateful stream through the loop) keeps chaos composable with
+    sharding and RNG-free checkpoints.
+    """
+    words = interval_seed_sequence(seed, index).generate_state(
+        _PYTHON_SEED_WORDS, dtype=np.uint32
+    )
+    return int.from_bytes(words.tobytes(), "little")
+
+
 def shard_checkpoint_path(base: str, index: int, shards: int) -> str:
     """Per-shard checkpoint file derived from the base ``--checkpoint``.
 

@@ -42,6 +42,14 @@ from repro.reliability.montecarlo import (
     run_group_campaign,
 )
 from repro.reliability.raresim import ConditionalGroupSimulator, estimate_fit
+from repro.reliability.scenario import (
+    SCHEMES,
+    BurstSpec,
+    FaultScenario,
+    StuckSpec,
+    build_scheme,
+    run_scenario_campaign,
+)
 from repro.reliability.designspace import (
     DesignPoint,
     cheapest_meeting_target,
@@ -72,6 +80,12 @@ __all__ = [
     "run_group_campaign",
     "ConditionalGroupSimulator",
     "estimate_fit",
+    "SCHEMES",
+    "BurstSpec",
+    "StuckSpec",
+    "FaultScenario",
+    "build_scheme",
+    "run_scenario_campaign",
     "DesignPoint",
     "cheapest_meeting_target",
     "enumerate_design_space",

@@ -371,6 +371,12 @@ def run_engine_campaign(
                             for event, count in applied.items():
                                 m_chaos.labels(event=event).inc(count)
                     dirty = injector.inject_frames(array)
+                    if array.has_permanent_faults:
+                        # Stuck-conflicting lines are permanently dirty
+                        # even when no transient landed on them this
+                        # interval; the sparse pass must keep visiting
+                        # them to stay bit-identical to dense.
+                        dirty = array.dirty_frames()
                     visits = dirty
                     if chaos is not None:
                         visits, applied = chaos.perturb_visits(visits)

@@ -34,7 +34,10 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - cycle: scenario imports repro.parallel
+    from repro.reliability.scenario import FaultScenario
 
 from repro.coding.bitvec import random_error_vector
 from repro.core.linecodec import LineCodec
@@ -173,6 +176,7 @@ class ConditionalGroupSimulator:
         rng: Optional[random.Random] = None,
         sparse: bool = True,
         seed: Optional[int] = None,
+        scenario: Optional["FaultScenario"] = None,
     ) -> None:
         if not 0.0 < ber < 1.0:
             raise ValueError("ber must be in (0, 1)")
@@ -182,6 +186,18 @@ class ConditionalGroupSimulator:
         self.interval_s = interval_s
         self.codec = codec if codec is not None else LineCodec()
         self.sdr_max_mismatches = sdr_max_mismatches
+        #: Optional mixed-fault overlay: each trial group is built with a
+        #: freshly sampled stuck-at map (the spec's ppm density) and the
+        #: conditioned transient pattern is augmented with one interval's
+        #: burst events.  All extra draws come from the simulator's one
+        #: python stream, so checkpoints stay a single RNG state.  The
+        #: ``transient_ber`` field is *not* consumed here -- the
+        #: conditioned ``ber`` is this estimator's transient model (the
+        #: CLI maps ``scenario.transient_ber`` onto it).  Hash-2
+        #: side-groups sample their own stuck map but no bursts: a burst
+        #: blocking a side-group retry is a second-order term, neglected
+        #: like the deeper peeling levels (see EXPERIMENTS.md).
+        self.scenario = scenario
         self._rng = resolve_pyrandom(
             rng, seed, owner="ConditionalGroupSimulator"
         )
@@ -218,8 +234,22 @@ class ConditionalGroupSimulator:
     # -- group construction ----------------------------------------------------------
 
     def _fresh_group(self) -> Tuple[STTRAMArray, ParityLineTable]:
-        """A formatted G-line array with content, parity, and no faults."""
+        """A formatted G-line array with content, parity, and no faults.
+
+        With a scenario overlay the group gets its stuck-at map attached
+        *before* content is written, so the fill stores through the
+        stuck bits (golden keeps the intent) -- the same setup order as
+        scenario campaigns.  The parity is rebuilt over the golden
+        words, so stuck bits appear to the repair machinery as what they
+        physically are: pre-existing storage faults.
+        """
         array = STTRAMArray(self.group_size, self.line_bits)
+        if self.scenario is not None:
+            stuck_map = self.scenario.sample_stuck_map_py(
+                self._rng, self.group_size, self.line_bits
+            )
+            if stuck_map is not None:
+                array.attach_permanent_faults(stuck_map)
         plt = ParityLineTable(1, self.line_bits)
         words = []
         for frame in range(self.group_size):
@@ -238,7 +268,18 @@ class ConditionalGroupSimulator:
             array.inject(
                 frame, random_error_vector(self.line_bits, faults, self._rng)
             )
+        self._inject_scenario_bursts(array)
         return frames
+
+    def _inject_scenario_bursts(self, array: STTRAMArray) -> None:
+        """Overlay one interval's burst events onto the trial group."""
+        if self.scenario is None:
+            return
+        vectors = self.scenario.sample_burst_vectors_py(
+            self._rng, self.group_size, self.line_bits
+        )
+        for frame in sorted(vectors):
+            array.inject(frame, vectors[frame])
 
     def _inject_background(self, array: STTRAMArray, exclude: int) -> None:
         """Unconditioned multi-fault background for a Hash-2 side-group."""
@@ -378,6 +419,12 @@ class ConditionalGroupSimulator:
             "interval_s": self.interval_s,
             "line_bits": self.line_bits,
             "sdr_max_mismatches": self.sdr_max_mismatches,
+            # Always present (None when no overlay): an old checkpoint
+            # without the key still matches a scenario-free resume, and
+            # a scenario resume refuses a scenario-free checkpoint.
+            "scenario": (
+                self.scenario.as_dict() if self.scenario is not None else None
+            ),
         }
         resume = checkpointer.resume if checkpointer is not None else None
         start = 0

@@ -13,16 +13,33 @@ so membership is O(1) and enumerating the faulty population is O(dirty)
 instead of O(lines) -- the index behind the sparse scrub fast path
 (:meth:`repro.sttram.scrub.ScrubEngine.scrub_pass` with ``sparse=True``)
 and the campaign ``heal`` step.
+
+Permanent (stuck-at) faults attach via :meth:`attach_permanent_faults`.
+Stuck bits re-assert through every ``write``/``restore``/``inject``:
+the stored value is always read through the mask, modelling cells that
+physically cannot hold the written polarity.  Two consequences matter
+for the scrub fast path:
+
+* the dirty set stays defined against raw golden (``stored != golden``),
+  so a line whose stuck bit conflicts with its golden content is
+  *permanently dirty* and sparse scrub passes keep visiting it -- this
+  is what keeps sparse bit-identical to dense under permanent faults;
+* :meth:`is_clean` is *residual* cleanliness -- stored matches golden
+  as read through the stuck bits -- so correction audits do not
+  misclassify a re-asserted stuck bit as silent data corruption.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set
 
 import numpy as np
 
 from repro.coding.bitvec import mask_of, popcount, random_bits
 from repro.core.rng import SeedLike, resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (faults imports array)
+    from repro.sttram.faults import PermanentFaultMap
 
 
 class STTRAMArray:
@@ -39,6 +56,52 @@ class STTRAMArray:
         self._stored: List[int] = [0] * num_lines
         self._golden: List[int] = [0] * num_lines
         self._dirty: Set[int] = set()
+        self._fault_map: Optional["PermanentFaultMap"] = None
+
+    # -- permanent faults -------------------------------------------------------
+
+    def attach_permanent_faults(self, fault_map: "PermanentFaultMap") -> None:
+        """Attach a stuck-at map; stuck bits assert immediately and forever.
+
+        Every subsequent ``write``/``restore``/``inject`` stores the
+        value as filtered through the stuck bits, and current contents
+        are re-asserted now (the dirty set updates accordingly).  Only
+        one map may be attached over an array's lifetime.
+        """
+        if self._fault_map is not None:
+            raise ValueError("a permanent fault map is already attached")
+        if fault_map.line_bits != self.line_bits:
+            raise ValueError(
+                f"fault map is {fault_map.line_bits} bits wide, "
+                f"array lines are {self.line_bits}"
+            )
+        for masks in (fault_map.stuck_at_one, fault_map.stuck_at_zero):
+            for line_index in masks:
+                self._check(line_index, 0)
+        self._fault_map = fault_map
+        touched = set(fault_map.stuck_at_one) | set(fault_map.stuck_at_zero)
+        for index in touched:
+            self._stored[index] = fault_map.apply(index, self._stored[index])
+            if self._stored[index] != self._golden[index]:
+                self._dirty.add(index)
+            else:
+                self._dirty.discard(index)
+
+    @property
+    def has_permanent_faults(self) -> bool:
+        """True once a stuck-at map is attached."""
+        return self._fault_map is not None
+
+    @property
+    def permanent_faults(self) -> Optional["PermanentFaultMap"]:
+        """The attached stuck-at map, if any."""
+        return self._fault_map
+
+    def _through_faults(self, index: int, value: int) -> int:
+        """Value as physically storable at this line (stuck bits asserted)."""
+        if self._fault_map is None:
+            return value
+        return self._fault_map.apply(index, value)
 
     # -- access ---------------------------------------------------------------
 
@@ -47,13 +110,19 @@ class STTRAMArray:
 
         The returned previous stored value is what a hardware
         read-modify-write would have seen, which is what the Parity Line
-        Table update needs.
+        Table update needs.  Golden records the *intended* value; stuck
+        bits assert in the stored copy only, so a conflicting write
+        leaves the line dirty (the residual fault a scrub will keep
+        re-encountering).
         """
         self._check(index, value)
         previous = self._stored[index]
-        self._stored[index] = value
+        self._stored[index] = self._through_faults(index, value)
         self._golden[index] = value
-        self._dirty.discard(index)
+        if self._stored[index] != value:
+            self._dirty.add(index)
+        else:
+            self._dirty.discard(index)
         return previous
 
     def read(self, index: int) -> int:
@@ -69,9 +138,16 @@ class STTRAMArray:
     # -- fault manipulation -----------------------------------------------------
 
     def inject(self, index: int, error_vector: int) -> None:
-        """XOR an error mask into the stored value (golden untouched)."""
+        """XOR an error mask into the stored value (golden untouched).
+
+        Flips landing on stuck bits are absorbed: a stuck cell cannot
+        transition, so the post-injection value is re-read through the
+        stuck mask.
+        """
         self._check(index, error_vector)
-        self._stored[index] ^= error_vector
+        self._stored[index] = self._through_faults(
+            index, self._stored[index] ^ error_vector
+        )
         if self._stored[index] != self._golden[index]:
             self._dirty.add(index)
         else:
@@ -82,10 +158,13 @@ class STTRAMArray:
 
         This models the scrub engine writing its repaired line into the
         array; whether the repair was *right* is judged against golden.
+        Stuck bits re-assert through the write-back -- the defining
+        permanent-fault behaviour: a correct repair of a stuck-conflicting
+        line still leaves the stuck bits wrong in storage.
         """
         self._check(index, value)
-        self._stored[index] = value
-        if value != self._golden[index]:
+        self._stored[index] = self._through_faults(index, value)
+        if self._stored[index] != self._golden[index]:
             self._dirty.add(index)
         else:
             self._dirty.discard(index)
@@ -95,9 +174,29 @@ class STTRAMArray:
         self._check(index, 0)
         return self._stored[index] ^ self._golden[index]
 
+    def residual_vector(self, index: int) -> int:
+        """Stored-vs-golden difference beyond what stuck bits force.
+
+        Zero means the line is as correct as the hardware permits: every
+        remaining divergence from golden sits on a stuck bit asserting
+        its polarity.
+        """
+        self._check(index, 0)
+        return self._stored[index] ^ self._through_faults(
+            index, self._golden[index]
+        )
+
     def is_clean(self, index: int) -> bool:
-        """True when stored matches golden."""
-        return self.error_vector(index) == 0
+        """True when stored matches golden up to stuck-bit residue.
+
+        Without permanent faults this is exact stored-equals-golden.
+        With them, a line whose only divergence is re-asserted stuck
+        bits counts as clean -- the correction audit must not label a
+        physically unavoidable residue as silent data corruption.  The
+        *dirty set* intentionally keeps the raw definition, so such
+        lines remain visible to sparse scrub passes.
+        """
+        return self.residual_vector(index) == 0
 
     def is_dirty(self, index: int) -> bool:
         """O(1) membership test against the dirty-frame set."""

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.coding.bitvec import bit_positions, flip_bits
+from repro.coding.interleave import BitInterleaver
 from repro.core.rng import SeedLike, resolve_rng
 from repro.sttram.array import STTRAMArray
 
@@ -165,15 +166,27 @@ class TransientFaultInjector:
 
     def _sample_distinct(self, population: int, count: int) -> np.ndarray:
         """Distinct uniform indices without materialising the population."""
-        if count > population:
-            raise ValueError("cannot sample more faults than bits")
-        # Rejection sampling: at realistic BERs count << population, so one
-        # round almost always suffices.
-        chosen: set = set()
-        while len(chosen) < count:
-            draw = self._rng.integers(0, population, size=count - len(chosen))
-            chosen.update(int(v) for v in draw)
-        return np.fromiter(chosen, dtype=np.int64, count=count)
+        return sample_distinct(self._rng, population, count)
+
+
+def sample_distinct(
+    rng: np.random.Generator, population: int, count: int
+) -> np.ndarray:
+    """Distinct uniform indices without materialising the population.
+
+    Rejection sampling: at realistic fault densities count << population,
+    so one round almost always suffices.  Shared by the transient
+    injector, the burst injector, and :meth:`PermanentFaultMap.random`
+    (whose with-replacement draws used to silently OR duplicate indices
+    into the same bit, undercounting the requested density).
+    """
+    if count > population:
+        raise ValueError("cannot sample more faults than bits")
+    chosen: set = set()
+    while len(chosen) < count:
+        draw = rng.integers(0, population, size=count - len(chosen))
+        chosen.update(int(v) for v in draw)
+    return np.fromiter(chosen, dtype=np.int64, count=count)
 
 
 @dataclass
@@ -190,13 +203,28 @@ class PermanentFaultMap:
     stuck_at_zero: Dict[int, int] = field(default_factory=dict)
 
     def add(self, line_index: int, bit_position: int, kind: FaultKind) -> None:
-        """Register a permanent fault."""
+        """Register a permanent fault.
+
+        A bit cannot be stuck at both polarities; registering the
+        opposite polarity on an already-stuck bit raises instead of
+        letting :meth:`apply`'s masking order silently pick a winner.
+        """
         if not 0 <= bit_position < self.line_bits:
             raise ValueError("bit position out of range")
         mask = 1 << bit_position
         if kind is FaultKind.STUCK_AT_ONE:
+            if self.stuck_at_zero.get(line_index, 0) & mask:
+                raise ValueError(
+                    f"line {line_index} bit {bit_position} is already "
+                    "stuck-at-0; a bit cannot be stuck at both polarities"
+                )
             self.stuck_at_one[line_index] = self.stuck_at_one.get(line_index, 0) | mask
         elif kind is FaultKind.STUCK_AT_ZERO:
+            if self.stuck_at_one.get(line_index, 0) & mask:
+                raise ValueError(
+                    f"line {line_index} bit {bit_position} is already "
+                    "stuck-at-1; a bit cannot be stuck at both polarities"
+                )
             self.stuck_at_zero[line_index] = self.stuck_at_zero.get(line_index, 0) | mask
         else:
             raise ValueError(f"not a permanent fault kind: {kind}")
@@ -221,18 +249,25 @@ class PermanentFaultMap:
         *,
         seed: Optional[SeedLike] = None,
     ) -> "PermanentFaultMap":
-        """Uniformly random stuck-at faults at a parts-per-million density."""
+        """Uniformly random stuck-at faults at a parts-per-million density.
+
+        Samples *distinct* flat bit indices, so the realized stuck-at
+        count equals the binomial draw exactly (with-replacement
+        sampling used to OR duplicates into the same bit, undercounting
+        the requested ppm), and no bit can receive both polarities.
+        """
         generator = resolve_rng(rng, seed, owner="PermanentFaultMap.random")
         fault_map = cls(line_bits)
         total_bits = num_lines * line_bits
         count = int(generator.binomial(total_bits, fault_ppm * 1e-6))
-        for _ in range(count):
-            flat = int(generator.integers(0, total_bits))
+        if count == 0:
+            return fault_map
+        flats = sorted(int(v) for v in sample_distinct(generator, total_bits, count))
+        polarities = generator.integers(0, 2, size=count)
+        for flat, polarity in zip(flats, polarities):
             line_index, bit_position = divmod(flat, line_bits)
             kind = (
-                FaultKind.STUCK_AT_ONE
-                if generator.integers(0, 2)
-                else FaultKind.STUCK_AT_ZERO
+                FaultKind.STUCK_AT_ONE if polarity else FaultKind.STUCK_AT_ZERO
             )
             fault_map.add(line_index, bit_position, kind)
         return fault_map
@@ -249,3 +284,168 @@ def burst_error_vector(
     if length <= 0 or start + length > line_bits:
         raise ValueError("burst does not fit in the line")
     return ((1 << length) - 1) << start
+
+
+def burst_line_masks(
+    line_bits: int,
+    start: int,
+    length: int,
+    *,
+    interleave: int = 1,
+) -> List[Tuple[int, int]]:
+    """(line offset, error mask) pairs induced by one physical burst.
+
+    With ``interleave == 1`` the burst lands wholly in one line.  With
+    ``interleave == D`` the physical row holds ``D`` logical lines
+    bit-interleaved (see :class:`repro.coding.interleave.BitInterleaver`),
+    so a contiguous physical burst of length ``k`` spreads across
+    ``min(k, D)`` logical lines at at most ``ceil(k / D)`` bits each --
+    the geometric fact that makes interleaving load-bearing under MBUs.
+
+    Shared by the numpy-generator :class:`BurstFaultInjector` and the
+    stdlib-RNG scenario samplers, so both fault paths place identical
+    bursts for identical (start, length) draws.
+    """
+    if interleave <= 0:
+        raise ValueError("interleave must be positive")
+    if interleave == 1:
+        return [(0, burst_error_vector(line_bits, start, length))]
+    interleaver = BitInterleaver(line_bits, interleave)
+    return interleaver.burst_to_line_errors(start, length)
+
+
+class BurstFaultInjector:
+    """Injects adjacent multi-bit bursts (MBU events) at a per-line rate.
+
+    Each interval, the number of burst *events* is a binomial draw over
+    ``num_lines`` at ``rate``; each event picks a distinct base line, a
+    burst length from ``length_pmf``, and an aligned start position
+    within ``span``:
+
+    :param line_bits: width of each logical line in bits.
+    :param rate: per-line probability that a burst event originates at
+        that line per interval.
+    :param length_pmf: mapping of burst length (bits) to probability;
+        normalized internally, every length must fit in ``span``.
+    :param span: window of physical positions ``[0, span)`` bursts may
+        occupy; defaults to the full row (``line_bits * interleave``).
+    :param alignment: burst starts are multiples of this (models column
+        granularity in the physical row); default 1 (unaligned).
+    :param multiplicity: number of consecutive rows struck by the same
+        burst pattern per event (vertical MBU extent); default 1.
+    :param interleave: logical lines per physical row.  1 means the
+        burst lands contiguously in one line (worst case for per-line
+        ECC-1); ``D > 1`` spreads it across ``D`` lines via the block
+        bit-interleaver -- the burst-vs-interleave comparison knob.
+    :param rng: explicit generator (campaign paths thread this, seeded
+        off the campaign SeedSequence tree).
+    :param seed: derive a generator from this seed instead.
+    """
+
+    def __init__(
+        self,
+        line_bits: int,
+        rate: float,
+        length_pmf: Dict[int, float],
+        *,
+        span: Optional[int] = None,
+        alignment: int = 1,
+        multiplicity: int = 1,
+        interleave: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[SeedLike] = None,
+    ) -> None:
+        if line_bits <= 0:
+            raise ValueError("line_bits must be positive")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        if multiplicity <= 0:
+            raise ValueError("multiplicity must be positive")
+        if interleave <= 0:
+            raise ValueError("interleave must be positive")
+        row_bits = line_bits * interleave
+        if span is None:
+            span = row_bits
+        if not 0 < span <= row_bits:
+            raise ValueError(f"span must be in (0, {row_bits}], got {span}")
+        if not length_pmf:
+            raise ValueError("length_pmf must not be empty")
+        total = 0.0
+        for length, probability in length_pmf.items():
+            if not isinstance(length, int) or length <= 0:
+                raise ValueError(f"burst length must be a positive int: {length}")
+            if length > span:
+                raise ValueError(
+                    f"burst length {length} does not fit in span {span}"
+                )
+            if probability < 0:
+                raise ValueError("length_pmf probabilities must be >= 0")
+            total += probability
+        if total <= 0:
+            raise ValueError("length_pmf probabilities must sum to > 0")
+        self.line_bits = line_bits
+        self.rate = rate
+        self.span = span
+        self.alignment = alignment
+        self.multiplicity = multiplicity
+        self.interleave = interleave
+        self._lengths = sorted(length_pmf)
+        weights = [length_pmf[length] / total for length in self._lengths]
+        self._cumulative = list(np.cumsum(weights))
+        self._cumulative[-1] = 1.0  # guard against float drift
+        self._rng = resolve_rng(rng, seed, owner="BurstFaultInjector")
+
+    def _draw_length(self) -> int:
+        """Inverse-CDF draw from the burst-length PMF."""
+        u = float(self._rng.random())
+        for length, bound in zip(self._lengths, self._cumulative):
+            if u <= bound:
+                return length
+        return self._lengths[-1]
+
+    def _draw_start(self, length: int) -> int:
+        """Aligned uniform start so the burst fits inside the span."""
+        slots = (self.span - length) // self.alignment + 1
+        return int(self._rng.integers(0, slots)) * self.alignment
+
+    def error_vectors(self, num_lines: int) -> Dict[int, int]:
+        """Sample one interval's burst events as per-line error masks.
+
+        One binomial draw for the event count, distinct base lines in
+        sorted order, then per-event (length, start) draws -- so the
+        consumed RNG stream is a pure function of (geometry, num_lines)
+        and the generator state, which is what lets sharded campaigns
+        replay the same events from the same SeedSequence children.
+        Masks from overlapping events OR together; burst cells past the
+        last line are clipped (array-edge events).
+        """
+        if num_lines < 0:
+            raise ValueError("num_lines must be non-negative")
+        count = int(self._rng.binomial(num_lines, self.rate))
+        vectors: Dict[int, int] = {}
+        if count == 0:
+            return vectors
+        bases = sorted(int(v) for v in sample_distinct(self._rng, num_lines, count))
+        for base in bases:
+            length = self._draw_length()
+            start = self._draw_start(length)
+            masks = burst_line_masks(
+                self.line_bits, start, length, interleave=self.interleave
+            )
+            for row in range(self.multiplicity):
+                row_base = base + row * self.interleave
+                for offset, mask in masks:
+                    line_index = row_base + offset
+                    if line_index >= num_lines:
+                        continue
+                    vectors[line_index] = vectors.get(line_index, 0) | mask
+        return vectors
+
+    def inject_frames(self, array: "STTRAMArray") -> List[int]:
+        """Inject one interval's bursts; return the sorted frames hit."""
+        vectors = self.error_vectors(array.num_lines)
+        for line_index, vector in vectors.items():
+            array.inject(line_index, vector)
+        return sorted(vectors)

@@ -114,3 +114,79 @@ def test_property_roundtrip(args):
     depth, lines = args
     interleaver = BitInterleaver(line_bits=24, depth=depth)
     assert interleaver.deinterleave(interleaver.interleave(lines)) == lines
+
+
+# -- burst-tolerance properties -------------------------------------------------
+#
+# The load-bearing claim behind the MBU study: a contiguous physical
+# burst of length k <= D lands at most ONE bit in any logical line, so
+# per-line ECC-1 corrects what would otherwise be an uncorrectable
+# multi-bit error.  For k > D the damage is bounded by ceil(k / D).
+
+_BURST_CASE = st.tuples(
+    st.integers(min_value=1, max_value=8),    # depth D
+    st.integers(min_value=2, max_value=32),   # line_bits
+    st.integers(min_value=1, max_value=40),   # burst length k
+    st.integers(min_value=0, max_value=255),  # start (reduced mod free room)
+)
+
+
+@settings(max_examples=200)
+@given(_BURST_CASE)
+def test_property_short_burst_is_single_bit_per_line(case):
+    depth, line_bits, length, start_seed = case
+    length = min(length, depth)  # restrict to the k <= D regime
+    interleaver = BitInterleaver(line_bits=line_bits, depth=depth)
+    start = start_seed % (interleaver.row_bits - length + 1)
+    errors = interleaver.burst_to_line_errors(start, length)
+    assert len(errors) == length  # k <= D distinct lines, one bit each
+    assert all(popcount(vector) == 1 for _, vector in errors)
+
+
+@settings(max_examples=200)
+@given(_BURST_CASE)
+def test_property_burst_damage_bounded_by_ceiling(case):
+    depth, line_bits, length, start_seed = case
+    interleaver = BitInterleaver(line_bits=line_bits, depth=depth)
+    length = min(length, interleaver.row_bits)
+    start = start_seed % (interleaver.row_bits - length + 1)
+    errors = interleaver.burst_to_line_errors(start, length)
+    bound = interleaver.max_bits_per_line(length)
+    assert bound == (length + depth - 1) // depth
+    assert max(popcount(vector) for _, vector in errors) <= bound
+    # No bits lost or invented: the error map partitions the burst.
+    assert sum(popcount(vector) for _, vector in errors) == length
+
+
+@settings(max_examples=100)
+@given(_BURST_CASE)
+def test_property_burst_map_agrees_with_row_corruption(case):
+    depth, line_bits, length, start_seed = case
+    interleaver = BitInterleaver(line_bits=line_bits, depth=depth)
+    length = min(length, interleaver.row_bits)
+    start = start_seed % (interleaver.row_bits - length + 1)
+    rng = random.Random((depth, line_bits, length, start_seed).__hash__())
+    lines = [rng.getrandbits(line_bits) for _ in range(depth)]
+    row = interleaver.interleave(lines)
+    burst = ((1 << length) - 1) << start
+    corrupted = interleaver.deinterleave(row ^ burst)
+    expected = dict(interleaver.burst_to_line_errors(start, length))
+    for index in range(depth):
+        assert corrupted[index] == lines[index] ^ expected.get(index, 0)
+
+
+@settings(max_examples=100)
+@given(_BURST_CASE)
+def test_property_injector_masks_match_interleaver(case):
+    # The shared helper behind BurstFaultInjector and the scenario
+    # samplers must place exactly the bits the interleaver maps.
+    from repro.sttram.faults import burst_line_masks
+
+    depth, line_bits, length, start_seed = case
+    interleaver = BitInterleaver(line_bits=line_bits, depth=depth)
+    length = min(length, interleaver.row_bits)
+    start = start_seed % (interleaver.row_bits - length + 1)
+    assert (
+        burst_line_masks(line_bits, start, length, interleave=depth)
+        == interleaver.burst_to_line_errors(start, length)
+    )

@@ -23,10 +23,10 @@ def rules_of(source, path="pkg/mod.py", config=None):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert [c.rule for c in all_checkers()] == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007",
+            "RPR007", "RPR008",
         ]
 
     def test_get_checker(self):
@@ -301,6 +301,62 @@ class TestWallClockDuration:
         # ``record.time()`` on some other object must not resolve to the
         # stdlib clock.
         assert rules_of("value = record.time()") == []
+
+
+class TestRawFaultPrimitive:
+    CAMPAIGN = "src/repro/reliability/montecarlo.py"
+
+    def test_direct_map_construction_flagged(self):
+        source = """\
+        from repro.sttram.faults import PermanentFaultMap
+        fault_map = PermanentFaultMap(line_bits)
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == ["RPR008"]
+
+    def test_random_classmethod_flagged(self):
+        source = """\
+        from repro.sttram.faults import PermanentFaultMap
+        fault_map = PermanentFaultMap.random(lines, bits, ppm, rng)
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == ["RPR008"]
+
+    def test_burst_injector_flagged_in_parallel(self):
+        source = """\
+        from repro.sttram import faults
+        injector = faults.BurstFaultInjector(bits, rate, pmf, seed=1)
+        """
+        assert rules_of(
+            source, path="src/repro/parallel/runner.py"
+        ) == ["RPR008"]
+
+    def test_burst_error_vector_flagged(self):
+        source = """\
+        from repro.sttram.faults import burst_error_vector
+        mask = burst_error_vector(64, 8, 4)
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == ["RPR008"]
+
+    def test_same_code_outside_campaign_paths_clean(self):
+        source = """\
+        from repro.sttram.faults import PermanentFaultMap
+        fault_map = PermanentFaultMap(line_bits)
+        """
+        assert rules_of(source, path="src/repro/sttram/disturb.py") == []
+
+    def test_scenario_layer_exempt(self):
+        source = """\
+        from repro.sttram.faults import BurstFaultInjector
+        injector = BurstFaultInjector(bits, rate, pmf, seed=1)
+        """
+        assert rules_of(
+            source, path="src/repro/reliability/scenario.py"
+        ) == []
+
+    def test_unrelated_random_attribute_clean(self):
+        # ``rng.random()`` is a plain draw, not a fault primitive.
+        assert rules_of(
+            "u = rng.random()", path=self.CAMPAIGN
+        ) == []
 
 
 class TestConfigSelection:

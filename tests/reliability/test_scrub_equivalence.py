@@ -141,6 +141,76 @@ class TestRaresim:
         assert results[0] == results[1]
 
 
+class TestPermanentFaults:
+    """Sparse == dense with stuck-at faults attached.
+
+    Stuck bits re-assert after every correction, so frames whose stuck
+    value conflicts with the written content are *permanently* dirty --
+    the sparse pass must keep visiting them forever, not just while a
+    transient residue lasts.  These tests pin that the raw-dirty
+    bookkeeping (``stored != golden``, not residual-clean) keeps the two
+    modes bit-identical.
+    """
+
+    @staticmethod
+    def _stuck_engine(seed=17, ppm=4000.0):
+        from repro.sttram.faults import PermanentFaultMap
+
+        engine = ECCLineCache(
+            num_lines=16, t=LINE_CODE.t, data_bits=LINE_CODE.k,
+            code=LINE_CODE,
+        )
+        engine.array.attach_permanent_faults(
+            PermanentFaultMap.random(
+                engine.array.num_lines, engine.array.line_bits,
+                fault_ppm=ppm, rng=np.random.default_rng(seed),
+            )
+        )
+        return engine
+
+    def test_engine_campaign_equivalence_with_stuck_bits(self):
+        _assert_equivalent(self._stuck_engine, ber=1e-3)
+
+    def test_stuck_conflicting_frames_stay_dirty(self):
+        engine = self._stuck_engine()
+        array = engine.array
+        assert array.has_permanent_faults
+        run_engine_campaign(
+            engine, ber=0.0, intervals=3,
+            rng=np.random.default_rng(1), scrub_mode="sparse",
+        )
+        # After scrubbing with zero transient faults, any line whose
+        # stored value still differs from golden does so only because
+        # of stuck bits -- and must still be tracked as dirty.
+        for line in array.dirty_frames():
+            faults = array.permanent_faults
+            assert faults.error_vector(line, array.golden(line)) != 0
+
+    @pytest.mark.parametrize("scheme", ["Z", "eccline", "raid6", "twodp"])
+    def test_scenario_campaign_equivalence(self, scheme):
+        from repro.reliability.scenario import (
+            BurstSpec,
+            FaultScenario,
+            StuckSpec,
+            run_scenario_campaign,
+        )
+
+        scenario = FaultScenario(
+            transient_ber=2e-3,
+            burst=BurstSpec.fixed_length(rate=0.05, length=3, interleave=2),
+            stuck=StuckSpec(ppm=400.0),
+        )
+        results = [
+            run_scenario_campaign(
+                scheme, scenario, intervals=INTERVALS, group_size=4,
+                seed=13, scrub_mode=mode,
+            )
+            for mode in ("dense", "sparse")
+        ]
+        assert results[0].as_dict() == results[1].as_dict()
+        assert sum(results[0].outcomes.values()) > 0
+
+
 class TestCLIFlags:
     def test_scrub_mode_flags_parse(self):
         from repro.cli import build_parser
