@@ -33,11 +33,11 @@ MIN_CORES_FOR_ASSERT = 4
 REQUIRED_SPEEDUP = 2.5
 
 
-def _timed_run(shards):
+def _timed_run(shards, backend="reference"):
     started = time.perf_counter()
     result = run_sharded_campaign(
         CAMPAIGN["level"], CAMPAIGN["ber"], CAMPAIGN["intervals"],
-        CAMPAIGN["group_size"], shards=shards, seed=SEED,
+        CAMPAIGN["group_size"], shards=shards, seed=SEED, backend=backend,
     )
     return time.perf_counter() - started, result
 
@@ -48,10 +48,19 @@ def test_bench_parallel_scaling(benchmark):
     _timed_run(2)
 
     walls = {}
+    results = {}
     for shards in SHARD_COUNTS:
         wall, result = _timed_run(shards)
         walls[shards] = wall
+        results[shards] = result
         assert result.intervals == CAMPAIGN["intervals"]
+
+    # Sharding composes with the kernel backends: a numpy-backed run at
+    # the same shard count merges to bit-identical outcome counters.
+    _, numpy_result = _timed_run(max(SHARD_COUNTS), backend="numpy")
+    assert numpy_result.as_dict() == results[max(SHARD_COUNTS)].as_dict(), (
+        "numpy backend diverged from reference under sharding"
+    )
 
     # One pedantic round: each configuration already ran above, and a
     # multi-round rerun of a ~20 s campaign would dominate the whole

@@ -9,9 +9,10 @@ pending-outcome bookkeeping) so each concrete baseline only implements
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional, Union
 
 from repro.core.outcomes import Outcome
+from repro.kernels import KernelBackend, resolve_backend
 from repro.sttram.array import STTRAMArray
 
 
@@ -21,14 +22,26 @@ class BaselineCache:
     #: Human-readable scheme name; subclasses override.
     name = "baseline"
 
-    def __init__(self, array: STTRAMArray, data_bits: int, audit: bool = True) -> None:
+    def __init__(
+        self,
+        array: STTRAMArray,
+        data_bits: int,
+        audit: bool = True,
+        backend: Optional[Union[str, KernelBackend]] = None,
+    ) -> None:
         if data_bits <= 0:
             raise ValueError("data_bits must be positive")
         self.array = array
         self.data_bits = data_bits
         self.audit = audit
+        self.backend = resolve_backend(backend)
         self.outcome_counts: Counter = Counter()
         self._pending: Dict[int, Outcome] = {}
+
+    def set_backend(self, backend: Union[str, KernelBackend]) -> None:
+        """Swap the kernel backend (per-line resolution is scheme-opaque,
+        so only the bulk dirty-population reduction routes through it)."""
+        self.backend = resolve_backend(backend)
 
     # -- interface subclasses implement ------------------------------------------
 

@@ -47,7 +47,9 @@ flags (see :mod:`repro.obs` and ``docs/telemetry.md``):
 default) is bit-identical to the serial path, and checkpoints compose
 per shard.  ``campaign``, ``raresim``, and ``chaos`` also accept
 ``--scenario FILE`` to overlay a mixed fault scenario
-(``docs/faultmodels.md``).
+(``docs/faultmodels.md``).  The same four commands accept
+``--backend {reference,numpy}`` to pick the bit-plane kernel backend
+(``docs/kernels.md``); outcomes are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -185,6 +187,25 @@ def _scrub_mode_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend`` kernel-backend flag.
+
+    Both backends produce bit-identical outcome counters (see
+    docs/kernels.md); ``numpy`` vectorizes the bit-plane hot loops,
+    ``reference`` keeps the original pure-Python paths.
+    """
+    from repro.kernels import BACKEND_NAMES
+
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("kernel backend")
+    group.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="reference",
+        help="bit-plane kernel backend for the hot loops (bit-identical "
+             "outcomes; 'numpy' is the vectorized fast path)",
+    )
+    return parent
+
+
 def _burst_pmf(text: str) -> List:
     """Argparse type: ``LEN:PROB[,LEN:PROB...]`` burst-length PMF.
 
@@ -269,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     parallel = _parallel_parent()
     scrub_mode = _scrub_mode_parent()
     scenario_file = _scenario_parent()
+    backend = _backend_parent()
 
     sub.add_parser("summary", help="headline reliability numbers")
 
@@ -283,7 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="Monte-Carlo fault injection",
         parents=[
             telemetry, resilience, chaos_flags, parallel, scrub_mode,
-            scenario_file,
+            scenario_file, backend,
         ],
     )
     campaign.add_argument("--level", choices=["X", "Y", "Z"], default="Z")
@@ -294,7 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     raresim = sub.add_parser(
         "raresim", help="conditional rare-event FIT estimate",
-        parents=[telemetry, resilience, parallel, scrub_mode, scenario_file],
+        parents=[
+            telemetry, resilience, parallel, scrub_mode, scenario_file,
+            backend,
+        ],
     )
     raresim.add_argument("--level", choices=["Y", "Z"], default="Z")
     raresim.add_argument("--ber", type=float, default=1e-4)
@@ -306,7 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="sweep metadata-fault rates; report SDC/DUE per SuDoku level",
-        parents=[telemetry, parallel, scrub_mode, scenario_file],
+        parents=[telemetry, parallel, scrub_mode, scenario_file, backend],
     )
     chaos.add_argument(
         "--levels", nargs="+", choices=["X", "Y", "Z"], default=["X", "Y", "Z"]
@@ -335,7 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario = sub.add_parser(
         "scenario",
         help="mixed transient/burst/stuck-at campaign over any scheme",
-        parents=[telemetry, resilience, chaos_flags, parallel, scrub_mode],
+        parents=[
+            telemetry, resilience, chaos_flags, parallel, scrub_mode, backend,
+        ],
     )
     scenario.add_argument(
         "--scheme", choices=list(SCHEMES), default="Z",
@@ -700,7 +727,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             progress=make_progress(intervals, f"scenario-{level}"),
             chaos_policy=policy if policy.enabled else None,
             chaos_seed=args.chaos_seed,
-            scrub_mode=args.scrub_mode,
+            scrub_mode=args.scrub_mode, backend=args.backend,
             **resilience,
         )
         _print_scenario_result(level, scenario, result)
@@ -730,7 +757,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         progress=make_progress(intervals, f"campaign-{level}"),
         chaos_policy=policy if policy.enabled else None,
         chaos_seed=args.chaos_seed,
-        scrub_mode=args.scrub_mode,
+        scrub_mode=args.scrub_mode, backend=args.backend,
         **resilience,
     )
     model = SuDokuReliabilityModel(
@@ -842,7 +869,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         progress=make_progress(args.intervals, f"scenario-{args.scheme}"),
         chaos_policy=policy if policy.enabled else None,
         chaos_seed=args.chaos_seed,
-        scrub_mode=args.scrub_mode,
+        scrub_mode=args.scrub_mode, backend=args.backend,
         **resilience,
     )
     _print_scenario_result(args.scheme, scenario, result)
@@ -886,7 +913,7 @@ def cmd_raresim(args: argparse.Namespace) -> int:
         args.group_size, args.num_groups,
         shards=args.shards, seed=args.seed, telemetry=telemetry,
         progress=make_progress(args.trials, f"raresim-{args.level}"),
-        scrub_mode=args.scrub_mode,
+        scrub_mode=args.scrub_mode, backend=args.backend,
         scenario=scenario,
         **resilience,
     )
@@ -952,7 +979,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     telemetry=telemetry,
                     chaos_policy=policy if policy.enabled else None,
                     chaos_seed=args.chaos_seed,
-                    scrub_mode=args.scrub_mode,
+                    scrub_mode=args.scrub_mode, backend=args.backend,
                 )
             else:
                 result = run_sharded_campaign(
@@ -961,7 +988,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     telemetry=telemetry,
                     chaos_policy=policy if policy.enabled else None,
                     chaos_seed=args.chaos_seed,
-                    scrub_mode=args.scrub_mode,
+                    scrub_mode=args.scrub_mode, backend=args.backend,
                 )
             meta = result.metadata
             rows.append([

@@ -26,18 +26,19 @@ the quantity Table III tracks.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.coding.bitvec import popcount
 from repro.core.config import SuDokuConfig
 from repro.core.grouping import GroupMapper, SkewedGroupMapper
-from repro.core.linecodec import DecodeStatus, LineCodec
+from repro.core.linecodec import DecodeStatus, LineCodec, LineDecode
 from repro.core.layout import LineLayout
 from repro.core.outcomes import Outcome
 from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import GroupScan, reconstruct_line, scan_group
 from repro.core.sdr import resurrect
 from repro.core.stats import CorrectionStats, LatencyModel
+from repro.kernels import KernelBackend, resolve_backend
 from repro.obs import Telemetry, resolve_telemetry
 from repro.sttram.array import STTRAMArray
 
@@ -72,6 +73,7 @@ class SuDokuEngine:
         audit: bool = True,
         format_array: bool = True,
         telemetry: Optional[Telemetry] = None,
+        backend: Optional[Union[str, KernelBackend]] = None,
     ) -> None:
         self.codec = codec if codec is not None else LineCodec()
         if array.line_bits != self.codec.stored_bits:
@@ -81,13 +83,20 @@ class SuDokuEngine:
             )
         self.array = array
         self.group_size = group_size
+        self.backend = resolve_backend(backend)
         self.mapper = GroupMapper(array.num_lines, group_size)
-        self.plt = ParityLineTable(self.mapper.num_groups, array.line_bits)
+        self.plt = ParityLineTable(
+            self.mapper.num_groups, array.line_bits, backend=self.backend
+        )
         self.latency = latency if latency is not None else LatencyModel()
         self.audit = audit
         self.stats = CorrectionStats()
         self.correction_time_s = 0.0
         self._pending: Dict[int, Outcome] = {}
+        #: Per-pass decode memo: frame -> (stored word, its LineDecode).
+        #: Filled by batched prefetches; entries are only trusted while
+        #: the frame's stored word still matches (repairs invalidate).
+        self._decode_cache: Dict[int, Tuple[int, LineDecode]] = {}
         #: Optional structured event recorder (see repro.core.eventlog);
         #: attach one to capture per-line correction events.
         self.event_log = None
@@ -130,6 +139,73 @@ class SuDokuEngine:
 
     def _init_extra_tables(self) -> None:
         """Hook for subclasses that maintain additional parity tables."""
+
+    # -- kernel backend -----------------------------------------------------------
+
+    def set_backend(self, backend: Union[str, KernelBackend]) -> None:
+        """Swap the kernel backend on this engine and all its tables.
+
+        Backends are pure compute under a bit-identity contract, so this
+        never changes results -- only how the bulk work is executed.
+        """
+        self.backend = resolve_backend(backend)
+        for plt, _ in self._tables():
+            plt.backend = self.backend
+        self._decode_cache.clear()
+
+    def _cached_decode(self, frame: int, stored: int) -> LineDecode:
+        """The frame's prefetched decode, iff still valid for ``stored``.
+
+        Repairs rewrite lines mid-pass (and chaos scans can revisit a
+        frame), so a memoised decode is only trusted while the stored
+        word it was computed from is unchanged; otherwise decode fresh.
+        """
+        entry = self._decode_cache.get(frame)
+        if entry is not None and entry[0] == stored:
+            return entry[1]
+        return self.codec.decode(stored)
+
+    def _prefetch_decodes(self, frames: List[int]) -> None:
+        """Batch-decode frames into the per-pass memo (batched backends).
+
+        Frames whose memo entry is still valid are skipped; the rest are
+        decoded in one backend call.  A no-op for non-batched backends,
+        where the scalar decode at point of use is exactly as fast.
+        """
+        if not self.backend.batched:
+            return
+        pending: List[int] = []
+        words: List[int] = []
+        pristine: List[int] = []
+        pristine_words: List[int] = []
+        for frame in frames:
+            stored = self.array.read(frame)
+            entry = self._decode_cache.get(frame)
+            if entry is not None and entry[0] == stored:
+                continue
+            # A frame whose stored word still matches golden holds a
+            # valid codeword (everything written goes through the codec
+            # -- the same invariant scan_group's trusted_clean path
+            # rests on), so its decode is known CLEAN and the backend
+            # may skip the syndrome/CRC machinery for it.  The raw
+            # dirty-set test is required here, not is_clean(): a line
+            # whose only divergence is stuck-bit residue is *not* a
+            # valid codeword.
+            if not self.array.is_dirty(frame):
+                pristine.append(frame)
+                pristine_words.append(stored)
+            else:
+                pending.append(frame)
+                words.append(stored)
+        if pristine:
+            decodes = self.backend.batch_decode_clean(self.codec, pristine_words)
+            for frame, stored, decode in zip(pristine, pristine_words, decodes):
+                self._decode_cache[frame] = (stored, decode)
+        if not pending:
+            return
+        decodes = self.backend.batch_decode(self.codec, words)
+        for frame, stored, decode in zip(pending, words, decodes):
+            self._decode_cache[frame] = (stored, decode)
 
     def format(self) -> None:
         """Initialise every frame to the encoded zero line and zero parity.
@@ -179,15 +255,16 @@ class SuDokuEngine:
         """
         for plt, mapper in self._tables():
             for group in range(mapper.num_groups):
-                members = []
-                for frame in mapper.members(group):
-                    stored = self.array.read(frame)
-                    decode = self.codec.decode(stored)
-                    members.append(
-                        stored
-                        if decode.status is DecodeStatus.UNCORRECTABLE
-                        else decode.word
-                    )
+                stored_words = [
+                    self.array.read(frame) for frame in mapper.members(group)
+                ]
+                decodes = self.backend.batch_decode(self.codec, stored_words)
+                members = [
+                    stored
+                    if decode.status is DecodeStatus.UNCORRECTABLE
+                    else decode.word
+                    for stored, decode in zip(stored_words, decodes)
+                ]
                 plt.rebuild(group, members)
 
     def _tables(self) -> List[Tuple[ParityLineTable, GroupMapper]]:
@@ -261,6 +338,7 @@ class SuDokuEngine:
     def begin_scrub_pass(self) -> None:
         """Reset per-pass caches; call before each scrub walk."""
         self._pending.clear()
+        self._decode_cache.clear()
 
     def scrub_line(self, frame: int) -> str:
         """Resolve one line (LineScrubber protocol); returns outcome label."""
@@ -359,6 +437,8 @@ class SuDokuEngine:
         repairs are drained and counted as well.
         """
         self.begin_scrub_pass()
+        frames = list(frames)
+        self._prefetch_decodes(frames)
         counts: Counter = Counter()
         for frame in frames:
             counts[self.scrub_line(frame)] += 1
@@ -367,13 +447,14 @@ class SuDokuEngine:
             self.stats.record(audited)
             counts[audited.value] += 1
         self._pending.clear()
+        self._decode_cache.clear()
         return dict(counts)
 
     # -- line resolution --------------------------------------------------------------
 
     def _resolve_line(self, frame: int) -> Outcome:
         stored = self.array.read(frame)
-        decode = self.codec.decode(stored)
+        decode = self._cached_decode(frame, stored)
         if decode.status is DecodeStatus.CLEAN:
             return Outcome.CLEAN
         if decode.status is DecodeStatus.CORRECTED:
@@ -481,7 +562,11 @@ class SuDokuEngine:
     def _scan(self, mapper, group: int) -> GroupScan:
         self.stats.group_scans += 1
         self.stats.lines_scanned += mapper.group_size
-        return scan_group(self.array, self.codec, group, mapper.members(group))
+        members = mapper.members(group)
+        self._prefetch_decodes(list(members))
+        return scan_group(
+            self.array, self.codec, group, members, decoder=self._cached_decode
+        )
 
     # -- audit ------------------------------------------------------------------------
 
@@ -639,7 +724,9 @@ class SuDokuZ(SuDokuY):
 
     def _init_extra_tables(self) -> None:
         self.mapper2 = SkewedGroupMapper(self.array.num_lines, self.group_size)
-        self.plt2 = ParityLineTable(self.mapper2.num_groups, self.array.line_bits)
+        self.plt2 = ParityLineTable(
+            self.mapper2.num_groups, self.array.line_bits, backend=self.backend
+        )
 
     def _tables(self) -> List[Tuple[ParityLineTable, GroupMapper]]:
         return [(self.plt, self.mapper), (self.plt2, self.mapper2)]

@@ -45,7 +45,9 @@ class Outcome(str, enum.Enum):
     @property
     def is_corrected(self) -> bool:
         """Did a correction mechanism fire and succeed?"""
-        return self.value.startswith("corrected")
+        # The taxonomy's own definition of the corrected family; every
+        # other site must go through is_corrected_label.
+        return self.value.startswith("corrected")  # repro-lint: disable=RPR001
 
     @property
     def is_failure(self) -> bool:
@@ -56,6 +58,22 @@ class Outcome(str, enum.Enum):
     def is_due(self) -> bool:
         """Detected-uncorrectable (whether data- or metadata-caused)?"""
         return self in (Outcome.DUE, Outcome.METADATA_DUE)
+
+
+def is_corrected_label(label: str) -> bool:
+    """Did an outcome label record a successful correction?
+
+    String-label counterpart of :attr:`Outcome.is_corrected`.  Matching
+    the ``corrected`` *prefix* on raw strings at call sites is the same
+    bug class as hand-picking label keys (the PR-4 ``metadata_due``
+    undercount): a renamed or new corrected-family outcome silently
+    drops out of the accounting.  Unknown labels from third-party
+    scrubbers are conservatively treated as not-corrected.
+    """
+    try:
+        return Outcome(label).is_corrected
+    except ValueError:
+        return False
 
 
 def is_due_label(label: str) -> bool:

@@ -37,22 +37,28 @@ passes, and behaviour is bit-identical to the axiomatically-clean table.
 from __future__ import annotations
 
 import zlib
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set, Union
 
 from repro.coding.bitvec import mask_of
-from repro.coding.parity import xor_reduce
+from repro.kernels import KernelBackend, resolve_backend
 
 
 class ParityLineTable:
     """Per-group parity store for one hash function."""
 
-    def __init__(self, num_groups: int, line_bits: int) -> None:
+    def __init__(
+        self,
+        num_groups: int,
+        line_bits: int,
+        backend: Optional[Union[str, KernelBackend]] = None,
+    ) -> None:
         if num_groups <= 0:
             raise ValueError("num_groups must be positive")
         if line_bits <= 0:
             raise ValueError("line_bits must be positive")
         self.num_groups = num_groups
         self.line_bits = line_bits
+        self.backend = resolve_backend(backend)
         self._mask = mask_of(line_bits)
         self._entry_bytes = (line_bits + 7) // 8
         self._parity: List[int] = [0] * num_groups
@@ -91,7 +97,7 @@ class ParityLineTable:
         self._check_group(group)
         for word in members:
             self._check_word(word)
-        value = xor_reduce(members)
+        value = self.backend.xor_fold(members, self.line_bits)
         self._parity[group] = value
         self._crc[group] = self._entry_crc(group, value)
         self.quarantined.discard(group)
@@ -100,7 +106,7 @@ class ParityLineTable:
     def mismatch(self, group: int, members: Sequence[int]) -> int:
         """Stored parity XOR recomputed parity: candidate fault positions."""
         self._check_group(group)
-        return self._parity[group] ^ xor_reduce(members)
+        return self._parity[group] ^ self.backend.xor_fold(members, self.line_bits)
 
     # -- metadata integrity -------------------------------------------------------
 

@@ -11,10 +11,10 @@ validated here by the rebuilt line's CRC before it is accepted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.coding.parity import xor_reduce
-from repro.core.linecodec import DecodeStatus, LineCodec
+from repro.core.linecodec import DecodeStatus, LineCodec, LineDecode
 from repro.core.outcomes import Outcome
 from repro.core.plt_ import ParityLineTable
 from repro.sttram.array import STTRAMArray
@@ -53,6 +53,7 @@ def scan_group(
     group: int,
     frames: Sequence[int],
     trusted_clean: bool = False,
+    decoder: Optional[Callable[[int, int], LineDecode]] = None,
 ) -> GroupScan:
     """Read a whole group, fix single-bit faults, classify the rest.
 
@@ -67,6 +68,12 @@ def scan_group(
     contribute its stored word unchanged -- the scan result is identical.
     This is the rare-event simulator's fast path; the SuDoku engines'
     scans stay dense (their repair machinery is the thing under test).
+
+    ``decoder``, when given, replaces ``codec.decode``: it is called as
+    ``decoder(frame, stored)`` and must return the ``LineDecode`` the
+    codec would produce for that stored word.  This is how the engines
+    feed batched (kernel-backend) decodes into the scan without changing
+    any decision logic here.
     """
     words: Dict[int, int] = {}
     uncorrectable: List[int] = []
@@ -76,7 +83,7 @@ def scan_group(
         if trusted_clean and not array.is_dirty(frame):
             words[frame] = stored
             continue
-        decode = codec.decode(stored)
+        decode = decoder(frame, stored) if decoder is not None else codec.decode(stored)
         if decode.status is DecodeStatus.CLEAN:
             words[frame] = stored
         elif decode.status is DecodeStatus.CORRECTED:

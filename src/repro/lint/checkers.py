@@ -1,4 +1,4 @@
-"""The eight RPR domain rules.
+"""The nine RPR domain rules.
 
 Each rule mechanizes a bug this repository actually shipped and fixed
 by hand in an earlier PR (the ``rationale`` attribute names it); the
@@ -19,6 +19,11 @@ from repro.lint.registry import Checker, register
 #: The taxonomy labels, imported from the single source of truth so a
 #: future outcome is policed the moment it is added to the enum.
 OUTCOME_LABELS = frozenset(outcome.value for outcome in Outcome)
+
+#: Minimum length of a ``startswith`` prefix before RPR001 treats it as
+#: outcome-prefix matching; shorter prefixes ("#", ".") are overwhelmingly
+#: unrelated string handling.
+_MIN_OUTCOME_PREFIX = 3
 
 #: Canonical dotted paths of RNG constructors.
 _NUMPY_DEFAULT_RNG = "numpy.random.default_rng"
@@ -49,8 +54,11 @@ class OutcomeLiteralChecker(Checker):
 
     Flags an :class:`~repro.core.outcomes.Outcome` label string used as
     a comparison operand, a ``dict.get``/``pop``/``setdefault`` key, a
-    subscript index, or a member of an ``in`` container.  Display-only
-    uses (table headers, docstrings) are deliberately not flagged.
+    subscript index, or a member of an ``in`` container -- and a
+    ``startswith`` call whose constant argument is a prefix (>= 3
+    characters) of a taxonomy label, the "corrected*" classification
+    idiom that belongs to ``is_corrected_label``.  Display-only uses
+    (table headers, docstrings) are deliberately not flagged.
     """
 
     rule = "RPR001"
@@ -103,6 +111,35 @@ class OutcomeLiteralChecker(Checker):
                 label = _const_str(node.args[0])
                 if label in OUTCOME_LABELS:
                     yield self._flag(node.args[0], ctx, label, "looked up")
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "startswith"
+                and node.args
+            ):
+                first = node.args[0]
+                elements = (
+                    first.elts if isinstance(first, ast.Tuple) else (first,)
+                )
+                for element in elements:
+                    prefix = _const_str(element)
+                    if (
+                        prefix is not None
+                        and len(prefix) >= _MIN_OUTCOME_PREFIX
+                        and any(
+                            label.startswith(prefix)
+                            for label in OUTCOME_LABELS
+                        )
+                    ):
+                        # Not _flag: a prefix ("corrected") is usually
+                        # not itself a valid Outcome value.
+                        yield self.finding(
+                            element,
+                            ctx,
+                            f"outcome prefix {prefix!r} matched with "
+                            "startswith; use is_corrected_label/"
+                            "is_due_label/is_failure_label from "
+                            "repro.core.outcomes",
+                        )
         elif isinstance(node, ast.Subscript):
             index = node.slice
             label = _const_str(index)
@@ -534,6 +571,67 @@ class RawFaultPrimitiveChecker(Checker):
             "fault source on a FaultScenario (BurstSpec/StuckSpec) and let "
             "repro.reliability.scenario construct it, so it is seeded off "
             "the campaign seed tree and fingerprinted into checkpoints",
+        )
+
+
+@register
+class PerLineLoopChecker(Checker):
+    """RPR009: per-line Python loop over array storage.
+
+    Flags ``for ... in range(<...>.num_lines)`` (statements and
+    comprehensions alike).  Walking the array one line at a time in
+    Python is exactly the pattern the :mod:`repro.kernels` backends
+    exist to replace: bulk work belongs in ``scrub_frames`` /
+    ``batch_decode`` / the dirty-line reductions, where the numpy
+    backend can vectorize it over bit-planes.  The reference backend is
+    the one sanctioned home of the scalar loops (exempt by config);
+    pre-existing sites are grandfathered in the baseline.
+    """
+
+    rule = "RPR009"
+    name = "per-line-loop"
+    severity = Severity.ERROR
+    description = (
+        "per-line Python loop over array storage (range over num_lines)"
+    )
+    rationale = (
+        "the bit-plane kernel backends vectorize the per-line hot "
+        "loops; a new range(num_lines) walk in scrub or campaign code "
+        "silently reverts the fast path to O(lines) Python"
+    )
+    interests = ("For", "comprehension")
+
+    @staticmethod
+    def _mentions_num_lines(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Attribute)
+                and child.attr == "num_lines"
+            ):
+                return True
+            if isinstance(child, ast.Name) and child.id == "num_lines":
+                return True
+        return False
+
+    def check_node(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        iterator = node.iter  # type: ignore[attr-defined]
+        if not isinstance(iterator, ast.Call):
+            return
+        if ctx.resolve(iterator.func) != "range":
+            return
+        if not any(
+            self._mentions_num_lines(argument) for argument in iterator.args
+        ):
+            return
+        yield self.finding(
+            iterator,
+            ctx,
+            "per-line Python loop over array storage; route the bulk "
+            "operation through a repro.kernels backend (scrub_frames, "
+            "batch decode, dirty-line reduction) instead of walking "
+            "range(num_lines)",
         )
 
 

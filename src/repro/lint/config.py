@@ -36,6 +36,8 @@ DEFAULT_EXEMPTIONS: Mapping[str, Tuple[str, ...]] = {
     # The scenario layer is where fault primitives are legitimately
     # built from specs (seeded off the campaign tree, fingerprinted).
     "RPR008": ("repro/reliability/scenario.py",),
+    # The reference backend *is* the sanctioned per-line scalar loop.
+    "RPR009": ("repro/kernels/reference.py",),
 }
 
 

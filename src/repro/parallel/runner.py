@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - cycle: scenario imports this package
 
 import numpy as np
 
+from repro.kernels import BACKEND_NAMES
 from repro.obs import (
     NULL_PROGRESS,
     Telemetry,
@@ -129,6 +130,7 @@ class _ShardSpec:
     scrub_mode: str = "sparse"
     scenario: Optional["FaultScenario"] = None
     interval_start: int = 0
+    backend: str = "reference"
 
 
 class _ShardProgress:
@@ -209,7 +211,7 @@ def _run_shard(
             group_size=spec.group_size, interval_s=spec.interval_s,
             rng=rng, telemetry=telemetry, progress=progress,
             chaos=chaos, checkpointer=checkpointer, deadline=deadline,
-            scrub_mode=spec.scrub_mode,
+            scrub_mode=spec.scrub_mode, backend=spec.backend,
         )
     elif spec.kind == "raresim":
         simulator = ConditionalGroupSimulator(
@@ -220,6 +222,7 @@ def _run_shard(
             ),
             sparse=spec.scrub_mode == "sparse",
             scenario=spec.scenario,
+            backend=spec.backend,
         )
         result = simulator.run(
             spec.level, spec.units, telemetry=telemetry, progress=progress,
@@ -238,7 +241,7 @@ def _run_shard(
             telemetry=telemetry, progress=progress,
             chaos_policy=spec.chaos_policy, chaos_seed=spec.chaos_seed,
             checkpointer=checkpointer, deadline=deadline,
-            scrub_mode=spec.scrub_mode,
+            scrub_mode=spec.scrub_mode, backend=spec.backend,
         )
     else:  # pragma: no cover - specs are built by this module only
         raise ValueError(f"unknown shard kind {spec.kind!r}")
@@ -359,7 +362,8 @@ def _serial_checkpointer(
 
 
 def _validate(shards: int, units: int, checkpoint_path: str,
-              checkpoint_every: int, scrub_mode: str = "sparse") -> None:
+              checkpoint_every: int, scrub_mode: str = "sparse",
+              backend: str = "reference") -> None:
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if units < 0:
@@ -373,6 +377,10 @@ def _validate(shards: int, units: int, checkpoint_path: str,
         # surface as a ShardError traceback.
         raise ValueError(
             f"scrub_mode must be 'sparse' or 'dense', got {scrub_mode!r}"
+        )
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
         )
 
 
@@ -399,6 +407,7 @@ def run_sharded_campaign(
     resume_from: str = "",
     deadline_s: Optional[float] = None,
     scrub_mode: str = "sparse",
+    backend: str = "reference",
 ) -> CampaignResult:
     """Sharded Monte-Carlo campaign (see :func:`run_group_campaign`).
 
@@ -409,11 +418,13 @@ def run_sharded_campaign(
     merged :class:`CampaignResult` is returned.  ``chaos_policy`` (when
     enabled) gets an independent per-shard chaos stream derived from
     ``chaos_seed`` the same way.  ``scrub_mode`` ("sparse"/"dense")
-    reaches every shard; per-seed results are bit-identical either way.
+    reaches every shard; per-seed results are bit-identical either way,
+    as is the kernel ``backend`` ("reference"/"numpy").
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
-    _validate(shards, intervals, checkpoint_path, checkpoint_every, scrub_mode)
+    _validate(shards, intervals, checkpoint_path, checkpoint_every,
+              scrub_mode, backend)
     if chaos_policy is not None and not chaos_policy.enabled:
         chaos_policy = None
     if shards == 1:
@@ -433,7 +444,7 @@ def run_sharded_campaign(
             telemetry=telemetry, progress=progress, chaos=chaos,
             checkpointer=checkpointer,
             deadline=Deadline(deadline_s) if deadline_s else None,
-            scrub_mode=scrub_mode,
+            scrub_mode=scrub_mode, backend=backend,
         )
     units = split_units(intervals, shards)
     batch = _progress_batch(intervals)
@@ -453,7 +464,7 @@ def run_sharded_campaign(
                 if resume_from else ""
             ),
             telemetry=telemetry is not None, deadline_s=deadline_s,
-            progress_batch=batch, scrub_mode=scrub_mode,
+            progress_batch=batch, scrub_mode=scrub_mode, backend=backend,
         )
         for index in range(shards)
     ]
@@ -485,6 +496,7 @@ def run_sharded_raresim(
     deadline_s: Optional[float] = None,
     scrub_mode: str = "sparse",
     scenario: Optional["FaultScenario"] = None,
+    backend: str = "reference",
 ) -> ConditionalResult:
     """Sharded conditional rare-event campaign (see ``estimate_fit``).
 
@@ -496,10 +508,13 @@ def run_sharded_raresim(
     ("sparse", the default) vs full decodes ("dense"); trial outcomes
     are bit-identical in both modes.  ``scenario`` overlays per-group
     stuck-at maps and per-trial bursts on the conditioned transients.
+    ``backend`` selects the kernel backend in every shard; outcomes are
+    bit-identical across backends.
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
-    _validate(shards, trials, checkpoint_path, checkpoint_every, scrub_mode)
+    _validate(shards, trials, checkpoint_path, checkpoint_every,
+              scrub_mode, backend)
     if shards == 1:
         checkpointer = _serial_checkpointer(
             "raresim", checkpoint_path, checkpoint_every, resume_from,
@@ -511,6 +526,7 @@ def run_sharded_raresim(
             interval_s=interval_s, rng=random.Random(seed),  # repro-lint: disable=RPR006
             sparse=scrub_mode == "sparse",
             scenario=scenario,
+            backend=backend,
         )
         return simulator.run(
             level, trials, telemetry=telemetry, progress=progress,
@@ -535,7 +551,7 @@ def run_sharded_raresim(
             ),
             telemetry=telemetry is not None, deadline_s=deadline_s,
             progress_batch=batch, scrub_mode=scrub_mode,
-            scenario=scenario,
+            scenario=scenario, backend=backend,
         )
         for index in range(shards)
     ]
@@ -566,6 +582,7 @@ def run_sharded_scenario(
     resume_from: str = "",
     deadline_s: Optional[float] = None,
     scrub_mode: str = "sparse",
+    backend: str = "reference",
 ) -> CampaignResult:
     """Sharded mixed-fault scenario campaign (see
     :func:`repro.reliability.scenario.run_scenario_campaign`).
@@ -584,7 +601,8 @@ def run_sharded_scenario(
 
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
-    _validate(shards, intervals, checkpoint_path, checkpoint_every, scrub_mode)
+    _validate(shards, intervals, checkpoint_path, checkpoint_every,
+              scrub_mode, backend)
     if chaos_policy is not None and not chaos_policy.enabled:
         chaos_policy = None
     if shards == 1:
@@ -598,7 +616,7 @@ def run_sharded_scenario(
             progress=progress, chaos_policy=chaos_policy,
             chaos_seed=chaos_seed, checkpointer=checkpointer,
             deadline=Deadline(deadline_s) if deadline_s else None,
-            scrub_mode=scrub_mode,
+            scrub_mode=scrub_mode, backend=backend,
         )
     units = split_units(intervals, shards)
     starts = [sum(units[:index]) for index in range(shards)]
@@ -621,6 +639,7 @@ def run_sharded_scenario(
             telemetry=telemetry is not None, deadline_s=deadline_s,
             progress_batch=batch, scrub_mode=scrub_mode,
             scenario=scenario, interval_start=starts[index],
+            backend=backend,
         )
         for index in range(shards)
     ]

@@ -198,12 +198,18 @@ def run_engine_campaign(
     deadline: Optional[Deadline] = None,
     scrub_mode: str = "sparse",
     seed: Optional[SeedLike] = None,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Inject-scrub-heal for ``intervals`` independent intervals.
 
     :param engine: a formatted SuDoku engine (or any object with the same
         array / scrub_frames / write_data interface, e.g. the baselines).
     :param ber: accelerated per-bit flip probability per interval.
+    :param backend: optional kernel backend name (``"reference"`` or
+        ``"numpy"``); when given, the engine and the fault injector route
+        their bulk operations through it.  Backends are bit-identical by
+        contract, so checkpoints deliberately omit the choice -- a
+        reference run may be resumed on numpy and vice versa.
     :param scrub_mode: ``"sparse"`` (default) scrubs only the frames the
         array's dirty index reports and bulk-accounts the rest as
         ``clean``; ``"dense"`` decodes every line of the array each
@@ -245,6 +251,10 @@ def run_engine_campaign(
     instead of discarding completed intervals.
     """
     _require_scrub_mode(scrub_mode)
+    if backend is not None:
+        setter = getattr(engine, "set_backend", None)
+        if setter is not None:
+            setter(backend)
     generator = resolve_rng(rng, seed, owner="run_engine_campaign")
     tel = resolve_telemetry(telemetry)
     if telemetry is not None:
@@ -328,7 +338,10 @@ def run_engine_campaign(
         restore_numpy_rng_state(generator, resume["rng"]["numpy"])
         if chaos is not None and "chaos" in resume["rng"]:
             chaos.restore_rng_state(resume["rng"]["chaos"])
-    injector = TransientFaultInjector(array.line_bits, ber, generator)
+    injector = TransientFaultInjector(
+        array.line_bits, ber, generator,
+        backend=getattr(engine, "backend", None),
+    )
 
     def boundary_snapshot(completed: int) -> Dict[str, object]:
         aggregates = {
@@ -489,21 +502,24 @@ def run_group_campaign(
     deadline: Optional[Deadline] = None,
     scrub_mode: str = "sparse",
     seed: Optional[SeedLike] = None,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Single-cache campaign sized for group-level statistics.
 
     Builds a compact engine (``group_size^2`` lines so SuDoku-Z's skewed
     hash is valid) and runs :func:`run_engine_campaign` -- the analytical
     model evaluated at the same geometry is the comparison target.  The
-    resilience knobs (``chaos``, ``checkpointer``, ``deadline``) and
-    ``scrub_mode`` pass straight through.
+    resilience knobs (``chaos``, ``checkpointer``, ``deadline``),
+    ``scrub_mode``, and ``backend`` pass straight through.
     """
     from repro.core.linecodec import LineCodec
 
     codec = LineCodec()
     num_lines = group_size * group_size
     array = STTRAMArray(num_lines, codec.stored_bits)
-    engine = build_engine(level, array, group_size=group_size, codec=codec)
+    engine = build_engine(
+        level, array, group_size=group_size, codec=codec, backend=backend
+    )
     return run_engine_campaign(
         engine, ber, trials, interval_s=interval_s, rng=rng,
         randomize_content=False, telemetry=telemetry, progress=progress,

@@ -44,6 +44,7 @@ from repro.core.linecodec import LineCodec
 from repro.core.plt_ import ParityLineTable
 from repro.core.raid4 import reconstruct_line, scan_group
 from repro.core.rng import resolve_pyrandom
+from repro.kernels import resolve_backend
 from repro.core.sdr import resurrect
 from repro.obs import NULL_PROGRESS, NullTracer, Telemetry, resolve_telemetry
 from repro.reliability.binomial import binomial_pmf, binomial_tail, complement_power
@@ -177,6 +178,7 @@ class ConditionalGroupSimulator:
         sparse: bool = True,
         seed: Optional[int] = None,
         scenario: Optional["FaultScenario"] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if not 0.0 < ber < 1.0:
             raise ValueError("ber must be in (0, 1)")
@@ -208,6 +210,10 @@ class ConditionalGroupSimulator:
         #: checkpoints are bit-identical in both modes; ``sparse=False``
         #: is the trust-nothing audit mode.
         self.sparse = sparse
+        #: Kernel backend for bulk operations (parity folds, batched
+        #: group decodes).  Bit-identical by contract and fed no RNG, so
+        #: it is deliberately absent from the checkpoint fingerprint.
+        self.backend = resolve_backend(backend)
         self.line_bits = self.codec.stored_bits
         #: Phase-span tracer; :meth:`run` swaps in the campaign's live
         #: tracer (RNG-neutral: spans never touch the trial stream).
@@ -250,7 +256,7 @@ class ConditionalGroupSimulator:
             )
             if stuck_map is not None:
                 array.attach_permanent_faults(stuck_map)
-        plt = ParityLineTable(1, self.line_bits)
+        plt = ParityLineTable(1, self.line_bits, backend=self.backend)
         words = []
         for frame in range(self.group_size):
             word = self.codec.encode(self._rng.getrandbits(self.codec.layout.data_bits))
@@ -294,12 +300,45 @@ class ConditionalGroupSimulator:
 
     # -- repair drivers ---------------------------------------------------------------
 
+    def _batched_decoder(self, array: STTRAMArray):
+        """A scan decoder backed by one batched decode of the group.
+
+        Prefetches exactly the frames the scan will decode (all of them,
+        or only the dirty ones under ``sparse``) and serves each from
+        the memo while the stored word is unchanged; anything rewritten
+        mid-scan falls through to the scalar decode.  ``None`` for
+        non-batched backends -- the scan then uses ``codec.decode``
+        directly, as before.
+        """
+        if not self.backend.batched:
+            return None
+        frames = [
+            frame
+            for frame in range(self.group_size)
+            if not self.sparse or array.is_dirty(frame)
+        ]
+        words = [array.read(frame) for frame in frames]
+        decodes = self.backend.batch_decode(self.codec, words)
+        memo = {
+            frame: (stored, decode)
+            for frame, stored, decode in zip(frames, words, decodes)
+        }
+
+        def decoder(frame: int, stored: int):
+            entry = memo.get(frame)
+            if entry is not None and entry[0] == stored:
+                return entry[1]
+            return self.codec.decode(stored)
+
+        return decoder
+
     def _repair_y(self, array: STTRAMArray, plt: ParityLineTable) -> List[int]:
         """Full SuDoku-Y repair of one group; returns surviving frames."""
         with self._tracer.span("phase_scrub"):
             scan = scan_group(
                 array, self.codec, 0, range(self.group_size),
                 trusted_clean=self.sparse,
+                decoder=self._batched_decoder(array),
             )
         with self._tracer.span("phase_correct"):
             if len(scan.uncorrectable) > 1:
@@ -517,6 +556,7 @@ def estimate_fit(
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
     sparse: bool = True,
+    backend: Optional[str] = None,
 ) -> ConditionalResult:
     """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z."""
     simulator = ConditionalGroupSimulator(
@@ -525,6 +565,7 @@ def estimate_fit(
         num_groups=num_groups,
         rng=random.Random(seed),
         sparse=sparse,
+        backend=backend,
     )
     return simulator.run(
         level, trials, telemetry=telemetry, progress=progress,

@@ -275,7 +275,7 @@ class FaultScenario:
         )
 
     def build_burst_injector(
-        self, line_bits: int, rng
+        self, line_bits: int, rng, backend=None
     ) -> Optional[BurstFaultInjector]:
         """Burst injector on a per-interval numpy generator."""
         if self.burst is None or self.burst.rate <= 0:
@@ -289,6 +289,7 @@ class FaultScenario:
             multiplicity=self.burst.multiplicity,
             interleave=self.burst.interleave,
             rng=rng,
+            backend=backend,
         )
 
     # -- seeded samplers (stdlib Random, raresim path) -------------------------
@@ -392,7 +393,7 @@ def _binomial_draw_py(rng, n: int, p: float) -> int:
     return k
 
 
-def build_scheme(name: str, group_size: int = 8):
+def build_scheme(name: str, group_size: int = 8, backend: Optional[str] = None):
     """Build any protection scheme at a compact comparable geometry.
 
     SuDoku-X/Y/Z, 2DP and RAID-6 use ``group_size**2`` lines of the
@@ -403,11 +404,22 @@ def build_scheme(name: str, group_size: int = 8):
     the same payload volume with ``group_size**2`` 32-byte regions.
     Every scheme exposes the campaign surface (``array``,
     ``write_data``, ``scrub_frames``, ``account_bulk_clean``), so
-    :func:`run_scenario_campaign` treats them uniformly.
+    :func:`run_scenario_campaign` treats them uniformly.  ``backend``
+    routes bulk operations through a kernel backend where the scheme
+    supports one (bit-identical by contract).
     """
     if group_size < 2:
         raise ValueError("group_size must be >= 2")
     num_lines = group_size * group_size
+    scheme = _build_scheme_inner(name, group_size, num_lines)
+    if backend is not None:
+        setter = getattr(scheme, "set_backend", None)
+        if setter is not None:
+            setter(backend)
+    return scheme
+
+
+def _build_scheme_inner(name: str, group_size: int, num_lines: int):
     if name in ("X", "Y", "Z"):
         from repro.core.linecodec import LineCodec
 
@@ -447,7 +459,11 @@ def build_scheme(name: str, group_size: int = 8):
 
 
 def _setup_scheme(
-    scheme: str, group_size: int, scenario: FaultScenario, seed: int
+    scheme: str,
+    group_size: int,
+    scenario: FaultScenario,
+    seed: int,
+    backend: Optional[str] = None,
 ):
     """Build + stuck-attach + fill + canonicalize: pure in (config, seed).
 
@@ -456,7 +472,7 @@ def _setup_scheme(
     and parities are canonicalized last from ECC-corrected words --
     giving the reference boundary state every interval returns to.
     """
-    engine = build_scheme(scheme, group_size)
+    engine = build_scheme(scheme, group_size, backend=backend)
     array = engine.array
     stuck_map = scenario.build_stuck_map(
         array.num_lines, array.line_bits, interval_generator(seed, 1)
@@ -487,6 +503,7 @@ def run_scenario_campaign(
     checkpointer: Optional[Checkpointer] = None,
     deadline: Optional[Deadline] = None,
     scrub_mode: str = "sparse",
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Inject-scrub-heal under a mixed fault scenario.
 
@@ -513,7 +530,8 @@ def run_scenario_campaign(
     if interval_start < 0:
         raise ValueError("interval_start must be non-negative")
     tel = resolve_telemetry(telemetry)
-    engine = _setup_scheme(scheme, group_size, scenario, seed)
+    engine = _setup_scheme(scheme, group_size, scenario, seed, backend)
+    kernels = getattr(engine, "backend", None)
     if telemetry is not None:
         attach = getattr(engine, "attach_telemetry", None)
         if attach is not None:
@@ -601,10 +619,11 @@ def run_scenario_campaign(
                         result.metadata.update(chaos.corrupt_metadata(engine))
                     if scenario.transient_ber > 0:
                         TransientFaultInjector(
-                            array.line_bits, scenario.transient_ber, stream
+                            array.line_bits, scenario.transient_ber, stream,
+                            backend=kernels,
                         ).inject_frames(array)
                     burst = scenario.build_burst_injector(
-                        array.line_bits, stream
+                        array.line_bits, stream, backend=kernels
                     )
                     if burst is not None:
                         burst.inject_frames(array)

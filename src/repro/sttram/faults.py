@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.coding.bitvec import bit_positions, flip_bits
 from repro.coding.interleave import BitInterleaver
 from repro.core.rng import SeedLike, resolve_rng
+from repro.kernels import KernelBackend, resolve_backend
 from repro.sttram.array import STTRAMArray
 
 
@@ -87,6 +88,7 @@ class TransientFaultInjector:
         rng: Optional[np.random.Generator] = None,
         *,
         seed: Optional[SeedLike] = None,
+        backend: Optional[Union[str, KernelBackend]] = None,
     ) -> None:
         if line_bits <= 0:
             raise ValueError("line_bits must be positive")
@@ -94,6 +96,7 @@ class TransientFaultInjector:
             raise ValueError("ber must be a probability")
         self.line_bits = line_bits
         self.ber = ber
+        self.backend = resolve_backend(backend)
         self._rng = resolve_rng(rng, seed, owner="TransientFaultInjector")
 
     def error_vector(self) -> int:
@@ -126,15 +129,11 @@ class TransientFaultInjector:
             raise ValueError("num_lines must be non-negative")
         total_bits = num_lines * self.line_bits
         count = int(self._rng.binomial(total_bits, self.ber))
-        vectors: Dict[int, int] = {}
         if count == 0:
-            return vectors
+            return {}
         # Sample distinct flat bit indices, then split into (line, bit).
         flat = self._sample_distinct(total_bits, count)
-        for index in flat:
-            line_index, bit_position = divmod(int(index), self.line_bits)
-            vectors[line_index] = vectors.get(line_index, 0) | (1 << bit_position)
-        return vectors
+        return self.backend.scatter_fault_vectors(flat, self.line_bits)
 
     def inject_frames(self, array: "STTRAMArray") -> List[int]:
         """Inject one interval's faults; return the sorted frames hit.
@@ -354,6 +353,7 @@ class BurstFaultInjector:
         interleave: int = 1,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[SeedLike] = None,
+        backend: Optional[Union[str, KernelBackend]] = None,
     ) -> None:
         if line_bits <= 0:
             raise ValueError("line_bits must be positive")
@@ -395,6 +395,7 @@ class BurstFaultInjector:
         weights = [length_pmf[length] / total for length in self._lengths]
         self._cumulative = list(np.cumsum(weights))
         self._cumulative[-1] = 1.0  # guard against float drift
+        self.backend = resolve_backend(backend)
         self._rng = resolve_rng(rng, seed, owner="BurstFaultInjector")
 
     def _draw_length(self) -> int:
@@ -424,10 +425,10 @@ class BurstFaultInjector:
         if num_lines < 0:
             raise ValueError("num_lines must be non-negative")
         count = int(self._rng.binomial(num_lines, self.rate))
-        vectors: Dict[int, int] = {}
         if count == 0:
-            return vectors
+            return {}
         bases = sorted(int(v) for v in sample_distinct(self._rng, num_lines, count))
+        events: List[Tuple[int, int]] = []
         for base in bases:
             length = self._draw_length()
             start = self._draw_start(length)
@@ -437,11 +438,8 @@ class BurstFaultInjector:
             for row in range(self.multiplicity):
                 row_base = base + row * self.interleave
                 for offset, mask in masks:
-                    line_index = row_base + offset
-                    if line_index >= num_lines:
-                        continue
-                    vectors[line_index] = vectors.get(line_index, 0) | mask
-        return vectors
+                    events.append((row_base + offset, mask))
+        return self.backend.fold_line_masks(events, num_lines)
 
     def inject_frames(self, array: "STTRAMArray") -> List[int]:
         """Inject one interval's bursts; return the sorted frames hit."""

@@ -16,9 +16,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol
+from typing import Dict, Optional, Protocol, Union
 
-from repro.core.outcomes import Outcome, is_due_label, is_failure_label
+from repro.core.outcomes import (
+    Outcome,
+    is_corrected_label,
+    is_due_label,
+    is_failure_label,
+)
+from repro.kernels import KernelBackend
 from repro.sttram.array import STTRAMArray
 
 
@@ -122,6 +128,7 @@ class ScrubEngine:
         scheme: LineScrubber,
         interval_s: float = 0.020,
         timing: Optional[ScrubTiming] = None,
+        backend: Optional[Union[str, KernelBackend]] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("scrub interval must be positive")
@@ -129,6 +136,19 @@ class ScrubEngine:
         self.scheme = scheme
         self.interval_s = interval_s
         self.timing = timing if timing is not None else ScrubTiming()
+        if backend is not None:
+            self.set_backend(backend)
+
+    def set_backend(self, backend: Union[str, KernelBackend]) -> None:
+        """Route the scheme's bulk operations through a kernel backend.
+
+        Delegates to the scheme's own ``set_backend`` when it has one
+        (SuDoku engines, baselines); plain :class:`LineScrubber` schemes
+        without bulk operations are left untouched.
+        """
+        setter = getattr(self.scheme, "set_backend", None)
+        if setter is not None:
+            setter(backend)
 
     def scrub_pass(self, sparse: bool = False) -> ScrubReport:
         """Run one full scrub over the array.
@@ -157,7 +177,7 @@ class ScrubEngine:
                     counts[self.scheme.scrub_line(index)] += 1
             report.outcomes.update(counts)
             for label, count in counts.items():
-                if label.startswith("corrected"):
+                if is_corrected_label(label):
                     corrected += count
             # Collateral group repairs only ever touch faulty frames, all
             # of which are in the dirty set, so the remainder is exactly
@@ -171,7 +191,7 @@ class ScrubEngine:
             for index in range(self.array.num_lines):
                 outcome = self.scheme.scrub_line(index)
                 report.outcomes[outcome] += 1
-                if outcome.startswith("corrected"):
+                if is_corrected_label(outcome):
                     corrected += 1
         report.lines_scrubbed = self.array.num_lines
         report.busy_time_s = self.timing.pass_time(self.array.num_lines, corrected)

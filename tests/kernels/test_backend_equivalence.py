@@ -1,0 +1,367 @@
+"""Reference-vs-numpy backend equivalence, pinned bit for bit.
+
+The numpy backend is only allowed to exist because it changes *nothing*
+observable: for every scheme, fault mix, scrub mode, and sharding
+degree, the outcome counters (and metadata counters, and hence every
+derived statistic) must equal the reference backend's exactly.  These
+tests sweep that matrix through the scenario campaign runner -- all
+eight schemes under transient, interleaved-burst (D = 1/2/4), stuck-at,
+and metadata-chaos faults, dense and sparse scrub, serial and 4-shard
+execution.
+
+The property tests at the bottom pin the plane layout itself: packing
+is the little-endian serialisation the CRC/PLT code already uses, so
+round-trips through :mod:`repro.coding.bitvec` values and
+:class:`repro.coding.interleave.BitInterleaver` rows must be exact.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.coding.bitvec import bit_positions, random_bits
+from repro.coding.interleave import BitInterleaver
+from repro.kernels import BACKEND_NAMES, get_backend, resolve_backend
+from repro.kernels.planes import (
+    pack_line,
+    pack_lines,
+    unpack_line,
+    unpack_lines,
+    words_per_line,
+)
+from repro.reliability.scenario import (
+    SCHEMES,
+    BurstSpec,
+    FaultScenario,
+    StuckSpec,
+    run_scenario_campaign,
+)
+
+INTERVALS = 4
+GROUP = 4
+SEED = 13
+
+#: One scenario per fault kind in the acceptance matrix.
+FAULT_SCENARIOS = {
+    "transient": FaultScenario(transient_ber=2e-3),
+    "burst_d1": FaultScenario(
+        transient_ber=5e-4,
+        burst=BurstSpec.fixed_length(rate=0.05, length=3, interleave=1),
+    ),
+    "burst_d2": FaultScenario(
+        transient_ber=5e-4,
+        burst=BurstSpec.fixed_length(rate=0.05, length=3, interleave=2),
+    ),
+    "burst_d4": FaultScenario(
+        transient_ber=5e-4,
+        burst=BurstSpec.fixed_length(rate=0.05, length=4, interleave=4),
+    ),
+    "stuck": FaultScenario(transient_ber=1e-3, stuck=StuckSpec(ppm=500.0)),
+}
+
+
+def _run(scheme, scenario, backend, scrub_mode, chaos_policy=None):
+    return run_scenario_campaign(
+        scheme, scenario, intervals=INTERVALS, group_size=GROUP,
+        seed=SEED, scrub_mode=scrub_mode, backend=backend,
+        chaos_policy=chaos_policy,
+    ).as_dict()
+
+
+class TestRegistry:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("reference", "numpy")
+
+    def test_get_backend_is_singleton(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="reference"):
+            get_backend("cupy")
+
+    def test_resolve_passthrough(self):
+        backend = get_backend("reference")
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(None).name == "reference"
+        assert resolve_backend("numpy").name == "numpy"
+
+
+class TestSchemeEquivalence:
+    """All eight schemes x five fault mixes x dense/sparse, serial."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("fault", sorted(FAULT_SCENARIOS))
+    def test_backends_bit_identical(self, scheme, fault):
+        scenario = FAULT_SCENARIOS[fault]
+        reference = _run(scheme, scenario, "reference", "sparse")
+        assert sum(reference["outcomes"].values()) > 0
+        assert _run(scheme, scenario, "reference", "dense") == reference
+        for mode in ("sparse", "dense"):
+            assert _run(scheme, scenario, "numpy", mode) == reference
+
+
+class TestChaosEquivalence:
+    """Metadata chaos perturbs both backends identically."""
+
+    @pytest.mark.parametrize("level", ["X", "Y", "Z"])
+    def test_backends_bit_identical_under_chaos(self, level):
+        from repro.resilience.chaos import ChaosPolicy
+
+        policy = ChaosPolicy(
+            plt_flip_rate=0.02,
+            map_swap_rate=0.01,
+            visit_drop_rate=0.05,
+            visit_duplicate_rate=0.05,
+        )
+        scenario = FAULT_SCENARIOS["transient"]
+        reference = _run(
+            level, scenario, "reference", "sparse", chaos_policy=policy
+        )
+        for backend in BACKEND_NAMES:
+            for mode in ("sparse", "dense"):
+                assert _run(
+                    level, scenario, backend, mode, chaos_policy=policy
+                ) == reference
+
+
+class TestShardedEquivalence:
+    """4-shard merged results equal serial, per backend, bit for bit."""
+
+    MIXED = FaultScenario(
+        transient_ber=1e-3,
+        burst=BurstSpec.fixed_length(rate=0.03, length=3, interleave=2),
+        stuck=StuckSpec(ppm=300.0),
+    )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_sharded_matches_serial_on_both_backends(self, scheme):
+        from repro.parallel import run_sharded_scenario
+
+        serial = run_sharded_scenario(
+            scheme, self.MIXED, INTERVALS * 2, GROUP,
+            shards=1, seed=SEED, backend="reference",
+        ).as_dict()
+        for backend in BACKEND_NAMES:
+            sharded = run_sharded_scenario(
+                scheme, self.MIXED, INTERVALS * 2, GROUP,
+                shards=4, seed=SEED, backend=backend,
+            ).as_dict()
+            assert sharded == serial
+
+
+class TestCampaignAndRaresimBackends:
+    """The Monte-Carlo and rare-event entry points honour backend= too."""
+
+    @pytest.mark.parametrize("level", ["X", "Y", "Z"])
+    def test_group_campaign_backends_agree(self, level):
+        from repro.reliability.montecarlo import run_group_campaign
+
+        results = [
+            run_group_campaign(
+                level, 8e-4, trials=INTERVALS, group_size=8,
+                rng=np.random.default_rng(21), backend=backend,
+            ).as_dict()
+            for backend in BACKEND_NAMES
+        ]
+        assert results[0] == results[1]
+
+    def test_raresim_backends_agree(self):
+        from repro.reliability.raresim import ConditionalGroupSimulator
+
+        results = []
+        for backend in BACKEND_NAMES:
+            simulator = ConditionalGroupSimulator(
+                ber=4e-4, group_size=16, num_groups=16,
+                rng=random.Random(3), backend=backend,
+            )
+            results.append(simulator.run("Z", 30).as_dict())
+        assert results[0] == results[1]
+
+
+class TestPlaneStorageMode:
+    """The plane-backed array storage is observably identical to lists."""
+
+    @staticmethod
+    def _twin_arrays(num_lines=12, line_bits=553, seed=31):
+        from repro.sttram.array import STTRAMArray
+
+        rng = random.Random(seed)
+        arrays = [
+            STTRAMArray(num_lines, line_bits, storage=storage)
+            for storage in ("list", "planes")
+        ]
+        for index in range(num_lines):
+            value = random_bits(line_bits, rng)
+            for array in arrays:
+                array.write(index, value)
+        return arrays
+
+    def test_write_inject_restore_agree(self):
+        list_array, plane_array = self._twin_arrays()
+        rng = random.Random(32)
+        for index in range(len(list_array)):
+            if rng.random() < 0.5:
+                vector = random_bits(553, rng)
+                list_array.inject(index, vector)
+                plane_array.inject(index, vector)
+        for index in range(len(list_array)):
+            assert plane_array.read(index) == list_array.read(index)
+            assert plane_array.golden(index) == list_array.golden(index)
+            assert plane_array.is_dirty(index) == list_array.is_dirty(index)
+        assert plane_array.dirty_frames() == list_array.dirty_frames()
+        assert list(plane_array) == list(list_array)
+
+    def test_recompute_dirty_frames_agrees_across_backends(self):
+        list_array, plane_array = self._twin_arrays(seed=33)
+        rng = random.Random(34)
+        for index in (1, 4, 9):
+            vector = 1 << rng.randrange(553)
+            list_array.inject(index, vector)
+            plane_array.inject(index, vector)
+        expected = list_array.dirty_frames()
+        for backend in BACKEND_NAMES:
+            assert (
+                plane_array.recompute_dirty_frames(backend) == expected
+            )
+            assert (
+                list_array.recompute_dirty_frames(backend) == expected
+            )
+
+    def test_invalid_storage_mode_rejected(self):
+        from repro.sttram.array import STTRAMArray
+
+        with pytest.raises(ValueError, match="storage"):
+            STTRAMArray(4, 64, storage="sqlite")
+
+
+class TestPlanePacking:
+    """Property tests: the plane layout is the little-endian layout."""
+
+    WIDTHS = (1, 7, 64, 65, 128, 553)
+
+    def test_round_trip_random_lines(self):
+        rng = random.Random(41)
+        for width in self.WIDTHS:
+            values = [random_bits(width, rng) for _ in range(64)]
+            values += [0, (1 << width) - 1, 1 << (width - 1)]
+            for value in values:
+                assert unpack_line(pack_line(value, width)) == value
+            matrix = pack_lines(values, width)
+            assert matrix.shape == (len(values), words_per_line(width))
+            assert unpack_lines(matrix) == values
+
+    def test_bit_layout_matches_bitvec(self):
+        """Bit b of line value lives at word b//64, offset b%64."""
+        rng = random.Random(42)
+        for width in self.WIDTHS:
+            value = random_bits(width, rng)
+            row = pack_line(value, width)
+            unpacked = {
+                word * 64 + offset
+                for word in range(row.shape[0])
+                for offset in range(64)
+                if (int(row[word]) >> offset) & 1
+            }
+            assert unpacked == set(bit_positions(value))
+
+    def test_pack_lines_matches_pack_line(self):
+        rng = random.Random(43)
+        values = [random_bits(553, rng) for _ in range(32)]
+        matrix = pack_lines(values, 553)
+        for index, value in enumerate(values):
+            assert np.array_equal(matrix[index], pack_line(value, 553))
+
+    def test_round_trip_through_interleaver(self):
+        """Interleaved rows survive the plane representation exactly."""
+        rng = random.Random(44)
+        for depth in (2, 4, 8):
+            interleaver = BitInterleaver(line_bits=553, depth=depth)
+            lines = [random_bits(553, rng) for _ in range(depth)]
+            row_value = interleaver.interleave(lines)
+            packed = pack_line(row_value, interleaver.row_bits)
+            assert unpack_line(packed) == row_value
+            assert interleaver.deinterleave(unpack_line(packed)) == lines
+
+    def test_xor_fold_matches_reference(self):
+        rng = random.Random(45)
+        values = [random_bits(553, rng) for _ in range(17)]
+        folds = [
+            resolve_backend(name).xor_fold(values, 553)
+            for name in BACKEND_NAMES
+        ]
+        expected = 0
+        for value in values:
+            expected ^= value
+        assert folds == [expected, expected]
+
+
+class TestCleanDecodeFastPath:
+    """The known-clean batch decode equals ``codec.decode`` exactly."""
+
+    def test_matches_scalar_decode_on_clean_words(self):
+        from repro.core.linecodec import DecodeStatus, LineCodec
+
+        codec = LineCodec()
+        rng = random.Random(51)
+        words = [
+            codec.encode(random_bits(codec.layout.data_bits, rng))
+            for _ in range(9)
+        ]
+        expected = [codec.decode(word) for word in words]
+        assert all(d.status is DecodeStatus.CLEAN for d in expected)
+        for name in BACKEND_NAMES:
+            decoded = resolve_backend(name).batch_decode_clean(codec, words)
+            assert decoded == expected
+
+    def test_prefetch_keeps_stuck_residue_off_the_clean_path(self):
+        """Stuck-bit residue passes ``is_clean`` but is not a codeword.
+
+        A line whose only stored-vs-golden divergence is a re-asserted
+        stuck bit must still go through the full decode in the prefetch
+        (the raw dirty set, not ``is_clean``, guards the fast path) --
+        otherwise the numpy backend would label a corrupt word CLEAN.
+        """
+        from repro.core.engine import build_engine
+        from repro.core.linecodec import DecodeStatus, LineCodec
+        from repro.sttram.array import STTRAMArray
+        from repro.sttram.faults import FaultKind, PermanentFaultMap
+
+        codec = LineCodec()
+        array = STTRAMArray(8, codec.stored_bits)
+        engine = build_engine("X", array, group_size=4, codec=codec)
+        frame = 2
+        stored = array.read(frame)
+        position = next(
+            bit for bit in range(codec.stored_bits)
+            if not (stored >> bit) & 1
+        )
+        fault_map = PermanentFaultMap(codec.stored_bits)
+        fault_map.add(frame, position, FaultKind.STUCK_AT_ONE)
+        array.attach_permanent_faults(fault_map)
+        assert array.is_clean(frame) and array.is_dirty(frame)
+
+        engine.set_backend("numpy")
+        stored = array.read(frame)
+        engine._prefetch_decodes([frame])
+        cached = engine._cached_decode(frame, stored)
+        assert cached == codec.decode(stored)
+        assert cached.status is not DecodeStatus.CLEAN
+
+
+class TestCLIBackendFlag:
+    def test_backend_flag_parses(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("campaign", "raresim", "chaos", "scenario"):
+            assert parser.parse_args([command]).backend == "reference"
+            assert parser.parse_args(
+                [command, "--backend", "numpy"]
+            ).backend == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "torch"])

@@ -23,10 +23,10 @@ def rules_of(source, path="pkg/mod.py", config=None):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert [c.rule for c in all_checkers()] == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008",
+            "RPR007", "RPR008", "RPR009",
         ]
 
     def test_get_checker(self):
@@ -66,6 +66,23 @@ class TestOutcomeLiteral:
 
     def test_non_label_strings_not_flagged(self):
         assert rules_of('ok = x == "corrected"') == []
+
+    def test_startswith_outcome_prefix_flagged(self):
+        assert rules_of('ok = label.startswith("corrected")') == ["RPR001"]
+        assert rules_of('ok = label.startswith("corrected_")') == ["RPR001"]
+        assert rules_of('ok = label.startswith("metadata")') == ["RPR001"]
+
+    def test_startswith_full_label_flagged(self):
+        assert rules_of('ok = label.startswith("due")') == ["RPR001"]
+
+    def test_startswith_tuple_flags_each_prefix(self):
+        source = 'ok = label.startswith(("corrected", "due"))'
+        assert rules_of(source) == ["RPR001", "RPR001"]
+
+    def test_startswith_unrelated_prefixes_clean(self):
+        assert rules_of('ok = line.startswith("#")') == []
+        assert rules_of('ok = name.startswith("SuDoku")') == []
+        assert rules_of('ok = path.startswith(prefix)') == []
 
     def test_taxonomy_module_exempt(self):
         source = 'ok = label == "sdc"'
@@ -356,6 +373,49 @@ class TestRawFaultPrimitive:
         # ``rng.random()`` is a plain draw, not a fault primitive.
         assert rules_of(
             "u = rng.random()", path=self.CAMPAIGN
+        ) == []
+
+
+class TestPerLineLoop:
+    def test_for_over_num_lines_flagged(self):
+        source = """\
+        for index in range(self.array.num_lines):
+            decode(index)
+        """
+        assert rules_of(source) == ["RPR009"]
+
+    def test_bare_num_lines_name_flagged(self):
+        source = """\
+        for frame in range(num_lines):
+            scrub(frame)
+        """
+        assert rules_of(source) == ["RPR009"]
+
+    def test_comprehension_flagged(self):
+        source = "words = [array[i] for i in range(array.num_lines)]"
+        assert rules_of(source) == ["RPR009"]
+
+    def test_unrelated_range_loop_clean(self):
+        source = """\
+        for index in range(group_size):
+            visit(index)
+        """
+        assert rules_of(source) == []
+
+    def test_non_range_iteration_clean(self):
+        source = """\
+        for frame in dirty_frames:
+            scrub(frame)
+        """
+        assert rules_of(source) == []
+
+    def test_reference_backend_exempt(self):
+        source = """\
+        for index in range(num_lines):
+            scrub(index)
+        """
+        assert rules_of(
+            source, path="src/repro/kernels/reference.py"
         ) == []
 
 
