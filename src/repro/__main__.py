@@ -1,4 +1,9 @@
-"""``python -m repro`` -- see :mod:`repro.cli`."""
+"""``python -m repro`` -- see :mod:`repro.cli`.
+
+One-shot subcommands (``campaign``, ``raresim``, ``scenario``, ...) run
+and exit; ``python -m repro serve`` starts the long-running campaign
+service (:mod:`repro.serve`).
+"""
 
 import sys
 

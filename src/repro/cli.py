@@ -449,6 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_bench_parser(bench)
 
+    from repro.serve.cli import configure_serve_parser
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: JSON specs over HTTP, SSE "
+             "progress, content-addressed result dedup (see "
+             "docs/serving.md)",
+    )
+    configure_serve_parser(serve)
+
     design = sub.add_parser(
         "design", help="find the cheapest configuration meeting a FIT target"
     )
@@ -1108,6 +1118,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.bench.cli import run_bench_command
 
             return run_bench_command(args)
+        if args.command == "serve":
+            from repro.serve.cli import run_serve_command
+
+            return run_serve_command(args)
     except CheckpointError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

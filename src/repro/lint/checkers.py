@@ -156,6 +156,16 @@ class UnseededRngChecker(Checker):
     (``np.random.binomial`` etc.).  Both silently break the guarantee
     that a campaign is a pure function of its seed -- the property every
     shard-determinism and resume test in this repo pins.
+
+    Inside campaign code (paths containing ``reliability`` or
+    ``parallel``) the rule also flags a *seeded* ``random.Random(...)``
+    constructed inline as another call's argument
+    (``rng=random.Random(seed)``): that bypasses
+    ``repro.core.rng.resolve_pyrandom`` -- no ``rng=`` injection, no
+    once-per-owner unseeded warning -- so the ``estimate_fit`` bug class
+    cannot recur.  Arguments visibly derived from the campaign
+    SeedSequence tree (``shard_python_seeds`` etc.) are the sanctioned
+    per-shard construction and stay exempt.
     """
 
     rule = "RPR002"
@@ -169,10 +179,50 @@ class UnseededRngChecker(Checker):
     )
     interests = ("Call",)
 
+    @staticmethod
+    def _mentions_seed_tree(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in _SEED_TREE_NAMES:
+                return True
+            if (
+                isinstance(child, ast.Attribute)
+                and child.attr in _SEED_TREE_NAMES
+            ):
+                return True
+        return False
+
+    def _inline_constructions(
+        self, node: ast.Call, ctx: ModuleContext
+    ) -> Iterator[ast.Call]:
+        """Seeded ``random.Random(...)`` calls in argument position."""
+        arguments = list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]
+        for argument in arguments:
+            if not isinstance(argument, ast.Call):
+                continue
+            if ctx.resolve(argument.func) != _STDLIB_RANDOM:
+                continue
+            if not argument.args and not argument.keywords:
+                continue  # the zero-argument form is flagged directly
+            if self._mentions_seed_tree(argument):
+                continue
+            yield argument
+
     def check_node(
         self, node: ast.AST, ctx: ModuleContext
     ) -> Iterator[Finding]:
         assert isinstance(node, ast.Call)
+        if ctx.path_contains("reliability") or ctx.path_contains("parallel"):
+            for construction in self._inline_constructions(node, ctx):
+                yield self.finding(
+                    construction,
+                    ctx,
+                    "random.Random(...) constructed inline in a campaign "
+                    "entry point; route it through repro.core.rng."
+                    "resolve_pyrandom(rng=..., seed=..., owner=...) so "
+                    "callers can inject rng= and unseeded use warns",
+                )
         resolved = ctx.resolve(node.func)
         if resolved is None:
             return

@@ -37,6 +37,7 @@ from repro.obs.atomicio import atomic_write_json, atomic_write_text
 from repro.obs.export import (
     build_manifest,
     git_sha,
+    metrics_snapshot,
     metrics_to_json_lines,
     to_prometheus_text,
     write_manifest,
@@ -125,6 +126,7 @@ __all__ = [
     "NULL_TELEMETRY",
     "resolve_telemetry",
     "to_prometheus_text",
+    "metrics_snapshot",
     "metrics_to_json_lines",
     "write_metrics_text",
     "write_metrics_json_lines",

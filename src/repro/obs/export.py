@@ -89,9 +89,14 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def metrics_to_json_lines(registry: MetricsRegistry) -> str:
-    """One JSON record per series (histograms keep their bucket arrays)."""
-    records: List[str] = []
+def metrics_snapshot(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """One JSON-serialisable record per series, for streaming consumers.
+
+    The same records :func:`metrics_to_json_lines` serialises, returned
+    as plain dicts so SSE streams (and tests) can embed them without a
+    parse round-trip.
+    """
+    records: List[Dict[str, object]] = []
     for family in registry.families():
         for values, child in family.samples():
             record: Dict[str, object] = {
@@ -106,7 +111,16 @@ def metrics_to_json_lines(registry: MetricsRegistry) -> str:
                 record["count"] = child.count
             elif isinstance(child, (CounterChild, GaugeChild)):
                 record["value"] = child.value
-            records.append(json.dumps(record, separators=(",", ":")))
+            records.append(record)
+    return records
+
+
+def metrics_to_json_lines(registry: MetricsRegistry) -> str:
+    """One JSON record per series (histograms keep their bucket arrays)."""
+    records = [
+        json.dumps(record, separators=(",", ":"))
+        for record in metrics_snapshot(registry)
+    ]
     return "\n".join(records) + ("\n" if records else "")
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Optional, TextIO
+from typing import Callable, Dict, Optional, TextIO
 
 
 def _format_duration(seconds: float) -> str:
@@ -146,6 +146,22 @@ class ProgressReporter:
                 parts.append(f"eta {_format_duration(eta)}")
         return " ".join(parts)
 
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        """JSON-serialisable progress state for streaming consumers.
+
+        ``eta_s`` is ``None`` (not 0) when unknowable -- unknown total,
+        or no session work yet (e.g. immediately after a resume).
+        """
+        now = now if now is not None else self._clock()
+        return {
+            "label": self.label,
+            "done": self.done,
+            "total": self.total,
+            "initial_done": self.initial_done,
+            "rate": self.rate(now),
+            "eta_s": self.eta_s(now),
+        }
+
     def _emit(self, now: float, final: bool = False) -> None:
         self._last_emit_s = now
         self.lines_emitted += 1
@@ -169,6 +185,16 @@ class NullProgress:
 
     def finish(self) -> None:
         pass
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        return {
+            "label": "null",
+            "done": 0,
+            "total": None,
+            "initial_done": 0,
+            "rate": 0.0,
+            "eta_s": None,
+        }
 
     def __enter__(self) -> "NullProgress":
         return self

@@ -17,12 +17,15 @@ from repro.reliability.raresim import ConditionalResult
 
 
 def _merged_stop_reason(results: Sequence) -> str:
-    """'interrupted' dominates 'deadline'; empty when nothing truncated."""
+    """Strongest truncation cause wins; empty when nothing truncated.
+
+    'interrupted' (operator action) dominates 'cancelled' (job-level
+    cancellation), which dominates 'deadline' (budget expiry).
+    """
     reasons = {result.stop_reason for result in results if result.truncated}
-    if "interrupted" in reasons:
-        return "interrupted"
-    if "deadline" in reasons:
-        return "deadline"
+    for reason in ("interrupted", "cancelled", "deadline"):
+        if reason in reasons:
+            return reason
     return ""
 
 

@@ -39,16 +39,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import signal
 import traceback
 from dataclasses import dataclass
 from queue import Empty
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - cycle: scenario imports this package
     from repro.reliability.scenario import FaultScenario
 
 import numpy as np
 
+from repro.core.rng import resolve_pyrandom
 from repro.kernels import BACKEND_NAMES
 from repro.obs import (
     NULL_PROGRESS,
@@ -75,6 +77,7 @@ from repro.reliability.raresim import (
 )
 from repro.resilience.chaos import ChaosInjector, ChaosPolicy
 from repro.resilience.checkpoint import (
+    CancelWatch,
     Checkpointer,
     CheckpointError,
     Deadline,
@@ -275,7 +278,24 @@ def _check_resume_files(specs: List[_ShardSpec]) -> None:
         )
 
 
-def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
+def _signal_cancel(processes) -> None:
+    """SIGINT live workers so their campaign loops stop at a boundary.
+
+    Workers treat the signal exactly like an operator Ctrl-C: the
+    campaign loop catches :class:`KeyboardInterrupt`, flushes its
+    checkpoint, and ships a truncated result -- nothing is lost, and the
+    parent keeps draining the queue as usual.
+    """
+    for process in processes:
+        if process.is_alive() and process.pid is not None:
+            try:
+                os.kill(process.pid, signal.SIGINT)
+            except (OSError, ProcessLookupError):  # pragma: no cover - race
+                pass
+
+
+def _execute_shards(specs: List[_ShardSpec], telemetry, progress,
+                    cancel: Optional[Callable[[], bool]] = None):
     """Run shard specs across processes; returns results in shard order."""
     _check_resume_files(specs)
     context = multiprocessing.get_context(_START_METHOD)
@@ -289,8 +309,12 @@ def _execute_shards(specs: List[_ShardSpec], telemetry, progress):
     outcomes: Dict[int, Tuple[object, Optional[object], Optional[List[Dict]]]] = {}
     errors: Dict[int, str] = {}
     pending = {spec.index for spec in specs}
+    cancelled = False
     try:
         while pending:
+            if cancel is not None and not cancelled and cancel():
+                cancelled = True
+                _signal_cancel(processes)
             try:
                 message = queue.get(timeout=_POLL_S)
             except KeyboardInterrupt:
@@ -389,6 +413,21 @@ def _progress_batch(units: int) -> int:
     return max(1, units // 50)
 
 
+def _serial_watch(
+    deadline_s: Optional[float], cancel: Optional[Callable[[], bool]]
+):
+    """The watchdog a serial (shards=1) campaign loop polls.
+
+    A plain :class:`Deadline` when only a budget is set; a
+    :class:`CancelWatch` (composing any budget) when a job-level
+    cancellation callback is attached; ``None`` when neither is.
+    """
+    deadline = Deadline(deadline_s) if deadline_s else None
+    if cancel is None:
+        return deadline
+    return CancelWatch(cancel, deadline=deadline)
+
+
 def run_sharded_campaign(
     level: str,
     ber: float,
@@ -406,6 +445,7 @@ def run_sharded_campaign(
     checkpoint_every: int = 0,
     resume_from: str = "",
     deadline_s: Optional[float] = None,
+    cancel: Optional[Callable[[], bool]] = None,
     scrub_mode: str = "sparse",
     backend: str = "reference",
 ) -> CampaignResult:
@@ -420,6 +460,12 @@ def run_sharded_campaign(
     ``chaos_seed`` the same way.  ``scrub_mode`` ("sparse"/"dense")
     reaches every shard; per-seed results are bit-identical either way,
     as is the kernel ``backend`` ("reference"/"numpy").
+
+    ``cancel`` is the job-level cancellation hook (polled between
+    intervals): once truthy, the campaign stops at the next boundary
+    with checkpoints flushed and returns a truncated result
+    (``stop_reason="cancelled"`` serially; sharded workers are SIGINTed
+    and report ``"interrupted"``).
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
@@ -443,7 +489,7 @@ def run_sharded_campaign(
             interval_s=interval_s, rng=np.random.default_rng(seed),  # repro-lint: disable=RPR006
             telemetry=telemetry, progress=progress, chaos=chaos,
             checkpointer=checkpointer,
-            deadline=Deadline(deadline_s) if deadline_s else None,
+            deadline=_serial_watch(deadline_s, cancel),
             scrub_mode=scrub_mode, backend=backend,
         )
     units = split_units(intervals, shards)
@@ -473,7 +519,7 @@ def run_sharded_campaign(
         "sharded_campaign", level=level, ber=ber, intervals=intervals,
         shards=shards,
     ):
-        results = _execute_shards(specs, telemetry, progress)
+        results = _execute_shards(specs, telemetry, progress, cancel=cancel)
     progress.finish()
     return merge_campaign_results(results)
 
@@ -494,6 +540,7 @@ def run_sharded_raresim(
     checkpoint_every: int = 0,
     resume_from: str = "",
     deadline_s: Optional[float] = None,
+    cancel: Optional[Callable[[], bool]] = None,
     scrub_mode: str = "sparse",
     scenario: Optional["FaultScenario"] = None,
     backend: str = "reference",
@@ -509,7 +556,8 @@ def run_sharded_raresim(
     are bit-identical in both modes.  ``scenario`` overlays per-group
     stuck-at maps and per-trial bursts on the conditioned transients.
     ``backend`` selects the kernel backend in every shard; outcomes are
-    bit-identical across backends.
+    bit-identical across backends.  ``cancel`` behaves as in
+    :func:`run_sharded_campaign`.
     """
     if resume_from and not checkpoint_path:
         checkpoint_path = resume_from
@@ -522,8 +570,10 @@ def run_sharded_raresim(
         )
         simulator = ConditionalGroupSimulator(
             ber=ber, group_size=group_size, num_groups=num_groups,
-            # Serial path: bit-identical to the historical stdlib stream.
-            interval_s=interval_s, rng=random.Random(seed),  # repro-lint: disable=RPR006
+            # Serial path: bit-identical to the historical stdlib stream
+            # (resolve_pyrandom(seed=s) is exactly random.Random(s)).
+            interval_s=interval_s,
+            rng=resolve_pyrandom(seed=seed, owner="run_sharded_raresim"),
             sparse=scrub_mode == "sparse",
             scenario=scenario,
             backend=backend,
@@ -531,7 +581,7 @@ def run_sharded_raresim(
         return simulator.run(
             level, trials, telemetry=telemetry, progress=progress,
             checkpointer=checkpointer,
-            deadline=Deadline(deadline_s) if deadline_s else None,
+            deadline=_serial_watch(deadline_s, cancel),
         )
     units = split_units(trials, shards)
     batch = _progress_batch(trials)
@@ -559,7 +609,7 @@ def run_sharded_raresim(
     with tel.tracer.span(
         "sharded_raresim", level=level, ber=ber, trials=trials, shards=shards,
     ):
-        results = _execute_shards(specs, telemetry, progress)
+        results = _execute_shards(specs, telemetry, progress, cancel=cancel)
     progress.finish()
     return merge_conditional_results(results)
 
@@ -581,6 +631,7 @@ def run_sharded_scenario(
     checkpoint_every: int = 0,
     resume_from: str = "",
     deadline_s: Optional[float] = None,
+    cancel: Optional[Callable[[], bool]] = None,
     scrub_mode: str = "sparse",
     backend: str = "reference",
 ) -> CampaignResult:
@@ -615,7 +666,7 @@ def run_sharded_scenario(
             interval_s=interval_s, seed=seed, telemetry=telemetry,
             progress=progress, chaos_policy=chaos_policy,
             chaos_seed=chaos_seed, checkpointer=checkpointer,
-            deadline=Deadline(deadline_s) if deadline_s else None,
+            deadline=_serial_watch(deadline_s, cancel),
             scrub_mode=scrub_mode, backend=backend,
         )
     units = split_units(intervals, shards)
@@ -647,6 +698,6 @@ def run_sharded_scenario(
     with tel.tracer.span(
         "sharded_scenario", scheme=scheme, intervals=intervals, shards=shards,
     ):
-        results = _execute_shards(specs, telemetry, progress)
+        results = _execute_shards(specs, telemetry, progress, cancel=cancel)
     progress.finish()
     return merge_campaign_results(results)

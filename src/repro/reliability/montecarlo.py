@@ -464,7 +464,7 @@ def run_engine_campaign(
                     flush_checkpoint(snapshot)
                 if deadline is not None and deadline.expired():
                     result.truncated = True
-                    result.stop_reason = "deadline"
+                    result.stop_reason = deadline.reason
                     break
                 progress.update()
         except KeyboardInterrupt:

@@ -112,7 +112,16 @@ class ConditionalResult:
     stop_reason: str = ""
 
     def as_dict(self) -> dict:
-        """JSON-ready snapshot (``--result-out``, CI round-trip checks)."""
+        """JSON-ready snapshot (``--result-out``, CI round-trip checks).
+
+        Every derived statistic the CLI prints is present -- including
+        the Wilson CI bounds and the per-interval cache failure
+        probability, which earlier result files silently dropped -- so
+        a stored result (the serve store, ``--result-out``) carries the
+        full printed report, and every derived field is recomputed from
+        the tallies, never cached.
+        """
+        ci_low, ci_high = self.conditional_ci()
         return {
             "trials": self.trials,
             "conditional_failures": self.conditional_failures,
@@ -126,8 +135,34 @@ class ConditionalResult:
             "conditional_failure_probability": (
                 self.conditional_failure_probability
             ),
+            "conditional_ci_low": ci_low,
+            "conditional_ci_high": ci_high,
+            "cache_failure_probability": self.cache_failure_probability(),
             "fit": self.fit(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConditionalResult":
+        """Rebuild a result from :meth:`as_dict` output.
+
+        Only the tally/config fields are consumed; derived statistics
+        (CI bounds, FIT, failure probabilities) are recomputed from the
+        tallies, so a round-trip can never resurrect a stale cached
+        value.
+        """
+        return cls(
+            trials=int(payload["trials"]),
+            conditional_failures=int(payload["conditional_failures"]),
+            conditioning_probability=float(
+                payload["conditioning_probability"]
+            ),
+            ber=float(payload["ber"]),
+            group_size=int(payload["group_size"]),
+            num_groups=int(payload["num_groups"]),
+            interval_s=float(payload["interval_s"]),
+            truncated=bool(payload.get("truncated", False)),
+            stop_reason=str(payload.get("stop_reason", "")),
+        )
 
     @property
     def conditional_failure_probability(self) -> float:
@@ -152,7 +187,12 @@ class ConditionalResult:
         )
 
     def conditional_ci(self, z: float = 1.96) -> Tuple[float, float]:
-        """Wilson interval on the conditional failure probability."""
+        """Wilson interval on the conditional failure probability.
+
+        The degenerate tallies pin their exact bound: zero failures has
+        a lower bound of exactly 0.0 and all-failures an upper bound of
+        exactly 1.0 (the float formula can land an ulp off either way).
+        """
         n = self.trials
         if n == 0:
             return (0.0, 1.0)
@@ -160,7 +200,13 @@ class ConditionalResult:
         denominator = 1.0 + z * z / n
         centre = (p + z * z / (2 * n)) / denominator
         margin = z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denominator
-        return (max(0.0, centre - margin), min(1.0, centre + margin))
+        low = max(0.0, centre - margin)
+        high = min(1.0, centre + margin)
+        if self.conditional_failures == 0:
+            low = 0.0
+        if self.conditional_failures == n:
+            high = 1.0
+        return (low, high)
 
 
 class ConditionalGroupSimulator:
@@ -516,7 +562,7 @@ class ConditionalGroupSimulator:
                         flush_checkpoint(snapshot)
                     if deadline is not None and deadline.expired():
                         truncated = True
-                        stop_reason = "deadline"
+                        stop_reason = deadline.reason
                         break
                     progress.update()
             except KeyboardInterrupt:
@@ -558,12 +604,18 @@ def estimate_fit(
     sparse: bool = True,
     backend: Optional[str] = None,
 ) -> ConditionalResult:
-    """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z."""
+    """Convenience wrapper: conditional FIT estimate for SuDoku-Y or -Z.
+
+    Seed resolution routes through :func:`repro.core.rng.resolve_pyrandom`
+    (not an inline ``random.Random(seed)``) so the campaign entry point
+    honors the one sanctioned seed policy: explicit seeds derive the
+    historical stream bit for bit, and the unseeded path warns once.
+    """
     simulator = ConditionalGroupSimulator(
         ber=ber,
         group_size=group_size,
         num_groups=num_groups,
-        rng=random.Random(seed),
+        rng=resolve_pyrandom(seed=seed, owner="estimate_fit"),
         sparse=sparse,
         backend=backend,
     )

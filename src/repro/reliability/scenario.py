@@ -691,7 +691,7 @@ def run_scenario_campaign(
                     checkpointer.save(snapshot)
                 if deadline is not None and deadline.expired():
                     result.truncated = True
-                    result.stop_reason = "deadline"
+                    result.stop_reason = deadline.reason
                     break
                 progress.update()
         except KeyboardInterrupt:

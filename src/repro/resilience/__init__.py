@@ -20,10 +20,12 @@ See ``docs/resilience.md`` for the full story.
 from repro.resilience.chaos import ChaosInjector, ChaosPolicy
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
+    CancelWatch,
     Checkpointer,
     CheckpointError,
     Deadline,
     build_payload,
+    job_checkpoint_path,
     load_checkpoint,
     numpy_rng_state,
     python_rng_state,
@@ -36,10 +38,12 @@ __all__ = [
     "ChaosPolicy",
     "ChaosInjector",
     "CHECKPOINT_VERSION",
+    "CancelWatch",
     "Checkpointer",
     "CheckpointError",
     "Deadline",
     "build_payload",
+    "job_checkpoint_path",
     "load_checkpoint",
     "require_config_match",
     "numpy_rng_state",

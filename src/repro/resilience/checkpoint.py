@@ -20,6 +20,7 @@ never a traceback from deep inside the interval loop.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -39,7 +40,15 @@ class Deadline:
 
     :param seconds: budget from *now*; must be positive.
     :param clock: monotonic clock, injectable for tests.
+
+    ``reason`` is the ``stop_reason`` a campaign records when this
+    watchdog fires; deadline-compatible adapters (the job-cancellation
+    hook in :mod:`repro.parallel.runner`) override it so a truncated
+    result says *why* it stopped.
     """
+
+    #: stop_reason recorded by campaign loops when :meth:`expired` fires.
+    reason = "deadline"
 
     def __init__(
         self, seconds: float, clock: Callable[[], float] = time.monotonic
@@ -57,6 +66,50 @@ class Deadline:
     def expired(self) -> bool:
         """Has the budget run out?"""
         return self.remaining() <= 0.0
+
+
+class CancelWatch:
+    """Deadline-compatible watchdog driven by a cancellation callback.
+
+    Campaign loops already poll ``deadline.expired()`` at every interval
+    boundary and record ``deadline.reason`` when it fires; wrapping a
+    job-cancellation callback in this adapter reuses that exact
+    machinery, so a cancelled job stops cleanly at a trial boundary with
+    checkpoints flushed -- same as a deadline expiry, but the truncated
+    result says ``stop_reason="cancelled"``.
+
+    :param poll: zero-argument callable; truthy once the job is
+        cancelled.  Polled at interval boundaries, so it must be cheap.
+    :param deadline: optional wall-clock budget to compose with; when it
+        fires first, ``reason`` stays ``"deadline"``.
+    """
+
+    def __init__(
+        self,
+        poll: Callable[[], bool],
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self._poll = poll
+        self._deadline = deadline
+        self._cancelled = False
+
+    @property
+    def reason(self) -> str:
+        """Why :meth:`expired` fired (valid once it has returned True)."""
+        return "cancelled" if self._cancelled else "deadline"
+
+    def remaining(self) -> float:
+        """Seconds left on the composed deadline (inf without one)."""
+        if self._deadline is None:
+            return float("inf")
+        return self._deadline.remaining()
+
+    def expired(self) -> bool:
+        """True once the callback fires or the composed deadline runs out."""
+        if self._cancelled or self._poll():
+            self._cancelled = True
+            return True
+        return self._deadline is not None and self._deadline.expired()
 
 
 @dataclass
@@ -91,6 +144,18 @@ class Checkpointer:
         """Write a snapshot atomically."""
         atomic_write_json(self.path, payload)
         self.writes += 1
+
+
+def job_checkpoint_path(directory: str, digest: str) -> str:
+    """Checkpoint path for a serve job, keyed by its content digest.
+
+    Jobs are deduplicated by digest, so the checkpoint must be too: a
+    resubmitted spec resumes the partial work of its earlier submission
+    regardless of job id, tenant, or priority.
+    """
+    if not digest or any(ch in digest for ch in "/\\."):
+        raise ValueError(f"invalid job digest {digest!r}")
+    return os.path.join(directory, f"job-{digest}.ck.json")
 
 
 def build_payload(

@@ -1,0 +1,45 @@
+"""repro.serve -- campaign-as-a-service.
+
+The long-running job service the ROADMAP's north star asks for: accept
+campaign/raresim/scenario specs as JSON over HTTP, schedule them across
+a bounded worker pool of subprocesses running the sharded executors,
+stream per-job progress and metrics over SSE, and land every completed
+result in a content-addressed store keyed by the canonical digest of
+``(normalized spec, seed, RESULT_VERSION)``.
+
+Because seeded campaigns are bit-reproducible by construction, the
+store doubles as a dedup cache: resubmitting an identical (spec, seed)
+returns the stored result byte for byte without simulating a single
+trial.  See docs/serving.md for the API and semantics.
+
+Layering (each importable without the layers above it):
+
+* :mod:`repro.serve.specs` -- spec validation, normalization, digests.
+* :mod:`repro.serve.store` -- the content-addressed result store.
+* :mod:`repro.serve.queue` -- priority + per-tenant fair-share queue
+  with lease/claim semantics (designed for remote pullers).
+* :mod:`repro.serve.scheduler` -- the bounded worker pool, per-job
+  checkpoint/resume, cancellation, and drain.
+* :mod:`repro.serve.sse` -- Server-Sent-Events wire formatting.
+* :mod:`repro.serve.app` -- the asyncio HTTP front end
+  (``python -m repro serve``).
+"""
+
+from repro.serve.queue import FairShareQueue, QueuedJob
+from repro.serve.specs import (
+    RESULT_VERSION,
+    JobSpec,
+    SpecError,
+    parse_submission,
+)
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "RESULT_VERSION",
+    "JobSpec",
+    "SpecError",
+    "parse_submission",
+    "ResultStore",
+    "FairShareQueue",
+    "QueuedJob",
+]

@@ -1,0 +1,517 @@
+"""The serve scheduler: bounded worker pool, dedup, checkpoints, drain.
+
+One asyncio task owns all scheduling state; job subprocesses communicate
+over a multiprocessing queue pumped on a fixed tick.  The lifecycle:
+
+* ``submit`` validates the spec, computes its content digest, and
+  short-circuits: a store hit returns the finished job immediately
+  (``cached=True``, zero trials simulated); an in-flight job with the
+  same digest is joined rather than duplicated; otherwise the job
+  enters the :class:`FairShareQueue`.
+* ``run`` claims jobs while worker slots are free and spawns each as a
+  **non-daemon** subprocess (the sharded executors fork their own shard
+  workers, and daemonic processes cannot have children).  Progress
+  messages feed a per-job :class:`~repro.obs.ProgressReporter` whose
+  snapshots become SSE events.
+* Completion: an untruncated result is filed in the content-addressed
+  store and the job's checkpoint files are deleted.  A truncated result
+  (cancel/drain) keeps its checkpoints, so resubmitting the same spec
+  after a restart resumes from the boundary instead of starting over --
+  and, because checkpointed campaigns are bit-identically resumable,
+  the final result equals an uninterrupted run.
+* ``drain`` (SIGTERM) stops claiming, flips every running job's cancel
+  event, and waits under a :class:`~repro.resilience.Deadline` for the
+  workers to stop at a trial boundary and flush checkpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import multiprocessing
+import os
+import signal
+import traceback
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import MetricsRegistry, ProgressReporter, Telemetry
+from repro.obs.export import metrics_snapshot
+from repro.parallel.runner import (
+    run_sharded_campaign,
+    run_sharded_raresim,
+    run_sharded_scenario,
+)
+from repro.parallel.sharding import shard_checkpoint_path
+from repro.reliability.scenario import FaultScenario
+from repro.resilience import Deadline
+from repro.resilience.checkpoint import job_checkpoint_path
+from repro.serve.queue import FairShareQueue, QueuedJob
+from repro.serve.specs import RESULT_VERSION, JobSpec, parse_submission
+from repro.serve.store import ResultStore
+
+#: Scheduler tick: message-queue pump + slot fill cadence.
+_TICK_S = 0.05
+
+#: Minimum spacing of per-job "progress" SSE events.
+_PROGRESS_EVENT_S = 0.2
+
+_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+#: Job states; "done", "failed", and "cancelled" are terminal.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt()
+
+
+class _WorkerProgress:
+    """In-worker progress adapter: batches advances onto the queue."""
+
+    enabled = True
+
+    def __init__(self, queue, batch: int) -> None:
+        self._queue = queue
+        self._batch = max(1, batch)
+        self._pending = 0
+
+    def update(self, done: Optional[int] = None, advance: int = 1) -> None:
+        self._pending += advance
+        if self._pending >= self._batch:
+            self._queue.put(("progress", self._pending))
+            self._pending = 0
+
+    def note_resumed(self, units: int) -> None:
+        self._queue.put(("resumed", units))
+
+    def finish(self) -> None:
+        if self._pending:
+            self._queue.put(("progress", self._pending))
+            self._pending = 0
+
+
+def _job_worker(
+    kind: str,
+    params: Dict,
+    execution: Dict,
+    checkpoint_path: str,
+    resume_from: str,
+    checkpoint_every: int,
+    queue,
+    cancel_event,
+) -> None:
+    """Subprocess entry point: run one job, ship messages back.
+
+    SIGTERM is mapped to :class:`KeyboardInterrupt` so a drained or
+    directly-terminated worker stops at a trial boundary with its
+    checkpoint flushed, exactly like an operator Ctrl-C.
+    """
+    signal.signal(signal.SIGTERM, _raise_interrupt)
+    progress = _WorkerProgress(queue, batch=max(1, params_units(params) // 200))
+    telemetry = Telemetry.create()
+    common = dict(
+        shards=params["shards"],
+        seed=params["seed"],
+        interval_s=params["interval_s"],
+        telemetry=telemetry,
+        progress=progress,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
+        cancel=cancel_event.is_set,
+        scrub_mode=execution["scrub_mode"],
+        backend=execution["backend"],
+    )
+    try:
+        if kind == "campaign":
+            result = run_sharded_campaign(
+                params["level"], params["ber"], params["intervals"],
+                params["group_size"], **common,
+            )
+        elif kind == "raresim":
+            scenario = (
+                FaultScenario.from_dict(params["scenario"])
+                if params.get("scenario")
+                else None
+            )
+            result = run_sharded_raresim(
+                params["level"], params["ber"], params["trials"],
+                params["group_size"], params["num_groups"],
+                scenario=scenario, **common,
+            )
+        else:
+            result = run_sharded_scenario(
+                params["scheme"],
+                FaultScenario.from_dict(params["scenario"]),
+                params["intervals"], params["group_size"], **common,
+            )
+        progress.finish()
+        queue.put(
+            ("result", result.as_dict(), metrics_snapshot(telemetry.metrics))
+        )
+    except KeyboardInterrupt:
+        # Interrupted outside the campaign loop (startup/teardown); the
+        # checkpoint, if any, is from the last boundary.
+        queue.put(("interrupted", ""))
+    except BaseException:
+        queue.put(("error", traceback.format_exc()))
+
+
+def params_units(params: Dict) -> int:
+    """Total work units (trials or intervals) a params dict describes."""
+    return int(params.get("trials", params.get("intervals", 0)))
+
+
+@dataclass
+class Job:
+    """Scheduler-side state of one submission."""
+
+    job_id: str
+    spec: JobSpec
+    digest: str
+    tenant: str
+    priority: int
+    status: str = "queued"
+    cached: bool = False
+    error: str = ""
+    stop_reason: str = ""
+    metrics: List[Dict] = field(default_factory=list)
+    history: List[Tuple[str, Dict]] = field(default_factory=list)
+    subscribers: List[asyncio.Queue] = field(default_factory=list)
+    progress: Optional[ProgressReporter] = None
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    mp_queue: object = None
+    cancel_event: object = None
+    _last_progress_emit: float = 0.0
+    _dead_ticks: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "job_id": self.job_id,
+            "digest": self.digest,
+            "kind": self.spec.kind,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "cached": self.cached,
+        }
+        if self.progress is not None:
+            payload["progress"] = self.progress.snapshot()
+        if self.error:
+            payload["error"] = self.error
+        if self.stop_reason:
+            payload["stop_reason"] = self.stop_reason
+        return payload
+
+
+class Scheduler:
+    """Owns the queue, the worker pool, and every job's lifecycle."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        checkpoint_dir: str,
+        workers: int = 2,
+        checkpoint_every: int = 25,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.checkpoint_dir = checkpoint_dir
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.queue = FairShareQueue()
+        self.jobs: Dict[str, Job] = {}
+        self.running: Dict[str, Job] = {}
+        self.active_by_digest: Dict[str, str] = {}
+        self.draining = False
+        self._counter = 0
+        self._context = multiprocessing.get_context(_START_METHOD)
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self._m_submitted = registry.counter(
+            "serve_jobs_submitted_total", "job submissions accepted",
+            labels=("kind",),
+        )
+        self._m_store_hits = registry.counter(
+            "serve_store_hits_total",
+            "submissions answered from the content-addressed store",
+        )
+        self._m_completed = registry.counter(
+            "serve_jobs_completed_total", "jobs reaching a terminal state",
+            labels=("status",),
+        )
+        self._m_units = registry.counter(
+            "serve_units_simulated_total",
+            "intervals/trials actually simulated (cache hits add zero)",
+        )
+        self._m_running = registry.gauge(
+            "serve_jobs_running", "jobs currently executing"
+        )
+        self._m_queued = registry.gauge(
+            "serve_jobs_queued", "jobs waiting for a worker slot"
+        )
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, payload: object) -> Tuple[Job, bool]:
+        """Accept a submission; returns ``(job, created)``.
+
+        ``created`` is False when the submission was answered by the
+        store (cache hit) or joined to an in-flight job with the same
+        digest -- in both cases no new simulation work was enqueued.
+        """
+        spec, tenant, priority = parse_submission(payload)
+        digest = spec.digest()
+        self._m_submitted.labels(kind=spec.kind).inc()
+        active_id = self.active_by_digest.get(digest)
+        if active_id is not None:
+            return self.jobs[active_id], False
+        if self.store.has(digest):
+            self._m_store_hits.inc()
+            job = self._new_job(spec, digest, tenant, priority)
+            job.status = "done"
+            job.cached = True
+            self._publish(job, "done", {"digest": digest, "cached": True})
+            return job, False
+        job = self._new_job(spec, digest, tenant, priority)
+        self.active_by_digest[digest] = job.job_id
+        self.queue.push(
+            QueuedJob(
+                job_id=job.job_id, digest=digest, tenant=tenant,
+                priority=priority, payload=spec,
+            )
+        )
+        self._publish(job, "queued", {"digest": digest})
+        self._m_queued.set(float(self.queue.pending()))
+        return job, True
+
+    def _new_job(
+        self, spec: JobSpec, digest: str, tenant: str, priority: int
+    ) -> Job:
+        self._counter += 1
+        job = Job(
+            job_id=f"j{self._counter:06d}", spec=spec, digest=digest,
+            tenant=tenant, priority=priority,
+        )
+        self.jobs[job.job_id] = job
+        return job
+
+    # -- events -------------------------------------------------------------------
+
+    def _publish(self, job: Job, event: str, data: Dict) -> None:
+        job.history.append((event, data))
+        for subscriber in job.subscribers:
+            subscriber.put_nowait((event, data))
+
+    def subscribe(self, job: Job) -> asyncio.Queue:
+        """An event queue pre-loaded with the job's history."""
+        subscriber: asyncio.Queue = asyncio.Queue()
+        for event, data in job.history:
+            subscriber.put_nowait((event, data))
+        job.subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, job: Job, subscriber: asyncio.Queue) -> None:
+        if subscriber in job.subscribers:
+            job.subscribers.remove(subscriber)
+
+    # -- worker pool --------------------------------------------------------------
+
+    def _checkpoint_candidates(self, job: Job) -> List[str]:
+        base = job_checkpoint_path(self.checkpoint_dir, job.digest)
+        shards = int(job.spec.params["shards"])
+        if shards == 1:
+            return [base]
+        return [
+            shard_checkpoint_path(base, index, shards)
+            for index in range(shards)
+        ]
+
+    def _start_job(self, job: Job) -> None:
+        base = job_checkpoint_path(self.checkpoint_dir, job.digest)
+        resume = (
+            base
+            if any(
+                os.path.exists(path)
+                for path in self._checkpoint_candidates(job)
+            )
+            else ""
+        )
+        job.mp_queue = self._context.Queue()
+        job.cancel_event = self._context.Event()
+        # Non-daemon: sharded jobs fork their own shard workers.
+        job.process = self._context.Process(
+            target=_job_worker,
+            args=(
+                job.spec.kind, dict(job.spec.params),
+                dict(job.spec.execution), base, resume,
+                self.checkpoint_every, job.mp_queue, job.cancel_event,
+            ),
+            daemon=False,
+        )
+        job.progress = ProgressReporter(
+            total=job.spec.total_units, label=job.job_id,
+            stream=io.StringIO(), min_interval_s=float("inf"),
+        )
+        job.status = "running"
+        job.process.start()
+        self.running[job.job_id] = job
+        self._m_running.set(float(len(self.running)))
+        self._publish(job, "running", {"resumed_from_checkpoint": bool(resume)})
+
+    def cancel(self, job: Job) -> bool:
+        """Request cancellation; True if the job can still be stopped."""
+        if job.status == "running" and job.cancel_event is not None:
+            job.cancel_event.set()
+            return True
+        return False
+
+    def request_drain(self) -> None:
+        """Stop claiming new jobs and cancel the running ones."""
+        self.draining = True
+        for job in list(self.running.values()):
+            self.cancel(job)
+
+    # -- the scheduling loop ------------------------------------------------------
+
+    async def run(self, stop: asyncio.Event) -> None:
+        """Claim/pump/reap until ``stop`` is set, then drain in-flight."""
+        while not stop.is_set():
+            self.tick()
+            await asyncio.sleep(_TICK_S)
+
+    def tick(self) -> None:
+        """One scheduling step (separate from run() for tests)."""
+        while (
+            not self.draining
+            and len(self.running) < self.workers
+            and self.queue.pending() > 0
+        ):
+            claimed = self.queue.claim("local")
+            if claimed is None:  # pragma: no cover - pending() said otherwise
+                break
+            self._start_job(self.jobs[claimed.job_id])
+        for job in list(self.running.values()):
+            self._pump(job)
+        self._m_queued.set(float(self.queue.pending()))
+
+    def _pump(self, job: Job) -> None:
+        """Drain one job's message queue; reap it on completion."""
+        finished = False
+        while True:
+            try:
+                message = job.mp_queue.get_nowait()
+            except Empty:
+                break
+            kind = message[0]
+            if kind == "progress":
+                assert job.progress is not None
+                job.progress.update(advance=message[1])
+                self._m_units.inc(message[1])
+                self._emit_progress(job)
+            elif kind == "resumed":
+                assert job.progress is not None
+                job.progress.note_resumed(message[1])
+            elif kind == "result":
+                self._finish(job, message[1], message[2])
+                finished = True
+            elif kind == "interrupted":
+                self._conclude(job, "cancelled", stop_reason="interrupted")
+                finished = True
+            elif kind == "error":
+                job.error = message[1]
+                self._conclude(job, "failed")
+                finished = True
+        if finished:
+            return
+        if job.process is not None and not job.process.is_alive():
+            # The final message can trail the process exit briefly in
+            # the queue's feeder pipe; only declare the worker dead
+            # after a few empty ticks.
+            job._dead_ticks += 1
+            if job._dead_ticks >= 4:
+                job.error = (
+                    f"worker exited with code {job.process.exitcode} "
+                    "without reporting a result"
+                )
+                self._conclude(job, "failed")
+        else:
+            job._dead_ticks = 0
+
+    def _emit_progress(self, job: Job) -> None:
+        assert job.progress is not None
+        now = job.progress._clock()
+        if now - job._last_progress_emit < _PROGRESS_EVENT_S:
+            return
+        job._last_progress_emit = now
+        self._publish(job, "progress", job.progress.snapshot(now))
+
+    def _finish(self, job: Job, result: Dict, metrics: List[Dict]) -> None:
+        job.metrics = metrics
+        job.stop_reason = str(result.get("stop_reason", ""))
+        if result.get("truncated"):
+            # Cancelled or drained mid-run: keep the checkpoints so a
+            # resubmission resumes at the boundary, and do NOT store the
+            # partial result under the digest of the full campaign.
+            self._conclude(job, "cancelled", stop_reason=job.stop_reason)
+            return
+        record = {
+            "digest": job.digest,
+            "kind": job.spec.kind,
+            "params": job.spec.params,
+            "version": RESULT_VERSION,
+            "result": result,
+        }
+        self.store.put(job.digest, record)
+        for path in self._checkpoint_candidates(job):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        self._publish(job, "metrics", {"series": metrics})
+        self._conclude(job, "done")
+
+    def _conclude(
+        self, job: Job, status: str, stop_reason: str = ""
+    ) -> None:
+        if stop_reason:
+            job.stop_reason = stop_reason
+        job.status = status
+        self.queue.complete(job.job_id)
+        self.running.pop(job.job_id, None)
+        self.active_by_digest.pop(job.digest, None)
+        self._m_running.set(float(len(self.running)))
+        self._m_completed.labels(status=status).inc()
+        if job.process is not None:
+            job.process.join(timeout=5.0)
+        data: Dict[str, object] = {"digest": job.digest, "cached": job.cached}
+        if job.stop_reason:
+            data["stop_reason"] = job.stop_reason
+        if job.error:
+            data["error"] = job.error.strip().splitlines()[-1]
+        self._publish(job, status, data)
+
+    # -- drain --------------------------------------------------------------------
+
+    async def drain(self, grace_s: float = 10.0) -> None:
+        """Cancel running jobs and wait for checkpointed shutdown."""
+        self.request_drain()
+        deadline = Deadline(grace_s)
+        while self.running and not deadline.expired():
+            self.tick()
+            await asyncio.sleep(_TICK_S)
+        for job in list(self.running.values()):
+            # Out of grace: SIGTERM maps to KeyboardInterrupt in the
+            # worker, which still flushes at the next boundary.
+            if job.process is not None and job.process.is_alive():
+                job.process.terminate()
+        hard = Deadline(grace_s)
+        while self.running and not hard.expired():
+            self.tick()
+            await asyncio.sleep(_TICK_S)

@@ -1,0 +1,32 @@
+"""Server-Sent-Events wire formatting.
+
+One tiny, dependency-free encoder: ``text/event-stream`` frames are
+``event:`` + ``data:`` lines terminated by a blank line.  Data is a
+single JSON object per event, so consumers never need multi-line
+``data:`` reassembly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+#: Response headers for an SSE stream (HTTP/1.1, connection-per-stream).
+SSE_HEADERS = {
+    "Content-Type": "text/event-stream; charset=utf-8",
+    "Cache-Control": "no-store",
+    "Connection": "close",
+}
+
+
+def format_event(event: str, data: Dict[str, object]) -> bytes:
+    """Encode one SSE frame: ``event: <name>\\ndata: <json>\\n\\n``."""
+    if "\n" in event or "\r" in event:
+        raise ValueError(f"invalid SSE event name {event!r}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def format_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment frame (ignored by clients, keeps proxies awake)."""
+    return f": {text}\n\n".encode("utf-8")

@@ -1,0 +1,91 @@
+"""Content-addressed result store.
+
+Completed campaign results are filed under their spec digest with a
+two-character fan-out (``<root>/ab/abcdef....json``), written atomically
+through :mod:`repro.obs.atomicio` so a crash mid-write can never leave a
+corrupt entry.  Records contain no timestamps or other volatile fields,
+and :meth:`ResultStore.put` serializes them exactly the way
+``atomic_write_json`` does, so the bytes handed back for a store hit are
+identical to the bytes written on the original miss -- the byte-identity
+property the dedup acceptance test pins.
+
+The interface is deliberately path-shaped (digest in, bytes out) so a
+future fleet deployment can put the same records behind an object store
+without touching the scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+from repro.obs.atomicio import atomic_write_text
+
+_HEX = frozenset("0123456789abcdef")
+
+
+class ResultStore:
+    """Digest-keyed storage of completed result records."""
+
+    def __init__(self, root: str) -> None:
+        if not root:
+            raise ValueError("store root must be non-empty")
+        self.root = root
+
+    # -- layout -------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(digest: str) -> str:
+        if len(digest) < 3 or not set(digest) <= _HEX:
+            raise ValueError(f"invalid result digest {digest!r}")
+        return digest
+
+    def path(self, digest: str) -> str:
+        digest = self._validate(digest)
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    # -- access -------------------------------------------------------------------
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self.path(digest))
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        """The stored record verbatim, or None on a miss."""
+        try:
+            with open(self.path(digest), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        raw = self.get_bytes(digest)
+        return None if raw is None else json.loads(raw.decode("utf-8"))
+
+    def put(self, digest: str, record: Dict[str, object]) -> bytes:
+        """Store ``record`` under ``digest``; returns the stored bytes.
+
+        Serialization matches ``atomic_write_json`` (sorted keys,
+        2-space indent, trailing newline) byte for byte, so re-reading
+        the entry returns exactly what this call returns.
+        """
+        path = self.path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = json.dumps(record, indent=2, sort_keys=True, default=str) + "\n"
+        atomic_write_text(path, text)
+        return text.encode("utf-8")
+
+    def digests(self) -> Iterator[str]:
+        """Every stored digest (no particular order guarantees)."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())

@@ -1,0 +1,163 @@
+"""``python -m repro serve`` end-to-end: real process, real SIGTERM.
+
+The in-process tests in tests/serve/test_app.py cover routing and
+scheduling; this module exercises the operational story the ISSUE pins:
+boot the actual CLI entry point, kill it mid-job with SIGTERM, verify
+the drain left a checkpoint and no corrupt store entry, then restart on
+the same directories and confirm the resumed result is bit-identical to
+an uninterrupted run.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC = os.path.join(REPO, "src")
+
+SPEC = {
+    "kind": "campaign", "level": "Z", "ber": 2e-3,
+    "intervals": 60, "group_size": 8, "seed": 3,
+}
+
+
+class _Server:
+    """A ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, tmp_path, tag):
+        self.store_dir = str(tmp_path / "store")
+        self.checkpoint_dir = str(tmp_path / "ck")
+        self.ready_file = str(tmp_path / f"ready-{tag}.json")
+        self.process = None
+        self.port = None
+
+    def __enter__(self):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--store-dir", self.store_dir,
+                "--checkpoint-dir", self.checkpoint_dir,
+                "--workers", "1",
+                "--checkpoint-every", "2",
+                "--drain-grace-s", "15",
+                "--ready-file", self.ready_file,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(self.ready_file):
+                with open(self.ready_file, "r", encoding="utf-8") as handle:
+                    self.port = json.load(handle)["port"]
+                return self
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    "server exited early: "
+                    + self.process.stderr.read().decode()
+                )
+            time.sleep(0.05)
+        raise AssertionError("server never wrote the ready file")
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        self.process.stdout.close()
+        self.process.stderr.close()
+        os.path.exists(self.ready_file) and os.remove(self.ready_file)
+
+    def request(self, method, path, payload=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port)
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        raw = response.read()
+        connection.close()
+        return response.status, raw
+
+    def request_json(self, method, path, payload=None):
+        status, raw = self.request(method, path, payload)
+        return status, json.loads(raw)
+
+    def wait_for(self, job_id, predicate, timeout_s=60.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            _, job = self.request_json("GET", f"/v1/jobs/{job_id}")
+            if predicate(job):
+                return job
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never reached predicate")
+
+
+def _store_files(root):
+    return sorted(
+        name
+        for _, _, files in os.walk(root)
+        for name in files
+    )
+
+
+def test_sigterm_drain_then_restart_resumes_bit_identical(tmp_path):
+    # --- Phase 1: boot, submit, SIGTERM mid-job. -------------------------
+    first = tmp_path / "run"
+    with _Server(first, "a") as server:
+        status, job = server.request_json("POST", "/v1/jobs", SPEC)
+        assert status == 202
+        digest = job["digest"]
+        server.wait_for(
+            job["job_id"],
+            lambda state: state.get("progress", {}).get("done", 0) >= 6,
+        )
+        server.process.send_signal(signal.SIGTERM)
+        assert server.process.wait(timeout=60) == 0
+
+    # The drain checkpointed the partial job and stored nothing.
+    checkpoints = os.listdir(first / "ck")
+    assert checkpoints and checkpoints[0].startswith(f"job-{digest}")
+    assert _store_files(first / "store") == []  # no torn/partial entries
+
+    # --- Phase 2: restart on the same dirs; resubmission resumes. --------
+    with _Server(first, "b") as server:
+        status, job = server.request_json("POST", "/v1/jobs", SPEC)
+        assert status == 202 and job["created"]
+        done = server.wait_for(
+            job["job_id"], lambda state: state["status"] == "done"
+        )
+        assert done["status"] == "done"
+        status, resumed_bytes = server.request("GET", f"/v1/results/{digest}")
+        assert status == 200
+        resumed_record = json.loads(resumed_bytes)
+        # The resumed run only simulated the remaining intervals.
+        assert resumed_record["result"]["intervals"] == SPEC["intervals"]
+        assert os.listdir(first / "ck") == []  # checkpoint consumed
+
+        # A third submission is now a pure cache hit.
+        status, again = server.request_json("POST", "/v1/jobs", SPEC)
+        assert status == 200 and again["cached"]
+
+    # --- Phase 3: uninterrupted reference on fresh dirs. -----------------
+    reference = tmp_path / "ref"
+    with _Server(reference, "c") as server:
+        status, job = server.request_json("POST", "/v1/jobs", SPEC)
+        assert status == 202
+        server.wait_for(
+            job["job_id"], lambda state: state["status"] == "done"
+        )
+        status, reference_bytes = server.request(
+            "GET", f"/v1/results/{digest}"
+        )
+        assert status == 200
+
+    assert resumed_bytes == reference_bytes

@@ -136,6 +136,53 @@ class TestUnseededRng:
         """
         assert rules_of(source, path="src/repro/core/rng.py") == []
 
+    CAMPAIGN = "src/repro/reliability/raresim.py"
+
+    def test_inline_construction_in_campaign_path_flagged(self):
+        # The estimate_fit bug class: rng=random.Random(seed) as a call
+        # argument bypasses resolve_pyrandom entirely.
+        source = """\
+        import random
+        sim = Simulator(ber=ber, rng=random.Random(seed))
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == ["RPR002"]
+
+    def test_inline_positional_construction_flagged(self):
+        source = """\
+        import random
+        sim = Simulator(random.Random(7))
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == ["RPR002"]
+
+    def test_assignment_form_not_flagged(self):
+        source = """\
+        import random
+        local = random.Random(seed)
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == []
+
+    def test_inline_construction_outside_campaign_paths_clean(self):
+        source = """\
+        import random
+        sim = Simulator(rng=random.Random(seed))
+        """
+        assert rules_of(source) == []
+
+    def test_seed_tree_inline_construction_clean(self):
+        source = """\
+        import random
+        from repro.parallel.sharding import shard_python_seeds
+        sim = Simulator(rng=random.Random(shard_python_seeds(seed, k)[i]))
+        """
+        assert rules_of(source, path="src/repro/parallel/runner.py") == []
+
+    def test_resolve_pyrandom_repair_clean(self):
+        source = """\
+        from repro.core.rng import resolve_pyrandom
+        sim = Simulator(rng=resolve_pyrandom(seed=seed, owner="sim"))
+        """
+        assert rules_of(source, path=self.CAMPAIGN) == []
+
 
 class TestNonAtomicWrite:
     def test_write_mode_open_flagged(self):

@@ -148,6 +148,56 @@ class TestResume:
         with pytest.raises(ValueError):
             reporter.note_resumed(-1)
 
+    def test_note_resumed_with_zero_session_work_immediately_queried(self):
+        # The serve SSE stream snapshots right after a resume: rate must
+        # be a clean 0.0 (no division by zero at elapsed==0) and the ETA
+        # must be reported unknown (None), never 0.
+        reporter, clock, _ = make_reporter(total=100)
+        reporter.note_resumed(80)
+        assert reporter.rate() == 0.0
+        assert reporter.eta_s() is None
+        clock.advance(10.0)
+        assert reporter.rate() == 0.0
+        assert reporter.eta_s() is None
+
+    def test_note_resumed_of_everything_still_no_eta(self):
+        reporter, clock, _ = make_reporter(total=100)
+        reporter.note_resumed(100)
+        clock.advance(1.0)
+        assert reporter.rate() == 0.0
+        assert reporter.eta_s() is None
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reporter, clock, _ = make_reporter(total=100)
+        clock.advance(10.0)
+        reporter.update(advance=20)
+        snapshot = reporter.snapshot()
+        assert snapshot == {
+            "label": "campaign",
+            "done": 20,
+            "total": 100,
+            "initial_done": 0,
+            "rate": pytest.approx(2.0),
+            "eta_s": pytest.approx(40.0),
+        }
+
+    def test_snapshot_after_resume_reports_unknown_eta(self):
+        reporter, clock, _ = make_reporter(total=100)
+        reporter.note_resumed(60)
+        clock.advance(5.0)
+        snapshot = reporter.snapshot()
+        assert snapshot["done"] == 60
+        assert snapshot["initial_done"] == 60
+        assert snapshot["rate"] == 0.0
+        assert snapshot["eta_s"] is None
+
+    def test_null_progress_snapshot(self):
+        snapshot = NULL_PROGRESS.snapshot()
+        assert snapshot["eta_s"] is None
+        assert snapshot["rate"] == 0.0
+
 
 class TestContextManager:
     def test_with_block_finishes(self):

@@ -85,6 +85,50 @@ class TestMergeConditional:
         assert merged.truncated
         assert merged.stop_reason == "deadline"
 
+    def test_cancelled_dominates_deadline_but_not_interrupted(self):
+        merged = merge_conditional_results([
+            _conditional(truncated=True, stop_reason="deadline"),
+            _conditional(truncated=True, stop_reason="cancelled"),
+        ])
+        assert merged.stop_reason == "cancelled"
+        merged = merge_conditional_results([
+            _conditional(truncated=True, stop_reason="cancelled"),
+            _conditional(truncated=True, stop_reason="interrupted"),
+        ])
+        assert merged.stop_reason == "interrupted"
+
+    def test_merged_ci_recomputed_from_pooled_tallies(self):
+        # The merged result must never inherit a per-shard CI: its
+        # interval must equal one computed directly from the pooled
+        # (trials, failures) tallies.
+        shards = [_conditional(100, 2), _conditional(150, 5),
+                  _conditional(350, 0)]
+        merged = merge_conditional_results(shards)
+        pooled = ConditionalResult(
+            trials=sum(s.trials for s in shards),
+            conditional_failures=sum(s.conditional_failures for s in shards),
+            conditioning_probability=1e-4, ber=1e-4, group_size=64,
+            num_groups=2048, interval_s=0.020,
+        )
+        assert merged.conditional_ci() == pooled.conditional_ci()
+        assert merged.fit() == pooled.fit()
+        # And it differs from every per-shard CI (the value a buggy
+        # merge would have carried over).
+        for shard in shards:
+            assert merged.conditional_ci() != shard.conditional_ci()
+
+    def test_merged_as_dict_carries_recomputed_derived_fields(self):
+        merged = merge_conditional_results(
+            [_conditional(100, 2), _conditional(150, 5)]
+        )
+        payload = merged.as_dict()
+        low, high = merged.conditional_ci()
+        assert payload["conditional_ci_low"] == low
+        assert payload["conditional_ci_high"] == high
+        assert payload["cache_failure_probability"] == (
+            merged.cache_failure_probability()
+        )
+
     def test_differing_geometry_rejected(self):
         other = ConditionalResult(
             trials=1, conditional_failures=0, conditioning_probability=1e-4,

@@ -132,6 +132,82 @@ class TestShardedDeterminism:
         assert resumed.as_dict() == reference.as_dict()
 
 
+class TestCancellation:
+    """Job-level cancellation: the hook the serve scheduler drives."""
+
+    def test_serial_cancel_truncates_with_cancelled_reason(self):
+        result = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=1, seed=SEED,
+            cancel=lambda: True,
+        )
+        assert result.truncated
+        assert result.stop_reason == "cancelled"
+        assert result.intervals < INTERVALS
+
+    def test_serial_cancel_then_resume_matches_uninterrupted(self, tmp_path):
+        reference = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=1, seed=SEED,
+        )
+        ck = str(tmp_path / "ck.json")
+        calls = {"n": 0}
+
+        def cancel_after_three() -> bool:
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        partial = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=1, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=1,
+            cancel=cancel_after_three,
+        )
+        assert partial.truncated and partial.stop_reason == "cancelled"
+        assert 0 < partial.intervals < INTERVALS
+        resumed = run_sharded_campaign(
+            LEVEL, BER, INTERVALS, GROUP, shards=1, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=1, resume_from=ck,
+        )
+        assert resumed.as_dict() == reference.as_dict()
+
+    def test_serial_raresim_cancel_reports_cancelled(self):
+        result = run_sharded_raresim(
+            RARE["level"], RARE["ber"], RARE["trials"],
+            RARE["group_size"], RARE["num_groups"], shards=1, seed=SEED,
+            cancel=lambda: True,
+        )
+        assert result.truncated
+        assert result.stop_reason == "cancelled"
+
+    def test_sharded_cancel_interrupts_workers(self, tmp_path):
+        # Enough trials that the workers cannot finish before the
+        # parent polls the hook; cancellation fires once the merged
+        # progress shows the campaign is genuinely under way.
+        ck = str(tmp_path / "ck.json")
+        state = {"done": 0}
+
+        class CountingProgress:
+            enabled = True
+
+            def update(self, done=None, advance=1):
+                state["done"] += advance
+
+            def note_resumed(self, units):
+                pass
+
+            def finish(self):
+                pass
+
+        result = run_sharded_raresim(
+            RARE["level"], RARE["ber"], 4000,
+            RARE["group_size"], RARE["num_groups"], shards=2, seed=SEED,
+            checkpoint_path=ck, checkpoint_every=10,
+            progress=CountingProgress(),
+            cancel=lambda: state["done"] >= 20,
+        )
+        assert result.truncated
+        assert result.stop_reason == "interrupted"
+        assert result.trials < 4000
+
+
 class TestComposition:
     def test_telemetry_merges_across_shards(self):
         telemetry = Telemetry.create()

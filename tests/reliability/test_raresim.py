@@ -1,8 +1,10 @@
 """Tests for the conditional rare-event simulator."""
 
+import json
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.reliability.raresim import (
     ConditionalGroupSimulator,
@@ -105,3 +107,112 @@ class TestResultArithmetic:
         )
         assert result.conditional_ci() == (0.0, 1.0)
         assert result.conditional_failure_probability == 0.0
+
+
+class TestResultSchema:
+    def make(self, trials=200, failures=7):
+        return ConditionalResult(
+            trials=trials, conditional_failures=failures,
+            conditioning_probability=1e-3, ber=1e-4,
+            group_size=16, num_groups=1000, interval_s=0.020,
+            truncated=True, stop_reason="deadline",
+        )
+
+    def test_as_dict_includes_derived_statistics(self):
+        result = self.make()
+        payload = result.as_dict()
+        low, high = result.conditional_ci()
+        assert payload["conditional_ci_low"] == low
+        assert payload["conditional_ci_high"] == high
+        assert payload["cache_failure_probability"] == (
+            result.cache_failure_probability()
+        )
+        assert payload["fit"] == result.fit()
+
+    def test_round_trip(self):
+        result = self.make()
+        clone = ConditionalResult.from_dict(result.as_dict())
+        assert clone.as_dict() == result.as_dict()
+
+    def test_round_trip_through_json(self):
+        result = self.make()
+        payload = json.loads(json.dumps(result.as_dict()))
+        clone = ConditionalResult.from_dict(payload)
+        assert clone.as_dict() == result.as_dict()
+
+    def test_from_dict_ignores_stale_derived_fields(self):
+        payload = self.make().as_dict()
+        payload["conditional_ci_low"] = 0.9  # corrupt a derived field
+        payload["fit"] = -1.0
+        clone = ConditionalResult.from_dict(payload)
+        assert clone.as_dict() == self.make().as_dict()
+
+
+class TestConditionalCiProperties:
+    @staticmethod
+    def make(trials, failures):
+        return ConditionalResult(
+            trials=trials, conditional_failures=failures,
+            conditioning_probability=1e-3, ber=1e-4,
+            group_size=16, num_groups=1000, interval_s=0.020,
+        )
+
+    @given(trials=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_zero_failures_lower_bound_is_exactly_zero(self, trials):
+        low, high = self.make(trials, 0).conditional_ci()
+        assert low == 0.0
+        assert 0.0 <= high <= 1.0
+
+    @given(trials=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_all_failures_upper_bound_is_exactly_one(self, trials):
+        low, high = self.make(trials, trials).conditional_ci()
+        assert high == 1.0
+        assert 0.0 <= low <= 1.0
+
+    @given(
+        trials=st.integers(min_value=1, max_value=10**6),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bounds_within_unit_interval_and_bracket_estimate(
+        self, trials, rate
+    ):
+        failures = min(trials, int(rate * trials))
+        result = self.make(trials, failures)
+        low, high = result.conditional_ci()
+        assert 0.0 <= low <= high <= 1.0
+        assert low <= result.conditional_failure_probability <= high
+
+    @given(
+        trials=st.integers(min_value=10, max_value=10**6),
+        factor=st.integers(min_value=2, max_value=50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_width_shrinks_as_trials_grow(self, trials, factor):
+        # Same observed failure rate, more trials -> narrower interval.
+        failures = trials // 5
+        low_a, high_a = self.make(trials, failures).conditional_ci()
+        low_b, high_b = self.make(
+            trials * factor, failures * factor
+        ).conditional_ci()
+        assert (high_b - low_b) <= (high_a - low_a)
+
+
+class TestEstimateFitSeedResolution:
+    def test_seeded_stream_matches_inline_random(self):
+        # resolve_pyrandom(seed=s) must be bit-identical to the
+        # historical inline random.Random(s) construction.
+        via_api = estimate_fit("Y", BER, trials=40, group_size=GROUP, seed=11)
+        simulator = ConditionalGroupSimulator(
+            ber=BER, group_size=GROUP, num_groups=2048,
+            rng=random.Random(11),
+        )
+        direct = simulator.run("Y", 40)
+        assert via_api.as_dict() == direct.as_dict()
+
+    def test_injected_rng_unsupported_seed_still_deterministic(self):
+        first = estimate_fit("Z", BER, trials=30, group_size=GROUP, seed=4)
+        second = estimate_fit("Z", BER, trials=30, group_size=GROUP, seed=4)
+        assert first.as_dict() == second.as_dict()

@@ -43,6 +43,13 @@ GOLDEN_RARESIM = {
     "stop_reason": "",
     "conditional_failure_probability": 0.16666666666666666,
     "fit": 1046177647133291.6,
+    # Derived fields added to as_dict() by the serve PR; every tally
+    # above is untouched, and these are pure functions of those tallies
+    # (pinned against ConditionalResult's own recomputation in
+    # tests/reliability/test_raresim.py::TestResultSchema).
+    "conditional_ci_low": 0.03005258587173032,
+    "conditional_ci_high": 0.563509436563646,
+    "cache_failure_probability": 0.9970088520623641,
 }
 
 

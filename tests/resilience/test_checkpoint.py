@@ -10,10 +10,12 @@ import pytest
 from repro.obs import atomic_write_json, atomic_write_text
 from repro.resilience import (
     CHECKPOINT_VERSION,
+    CancelWatch,
     Checkpointer,
     CheckpointError,
     Deadline,
     build_payload,
+    job_checkpoint_path,
     load_checkpoint,
     numpy_rng_state,
     python_rng_state,
@@ -67,6 +69,55 @@ class TestDeadline:
         now[0] = 105.1
         assert deadline.expired()
         assert deadline.remaining() < 0
+
+
+class TestCancelWatch:
+    def test_reason_is_deadline_before_cancel_fires(self):
+        assert Deadline.reason == "deadline"
+        watch = CancelWatch(lambda: False)
+        assert not watch.expired()
+        assert watch.reason == "deadline"
+        assert watch.remaining() == float("inf")
+
+    def test_cancel_fires_and_latches(self):
+        state = {"cancel": False}
+        watch = CancelWatch(lambda: state["cancel"])
+        assert not watch.expired()
+        state["cancel"] = True
+        assert watch.expired()
+        assert watch.reason == "cancelled"
+        # Latches: a flapping callback cannot un-cancel the job.
+        state["cancel"] = False
+        assert watch.expired()
+        assert watch.reason == "cancelled"
+
+    def test_composed_deadline_keeps_its_own_reason(self):
+        now = [100.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        watch = CancelWatch(lambda: False, deadline=deadline)
+        assert not watch.expired()
+        assert watch.remaining() == pytest.approx(5.0)
+        now[0] = 106.0
+        assert watch.expired()
+        assert watch.reason == "deadline"
+
+    def test_cancel_wins_when_it_fires_first(self):
+        now = [100.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        watch = CancelWatch(lambda: True, deadline=deadline)
+        assert watch.expired()
+        assert watch.reason == "cancelled"
+
+
+class TestJobCheckpointPath:
+    def test_digest_keyed_layout(self, tmp_path):
+        path = job_checkpoint_path(str(tmp_path), "ab12cd")
+        assert path == os.path.join(str(tmp_path), "job-ab12cd.ck.json")
+
+    def test_rejects_traversal_and_empty(self, tmp_path):
+        for digest in ("", "../x", "a/b", "a.b", "a\\b"):
+            with pytest.raises(ValueError):
+                job_checkpoint_path(str(tmp_path), digest)
 
 
 class TestCheckpointer:

@@ -1,0 +1,371 @@
+"""End-to-end service tests against an in-process ServeApp.
+
+Each test boots the asyncio server on an ephemeral port, drives it with
+a minimal HTTP/1.1 client over ``asyncio.open_connection``, and tears it
+down.  Jobs use the fast Z-scheme campaign (small intervals, tiny
+groups) so a full submit -> SSE -> result round trip stays subsecond.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.serve.app import ServeApp
+
+SPEC = {
+    "kind": "campaign", "level": "Z", "ber": 2e-3,
+    "intervals": 6, "group_size": 8, "seed": 3,
+}
+
+RARE_SPEC = {
+    "kind": "raresim", "level": "Z", "ber": 1e-3, "trials": 60,
+    "group_size": 16, "num_groups": 32, "seed": 5,
+}
+
+
+async def _request(port, method, path, payload=None):
+    """One-shot HTTP exchange; returns (status, parsed-JSON-or-bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    content_type = b"application/json" in header_blob
+    return status, (
+        json.loads(response_body) if content_type else response_body
+    )
+
+
+async def _raw_result(port, digest):
+    """GET /v1/results/<digest> returning the verbatim body bytes."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET /v1/results/{digest} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, body = raw.partition(b"\r\n\r\n")
+    return int(header_blob.split(b" ", 2)[1]), body
+
+
+async def _sse_events(port, job_id, limit=500):
+    """Consume the job's SSE stream until a terminal event."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+    )
+    await writer.drain()
+    events = []
+    event_name = None
+    for _ in range(limit):
+        line = (await reader.readline()).decode("utf-8").rstrip("\n")
+        if line.startswith("event: "):
+            event_name = line[len("event: "):]
+        elif line.startswith("data: ") and event_name is not None:
+            events.append((event_name, json.loads(line[len("data: "):])))
+            if event_name in ("done", "failed", "cancelled"):
+                break
+            event_name = None
+    writer.close()
+    await writer.wait_closed()
+    return events
+
+
+class _RunningApp:
+    """Boots a ServeApp + scheduler loop for the duration of a test."""
+
+    def __init__(self, tmp_path, **kwargs):
+        kwargs.setdefault("checkpoint_every", 2)
+        self.app = ServeApp(
+            store_dir=str(tmp_path / "store"),
+            checkpoint_dir=str(tmp_path / "ck"),
+            **kwargs,
+        )
+        self.port = None
+        self._task = None
+
+    async def __aenter__(self):
+        os.makedirs(self.app.scheduler.checkpoint_dir, exist_ok=True)
+        _, self.port = await self.app.start("127.0.0.1", 0)
+        self._task = asyncio.create_task(
+            self.app.scheduler.run(self.app.stop_event)
+        )
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self.app.stop_event.set()
+        self.app._server.close()
+        await self.app._server.wait_closed()
+        await self._task
+
+
+def _units_simulated(metrics_payload):
+    return sum(
+        series["value"]
+        for series in metrics_payload["series"]
+        if series["name"] == "serve_units_simulated_total"
+    )
+
+
+class TestSubmitAndDedup:
+    def test_submit_runs_to_done_and_resubmit_is_byte_identical_hit(
+        self, tmp_path
+    ):
+        async def scenario():
+            async with _RunningApp(tmp_path, workers=1) as running:
+                port = running.port
+                status, job = await _request(port, "POST", "/v1/jobs", SPEC)
+                assert status == 202 and job["created"]
+                assert job["status"] in ("queued", "running")
+                events = await _sse_events(port, job["job_id"])
+                assert events[-1][0] == "done"
+                assert not events[-1][1]["cached"]
+                # Progress/metrics frames streamed before the terminal.
+                names = [name for name, _ in events]
+                assert "running" in names and "metrics" in names
+
+                status, first_bytes = await _raw_result(port, job["digest"])
+                assert status == 200
+                record = json.loads(first_bytes)
+                assert record["result"]["truncated"] is False
+                assert record["result"]["intervals"] == SPEC["intervals"]
+
+                status, metrics = await _request(port, "GET", "/metrics")
+                units_after_first = _units_simulated(metrics)
+                assert units_after_first == SPEC["intervals"]
+
+                # Identical resubmission: answered from the store.
+                status, again = await _request(port, "POST", "/v1/jobs", SPEC)
+                assert status == 200
+                assert again["cached"] and not again["created"]
+                assert again["status"] == "done"
+                assert again["digest"] == job["digest"]
+                # The cached job's SSE stream is just the terminal event.
+                cached_events = await _sse_events(port, again["job_id"])
+                assert cached_events == [
+                    ("done", {"cached": True, "digest": job["digest"]})
+                ]
+                # Zero additional trials simulated...
+                status, metrics = await _request(port, "GET", "/metrics")
+                assert _units_simulated(metrics) == units_after_first
+                # ...and the served body is byte-identical.
+                status, second_bytes = await _raw_result(port, job["digest"])
+                assert second_bytes == first_bytes
+
+                # Completed jobs leave no checkpoint files behind.
+                assert os.listdir(running.app.scheduler.checkpoint_dir) == []
+
+        asyncio.run(scenario())
+
+    def test_inflight_duplicate_joins_existing_job(self, tmp_path):
+        async def scenario():
+            spec = dict(SPEC)
+            spec["intervals"] = 200  # long enough to still be in flight
+            async with _RunningApp(tmp_path, workers=1) as running:
+                port = running.port
+                _, first = await _request(port, "POST", "/v1/jobs", spec)
+                _, second = await _request(port, "POST", "/v1/jobs", spec)
+                assert not second["created"]
+                assert second["job_id"] == first["job_id"]
+
+        asyncio.run(scenario())
+
+    def test_execution_hints_share_the_cache_entry(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path, workers=1) as running:
+                port = running.port
+                _, job = await _request(port, "POST", "/v1/jobs", SPEC)
+                await _sse_events(port, job["job_id"])
+                hinted = dict(SPEC)
+                hinted["backend"] = "numpy"
+                hinted["scrub_mode"] = "dense"
+                _, again = await _request(port, "POST", "/v1/jobs", hinted)
+                assert again["cached"]
+                assert again["digest"] == job["digest"]
+
+        asyncio.run(scenario())
+
+
+class TestValidationAndRoutes:
+    def test_bad_spec_is_400_with_field_name(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path) as running:
+                status, body = await _request(
+                    running.port, "POST", "/v1/jobs",
+                    {"kind": "campaign", "ber": 7.0},
+                )
+                assert status == 400
+                assert "ber" in body["error"]
+
+        asyncio.run(scenario())
+
+    def test_unknown_routes_and_jobs_404(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path) as running:
+                port = running.port
+                assert (await _request(port, "GET", "/nope"))[0] == 404
+                assert (
+                    await _request(port, "GET", "/v1/jobs/j9")
+                )[0] == 404
+                assert (
+                    await _request(port, "GET", "/v1/results/" + "0" * 64)
+                )[0] == 404
+                assert (
+                    await _request(port, "GET", "/v1/results/zz")
+                )[0] == 400
+
+        asyncio.run(scenario())
+
+    def test_healthz_and_job_listing(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path) as running:
+                port = running.port
+                status, health = await _request(port, "GET", "/healthz")
+                assert status == 200
+                assert health == {"status": "ok", "draining": False}
+                _, job = await _request(port, "POST", "/v1/jobs", SPEC)
+                status, listing = await _request(port, "GET", "/v1/jobs")
+                assert status == 200
+                assert job["job_id"] in [
+                    entry["job_id"] for entry in listing["jobs"]
+                ]
+
+        asyncio.run(scenario())
+
+
+class TestCancelAndResume:
+    def test_delete_cancels_and_resubmission_resumes_bit_identical(
+        self, tmp_path
+    ):
+        """The acceptance criterion: cancel mid-job, resume on
+        resubmission, final result bit-identical to an uninterrupted
+        run of the same spec."""
+
+        spec = dict(SPEC)
+        spec["intervals"] = 40
+
+        async def interrupted(tmp):
+            async with _RunningApp(tmp, workers=1) as running:
+                port = running.port
+                _, job = await _request(port, "POST", "/v1/jobs", spec)
+                # Wait for some progress, then cancel.
+                for _ in range(400):
+                    _, state = await _request(
+                        port, "GET", f"/v1/jobs/{job['job_id']}"
+                    )
+                    if state.get("progress", {}).get("done", 0) >= 5:
+                        break
+                    await asyncio.sleep(0.01)
+                status, _ = await _request(
+                    port, "DELETE", f"/v1/jobs/{job['job_id']}"
+                )
+                assert status == 202
+                events = await _sse_events(port, job["job_id"])
+                assert events[-1][0] == "cancelled"
+                assert events[-1][1]["stop_reason"] == "cancelled"
+                # Partial work checkpointed, nothing stored.
+                assert os.listdir(running.app.scheduler.checkpoint_dir)
+                status, _ = await _raw_result(port, job["digest"])
+                assert status == 404
+
+                # Resubmit: resumes from the checkpoint and completes.
+                _, again = await _request(port, "POST", "/v1/jobs", spec)
+                assert again["created"]
+                events = await _sse_events(port, again["job_id"])
+                by_name = dict(events)
+                assert events[-1][0] == "done"
+                assert by_name["running"]["resumed_from_checkpoint"]
+                status, resumed_bytes = await _raw_result(
+                    port, job["digest"]
+                )
+                assert status == 200
+                return resumed_bytes
+
+        async def uninterrupted(tmp):
+            async with _RunningApp(tmp, workers=1) as running:
+                port = running.port
+                _, job = await _request(port, "POST", "/v1/jobs", spec)
+                events = await _sse_events(port, job["job_id"])
+                assert events[-1][0] == "done"
+                _, reference_bytes = await _raw_result(port, job["digest"])
+                return reference_bytes
+
+        resumed = asyncio.run(interrupted(tmp_path / "a"))
+        reference = asyncio.run(uninterrupted(tmp_path / "b"))
+        assert resumed == reference
+
+    def test_delete_after_completion_conflicts(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path, workers=1) as running:
+                port = running.port
+                _, job = await _request(port, "POST", "/v1/jobs", SPEC)
+                await _sse_events(port, job["job_id"])
+                status, _ = await _request(
+                    port, "DELETE", f"/v1/jobs/{job['job_id']}"
+                )
+                assert status == 409
+
+        asyncio.run(scenario())
+
+
+class TestRaresimJob:
+    def test_raresim_spec_runs_and_dedups(self, tmp_path):
+        async def scenario():
+            async with _RunningApp(tmp_path, workers=1) as running:
+                port = running.port
+                _, job = await _request(port, "POST", "/v1/jobs", RARE_SPEC)
+                events = await _sse_events(port, job["job_id"])
+                assert events[-1][0] == "done"
+                status, body = await _raw_result(port, job["digest"])
+                record = json.loads(body)
+                assert record["result"]["trials"] == RARE_SPEC["trials"]
+                assert "conditional_ci_low" in record["result"]
+                _, again = await _request(port, "POST", "/v1/jobs", RARE_SPEC)
+                assert again["cached"]
+
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_cancels_checkpointed_and_rejects_new_submissions(
+        self, tmp_path
+    ):
+        spec = dict(SPEC)
+        spec["intervals"] = 400  # long job; drain interrupts it
+
+        async def scenario():
+            async with _RunningApp(tmp_path, workers=1) as running:
+                app, port = running.app, running.port
+                _, job = await _request(port, "POST", "/v1/jobs", spec)
+                for _ in range(400):
+                    _, state = await _request(
+                        port, "GET", f"/v1/jobs/{job['job_id']}"
+                    )
+                    if state.get("progress", {}).get("done", 0) >= 4:
+                        break
+                    await asyncio.sleep(0.01)
+                drain = asyncio.create_task(app.scheduler.drain(10.0))
+                await asyncio.sleep(0.05)
+                status, _ = await _request(port, "POST", "/v1/jobs", SPEC)
+                assert status == 503  # draining: no new work
+                await drain
+                state = app.scheduler.jobs[job["job_id"]]
+                assert state.status == "cancelled"
+                # Checkpoint survives for the post-restart resume...
+                assert os.listdir(app.scheduler.checkpoint_dir)
+                # ...and the store holds no partial/corrupt entry.
+                assert len(app.store) == 0
+
+        asyncio.run(scenario())

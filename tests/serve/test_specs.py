@@ -1,0 +1,129 @@
+"""Spec validation, normalization, and digest semantics."""
+
+import pytest
+
+from repro.serve.specs import (
+    RESULT_VERSION,
+    SpecError,
+    parse_spec,
+    parse_submission,
+)
+
+CAMPAIGN = {
+    "kind": "campaign", "level": "Z", "ber": 2e-3,
+    "intervals": 8, "group_size": 8, "seed": 3,
+}
+
+
+class TestParseSpec:
+    def test_campaign_normalizes_with_defaults(self):
+        spec = parse_spec(dict(CAMPAIGN))
+        assert spec.kind == "campaign"
+        assert spec.params["seed"] == 3
+        assert spec.params["shards"] == 1
+        assert spec.params["interval_s"] == pytest.approx(0.020)
+        assert spec.execution == {
+            "scrub_mode": "sparse", "backend": "reference",
+        }
+        assert spec.total_units == 8
+
+    def test_raresim_counts_trials(self):
+        spec = parse_spec(
+            {"kind": "raresim", "level": "Y", "ber": 1e-3, "trials": 50,
+             "group_size": 16, "num_groups": 8}
+        )
+        assert spec.total_units == 50
+        assert spec.params["scenario"] is None
+
+    def test_scenario_requires_scenario_object(self):
+        with pytest.raises(SpecError, match="scenario.*required"):
+            parse_spec({"kind": "scenario", "scheme": "Z"})
+
+    def test_scenario_round_trips_to_canonical_form(self):
+        spec = parse_spec(
+            {"kind": "scenario", "scheme": "Z", "intervals": 4,
+             "group_size": 8,
+             "scenario": {"transient_ber": 1e-3}}
+        )
+        # Normalization fills the optional burst/stuck fields, so two
+        # ways of writing the same scenario share one digest.
+        explicit = parse_spec(
+            {"kind": "scenario", "scheme": "Z", "intervals": 4,
+             "group_size": 8, "scenario": spec.params["scenario"]}
+        )
+        assert explicit.digest() == spec.digest()
+
+    @pytest.mark.parametrize("mutation, match", [
+        ({"kind": "nope"}, "kind"),
+        ({"ber": 1.5}, "ber"),
+        ({"ber": True}, "ber"),
+        ({"intervals": 0}, "intervals"),
+        ({"intervals": "8"}, "intervals"),
+        ({"seed": -1}, "seed"),
+        ({"shards": 100_000}, "shards"),
+        ({"level": "Q"}, "level"),
+        ({"backend": "cuda"}, "backend"),
+    ])
+    def test_invalid_fields_rejected(self, mutation, match):
+        payload = dict(CAMPAIGN)
+        payload.update(mutation)
+        with pytest.raises(SpecError, match=match):
+            parse_spec(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec([1, 2, 3])
+
+
+class TestDigest:
+    def test_digest_is_stable_and_version_pinned(self):
+        spec = parse_spec(dict(CAMPAIGN))
+        assert spec.digest() == parse_spec(dict(CAMPAIGN)).digest()
+        assert spec.digest_payload()["version"] == RESULT_VERSION
+
+    def test_semantic_params_change_digest(self):
+        base = parse_spec(dict(CAMPAIGN)).digest()
+        for key, value in [("seed", 4), ("intervals", 9), ("shards", 2),
+                           ("ber", 3e-3)]:
+            payload = dict(CAMPAIGN)
+            payload[key] = value
+            assert parse_spec(payload).digest() != base, key
+
+    def test_execution_hints_do_not_change_digest(self):
+        base = parse_spec(dict(CAMPAIGN)).digest()
+        for key, value in [("backend", "numpy"), ("scrub_mode", "dense")]:
+            payload = dict(CAMPAIGN)
+            payload[key] = value
+            assert parse_spec(payload).digest() == base, key
+
+
+class TestParseSubmission:
+    def test_bare_spec_with_inline_tenant(self):
+        payload = dict(CAMPAIGN)
+        payload.update({"tenant": "team-a", "priority": 7})
+        spec, tenant, priority = parse_submission(payload)
+        assert (tenant, priority) == ("team-a", 7)
+        # Envelope fields never reach the digest.
+        assert spec.digest() == parse_spec(dict(CAMPAIGN)).digest()
+
+    def test_envelope_form(self):
+        spec, tenant, priority = parse_submission(
+            {"spec": dict(CAMPAIGN), "tenant": "team-b", "priority": -2}
+        )
+        assert (tenant, priority) == ("team-b", -2)
+        assert spec.digest() == parse_spec(dict(CAMPAIGN)).digest()
+
+    def test_defaults(self):
+        _, tenant, priority = parse_submission(dict(CAMPAIGN))
+        assert (tenant, priority) == ("default", 0)
+
+    @pytest.mark.parametrize("envelope", [
+        {"tenant": ""}, {"tenant": "x" * 65}, {"tenant": 7},
+        {"priority": 101}, {"priority": -101}, {"priority": "high"},
+        {"priority": True},
+    ])
+    def test_bad_envelope_rejected(self, envelope):
+        payload = {"spec": dict(CAMPAIGN)}
+        payload.update(envelope)
+        with pytest.raises(SpecError):
+            parse_submission(payload)

@@ -1,0 +1,84 @@
+"""Content-addressed store: layout, byte identity, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.atomicio import atomic_write_json
+from repro.serve.store import ResultStore
+
+DIGEST = "ab" + "0" * 62
+RECORD = {"digest": DIGEST, "kind": "campaign", "result": {"fit": 1.25}}
+
+
+class TestLayout:
+    def test_two_char_fanout(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.path(DIGEST) == str(
+            tmp_path / "ab" / f"{DIGEST}.json"
+        )
+
+    @pytest.mark.parametrize("bad", ["", "ab", "../../etc/passwd", "AB" * 32,
+                                     "xyz!", "ab/cd"])
+    def test_invalid_digests_rejected(self, tmp_path, bad):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.path(bad)
+
+
+class TestRoundTrip:
+    def test_put_get_bytes_identical(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        written = store.put(DIGEST, RECORD)
+        assert store.has(DIGEST)
+        assert store.get_bytes(DIGEST) == written
+        assert store.get(DIGEST) == RECORD
+
+    def test_put_matches_atomic_write_json_bytes(self, tmp_path):
+        """The byte-identity contract: put == atomic_write_json output."""
+        store = ResultStore(str(tmp_path / "store"))
+        written = store.put(DIGEST, RECORD)
+        reference = tmp_path / "ref.json"
+        atomic_write_json(str(reference), RECORD)
+        assert written == reference.read_bytes()
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.get_bytes("cd" + "0" * 62) is None
+        assert store.get("cd" + "0" * 62) is None
+        assert not store.has("cd" + "0" * 62)
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = store.put(DIGEST, RECORD)
+        second = store.put(DIGEST, RECORD)
+        assert first == second == store.get_bytes(DIGEST)
+
+
+class TestEnumeration:
+    def test_digests_and_len(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert len(store) == 0
+        other = "cd" + "1" * 62
+        store.put(DIGEST, RECORD)
+        store.put(other, RECORD)
+        assert sorted(store.digests()) == sorted([DIGEST, other])
+        assert len(store) == 2
+
+    def test_no_temp_file_droppings(self, tmp_path):
+        """Atomic writes leave only the final .json files behind."""
+        store = ResultStore(str(tmp_path))
+        store.put(DIGEST, RECORD)
+        names = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+        ]
+        assert names == [f"{DIGEST}.json"]
+
+    def test_store_survives_json_reload(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(DIGEST, RECORD)
+        with open(store.path(DIGEST), "r", encoding="utf-8") as handle:
+            assert json.load(handle) == RECORD
