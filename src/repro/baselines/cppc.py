@@ -48,8 +48,7 @@ class CPPCCache(BaselineCache):
 
     def _format(self) -> None:
         zero_word = self._encode(0)
-        for frame in range(self.array.num_lines):
-            self.array.write(frame, zero_word)
+        self.array.fill_word(zero_word)
         # Global parity of N identical words is zero for even N, else the
         # word itself.
         self.global_parity = zero_word if self.array.num_lines % 2 else 0
@@ -72,9 +71,13 @@ class CPPCCache(BaselineCache):
     def _resolve_line(self, frame: int) -> Outcome:
         if self._is_valid(self.array.read(frame)):
             return Outcome.CLEAN
+        # Invalid lines are a subset of the dirty set: clean lines hold
+        # the last ``_encode`` output (``restore`` of the exact golden
+        # word discards dirtiness), so scanning the sorted dirty frames
+        # visits the same faulty lines as a full walk, in the same order.
         faulty = [
             index
-            for index in range(self.array.num_lines)
+            for index in self.array.dirty_frames()
             if not self._is_valid(self.array.read(index))
         ]
         if len(faulty) > 1:
@@ -82,10 +85,11 @@ class CPPCCache(BaselineCache):
                 if other != frame:
                     self._note(other, Outcome.DUE)
             return Outcome.DUE
-        candidate = self.global_parity ^ xor_reduce(
-            self.array.read(index)
-            for index in range(self.array.num_lines)
-            if index != frame
+        # XOR of every line except ``frame`` == XOR of all lines with
+        # frame's word cancelled back out; the all-lines fold runs over
+        # the array's bulk iterator instead of per-line reads.
+        candidate = (
+            self.global_parity ^ xor_reduce(self.array) ^ self.array.read(frame)
         )
         if not self._is_valid(candidate):
             return Outcome.DUE

@@ -40,9 +40,7 @@ class ECCLineCache(BaselineCache):
         self._format()
 
     def _format(self) -> None:
-        zero_word = self.code.encode(0)
-        for frame in range(self.array.num_lines):
-            self.array.write(frame, zero_word)
+        self.array.fill_word(self.code.encode(0))
 
     def write_data(self, frame: int, data: int) -> None:
         """Encode and store a payload word."""

@@ -46,9 +46,7 @@ class HiECCCache(BaselineCache):
         self._format()
 
     def _format(self) -> None:
-        zero_word = self.code.encode(0)
-        for region in range(self.array.num_lines):
-            self.array.write(region, zero_word)
+        self.array.fill_word(self.code.encode(0))
 
     def write_data(self, region: int, data: int) -> None:
         """Write a whole region payload (re-encoding the codeword)."""

@@ -76,8 +76,7 @@ class RAID6Cache(BaselineCache):
 
     def _format(self) -> None:
         zero_word = self.codec.encode(0)
-        for frame in range(self.array.num_lines):
-            self.array.write(frame, zero_word)
+        self.array.fill_word(zero_word)
         width = self.array.line_bits
         for group in range(self.mapper.num_groups):
             members = self.mapper.members(group)

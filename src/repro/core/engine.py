@@ -214,9 +214,7 @@ class SuDokuEngine:
         frames are not valid codewords and the very first writes would
         trip the correction machinery.
         """
-        zero_word = self.codec.encode(0)
-        for frame in range(self.array.num_lines):
-            self.array.write(frame, zero_word)
+        self.array.fill_word(self.codec.encode(0))
         # Every group XORs an even number (group sizes are powers of two)
         # of identical words, so all parities are zero -- the tables'
         # initial state already; no rebuild needed.

@@ -1,0 +1,362 @@
+"""Idempotent autofixes for the mechanical rules (``repro lint --fix``).
+
+Three rules have a repair that is purely mechanical -- the fixed code
+is a direct, behavior-preserving rewrite of the flagged span:
+
+* **RPR007**: ``time.time()`` duration reads become
+  ``time.perf_counter()`` (same module object, monotonic source);
+* **RPR004**: ``bin(x).count("1")`` / ``format(x, "b").count("1")``
+  become ``popcount(x)`` with the ``repro.coding.bitvec`` import added;
+* **RPR003**: the single-write idiom
+  ``with open(p, "w", encoding="utf-8") as h: h.write(text)`` becomes
+  ``atomic_write_text(p, text)``.  Multi-statement write blocks are
+  left for a human -- rewriting them mechanically could reorder
+  side effects.
+
+Fixes are **idempotent by construction**: every rewrite removes the
+exact pattern its rule matches, so a second ``--fix`` run finds
+nothing to do.  Edits are applied by source span (``end_lineno``/
+``end_col_offset``) in reverse order so earlier offsets stay valid,
+and overlapping edits are refused.  Files exempt from a rule and lines
+carrying an inline suppression are never touched.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.context import ModuleContext
+from repro.lint.suppressions import SuppressionIndex
+
+#: Rules the autofixer can repair (exported for ``--fix`` help/docs).
+FIXABLE_RULES = ("RPR003", "RPR004", "RPR007")
+
+_POPCOUNT_IMPORT = "from repro.coding.bitvec import popcount"
+_ATOMIC_IMPORT = "from repro.obs.atomicio import atomic_write_text"
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One span replacement in a file's source text."""
+
+    start: int  # absolute character offset
+    end: int
+    replacement: str
+    rule: str
+    line: int
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    source: str
+    fixed_source: str
+    edits: List[Edit] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed_source != self.source
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(node: ast.AST, offsets: List[int]) -> Optional[Tuple[int, int]]:
+    end_lineno = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_lineno is None or end_col is None:
+        return None
+    start = offsets[node.lineno - 1] + node.col_offset
+    end = offsets[end_lineno - 1] + end_col
+    return start, end
+
+
+def _segment(source: str, node: ast.AST, offsets: List[int]) -> Optional[str]:
+    span = _span(node, offsets)
+    if span is None:
+        return None
+    return source[span[0]: span[1]]
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _module_binds_name(tree: ast.Module, ctx: ModuleContext, name: str) -> bool:
+    """Is ``name`` already importable/defined in this module?"""
+    if name in ctx.aliases:
+        return True
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name
+        ):
+            return True
+    return False
+
+
+def _import_insertion_line(tree: ast.Module) -> int:
+    """1-based line *after* which new imports go.
+
+    After the last top-level import when there is one; otherwise after
+    the module docstring; otherwise at the very top (line 0).
+    """
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, getattr(node, "end_lineno", node.lineno))
+    if last:
+        return last
+    if (
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and _const_str(tree.body[0].value) is not None
+    ):
+        return getattr(tree.body[0], "end_lineno", tree.body[0].lineno)
+    return 0
+
+
+class _FileFixer:
+    """Collects and applies edits for one parsed module."""
+
+    def __init__(
+        self, path: str, source: str, tree: ast.Module, config: LintConfig
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.ctx = ModuleContext(path=path, source=source, tree=tree)
+        self.offsets = _line_offsets(source)
+        self.suppressions = SuppressionIndex(self.ctx.lines)
+        self.edits: List[Edit] = []
+        self.needed_imports: Set[str] = set()
+
+    def _rule_applies(self, rule: str, line: int) -> bool:
+        if self.ctx.path_endswith(self.config.exempt_suffixes(rule)):
+            return False
+        return not self.suppressions.is_suppressed(rule, line)
+
+    def _add(
+        self, node: ast.AST, replacement: str, rule: str
+    ) -> None:
+        span = _span(node, self.offsets)
+        if span is None:
+            return
+        self.edits.append(
+            Edit(
+                start=span[0],
+                end=span[1],
+                replacement=replacement,
+                rule=rule,
+                line=node.lineno,  # type: ignore[attr-defined]
+            )
+        )
+
+    # -- RPR007: time.time() -> time.perf_counter() -----------------------------
+
+    def _fix_wallclock(self, node: ast.Call) -> None:
+        if self.ctx.resolve(node.func) != "time.time":
+            return
+        if not isinstance(node.func, ast.Attribute):
+            # ``from time import time`` -- rewriting the bare name would
+            # need import surgery too; leave it to a human.
+            return
+        if not self._rule_applies("RPR007", node.lineno):
+            return
+        base = _segment(self.source, node.func.value, self.offsets)
+        if base is None:
+            return
+        self._add(node.func, f"{base}.perf_counter", "RPR007")
+
+    # -- RPR004: bin(x).count("1") -> popcount(x) -------------------------------
+
+    def _fix_popcount(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+            return
+        if not (node.args and _const_str(node.args[0]) == "1"):
+            return
+        inner = func.value
+        if not isinstance(inner, ast.Call) or not inner.args:
+            return
+        resolved = self.ctx.resolve(inner.func)
+        if resolved == "bin":
+            operand = inner.args[0]
+        elif resolved == "format" and len(inner.args) >= 2:
+            spec = _const_str(inner.args[1])
+            if spec is None or not spec.endswith("b"):
+                return
+            operand = inner.args[0]
+        else:
+            return
+        if not self._rule_applies("RPR004", node.lineno):
+            return
+        operand_src = _segment(self.source, operand, self.offsets)
+        if operand_src is None:
+            return
+        self._add(node, f"popcount({operand_src})", "RPR004")
+        if not _module_binds_name(self.tree, self.ctx, "popcount"):
+            self.needed_imports.add(_POPCOUNT_IMPORT)
+
+    # -- RPR003: single-write open blocks -> atomic_write_text ------------------
+
+    def _open_write_call(self, node: ast.With) -> Optional[Tuple[str, str]]:
+        """(path_src, handle_name) when this is a fixable write block."""
+        if len(node.items) != 1:
+            return None
+        item = node.items[0]
+        call = item.context_expr
+        if not isinstance(call, ast.Call):
+            return None
+        if self.ctx.resolve(call.func) not in ("open", "io.open"):
+            return None
+        if not call.args:
+            return None
+        mode = None
+        if len(call.args) >= 2:
+            mode = _const_str(call.args[1])
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = _const_str(keyword.value)
+            elif keyword.arg == "encoding":
+                if _const_str(keyword.value) != "utf-8":
+                    return None
+            elif keyword.arg == "newline":
+                if _const_str(keyword.value) not in ("", None):
+                    return None
+            else:
+                return None  # unknown kwarg: do not guess
+        if mode != "w":
+            # "a"/"x" semantics are not what atomic_write_text provides.
+            return None
+        if len(call.args) > 2:
+            return None
+        if not isinstance(item.optional_vars, ast.Name):
+            return None
+        path_src = _segment(self.source, call.args[0], self.offsets)
+        if path_src is None:
+            return None
+        return path_src, item.optional_vars.id
+
+    def _fix_atomic_write(self, node: ast.With) -> None:
+        opened = self._open_write_call(node)
+        if opened is None:
+            return
+        path_src, handle = opened
+        if len(node.body) != 1:
+            return
+        statement = node.body[0]
+        if not isinstance(statement, ast.Expr):
+            return
+        call = statement.value
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "write"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == handle
+            and len(call.args) == 1
+            and not call.keywords
+        ):
+            return
+        if not self._rule_applies("RPR003", node.lineno):
+            return
+        text_src = _segment(self.source, call.args[0], self.offsets)
+        if text_src is None:
+            return
+        self._add(
+            node, f"atomic_write_text({path_src}, {text_src})", "RPR003"
+        )
+        if not _module_binds_name(self.tree, self.ctx, "atomic_write_text"):
+            self.needed_imports.add(_ATOMIC_IMPORT)
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self) -> FixResult:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._fix_wallclock(node)
+                self._fix_popcount(node)
+            elif isinstance(node, ast.With):
+                self._fix_atomic_write(node)
+        if not self.edits:
+            return FixResult(self.path, self.source, self.source)
+        # Refuse overlapping edits (nested matches): keep the outermost.
+        chosen: List[Edit] = []
+        for edit in sorted(self.edits, key=lambda e: (e.start, -e.end)):
+            if chosen and edit.start < chosen[-1].end:
+                continue
+            chosen.append(edit)
+        fixed = self.source
+        for edit in sorted(chosen, key=lambda e: e.start, reverse=True):
+            fixed = fixed[: edit.start] + edit.replacement + fixed[edit.end:]
+        if self.needed_imports:
+            lines = fixed.splitlines(keepends=True)
+            at = _import_insertion_line(self.tree)
+            block = "".join(
+                f"{statement}\n" for statement in sorted(self.needed_imports)
+            )
+            lines.insert(at, block)
+            fixed = "".join(lines)
+        return FixResult(self.path, self.source, fixed, chosen)
+
+
+def fix_source(
+    source: str, path: str, config: Optional[LintConfig] = None
+) -> FixResult:
+    """Compute the fixed text of one module (pure; no filesystem)."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return FixResult(path, source, source)
+    return _FileFixer(path, source, tree, config).run()
+
+
+@dataclass
+class FixReport:
+    """Summary of one ``--fix`` pass over many files."""
+
+    files_changed: int = 0
+    edits_applied: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+    changed_paths: List[str] = field(default_factory=list)
+
+
+def fix_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> FixReport:
+    """Apply fixes in place to every Python file under ``paths``."""
+    from repro.lint.runner import iter_python_files
+    from repro.obs.atomicio import atomic_write_text
+
+    config = config or LintConfig()
+    report = FixReport()
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError):
+            continue
+        result = fix_source(source, file_path, config)
+        if not result.changed:
+            continue
+        atomic_write_text(file_path, result.fixed_source)
+        report.files_changed += 1
+        report.edits_applied += len(result.edits)
+        report.changed_paths.append(file_path)
+        for edit in result.edits:
+            report.by_rule[edit.rule] = report.by_rule.get(edit.rule, 0) + 1
+    return report

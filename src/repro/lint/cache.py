@@ -1,0 +1,201 @@
+"""Incremental lint cache keyed by file content hash.
+
+Whole-program analysis re-reads every module on every run; for a
+pre-commit hook that cost must be paid only for files that actually
+changed.  The cache stores, per file, the post-suppression findings of
+the per-module stage keyed on the sha256 of the file's bytes, plus one
+``~project`` entry for the whole-program stage keyed on the hash of
+*all* file hashes -- any edit anywhere invalidates the project facts
+(they are interprocedural by construction) while per-module results
+for untouched files replay instantly.
+
+Every key additionally folds in a **toolchain fingerprint** (the hash
+of the ``repro.lint`` package sources) and the active-rule set, so
+editing a checker or passing ``--select`` never serves stale results.
+The cache file is advisory: unreadable or mismatched content is
+ignored, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.obs.atomicio import atomic_write_text
+
+_CACHE_VERSION = 1
+
+#: Key of the whole-program entry ("~" sorts after any real path and
+#: can never collide with one).
+PROJECT_KEY = "~project"
+
+
+def content_hash(source: str) -> str:
+    """sha256 hex digest of one file's text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _toolchain_fingerprint() -> str:
+    """Hash of the lint package's own sources.
+
+    Editing any checker, the engine, or this module invalidates every
+    cache entry -- rule logic is part of the key, not trusted state.
+    """
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(package_dir)
+            if name.endswith(".py")
+        )
+    except OSError:
+        return "unknown"
+    for name in names:
+        digest.update(name.encode("utf-8"))
+        try:
+            with open(
+                os.path.join(package_dir, name), "rb"
+            ) as handle:
+                digest.update(hashlib.sha256(handle.read()).digest())
+        except OSError:
+            digest.update(b"?")
+    return digest.hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> Dict:
+    payload = finding.as_dict()
+    return payload
+
+
+def _finding_from_dict(payload: Dict) -> Finding:
+    return Finding(
+        rule=payload["rule"],
+        severity=Severity.parse(payload["severity"]),
+        path=payload["path"],
+        line=int(payload["line"]),
+        column=int(payload["column"]),
+        message=payload["message"],
+        content=payload.get("content", ""),
+    )
+
+
+@dataclass
+class LintCache:
+    """Content-addressed store of per-file and whole-program findings."""
+
+    path: str = ""
+    entries: Dict[str, Dict] = field(default_factory=dict)
+    fingerprint: str = field(default_factory=_toolchain_fingerprint)
+    #: Statistics for the run summary.
+    hits: int = 0
+    misses: int = 0
+    dirty: bool = False
+
+    def _key(self, file_hash: str, rules: Sequence[str]) -> str:
+        digest = hashlib.sha256()
+        digest.update(file_hash.encode("utf-8"))
+        digest.update(self.fingerprint.encode("utf-8"))
+        digest.update(",".join(sorted(rules)).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- per-file entries -------------------------------------------------------
+
+    def lookup(
+        self, path: str, file_hash: str, rules: Sequence[str]
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Cached (findings, raw_count) for one file, or ``None``."""
+        entry = self.entries.get(path)
+        if entry is None or entry.get("key") != self._key(file_hash, rules):
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [_finding_from_dict(f) for f in entry.get("findings", [])]
+        return findings, int(entry.get("raw_count", len(findings)))
+
+    def store(
+        self,
+        path: str,
+        file_hash: str,
+        rules: Sequence[str],
+        findings: Sequence[Finding],
+        raw_count: int,
+    ) -> None:
+        self.entries[path] = {
+            "key": self._key(file_hash, rules),
+            "findings": [_finding_to_dict(f) for f in findings],
+            "raw_count": raw_count,
+        }
+        self.dirty = True
+
+    # -- the whole-program entry ------------------------------------------------
+
+    def project_hash(self, file_hashes: Sequence[Tuple[str, str]]) -> str:
+        """Combined hash over every (path, content-hash) pair."""
+        digest = hashlib.sha256()
+        for path, file_hash in sorted(file_hashes):
+            digest.update(path.encode("utf-8"))
+            digest.update(file_hash.encode("utf-8"))
+        return digest.hexdigest()
+
+    def lookup_project(
+        self, combined_hash: str, rules: Sequence[str]
+    ) -> Optional[List[Finding]]:
+        entry = self.entries.get(PROJECT_KEY)
+        if entry is None or entry.get("key") != self._key(
+            combined_hash, rules
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(f) for f in entry.get("findings", [])]
+
+    def store_project(
+        self,
+        combined_hash: str,
+        rules: Sequence[str],
+        findings: Sequence[Finding],
+    ) -> None:
+        self.entries[PROJECT_KEY] = {
+            "key": self._key(combined_hash, rules),
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+        self.dirty = True
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op for pathless caches)."""
+        if not self.path or not self.dirty:
+            return
+        payload = {"version": _CACHE_VERSION, "entries": self.entries}
+        try:
+            atomic_write_text(
+                self.path,
+                json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            )
+        except OSError:
+            return  # advisory: a read-only checkout must not fail lint
+        self.dirty = False
+
+
+def load_cache(path: str) -> LintCache:
+    """Load a cache file; unreadable/mismatched content yields empty."""
+    cache = LintCache(path=path)
+    if not path or not os.path.exists(path):
+        return cache
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return cache
+    if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return cache
+    entries = payload.get("entries")
+    if isinstance(entries, dict):
+        cache.entries = entries
+    return cache

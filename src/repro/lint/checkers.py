@@ -1,9 +1,11 @@
-"""The nine RPR domain rules.
+"""The per-module RPR domain rules (RPR001-RPR009).
 
 Each rule mechanizes a bug this repository actually shipped and fixed
 by hand in an earlier PR (the ``rationale`` attribute names it); the
-rule exists so the *class* cannot recur.  See docs/static-analysis.md
-for the catalog and the repair direction of every rule.
+rule exists so the *class* cannot recur.  The whole-program rules
+(RPR010-RPR012) live in :mod:`repro.lint.dataflow`.  See
+docs/static-analysis.md for the catalog and the repair direction of
+every rule.
 """
 
 from __future__ import annotations
@@ -179,6 +181,17 @@ class UnseededRngChecker(Checker):
     )
     interests = ("Call",)
 
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Flow facts from the intra-module taint engine: names that
+        # *provably* carry seed-tree provenance (through any number of
+        # local assignments/helper returns), not merely names that
+        # textually mention a seed-tree function.
+        self._rooted: frozenset = frozenset()
+        if ctx.path_contains("reliability") or ctx.path_contains("parallel"):
+            from repro.lint.dataflow import module_seed_rooted_names
+
+            self._rooted = module_seed_rooted_names(ctx.path, ctx.source)
+
     @staticmethod
     def _mentions_seed_tree(node: ast.AST) -> bool:
         for child in ast.walk(node):
@@ -190,6 +203,15 @@ class UnseededRngChecker(Checker):
             ):
                 return True
         return False
+
+    def _is_seed_rooted(self, node: ast.AST) -> bool:
+        """Textual seed-tree mention OR flow-computed provenance."""
+        if self._mentions_seed_tree(node):
+            return True
+        return any(
+            isinstance(child, ast.Name) and child.id in self._rooted
+            for child in ast.walk(node)
+        )
 
     def _inline_constructions(
         self, node: ast.Call, ctx: ModuleContext
@@ -205,7 +227,7 @@ class UnseededRngChecker(Checker):
                 continue
             if not argument.args and not argument.keywords:
                 continue  # the zero-argument form is flagged directly
-            if self._mentions_seed_tree(argument):
+            if self._is_seed_rooted(argument):
                 continue
             yield argument
 
@@ -460,10 +482,16 @@ class ParallelRngChecker(Checker):
     def begin_module(self, ctx: ModuleContext) -> None:
         # Names bound *from* a seed-tree derivation are themselves
         # blessed: ``for ss in spawn_seed_sequences(...): default_rng(ss)``
-        # must pass.  One pre-pass collects such binding targets.
+        # must pass.  One pre-pass collects such binding targets, and the
+        # intra-module taint engine contributes every name it can *prove*
+        # carries seed-tree provenance (multi-hop local chains the
+        # textual pre-pass cannot follow).
         self._derived: set = set()
         if not ctx.path_contains("parallel"):
             return
+        from repro.lint.dataflow import module_seed_rooted_names
+
+        self._derived.update(module_seed_rooted_names(ctx.path, ctx.source))
         for node in ast.walk(ctx.tree):
             value: Optional[ast.AST] = None
             targets: Tuple[ast.AST, ...] = ()

@@ -1,6 +1,6 @@
 """Render a :class:`~repro.lint.runner.LintReport` for people and machines.
 
-Three formats:
+Four formats:
 
 * ``text``   -- ``path:line:col: RPR001 [error] message`` lines plus a
   summary, for terminals (the default);
@@ -8,7 +8,10 @@ Three formats:
   tooling;
 * ``github`` -- GitHub Actions workflow commands (``::error file=...``)
   that annotate the offending lines directly in a pull request, plus
-  the same human summary on stdout for the job log.
+  the same human summary on stdout for the job log;
+* ``sarif``  -- a SARIF 2.1.0 log for the GitHub code-scanning upload
+  action, carrying the full rule catalog (descriptions + rationale) so
+  findings render with help text in the Security tab.
 """
 
 from __future__ import annotations
@@ -24,6 +27,17 @@ _GITHUB_LEVELS = {
     Severity.WARNING: "warning",
     Severity.ERROR: "error",
 }
+
+_SARIF_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _summary_line(report: LintReport) -> str:
@@ -84,8 +98,81 @@ def format_github(report: LintReport) -> str:
     return "\n".join(lines)
 
 
+def format_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log of the new findings (code-scanning upload)."""
+    from repro.lint.registry import all_checkers
+
+    rules = []
+    rule_index = {}
+    for checker in all_checkers():
+        rule_index[checker.rule] = len(rules)
+        rules.append(
+            {
+                "id": checker.rule,
+                "name": checker.name,
+                "shortDescription": {"text": checker.description},
+                "fullDescription": {"text": checker.rationale},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[checker.severity]
+                },
+                "help": {
+                    "text": (
+                        "See docs/static-analysis.md for the flagged/"
+                        "clean examples and the repair direction."
+                    )
+                },
+            }
+        )
+    results = []
+    for finding in report.new_findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis"
+                        ),
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
 FORMATTERS = {
     "text": format_text,
     "json": format_json,
     "github": format_github,
+    "sarif": format_sarif,
 }

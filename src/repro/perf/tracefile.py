@@ -19,6 +19,7 @@ from __future__ import annotations
 import io
 from typing import Iterable, Iterator, List, Sequence, Union
 
+from repro.obs.atomicio import atomic_write_text
 from repro.perf.trace import Access
 
 
@@ -46,10 +47,18 @@ def write_trace(accesses: Iterable[Access], stream: io.TextIOBase) -> int:
 
 
 def save_trace(accesses: Iterable[Access], path: str) -> int:
-    """Serialise accesses to a file; returns the count written."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write("# repro trace v1: gap_cycles line_address R|W\n")
-        return write_trace(accesses, handle)
+    """Serialise accesses to a file atomically; returns the count written.
+
+    The trace is rendered in memory and moved into place with
+    ``os.replace`` (via :func:`repro.obs.atomicio.atomic_write_text`),
+    so a run killed mid-save leaves the previous trace -- never a
+    truncated one that :func:`parse_trace` would reject line-by-line.
+    """
+    buffer = io.StringIO()
+    buffer.write("# repro trace v1: gap_cycles line_address R|W\n")
+    count = write_trace(accesses, buffer)
+    atomic_write_text(path, buffer.getvalue())
+    return count
 
 
 def parse_trace(stream: Iterable[str], path: str = "<trace>") -> Iterator[Access]:

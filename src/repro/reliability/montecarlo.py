@@ -176,6 +176,10 @@ def _dense_walk(num_lines: int, dirty, visits) -> list:
     multiplicity = Counter(visits)
     dirty_set = set(dirty)
     walk = []
+    # A dense pass is defined as visiting every line in index order;
+    # O(lines) is the semantics here, not an accident (sparse mode is
+    # the fast path that skips this entirely).
+    # repro-lint: disable=RPR009
     for frame in range(num_lines):
         if frame in dirty_set:
             walk.extend([frame] * multiplicity.get(frame, 0))
@@ -539,6 +543,9 @@ def _fill_random_through_engine(engine: SuDokuEngine, seed: int) -> None:
 
     local = _random.Random(seed)
     data_bits = engine.data_bits
+    # Each write must go through engine.write_data so the parity tables
+    # track the content; there is no bulk engine write to route to.
+    # repro-lint: disable=RPR009
     for frame in range(engine.array.num_lines):
         engine.write_data(frame, local.getrandbits(data_bits))
 

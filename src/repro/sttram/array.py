@@ -307,6 +307,27 @@ class STTRAMArray:
 
     # -- bulk helpers -------------------------------------------------------------
 
+    def fill_word(self, value: int) -> None:
+        """Write one value to every line: the bulk formatting primitive.
+
+        Semantically identical to ``write(index, value)`` over every
+        index; cache ``_format`` paths route here so the per-line walk
+        lives in one sanctioned place next to the storage it owns.  In
+        plane mode with no stuck-at map the fill is a single broadcast
+        into the bit-plane matrix.
+        """
+        self._check(0, value)
+        if self._fault_map is None and isinstance(self._stored, _PlaneStore):
+            packed = pack_line(value, self._stored.planes.shape[1] * 64)
+            self._stored.planes[:] = packed
+            self._golden.planes[:] = packed
+            self._dirty.clear()
+            return
+        # The sanctioned scalar fill: stuck bits must re-assert per line.
+        # repro-lint: disable=RPR009
+        for index in range(self.num_lines):
+            self.write(index, value)
+
     def fill_random(
         self,
         rng: Optional[np.random.Generator] = None,
@@ -320,6 +341,10 @@ class STTRAMArray:
         # bit-identical to constructing a fresh shim per line (pinned by
         # the seed-golden tests) without num_lines object constructions.
         shim = _IntRandom(0)
+        # Content generation is the bulk path itself: the per-line
+        # reseed stream is pinned bit-identical by the seed-golden
+        # suite, so it cannot batch without changing the stream.
+        # repro-lint: disable=RPR009
         for index in range(self.num_lines):
             bits = generator.bit_generator.random_raw()  # cheap 64-bit seed
             shim.reseed(int(bits))

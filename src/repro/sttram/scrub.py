@@ -188,6 +188,9 @@ class ScrubEngine:
             if account is not None:
                 account(bulk_clean)
         else:
+            # The dense reference pass: visiting every line is the
+            # point (it is what sparse mode is validated against).
+            # repro-lint: disable=RPR009
             for index in range(self.array.num_lines):
                 outcome = self.scheme.scrub_line(index)
                 report.outcomes[outcome] += 1

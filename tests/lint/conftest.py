@@ -1,0 +1,27 @@
+"""Shared helpers for the lint test suite."""
+
+import os
+
+import pytest
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def load_fixture_files():
+    """Every fixture ``.py`` as a ``(path, source)`` pair, sorted."""
+    out = []
+    for root, _, names in os.walk(FIXTURES):
+        for name in sorted(names):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                out.append((path, handle.read()))
+    return sorted(out)
+
+
+@pytest.fixture(scope="session")
+def fixture_files():
+    files = load_fixture_files()
+    assert files, "fixture project missing under tests/lint/fixtures"
+    return files

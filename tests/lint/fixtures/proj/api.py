@@ -1,0 +1,9 @@
+"""Re-export facade: callers import the constructors from here.
+
+The call graph must chase ``proj.api.make_unseeded`` through this hop
+to ``proj.core.make_unseeded``.
+"""
+
+from proj.core import make_generator, make_unseeded
+
+__all__ = ["make_generator", "make_unseeded"]

@@ -1,0 +1,13 @@
+"""Generator construction helpers (one sanctioned, one not)."""
+
+import numpy as np
+
+
+def make_generator(seed):
+    """The sanctioned shape: provenance flows from the caller's seed."""
+    return np.random.default_rng(seed)
+
+
+def make_unseeded():
+    """The bug shape: a generator with no provenance at all."""
+    return np.random.default_rng()

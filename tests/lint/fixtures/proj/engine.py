@@ -1,0 +1,16 @@
+"""Method/class fixture: constructor routing and inherited methods."""
+
+from proj import helpers as h
+
+
+class Base:
+    def setup(self, seed):
+        self.gen = h.fresh(seed)
+
+
+class Engine(Base):
+    def __init__(self, seed):
+        self.setup(seed)
+
+    def draw(self):
+        return self.gen.integers(0, 4)

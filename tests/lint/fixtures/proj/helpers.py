@@ -1,0 +1,16 @@
+"""Pass-through helpers shared by seeded and unseeded callers.
+
+``wrap`` is the precision trap: both the TP and the TN fixture route
+their generator through it, so a context-insensitive summary that
+unions tags across callers would flag the seed-rooted chain too.
+"""
+
+from proj import core as c
+
+
+def wrap(gen):
+    return gen
+
+
+def fresh(seed):
+    return c.make_generator(seed)

@@ -1,0 +1,1 @@
+"""Campaign-scoped fixture modules (the RPR010 enforcement scope)."""

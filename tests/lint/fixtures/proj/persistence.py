@@ -1,0 +1,15 @@
+"""RPR011 TP/TN pair: unordered provenance into persisted artifacts."""
+
+import json
+
+
+def dump_bad(shards):
+    seen = {shard.name for shard in shards}
+    payload = {"shards": list(seen)}
+    return json.dumps(payload)
+
+
+def dump_good(shards):
+    seen = {shard.name for shard in shards}
+    payload = {"shards": sorted(seen)}
+    return json.dumps(payload)

@@ -1,0 +1,28 @@
+"""RPR012 TP/TN pairs: wall-clock/env into digests and checkpoints."""
+
+import hashlib
+import json
+import os
+import time
+
+
+def write_checkpoint(payload):
+    return json.dumps(payload)
+
+
+def digest_bad(spec):
+    stamp = time.time()
+    return hashlib.sha256(str((spec, stamp)).encode()).hexdigest()
+
+
+def digest_good(spec):
+    return hashlib.sha256(str(spec).encode()).hexdigest()
+
+
+def checkpoint_bad(state):
+    payload = {"state": state, "host": os.environ["HOSTNAME"]}
+    return write_checkpoint(payload)
+
+
+def checkpoint_good(state):
+    return write_checkpoint({"state": state})

@@ -1,0 +1,7 @@
+"""Driver whose constructor call must route to ``Engine.__init__``."""
+
+from proj.engine import Engine
+
+
+def build():
+    return Engine(7)

@@ -1,0 +1,113 @@
+"""``repro lint --fix``: correctness and idempotency of the autofixes."""
+
+import os
+
+from repro.lint.autofix import FIXABLE_RULES, fix_paths, fix_source
+from repro.lint.config import LintConfig
+from repro.lint.runner import lint_paths
+
+FIXABLE_SOURCE = (
+    '"""Module docstring."""\n'
+    "\n"
+    "import time\n"
+    "\n"
+    "\n"
+    "def weight(x):\n"
+    '    return bin(x).count("1")\n'
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+    "\n"
+    "\n"
+    "def save(path, text):\n"
+    '    with open(path, "w", encoding="utf-8") as handle:\n'
+    "        handle.write(text)\n"
+)
+
+
+class TestFixSource:
+    def test_all_three_rules_repair(self):
+        result = fix_source(FIXABLE_SOURCE, "mod.py")
+        assert result.changed
+        assert {edit.rule for edit in result.edits} == set(FIXABLE_RULES)
+        fixed = result.fixed_source
+        assert "time.perf_counter()" in fixed
+        assert "popcount(x)" in fixed
+        assert "atomic_write_text(path, text)" in fixed
+        assert "from repro.coding.bitvec import popcount" in fixed
+        assert "from repro.obs.atomicio import atomic_write_text" in fixed
+
+    def test_fix_is_idempotent(self):
+        once = fix_source(FIXABLE_SOURCE, "mod.py").fixed_source
+        twice = fix_source(once, "mod.py").fixed_source
+        assert once == twice
+
+    def test_fixed_source_parses_and_lints_clean(self, tmp_path):
+        fixed = fix_source(FIXABLE_SOURCE, "mod.py").fixed_source
+        compile(fixed, "mod.py", "exec")
+        target = tmp_path / "mod.py"
+        target.write_text(fixed, encoding="utf-8")
+        report = lint_paths([str(target)], LintConfig())
+        assert not any(f.rule in FIXABLE_RULES for f in report.findings)
+
+    def test_imports_inserted_after_existing_import_block(self):
+        fixed = fix_source(FIXABLE_SOURCE, "mod.py").fixed_source
+        lines = fixed.splitlines()
+        assert lines[2] == "import time"
+        assert lines[3].startswith("from repro.")
+
+    def test_suppressed_line_is_not_rewritten(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPR007\n"
+        )
+        assert not fix_source(source, "mod.py").changed
+
+    def test_append_mode_open_is_left_alone(self):
+        source = (
+            'with open(p, "a", encoding="utf-8") as handle:\n'
+            "    handle.write(text)\n"
+        )
+        assert not fix_source(source, "mod.py").changed
+
+    def test_multi_statement_write_block_is_left_alone(self):
+        source = (
+            'with open(p, "w", encoding="utf-8") as handle:\n'
+            "    handle.write(head)\n"
+            "    handle.write(tail)\n"
+        )
+        assert not fix_source(source, "mod.py").changed
+
+    def test_bare_from_import_time_is_left_alone(self):
+        # Rewriting ``time()`` from ``from time import time`` would need
+        # import surgery; the fixer must decline, not corrupt.
+        source = "from time import time\nt = time()\n"
+        assert not fix_source(source, "mod.py").changed
+
+    def test_syntax_error_returns_input_unchanged(self):
+        source = "def broken(:\n"
+        result = fix_source(source, "mod.py")
+        assert not result.changed
+        assert result.fixed_source == source
+
+
+class TestFixPaths:
+    def test_round_trip_on_disk_is_idempotent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(FIXABLE_SOURCE, encoding="utf-8")
+        first = fix_paths([str(tmp_path)])
+        assert first.files_changed == 1
+        assert first.edits_applied == 3
+        fixed_once = target.read_text(encoding="utf-8")
+        second = fix_paths([str(tmp_path)])
+        assert second.files_changed == 0
+        assert target.read_text(encoding="utf-8") == fixed_once
+
+    def test_clean_files_are_untouched(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        before = os.stat(target).st_mtime_ns
+        report = fix_paths([str(tmp_path)])
+        assert report.files_changed == 0
+        assert os.stat(target).st_mtime_ns == before

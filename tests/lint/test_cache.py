@@ -1,0 +1,94 @@
+"""Incremental lint cache: content addressing and invalidation."""
+
+import json
+
+from repro.lint.cache import LintCache, content_hash, load_cache
+from repro.lint.config import LintConfig
+from repro.lint.runner import lint_paths
+
+
+def make_tree(tmp_path):
+    (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+    (tmp_path / "dirty.py").write_text(
+        'f = open(p, "w")\n', encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestWarmRuns:
+    def test_second_run_replays_from_cache(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        config = LintConfig()
+
+        cold_cache = load_cache(cache_path)
+        cold = lint_paths([str(tree)], config, cache=cold_cache)
+        assert cold_cache.misses > 0
+
+        warm_cache = load_cache(cache_path)
+        warm = lint_paths([str(tree)], config, cache=warm_cache)
+        assert warm_cache.hits > 0
+        assert warm_cache.misses == 0
+        assert [f.as_dict() for f in warm.findings] == [
+            f.as_dict() for f in cold.findings
+        ]
+
+    def test_edited_file_misses_while_others_hit(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        config = LintConfig()
+        lint_paths([str(tree)], config, cache=load_cache(cache_path))
+
+        (tree / "dirty.py").write_text("x = 2\n", encoding="utf-8")
+        cache = load_cache(cache_path)
+        report = lint_paths([str(tree)], config, cache=cache)
+        assert cache.hits > 0       # clean.py replays
+        assert cache.misses > 0     # dirty.py (and the project entry) re-run
+        assert not any(f.rule == "RPR003" for f in report.findings)
+
+    def test_rule_selection_is_part_of_the_key(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        lint_paths([str(tree)], LintConfig(), cache=load_cache(cache_path))
+
+        cache = load_cache(cache_path)
+        narrowed = LintConfig(select=frozenset({"RPR001"}))
+        lint_paths([str(tree)], narrowed, cache=cache)
+        assert cache.misses > 0
+
+
+class TestRobustness:
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+        assert load_cache(str(cache_path)).entries == {}
+
+    def test_version_mismatch_is_ignored(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text(
+            json.dumps({"version": 999, "entries": {"a": {}}}),
+            encoding="utf-8",
+        )
+        assert load_cache(str(cache_path)).entries == {}
+
+    def test_toolchain_fingerprint_invalidates(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        lint_paths([str(tree)], LintConfig(), cache=load_cache(cache_path))
+
+        stale = load_cache(cache_path)
+        stale.fingerprint = "a-different-toolchain"
+        lint_paths([str(tree)], LintConfig(), cache=stale)
+        assert stale.hits == 0
+        assert stale.misses > 0
+
+    def test_content_hash_is_stable(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash("abc") != content_hash("abd")
+
+    def test_pathless_cache_never_persists(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = LintCache(path="")
+        cache.store("a.py", "h", ["RPR001"], [], 0)
+        cache.save()
+        assert list(tmp_path.iterdir()) == []

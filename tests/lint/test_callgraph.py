@@ -1,0 +1,79 @@
+"""Call-graph construction over the fixture project.
+
+Pins the resolution behaviours the taint pass depends on: module
+naming from the on-disk package structure, aliased imports, re-export
+chains, constructor routing to ``__init__``, inherited-method lookup,
+and argument-to-parameter binding.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.callgraph import build_index, module_name_for
+
+
+@pytest.fixture(scope="module")
+def index(fixture_files):
+    return build_index(fixture_files)
+
+
+def sites_to(index, callee):
+    return index.calls_to.get(callee, [])
+
+
+class TestModuleNaming:
+    def test_package_climbing_names_fixture_modules(self, fixture_files):
+        names = {module_name_for(path) for path, _ in fixture_files}
+        assert "proj.core" in names
+        assert "proj.parallel.bad_runner" in names
+        assert "proj" in names  # __init__.py maps to the package itself
+
+    def test_src_fallback_for_in_memory_paths(self):
+        assert module_name_for("src/repro/core/rng.py") == "repro.core.rng"
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+
+class TestResolution:
+    def test_aliased_module_import_resolves(self, index):
+        # engine.py does ``from proj import helpers as h`` then h.fresh.
+        sites = sites_to(index, "proj.helpers.fresh")
+        assert any(s.module == "proj.engine" for s in sites)
+        assert all(s.internal for s in sites)
+
+    def test_reexport_chain_canonicalizes(self, index):
+        assert (
+            index.canonicalize("proj.api.make_unseeded")
+            == "proj.core.make_unseeded"
+        )
+
+    def test_call_through_reexport_lands_on_definition(self, index):
+        # bad_runner imports make_unseeded from proj.api (a re-export).
+        sites = sites_to(index, "proj.core.make_unseeded")
+        assert any(s.module == "proj.parallel.bad_runner" for s in sites)
+
+    def test_constructor_routes_to_init(self, index):
+        sites = sites_to(index, "proj.engine.Engine.__init__")
+        assert any(s.caller == "proj.use_engine.build" for s in sites)
+
+    def test_inherited_method_resolves_to_base(self, index):
+        # Engine.__init__ calls self.setup, defined only on Base.
+        sites = sites_to(index, "proj.engine.Base.setup")
+        assert any(
+            s.caller == "proj.engine.Engine.__init__" for s in sites
+        )
+
+
+class TestBindings:
+    def test_positional_binding_maps_parameter_names(self, index):
+        (site,) = [
+            s
+            for s in sites_to(index, "proj.helpers.fresh")
+            if s.caller == "proj.engine.Base.setup"
+        ]
+        assert set(site.bindings) == {"seed"}
+        assert isinstance(site.bindings["seed"], ast.Name)
+
+    def test_self_is_not_a_bindable_parameter(self, index):
+        function = index.functions["proj.engine.Base.setup"]
+        assert function.params == ("seed",)

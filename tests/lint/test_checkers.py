@@ -23,10 +23,10 @@ def rules_of(source, path="pkg/mod.py", config=None):
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         assert [c.rule for c in all_checkers()] == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008", "RPR009",
+            "RPR007", "RPR008", "RPR009", "RPR010", "RPR011", "RPR012",
         ]
 
     def test_get_checker(self):

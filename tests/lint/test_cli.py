@@ -88,6 +88,67 @@ class TestFormats:
         assert "title=RPR003" in out
 
 
+class TestFixFlag:
+    def test_fix_repairs_then_lints_clean(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "mod.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert run([".", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "1 fix(es)" in out
+        assert "RPR007: 1" in out
+        fixed = (tmp_path / "mod.py").read_text(encoding="utf-8")
+        assert "time.perf_counter()" in fixed
+
+    def test_fix_is_a_noop_on_clean_trees(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert run([".", "--fix"]) == 0
+        assert "nothing to fix" in capsys.readouterr().out
+
+    def test_unfixable_findings_still_gate_after_fix(self, dirty_tree, capsys):
+        # open(p, "w") without a with-block is RPR003 but not the
+        # mechanical shape; --fix leaves it and the lint still fails.
+        assert run([".", "--fix"]) == 1
+        assert "RPR003" in capsys.readouterr().out
+
+
+class TestChangedOnly:
+    def test_outside_a_git_checkout_exits_two(self, dirty_tree, capsys):
+        assert run([".", "--changed-only", "HEAD"]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    def test_default_cache_file_is_written(self, dirty_tree):
+        assert run(["."]) == 1
+        assert (dirty_tree / ".lint-cache.json").exists()
+
+    def test_no_cache_skips_the_file(self, dirty_tree):
+        assert run([".", "--no-cache"]) == 1
+        assert not (dirty_tree / ".lint-cache.json").exists()
+
+    def test_warm_run_matches_cold_run(self, dirty_tree, capsys):
+        assert run(["."]) == 1
+        cold = capsys.readouterr().out
+        assert run(["."]) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses_and_carries_the_finding(
+        self, dirty_tree, capsys
+    ):
+        assert run([".", "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "RPR003"
+
+
 class TestBaselineFlow:
     def test_write_then_gate_round_trip(self, dirty_tree, capsys):
         assert run([".", "--write-baseline"]) == 0

@@ -1,0 +1,131 @@
+"""Interprocedural taint rules (RPR010-RPR012) over the fixtures.
+
+Every TP/TN pair lives in the same index, sharing helpers, so these
+tests also pin the precision property: one caller's unseeded taint must
+not leak into another caller's seed-rooted chain through a shared
+pass-through function.
+"""
+
+import os
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.dataflow import (
+    ImpureDigestChecker,
+    UnorderedPersistChecker,
+    UnrootedCampaignRngChecker,
+    analyze_project,
+    module_seed_rooted_names,
+)
+from repro.lint.runner import lint_paths
+
+from .conftest import FIXTURES
+
+
+@pytest.fixture(scope="module")
+def analysis(fixture_files):
+    return analyze_project(fixture_files)
+
+
+def paths_flagged(checker, analysis):
+    return {os.path.basename(f.path) for f in checker.check_project(analysis)}
+
+
+class TestRPR010:
+    def test_unseeded_two_hop_chain_is_flagged(self, analysis):
+        flagged = paths_flagged(UnrootedCampaignRngChecker(), analysis)
+        assert "bad_runner.py" in flagged
+
+    def test_seed_rooted_chain_is_not_flagged(self, analysis):
+        flagged = paths_flagged(UnrootedCampaignRngChecker(), analysis)
+        assert "good_runner.py" not in flagged
+
+    def test_flag_lands_on_the_consumption_site(self, analysis):
+        (finding,) = [
+            f
+            for f in UnrootedCampaignRngChecker().check_project(analysis)
+            if f.path.endswith("bad_runner.py")
+        ]
+        assert "gen.integers" in finding.content
+        assert "unseeded" in finding.message
+
+    def test_non_campaign_modules_are_out_of_scope(self, analysis):
+        # core.py holds the unseeded constructor but is not under a
+        # reliability/parallel/serve path; only consumption in campaign
+        # scope is flagged.
+        flagged = paths_flagged(UnrootedCampaignRngChecker(), analysis)
+        assert "core.py" not in flagged
+
+
+class TestRPR011:
+    def test_set_comprehension_into_json_dumps_is_flagged(self, analysis):
+        findings = [
+            f
+            for f in UnorderedPersistChecker().check_project(analysis)
+            if f.path.endswith("persistence.py")
+        ]
+        assert any("dump_bad" in f.message for f in findings)
+
+    def test_sorted_clears_the_taint(self, analysis):
+        findings = [
+            f
+            for f in UnorderedPersistChecker().check_project(analysis)
+            if f.path.endswith("persistence.py")
+        ]
+        assert not any("dump_good" in f.message for f in findings)
+
+
+class TestRPR012:
+    def test_wallclock_into_digest_is_flagged(self, analysis):
+        findings = list(ImpureDigestChecker().check_project(analysis))
+        assert any("digest_bad" in f.message for f in findings)
+
+    def test_env_into_checkpoint_payload_is_flagged(self, analysis):
+        findings = list(ImpureDigestChecker().check_project(analysis))
+        assert any("checkpoint_bad" in f.message for f in findings)
+
+    def test_pure_variants_are_clean(self, analysis):
+        findings = list(ImpureDigestChecker().check_project(analysis))
+        assert not any("digest_good" in f.message for f in findings)
+        assert not any("checkpoint_good" in f.message for f in findings)
+
+
+class TestSeedRootedNames:
+    def test_flow_rooted_chain_resolves_through_hops(self):
+        source = (
+            "import numpy as np\n"
+            "def run(root):\n"
+            "    tree = np.random.SeedSequence(root)\n"
+            "    child = tree.spawn(1)[0]\n"
+            "    rng = np.random.default_rng(child)\n"
+            "    return rng\n"
+        )
+        rooted = module_seed_rooted_names("src/repro/parallel/x.py", source)
+        assert {"tree", "child", "rng"} <= rooted
+
+    def test_unseeded_names_are_not_rooted(self):
+        source = (
+            "import numpy as np\n"
+            "def run():\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng\n"
+        )
+        rooted = module_seed_rooted_names("src/repro/parallel/y.py", source)
+        assert "rng" not in rooted
+
+
+class TestRunnerIntegration:
+    def test_project_rules_surface_through_lint_paths(self):
+        report = lint_paths([FIXTURES], LintConfig())
+        rules = {f.rule for f in report.findings}
+        assert {"RPR010", "RPR011", "RPR012"} <= rules
+
+    def test_per_module_rpr006_accepts_flow_rooted_derivation(self):
+        # good_runner derives its seed through tree.spawn(1)[0]; the
+        # flow-fact upgrade of RPR006 must accept it.
+        report = lint_paths([FIXTURES], LintConfig())
+        assert not any(
+            f.rule == "RPR006" and f.path.endswith("good_runner.py")
+            for f in report.findings
+        )

@@ -1,0 +1,64 @@
+"""SARIF 2.1.0 output: structural contract for the code-scanning upload."""
+
+import json
+
+from repro.lint.config import LintConfig
+from repro.lint.registry import known_rules
+from repro.lint.reporting import FORMATTERS, format_sarif
+from repro.lint.runner import lint_paths
+
+
+def sarif_for(tmp_path, source):
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    report = lint_paths([str(tmp_path)], LintConfig())
+    return json.loads(format_sarif(report))
+
+
+def test_sarif_is_a_registered_formatter():
+    assert "sarif" in FORMATTERS
+
+
+def test_log_skeleton(tmp_path):
+    log = sarif_for(tmp_path, "x = 1\n")
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["columnKind"] == "unicodeCodePoints"
+    assert run["results"] == []
+
+
+def test_rule_catalog_is_complete(tmp_path):
+    log = sarif_for(tmp_path, "x = 1\n")
+    rules = log["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == list(known_rules())
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "note",
+            "warning",
+            "error",
+        )
+
+
+def test_result_shape_and_rule_index(tmp_path):
+    log = sarif_for(tmp_path, 'f = open(p, "w")\n')
+    (run,) = log["runs"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "RPR003"
+    rules = run["tool"]["driver"]["rules"]
+    assert rules[result["ruleIndex"]]["id"] == "RPR003"
+    (location,) = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    region = physical["region"]
+    assert region["startLine"] == 1
+    assert region["startColumn"] >= 1
+
+
+def test_severity_maps_to_sarif_levels(tmp_path):
+    # RPR003 is error-severity; the SARIF level must say so.
+    log = sarif_for(tmp_path, 'f = open(p, "w")\n')
+    (result,) = log["runs"][0]["results"]
+    assert result["level"] == "error"
